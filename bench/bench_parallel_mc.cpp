@@ -1,0 +1,64 @@
+// Experiment PAR — the HPC substrate: level-synchronized parallel BFS over
+// the observer–checker product, sharded visited sets.  Reports wall time
+// and speedup for 1/2/4 worker threads (this host may be single-core, in
+// which case the table documents the synchronization overhead instead).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "core/verifier.hpp"
+#include "protocol/directory.hpp"
+#include "protocol/msi_bus.hpp"
+
+namespace {
+
+using namespace scv;
+
+void scaling_rows(const Protocol& proto, const char* params) {
+  double base = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    McOptions opt;
+    opt.threads = threads;
+    opt.max_states = 5'000'000;
+    const McResult r = model_check(proto, opt);
+    if (threads == 1) base = r.seconds;
+    std::printf("  %-14s %-10s | %zu thread%s | %-10s | %8zu states | "
+                "%6.2fs | speedup x%.2f\n",
+                proto.name().c_str(), params, threads,
+                threads == 1 ? " " : "s", to_string(r.verdict).c_str(),
+                r.states, r.seconds, base / r.seconds);
+    std::fflush(stdout);
+  }
+}
+
+void print_table() {
+  std::printf("== PAR: parallel model-checking scaling ==\n");
+  std::printf("(hardware threads available: %u)\n\n",
+              std::thread::hardware_concurrency());
+  scaling_rows(MsiBus(2, 1, 1), "p2 b1 v1");
+  scaling_rows(DirectoryProtocol(2, 1, 1), "p2 b1 v1");
+  std::printf("\n");
+}
+
+void BM_ParallelVsSequential(benchmark::State& state) {
+  MsiBus proto(2, 1, 1);
+  McOptions opt;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const McResult r = model_check(proto, opt);
+    if (r.verdict != McVerdict::Verified) state.SkipWithError("not SC?!");
+    benchmark::DoNotOptimize(r.states);
+  }
+}
+BENCHMARK(BM_ParallelVsSequential)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "checker/cycle_checker.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+CycleChecker::CycleChecker(std::size_t k) : k_(k) {
+  SCV_EXPECTS(k >= 1 && k <= kMaxBandwidth);
+}
+
+std::size_t CycleChecker::active_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const Slot& s : slots_) n += s.in_use ? 1 : 0;
+  return n;
+}
+
+CycleChecker::Status CycleChecker::reject(std::string reason) {
+  if (!rejected_) {
+    rejected_ = true;
+    reason_ = std::move(reason);
+  }
+  return Status::Reject;
+}
+
+int CycleChecker::slot_of(GraphId id) const {
+  const std::uint64_t bit = 1ULL << id;
+  for (std::size_t s = 0; s < kMaxSlots; ++s) {
+    if (slots_[s].in_use && (slots_[s].id_set & bit)) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+
+int CycleChecker::alloc_slot() {
+  for (std::size_t s = 0; s < kMaxSlots; ++s) {
+    if (!slots_[s].in_use) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+void CycleChecker::retire(std::size_t s) {
+  const std::uint64_t succ = slots_[s].out;
+  const std::uint64_t self = 1ULL << s;
+  for (std::size_t h = 0; h < kMaxSlots; ++h) {
+    if (!slots_[h].in_use || h == s) continue;
+    if (slots_[h].out & self) {
+      // Contract (h -> s, s -> j) into h -> j for every successor j of s.
+      slots_[h].out = (slots_[h].out & ~self) | (succ & ~(1ULL << h));
+      // h in succ(s) with an edge h->s would mean a 2-cycle, which the edge
+      // addition that closed it already rejected.
+    }
+  }
+  slots_[s] = Slot{};
+}
+
+void CycleChecker::unbind_id(GraphId id) {
+  const int s = slot_of(id);
+  if (s < 0) return;
+  const std::uint64_t bit = 1ULL << id;
+  if (slots_[s].id_set == bit) {
+    retire(static_cast<std::size_t>(s));  // sole ID: node leaves the graph
+  } else {
+    slots_[s].id_set &= ~bit;  // one alias of several goes away
+  }
+}
+
+bool CycleChecker::path_exists(std::size_t from, std::size_t to) const {
+  // DFS over <= k+1 nodes using bitmask frontiers.
+  std::uint64_t visited = 0;
+  std::uint64_t frontier = 1ULL << from;
+  while (frontier != 0) {
+    const auto s = static_cast<std::size_t>(std::countr_zero(frontier));
+    frontier &= frontier - 1;
+    if (s == to) return true;
+    if (visited & (1ULL << s)) continue;
+    visited |= 1ULL << s;
+    frontier |= slots_[s].out & ~visited;
+  }
+  return false;
+}
+
+CycleChecker::Status CycleChecker::feed(const Symbol& sym) {
+  if (rejected_) return Status::Reject;
+
+  const auto valid_id = [this](GraphId id) {
+    return id >= 1 && static_cast<std::size_t>(id) <= k_ + 1;
+  };
+
+  if (const auto* n = std::get_if<NodeDesc>(&sym)) {
+    if (!valid_id(n->id)) return reject("node ID out of range");
+    unbind_id(n->id);
+    const int s = alloc_slot();
+    SCV_ASSERT(s >= 0);  // <= k+1 live IDs => a free slot always exists
+    slots_[s].in_use = true;
+    slots_[s].id_set = 1ULL << n->id;
+    slots_[s].out = 0;
+    return Status::Ok;
+  }
+
+  if (const auto* a = std::get_if<AddId>(&sym)) {
+    if (!valid_id(a->existing) || !valid_id(a->added)) {
+      return reject("add-ID with ID out of range");
+    }
+    if (a->existing == a->added) return Status::Ok;
+    unbind_id(a->added);
+    const int s = slot_of(a->existing);
+    if (s >= 0) slots_[s].id_set |= 1ULL << a->added;
+    return Status::Ok;
+  }
+
+  const auto& e = std::get<EdgeDesc>(sym);
+  if (!valid_id(e.from) || !valid_id(e.to)) {
+    return reject("edge ID out of range");
+  }
+  const int from = slot_of(e.from);
+  const int to = slot_of(e.to);
+  if (from < 0 || to < 0) {
+    return reject("edge references an ID not bound to any node");
+  }
+  if (from == to) return reject("self-loop: graph has a cycle");
+  // Adding from -> to closes a cycle iff `from` is reachable from `to`.
+  if (path_exists(static_cast<std::size_t>(to),
+                  static_cast<std::size_t>(from))) {
+    return reject("edge closes a cycle");
+  }
+  slots_[from].out |= 1ULL << to;
+  return Status::Ok;
+}
+
+void CycleChecker::serialize(ByteWriter& w) const {
+  w.u8(rejected_ ? 1 : 0);
+  for (const Slot& s : slots_) {
+    if (!s.in_use) {
+      w.u8(0);
+      continue;
+    }
+    w.u8(1);
+    w.u64(s.id_set);
+    w.u64(s.out);
+  }
+}
+
+}  // namespace scv

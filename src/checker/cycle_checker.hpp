@@ -1,0 +1,73 @@
+// The finite-state cycle checker of Lemma 3.3.
+//
+// Reads a k-graph descriptor symbol by symbol, maintaining an *active graph*
+// of at most k+1 nodes (each with an ID-set over 1..k+1).  When a node is
+// retired — its sole ID is recycled by a node descriptor or an add-ID — its
+// incident edge pairs are contracted (H->I, I->J become H->J), which
+// preserves all cycles among the remaining nodes.  The checker rejects as
+// soon as an edge descriptor closes a cycle; thus it accepts a descriptor
+// iff the described graph is acyclic.
+//
+// State is O(k^2) bits and serializes canonically, so the checker can ride
+// along inside a model-checking product.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "descriptor/symbol.hpp"
+#include "util/byte_io.hpp"
+
+namespace scv {
+
+class CycleChecker {
+ public:
+  enum class Status : std::uint8_t { Ok, Reject };
+
+  /// IDs range over 1..k+1; requires k <= kMaxBandwidth.
+  explicit CycleChecker(std::size_t k);
+
+  /// Consumes one descriptor symbol.  Once rejected, stays rejected.
+  Status feed(const Symbol& sym);
+
+  [[nodiscard]] bool rejected() const noexcept { return rejected_; }
+  [[nodiscard]] const std::string& reject_reason() const noexcept {
+    return reason_;
+  }
+
+  /// Number of nodes currently in the active graph.
+  [[nodiscard]] std::size_t active_nodes() const noexcept;
+
+  /// Canonical serialization of the checker state (for product hashing).
+  void serialize(ByteWriter& w) const;
+
+ private:
+  static constexpr std::size_t kMaxSlots = kMaxBandwidth + 2;
+
+  struct Slot {
+    std::uint64_t id_set = 0;  ///< bit i set => ID i in this node's ID-set
+    std::uint64_t out = 0;     ///< bit s set => edge to slot s
+    bool in_use = false;
+  };
+
+  Status reject(std::string reason);
+
+  /// Handles the shared "ID I is being (re)bound" logic: retire the node
+  /// whose ID-set is exactly {I} (with contraction), or strip I from a
+  /// larger ID-set.
+  void unbind_id(GraphId id);
+
+  /// Retires slot s: contract (H->s, s->J) pairs into H->J, drop s.
+  void retire(std::size_t s);
+
+  [[nodiscard]] int slot_of(GraphId id) const;
+  [[nodiscard]] int alloc_slot();
+  [[nodiscard]] bool path_exists(std::size_t from, std::size_t to) const;
+
+  std::size_t k_;
+  Slot slots_[kMaxSlots];
+  bool rejected_ = false;
+  std::string reason_;
+};
+
+}  // namespace scv

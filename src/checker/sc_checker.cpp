@@ -1,0 +1,573 @@
+#include "checker/sc_checker.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "checker/cycle_checker.hpp"
+#include "util/assert.hpp"
+
+namespace scv {
+
+ScChecker::ScChecker(const ScCheckerConfig& config) : cfg_(config) {
+  SCV_EXPECTS(cfg_.k >= 1 && cfg_.k <= kMaxBandwidth);
+  SCV_EXPECTS(cfg_.procs >= 1 && cfg_.procs <= kMaxProcs);
+  SCV_EXPECTS(cfg_.blocks >= 1 && cfg_.blocks <= kMaxBlocks);
+  SCV_EXPECTS(cfg_.values >= 1 && cfg_.values <= 255);
+  for (std::size_t c = 0; c < kMaxChains; ++c) {
+    last_op_[c] = kNone;
+    last_op_live_[c] = false;
+    po_pending_[c] = false;
+    po_expected_from_[c] = kNone;
+  }
+  for (std::size_t b = 0; b < kMaxBlocks; ++b) {
+    root_ref_[b] = kNone;
+    root_retired_[b] = false;
+    retired_no_in_[b] = 0;
+    retired_no_out_[b] = 0;
+    for (std::size_t p = 0; p < kMaxProcs; ++p) {
+      pending_bottom_[b][p] = kNone;
+    }
+  }
+}
+
+std::size_t ScChecker::active_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const Node& node : nodes_) n += node.in_use ? 1 : 0;
+  return n;
+}
+
+ScChecker::Status ScChecker::reject(std::string reason) {
+  if (!rejected_) {
+    rejected_ = true;
+    reason_ = std::move(reason);
+  }
+  return Status::Reject;
+}
+
+int ScChecker::slot_of(GraphId id) const {
+  const std::uint64_t bit = 1ULL << id;
+  for (std::size_t s = 0; s < kMaxSlots; ++s) {
+    if (nodes_[s].in_use && (nodes_[s].id_set & bit)) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+
+int ScChecker::alloc_slot() {
+  for (std::size_t s = 0; s < kMaxSlots; ++s) {
+    if (!nodes_[s].in_use) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+bool ScChecker::path_exists(std::size_t from, std::size_t to) const {
+  std::uint64_t visited = 0;
+  std::uint64_t frontier = 1ULL << from;
+  while (frontier != 0) {
+    const auto s = static_cast<std::size_t>(std::countr_zero(frontier));
+    frontier &= frontier - 1;
+    if (s == to) return true;
+    if (visited & (1ULL << s)) continue;
+    visited |= 1ULL << s;
+    frontier |= nodes_[s].out & ~visited;
+  }
+  return false;
+}
+
+ScChecker::Status ScChecker::retire(std::size_t s) {
+  Node& n = nodes_[s];
+  const auto slot = static_cast<std::int8_t>(s);
+
+  // --- Obligation checks on the departing node.
+  if (n.op.is_load()) {
+    if (n.op.value != kBottom && !n.inh_in) {
+      return reject("load retired without an inheritance edge");
+    }
+    if (n.forced_target != kNone) {
+      return reject("load retired owing a forced edge (constraint 5a)");
+    }
+    if (n.pending_for != kNone) {
+      return reject(
+          "load retired while last in program order to inherit from a live "
+          "store (constraint 5a)");
+    }
+    if (n.bottom_pending) {
+      return reject("bottom-load retired owing a forced edge to the first "
+                    "store (constraint 5b)");
+    }
+  } else {
+    const BlockId b = n.op.block;
+    if (!n.sto_in) {
+      if (root_ref_[b] == slot) {
+        root_retired_[b] = true;
+        root_ref_[b] = kNone;
+      } else if (root_ref_[b] != kNone) {
+        return reject("two stores with no incoming ST order edge "
+                      "(constraint 3)");
+      } else if (++retired_no_in_[b] >= 2) {
+        return reject("two stores retired with no incoming ST order edge "
+                      "(constraint 3)");
+      }
+      // A store retiring as the (candidate) first of its block strands any
+      // outstanding ⊥-load obligations for that block.
+      for (std::size_t p = 0; p < cfg_.procs; ++p) {
+        if (pending_bottom_[b][p] != kNone) {
+          return reject("first store of a block retired while a bottom-load "
+                        "still owes it a forced edge (constraint 5b)");
+        }
+      }
+    }
+    if (!n.sto_out && ++retired_no_out_[b] >= 2) {
+      return reject("two stores retired with no outgoing ST order edge "
+                    "(constraint 3)");
+    }
+    // Loads pending on this store: if the store never got a successor, the
+    // forced-edge triples can no longer form, so the loads are released.
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      const std::int8_t j = n.pending_ld[p];
+      if (j != kNone && nodes_[j].in_use) {
+        nodes_[j].pending_for = kNone;
+        if (n.sto_succ == kNone) nodes_[j].forced_target = kNone;
+      }
+    }
+  }
+
+  // --- Program order: the retiring node may be awaiting its po edge.
+  {
+    const std::size_t c = chain_of(n.op);
+    if (po_pending_[c] &&
+        (po_expected_from_[c] == slot || last_op_[c] == slot)) {
+      return reject("operation retired before its program order edge was "
+                    "emitted (constraint 2)");
+    }
+    if (last_op_[c] == slot) last_op_live_[c] = false;
+  }
+
+  // --- Scrub references to this slot from the remaining nodes.
+  const std::uint64_t self = 1ULL << s;
+  for (std::size_t h = 0; h < kMaxSlots; ++h) {
+    if (!nodes_[h].in_use || h == s) continue;
+    Node& m = nodes_[h];
+    if (m.sto_succ == slot) m.sto_succ = kGone;
+    if (m.inh_src == slot) m.inh_src = kNone;
+    if (m.forced_target == slot) {
+      return reject("forced-edge target retired before the edge was emitted "
+                    "(constraint 5)");
+    }
+    if (m.pending_for == slot) m.pending_for = kNone;
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      if (m.pending_ld[p] == slot) m.pending_ld[p] = kNone;
+    }
+    m.forced_out &= ~self;
+    // Edge contraction for cycle preservation: (h -> s, s -> j) => h -> j.
+    if (m.out & self) {
+      m.out = (m.out & ~self) | (n.out & ~(1ULL << h));
+    }
+  }
+
+  n = Node{};
+  return Status::Ok;
+}
+
+void ScChecker::unbind_id(GraphId id) {
+  const int s = slot_of(id);
+  if (s < 0) return;
+  const std::uint64_t bit = 1ULL << id;
+  if (nodes_[s].id_set == bit) {
+    (void)retire(static_cast<std::size_t>(s));
+  } else {
+    nodes_[s].id_set &= ~bit;
+  }
+}
+
+ScChecker::Status ScChecker::on_node(const NodeDesc& nd) {
+  if (!nd.label.has_value()) {
+    return reject("node descriptor without an operation label");
+  }
+  const Operation op = *nd.label;
+  if (op.proc >= cfg_.procs || op.block >= cfg_.blocks ||
+      op.value > cfg_.values ||
+      (op.is_store() && op.value == kBottom)) {
+    return reject("operation label out of range");
+  }
+
+  unbind_id(nd.id);
+  if (rejected_) return Status::Reject;
+
+  const int s = alloc_slot();
+  SCV_ASSERT(s >= 0);
+  Node& n = nodes_[s];
+  n = Node{};
+  n.in_use = true;
+  n.op = op;
+  n.id_set = 1ULL << nd.id;
+
+  const std::size_t c = chain_of(op);
+  if (po_pending_[c]) {
+    return reject("new operation before the previous program order edge was "
+                  "emitted (prompt-descriptor discipline)");
+  }
+  if (last_op_[c] != kNone) {
+    if (!last_op_live_[c]) {
+      return reject("program order predecessor retired before its successor "
+                    "arrived (constraint 2)");
+    }
+    po_pending_[c] = true;
+    po_expected_from_[c] = last_op_[c];
+  }
+  last_op_[c] = static_cast<std::int8_t>(s);
+  last_op_live_[c] = true;
+
+  if (op.is_load() && op.value == kBottom) {
+    const BlockId b = op.block;
+    const ProcId p = op.proc;
+    if (root_retired_[b] || retired_no_in_[b] > 0) {
+      return reject("bottom-load after the first store of its block retired "
+                    "(constraint 5b)");
+    }
+    const std::int8_t old = pending_bottom_[b][p];
+    if (old != kNone && nodes_[old].in_use) {
+      nodes_[old].bottom_pending = false;  // discharged via program order
+    }
+    pending_bottom_[b][p] = static_cast<std::int8_t>(s);
+    n.bottom_pending = true;
+  }
+  return Status::Ok;
+}
+
+ScChecker::Status ScChecker::check_po_edge(std::size_t from, std::size_t to) {
+  const std::size_t c = chain_of(nodes_[to].op);
+  if (chain_of(nodes_[from].op) != c) {
+    return reject(cfg_.coherence_po
+                      ? "program order edge across (processor, block) chains"
+                      : "program order edge between different processors");
+  }
+  if (!po_pending_[c] ||
+      po_expected_from_[c] != static_cast<std::int8_t>(from) ||
+      last_op_[c] != static_cast<std::int8_t>(to)) {
+    return reject("program order edge not between trace-consecutive "
+                  "operations (constraint 2)");
+  }
+  if (nodes_[from].po_out || nodes_[to].po_in) {
+    return reject("duplicate program order edge (constraint 2)");
+  }
+  nodes_[from].po_out = true;
+  nodes_[to].po_in = true;
+  po_pending_[c] = false;
+  po_expected_from_[c] = kNone;
+  return Status::Ok;
+}
+
+ScChecker::Status ScChecker::check_sto_edge(std::size_t from,
+                                            std::size_t to) {
+  Node& x = nodes_[from];
+  Node& k = nodes_[to];
+  if (!x.op.is_store() || !k.op.is_store() || x.op.block != k.op.block) {
+    return reject("ST order edge not between stores of one block "
+                  "(constraint 3)");
+  }
+  if (x.sto_out) return reject("two outgoing ST order edges (constraint 3)");
+  if (k.sto_in) return reject("two incoming ST order edges (constraint 3)");
+  const BlockId b = x.op.block;
+  if (root_ref_[b] == static_cast<std::int8_t>(to)) {
+    return reject("store pinned as first in ST order gained a predecessor "
+                  "(constraint 5b)");
+  }
+  x.sto_out = true;
+  k.sto_in = true;
+  x.sto_succ = static_cast<std::int8_t>(to);
+  // Constraint 5(a) triples now exist for every load pending on x: each owes
+  // a forced edge to k (or already emitted one).
+  for (std::size_t p = 0; p < cfg_.procs; ++p) {
+    const std::int8_t j = x.pending_ld[p];
+    if (j == kNone) continue;
+    SCV_ASSERT(nodes_[j].in_use);
+    if (nodes_[j].forced_out & (1ULL << to)) {
+      nodes_[j].pending_for = kNone;
+      x.pending_ld[p] = kNone;
+    } else {
+      nodes_[j].forced_target = static_cast<std::int8_t>(to);
+    }
+  }
+  return Status::Ok;
+}
+
+ScChecker::Status ScChecker::check_inh_edge(std::size_t from,
+                                            std::size_t to) {
+  Node& x = nodes_[from];
+  Node& y = nodes_[to];
+  if (!x.op.is_store() || !y.op.is_load()) {
+    return reject("inheritance edge must go from a store to a load "
+                  "(constraint 4)");
+  }
+  if (y.op.value == kBottom) {
+    return reject("inheritance edge into a bottom-load (constraint 4)");
+  }
+  if (x.op.block != y.op.block || x.op.value != y.op.value) {
+    return reject("load value differs from inherited store value "
+                  "(constraint 4)");
+  }
+  if (y.inh_in) {
+    return reject("two inheritance edges into one load (constraint 4)");
+  }
+  if (x.sto_succ == kGone) {
+    return reject("load inherits from a store whose ST order successor has "
+                  "retired (constraint 5a)");
+  }
+  y.inh_in = true;
+  y.inh_src = static_cast<std::int8_t>(from);
+
+  const ProcId p = y.op.proc;
+  const std::int8_t old = x.pending_ld[p];
+  if (old != kNone && nodes_[old].in_use) {
+    // Condition (ii): a program-order-later load of the same processor now
+    // inherits from x, discharging the older load's obligation.
+    nodes_[old].forced_target = kNone;
+    nodes_[old].pending_for = kNone;
+  }
+  x.pending_ld[p] = static_cast<std::int8_t>(to);
+  y.pending_for = static_cast<std::int8_t>(from);
+  if (x.sto_succ >= 0) {
+    const auto k = static_cast<std::size_t>(x.sto_succ);
+    if (y.forced_out & (1ULL << k)) {
+      x.pending_ld[p] = kNone;
+      y.pending_for = kNone;
+    } else {
+      y.forced_target = x.sto_succ;
+    }
+  }
+  return Status::Ok;
+}
+
+ScChecker::Status ScChecker::check_forced_edge(std::size_t from,
+                                               std::size_t to) {
+  Node& j = nodes_[from];
+  Node& k = nodes_[to];
+  if (!j.op.is_load() || !k.op.is_store() || j.op.block != k.op.block) {
+    return reject("forced edge must go from a load to a store of the same "
+                  "block (constraint 5)");
+  }
+  j.forced_out |= 1ULL << to;
+  if (j.forced_target == static_cast<std::int8_t>(to)) {
+    j.forced_target = kNone;
+    if (j.pending_for != kNone && nodes_[j.pending_for].in_use) {
+      Node& x = nodes_[j.pending_for];
+      if (x.pending_ld[j.op.proc] == static_cast<std::int8_t>(from)) {
+        x.pending_ld[j.op.proc] = kNone;
+      }
+    }
+    j.pending_for = kNone;
+  }
+  if (j.op.value == kBottom) {
+    const BlockId b = j.op.block;
+    if (k.sto_in) {
+      return reject("bottom-load forced edge targets a store that is not "
+                    "first in ST order (constraint 5b)");
+    }
+    if (root_ref_[b] == kNone) {
+      if (retired_no_in_[b] > 0) {
+        return reject("bottom-load forced edge cannot target the first "
+                      "store: it already retired (constraint 5b)");
+      }
+      root_ref_[b] = static_cast<std::int8_t>(to);
+    } else if (root_ref_[b] != static_cast<std::int8_t>(to)) {
+      return reject("two different stores claimed as first in ST order "
+                    "(constraint 5b)");
+    }
+    if (pending_bottom_[b][j.op.proc] == static_cast<std::int8_t>(from)) {
+      pending_bottom_[b][j.op.proc] = kNone;
+    }
+    j.bottom_pending = false;
+  }
+  return Status::Ok;
+}
+
+ScChecker::Status ScChecker::add_structural_edge(std::size_t from,
+                                                 std::size_t to) {
+  if (from == to) return reject("self-loop: constraint graph has a cycle");
+  if (path_exists(to, from)) {
+    return reject("edge closes a cycle: trace has no serial reordering");
+  }
+  nodes_[from].out |= 1ULL << to;
+  return Status::Ok;
+}
+
+ScChecker::Status ScChecker::on_edge(const EdgeDesc& e) {
+  const int from = slot_of(e.from);
+  const int to = slot_of(e.to);
+  if (from < 0 || to < 0) {
+    return reject("edge references an ID not bound to any node");
+  }
+  if (e.anno == 0) {
+    return reject("edge without an annotation");
+  }
+  const auto f = static_cast<std::size_t>(from);
+  const auto t = static_cast<std::size_t>(to);
+  if ((e.anno & kAnnoPo) && check_po_edge(f, t) == Status::Reject) {
+    return Status::Reject;
+  }
+  if ((e.anno & kAnnoSto) && check_sto_edge(f, t) == Status::Reject) {
+    return Status::Reject;
+  }
+  if ((e.anno & kAnnoInh) && check_inh_edge(f, t) == Status::Reject) {
+    return Status::Reject;
+  }
+  if ((e.anno & kAnnoForced) && check_forced_edge(f, t) == Status::Reject) {
+    return Status::Reject;
+  }
+  return add_structural_edge(f, t);
+}
+
+ScChecker::Status ScChecker::feed(const Symbol& sym) {
+  if (rejected_) return Status::Reject;
+
+  const auto valid_id = [this](GraphId id) {
+    return id >= 1 && static_cast<std::size_t>(id) <= cfg_.k + 1;
+  };
+
+  if (const auto* n = std::get_if<NodeDesc>(&sym)) {
+    if (!valid_id(n->id)) return reject("node ID out of range");
+    return on_node(*n);
+  }
+  if (const auto* a = std::get_if<AddId>(&sym)) {
+    if (!valid_id(a->existing) || !valid_id(a->added)) {
+      return reject("add-ID with ID out of range");
+    }
+    if (a->existing == a->added) return Status::Ok;
+    unbind_id(a->added);
+    if (rejected_) return Status::Reject;
+    const int s = slot_of(a->existing);
+    if (s >= 0) nodes_[s].id_set |= 1ULL << a->added;
+    return Status::Ok;
+  }
+  const auto& e = std::get<EdgeDesc>(sym);
+  if (!valid_id(e.from) || !valid_id(e.to)) {
+    return reject("edge ID out of range");
+  }
+  return on_edge(e);
+}
+
+void ScChecker::serialize_canonical(ByteWriter& w,
+                                    std::span<const GraphId> id_canon) const {
+  // Map each active slot to the canonical number of the observer node whose
+  // IDs it holds, then emit everything in canonical order with renamed
+  // references.
+  struct Pair {
+    std::uint16_t canon;
+    std::uint8_t slot;
+  };
+  Pair order[kMaxSlots];
+  std::size_t count = 0;
+  std::uint8_t slot_canon[kMaxSlots] = {};  // slot -> 1-based canonical pos
+  for (std::size_t s = 0; s < kMaxSlots; ++s) {
+    if (!nodes_[s].in_use) continue;
+    SCV_ASSERT(nodes_[s].id_set != 0);
+    const auto id =
+        static_cast<std::size_t>(std::countr_zero(nodes_[s].id_set));
+    SCV_ASSERT(id < id_canon.size() && id_canon[id] != 0);
+    order[count++] = Pair{id_canon[id], static_cast<std::uint8_t>(s)};
+  }
+  std::sort(order, order + count,
+            [](const Pair& a, const Pair& b) { return a.canon < b.canon; });
+  for (std::size_t i = 0; i < count; ++i) {
+    SCV_ASSERT(i == 0 || order[i].canon != order[i - 1].canon);
+    slot_canon[order[i].slot] = static_cast<std::uint8_t>(i + 1);
+  }
+  const auto enc = [&](std::int8_t slot) -> std::uint64_t {
+    if (slot == kNone) return 0;
+    if (slot == kGone) return count + 1;
+    return slot_canon[static_cast<std::uint8_t>(slot)];
+  };
+
+  w.u8(rejected_ ? 1 : 0);
+  for (std::size_t c = 0; c < chain_count(); ++c) {
+    w.uvar(enc(last_op_[c]));
+    w.u8(static_cast<std::uint8_t>((last_op_live_[c] ? 1 : 0) |
+                                   (po_pending_[c] ? 2 : 0)));
+    w.uvar(enc(po_expected_from_[c]));
+  }
+  for (std::size_t b = 0; b < cfg_.blocks; ++b) {
+    w.uvar(enc(root_ref_[b]));
+    w.u8(static_cast<std::uint8_t>((root_retired_[b] ? 1 : 0) |
+                                   (retired_no_in_[b] << 1) |
+                                   (retired_no_out_[b] << 3)));
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      w.uvar(enc(pending_bottom_[b][p]));
+    }
+  }
+  w.uvar(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Node& n = nodes_[order[i].slot];
+    // Operation labels and ID bindings are redundant with the observer's
+    // canonical record; the structural adjacency and obligation fields are
+    // the checker-specific state.
+    w.u8(static_cast<std::uint8_t>((n.po_in ? 1 : 0) | (n.po_out ? 2 : 0) |
+                                   (n.sto_in ? 4 : 0) | (n.sto_out ? 8 : 0) |
+                                   (n.inh_in ? 16 : 0) |
+                                   (n.bottom_pending ? 32 : 0)));
+    w.uvar(enc(n.sto_succ));
+    w.uvar(enc(n.inh_src));
+    w.uvar(enc(n.forced_target));
+    w.uvar(enc(n.pending_for));
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      w.uvar(enc(n.pending_ld[p]));
+    }
+    std::uint64_t out_canon = 0;
+    std::uint64_t forced_canon = 0;
+    for (std::size_t s = 0; s < kMaxSlots; ++s) {
+      if (n.out & (1ULL << s)) out_canon |= 1ULL << (slot_canon[s] - 1);
+      if (n.forced_out & (1ULL << s)) {
+        forced_canon |= 1ULL << (slot_canon[s] - 1);
+      }
+    }
+    w.u64(out_canon);
+    w.u64(forced_canon);
+  }
+}
+
+void ScChecker::serialize(ByteWriter& w) const {
+  w.u8(rejected_ ? 1 : 0);
+  for (std::size_t c = 0; c < chain_count(); ++c) {
+    w.u8(static_cast<std::uint8_t>(last_op_[c]));
+    w.u8(static_cast<std::uint8_t>((last_op_live_[c] ? 1 : 0) |
+                                   (po_pending_[c] ? 2 : 0)));
+    w.u8(static_cast<std::uint8_t>(po_expected_from_[c]));
+  }
+  for (std::size_t b = 0; b < cfg_.blocks; ++b) {
+    w.u8(static_cast<std::uint8_t>(root_ref_[b]));
+    w.u8(static_cast<std::uint8_t>((root_retired_[b] ? 1 : 0) |
+                                   (retired_no_in_[b] << 1) |
+                                   (retired_no_out_[b] << 3)));
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      w.u8(static_cast<std::uint8_t>(pending_bottom_[b][p]));
+    }
+  }
+  for (const Node& n : nodes_) {
+    if (!n.in_use) {
+      w.u8(0);
+      continue;
+    }
+    w.u8(1);
+    w.u8(static_cast<std::uint8_t>(n.op.kind));
+    w.u8(n.op.proc);
+    w.u8(n.op.block);
+    w.u8(n.op.value);
+    w.u64(n.id_set);
+    w.u64(n.out);
+    w.u8(static_cast<std::uint8_t>((n.po_in ? 1 : 0) | (n.po_out ? 2 : 0) |
+                                   (n.sto_in ? 4 : 0) | (n.sto_out ? 8 : 0) |
+                                   (n.inh_in ? 16 : 0) |
+                                   (n.bottom_pending ? 32 : 0)));
+    w.u8(static_cast<std::uint8_t>(n.sto_succ));
+    w.u8(static_cast<std::uint8_t>(n.inh_src));
+    w.u8(static_cast<std::uint8_t>(n.forced_target));
+    w.u8(static_cast<std::uint8_t>(n.pending_for));
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      w.u8(static_cast<std::uint8_t>(n.pending_ld[p]));
+    }
+    w.u64(n.forced_out);
+  }
+}
+
+}  // namespace scv

@@ -1,0 +1,165 @@
+// The protocol-independent finite-state checker of Theorem 3.1.
+//
+// Reads an observer run (a stream of k-graph-descriptor symbols whose node
+// labels are LD/ST operations and whose edge labels are the annotations of
+// Section 3.1) and rejects unless the stream describes an acyclic constraint
+// graph.  It combines:
+//
+//   * the cycle checker of Lemma 3.3 (active graph with edge contraction);
+//   * the edge-annotation checks from the proof of Theorem 3.1:
+//       - program order edges totally order each processor's operations,
+//         consistent with trace order;
+//       - ST order edges totally order the stores of each block;
+//       - every LD(P,B,V), V != ⊥, has exactly one inheritance edge, from a
+//         ST(*,B,V) node;
+//       - forced-edge obligations (constraint 5(a)): for a store i with
+//         inheritance edge to j and ST-order successor k, a forced edge must
+//         leave j — or a program-order-later load of the same processor that
+//         also inherits from i — and land on k;
+//       - the ⊥-load rule (constraint 5(b)): the last LD(P,B,⊥) per
+//         processor must have a forced edge to the first store of B in ST
+//         order.
+//
+// Prompt-descriptor discipline.  The paper's checker defers removal of
+// obligation-carrying loads; equivalently, we require the descriptor to keep
+// such nodes *live* (holding an ID) until their obligations discharge, and
+// reject retirements that strand an obligation.  This accepts every string
+// the Theorem 4.1 observer emits (the observer keeps exactly those nodes
+// active) and rejects a superset of what the paper's checker rejects, so
+// using it for verification remains sound: if the checker never rejects,
+// every run's graph is an acyclic constraint graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "descriptor/symbol.hpp"
+#include "util/byte_io.hpp"
+
+namespace scv {
+
+inline constexpr std::size_t kMaxProcs = 6;
+inline constexpr std::size_t kMaxBlocks = 6;
+
+struct ScCheckerConfig {
+  std::size_t k = 8;       ///< descriptor bandwidth bound (IDs 1..k+1)
+  std::size_t procs = 2;   ///< p
+  std::size_t blocks = 1;  ///< b
+  std::size_t values = 1;  ///< v (real values 1..v)
+  /// Memory-model extension (paper §5): when true, the checker verifies
+  /// *coherence* (per-location SC) instead of full SC — program order is
+  /// maintained per (processor, block) chain, so only same-block ordering
+  /// constraints enter the constraint graph.  Everything else (ST order,
+  /// inheritance, forced edges) is unchanged.
+  bool coherence_po = false;
+};
+
+class ScChecker {
+ public:
+  enum class Status : std::uint8_t { Ok, Reject };
+
+  explicit ScChecker(const ScCheckerConfig& config);
+
+  /// Consumes one observer symbol; once rejected, stays rejected.
+  Status feed(const Symbol& sym);
+
+  [[nodiscard]] bool rejected() const noexcept { return rejected_; }
+  [[nodiscard]] const std::string& reject_reason() const noexcept {
+    return reason_;
+  }
+
+  [[nodiscard]] std::size_t active_nodes() const noexcept;
+
+  /// Raw state serialization (slot order, raw IDs).  Deterministic for a
+  /// given symbol stream, but *not* canonical across isomorphic states.
+  void serialize(ByteWriter& w) const;
+
+  /// Canonical serialization for model-checking product hashing: node slots
+  /// are renamed through `id_canon` (the map produced by
+  /// Observer::serialize, from descriptor ID to canonical node number), so
+  /// two checker states that differ only in ID/slot naming serialize
+  /// identically.  Requires every active node to hold at least one mapped
+  /// ID — guaranteed when driven by the observer, whose retirements are
+  /// announced eagerly via the null ID.
+  void serialize_canonical(ByteWriter& w,
+                           std::span<const GraphId> id_canon) const;
+
+ private:
+  static constexpr std::size_t kMaxSlots = kMaxBandwidth + 2;
+  static constexpr std::int8_t kNone = -1;
+  /// sto_succ value meaning "successor existed but has been retired".
+  static constexpr std::int8_t kGone = -2;
+
+  struct Node {
+    bool in_use = false;
+    Operation op{};
+    std::uint64_t id_set = 0;
+    std::uint64_t out = 0;  ///< adjacency over slots, for cycle checking
+
+    bool po_in = false, po_out = false;
+    // Store fields.
+    bool sto_in = false, sto_out = false;
+    std::int8_t sto_succ = kNone;
+    std::int8_t pending_ld[kMaxProcs];  ///< last load per proc owing a
+                                        ///< forced edge for this store
+    // Load fields.
+    bool inh_in = false;
+    std::int8_t inh_src = kNone;
+    std::int8_t forced_target = kNone;  ///< store owed a forced edge
+    std::int8_t pending_for = kNone;    ///< store whose pending list holds us
+    bool bottom_pending = false;        ///< current last ⊥-load of (P,B)
+    std::uint64_t forced_out = 0;  ///< slots this node has forced edges to
+
+    Node() {
+      for (auto& p : pending_ld) p = kNone;
+    }
+  };
+
+  Status reject(std::string reason);
+  void unbind_id(GraphId id);
+  Status retire(std::size_t s);
+  [[nodiscard]] int slot_of(GraphId id) const;
+  [[nodiscard]] int alloc_slot();
+  [[nodiscard]] bool path_exists(std::size_t from, std::size_t to) const;
+
+  Status on_node(const NodeDesc& n);
+  Status on_edge(const EdgeDesc& e);
+  Status add_structural_edge(std::size_t from, std::size_t to);
+  Status check_po_edge(std::size_t from, std::size_t to);
+  Status check_sto_edge(std::size_t from, std::size_t to);
+  Status check_inh_edge(std::size_t from, std::size_t to);
+  Status check_forced_edge(std::size_t from, std::size_t to);
+
+  ScCheckerConfig cfg_;
+  Node nodes_[kMaxSlots];
+
+  // Program order bookkeeping, one chain per processor — or per
+  // (processor, block) in coherence mode.
+  static constexpr std::size_t kMaxChains = kMaxProcs * kMaxBlocks;
+  [[nodiscard]] std::size_t chain_count() const {
+    return cfg_.coherence_po ? cfg_.procs * cfg_.blocks : cfg_.procs;
+  }
+  [[nodiscard]] std::size_t chain_of(const Operation& op) const {
+    return cfg_.coherence_po
+               ? op.proc * cfg_.blocks + op.block
+               : static_cast<std::size_t>(op.proc);
+  }
+  std::int8_t last_op_[kMaxChains];  ///< slot of latest op per chain
+  bool last_op_live_[kMaxChains];    ///< false once that slot retired
+  bool po_pending_[kMaxChains];      ///< awaiting (prev -> latest) edge
+  std::int8_t po_expected_from_[kMaxChains];
+
+  // Per-block ST order / ⊥-load bookkeeping.
+  std::int8_t root_ref_[kMaxBlocks];  ///< store pinned as STo-first by a
+                                      ///< ⊥-load's forced edge
+  bool root_retired_[kMaxBlocks];     ///< pinned root has retired
+  std::uint8_t retired_no_in_[kMaxBlocks];
+  std::uint8_t retired_no_out_[kMaxBlocks];
+  std::int8_t pending_bottom_[kMaxBlocks][kMaxProcs];
+
+  bool rejected_ = false;
+  std::string reason_;
+};
+
+}  // namespace scv

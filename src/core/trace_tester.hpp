@@ -1,0 +1,54 @@
+// Runtime testing mode (Section 5, last paragraph): instead of model
+// checking the full product, simulate long random runs of the protocol with
+// the observer and checker riding along, flagging the first violation of
+// sequential consistency.  This is the Gibbons–Korach testing scenario the
+// paper suggests for implementations "too complex for formal verification":
+// no completeness guarantee, but it scales to parameters far beyond the
+// model checker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "observer/observer.hpp"
+#include "protocol/protocol.hpp"
+
+namespace scv {
+
+enum class TraceVerdict : std::uint8_t {
+  Passed,  ///< ran to the step limit with no violation
+  Violation,
+  BandwidthExceeded,
+  TrackingInconsistent,
+};
+
+[[nodiscard]] std::string to_string(TraceVerdict v);
+
+struct TraceTestOptions {
+  std::uint64_t max_steps = 100'000;
+  std::uint64_t seed = 1;
+  ObserverConfig observer{};
+  /// Percent probability of preferring a LD/ST over an internal action when
+  /// both are enabled (biases runs toward interesting traces).
+  unsigned memory_op_percent = 60;
+  /// Keep the last N action names for violation reports.
+  std::size_t tail_length = 32;
+};
+
+struct TraceTestResult {
+  TraceVerdict verdict = TraceVerdict::Passed;
+  std::uint64_t steps = 0;       ///< transitions executed
+  std::uint64_t memory_ops = 0;  ///< LD/ST operations among them
+  std::uint64_t symbols = 0;     ///< descriptor symbols checked
+  double seconds = 0.0;
+  std::string reason;
+  std::vector<std::string> tail;  ///< last actions before the verdict
+
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] TraceTestResult trace_test(const Protocol& protocol,
+                                         const TraceTestOptions& options = {});
+
+}  // namespace scv

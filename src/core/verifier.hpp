@@ -1,0 +1,39 @@
+// Public entry points of the library: one-call sequential-consistency
+// verification (model checking the observer–checker product) and the
+// Section 4.4 observer-size accounting.
+#pragma once
+
+#include <cstddef>
+
+#include "mc/model_checker.hpp"
+#include "protocol/protocol.hpp"
+
+namespace scv {
+
+/// Verifies that `protocol` is sequentially consistent by constructing its
+/// witness observer (Theorem 4.1) and model checking the observer–checker
+/// product (Theorem 3.1).
+///
+///   Verified             — every reachable run describes an acyclic
+///                          constraint graph: the protocol is SC.
+///   Violation            — counterexample run attached (shortest, by BFS).
+///   BandwidthExceeded /
+///   TrackingInconsistent — the protocol, as annotated, is outside the
+///                          decidable class (or the bound is too small).
+[[nodiscard]] inline McResult verify_sc(const Protocol& protocol,
+                                        const McOptions& options = {}) {
+  return model_check(protocol, options);
+}
+
+/// The paper's upper bound on the observer's extra state (Section 4.4):
+/// (L + p·b)(lg p + lg b + lg v + 1) + L·lg L bits, where lg is the ceiling
+/// of log2.
+[[nodiscard]] std::size_t observer_size_bound_bits(std::size_t p,
+                                                   std::size_t b,
+                                                   std::size_t v,
+                                                   std::size_t L);
+
+/// ceil(log2(x)) with lg(1) = 0 (the paper's "lg").
+[[nodiscard]] std::size_t ceil_log2(std::size_t x);
+
+}  // namespace scv

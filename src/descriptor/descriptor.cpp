@@ -1,0 +1,229 @@
+#include "descriptor/descriptor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+std::string to_string(const Symbol& sym) {
+  std::ostringstream os;
+  if (const auto* n = std::get_if<NodeDesc>(&sym)) {
+    os << n->id;
+    if (n->label) os << ", " << to_string(*n->label);
+  } else if (const auto* e = std::get_if<EdgeDesc>(&sym)) {
+    os << "(" << e->from << "," << e->to << ")";
+    if (e->anno != 0) os << ", " << anno_to_string(e->anno);
+  } else {
+    const auto& a = std::get<AddId>(sym);
+    os << "add-ID(" << a.existing << "," << a.added << ")";
+  }
+  return os.str();
+}
+
+std::string Descriptor::to_string() const {
+  std::vector<std::string> parts;
+  parts.reserve(symbols.size());
+  for (const Symbol& s : symbols) parts.push_back(scv::to_string(s));
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += ", ";
+    out += parts[i];
+  }
+  return out;
+}
+
+std::uint8_t ExpandedGraph::annotation(std::uint32_t u,
+                                       std::uint32_t v) const {
+  const auto& succ = graph.successors(u);
+  for (std::size_t i = 0; i < succ.size(); ++i) {
+    if (succ[i] == v) return edge_annos[u][i];
+  }
+  return 0;
+}
+
+ExpansionResult expand(const Descriptor& desc) {
+  ExpandedGraph out;
+  // owner[I] = node currently having I in its ID-set, or -1.  This is an
+  // exact implementation of the inductive ID-set definition: each ID belongs
+  // to at most one node at a time, and the four update rules below mirror
+  // the four bullets of Section 3.2.
+  const std::size_t id_limit = desc.k + 2;  // valid IDs 1..k+1
+  std::vector<std::int64_t> owner(id_limit, -1);
+
+  const auto fail = [&](const std::string& msg) {
+    return ExpansionResult{std::nullopt, msg};
+  };
+  const auto valid_id = [&](GraphId id) {
+    return id >= 1 && static_cast<std::size_t>(id) <= desc.k + 1;
+  };
+
+  for (std::size_t pos = 0; pos < desc.symbols.size(); ++pos) {
+    const Symbol& sym = desc.symbols[pos];
+    if (const auto* n = std::get_if<NodeDesc>(&sym)) {
+      if (!valid_id(n->id)) {
+        return fail("node descriptor with ID out of range at symbol " +
+                    std::to_string(pos));
+      }
+      // Rule 1: reading ID I removes it from its previous holder...
+      // ...and starts a fresh node whose ID-set is {I}.
+      const auto node = out.graph.add_node();
+      out.node_labels.push_back(n->label);
+      out.edge_annos.emplace_back();
+      owner[n->id] = node;
+    } else if (const auto* a = std::get_if<AddId>(&sym)) {
+      if (!valid_id(a->existing) || !valid_id(a->added)) {
+        return fail("add-ID with ID out of range at symbol " +
+                    std::to_string(pos));
+      }
+      if (a->existing == a->added) continue;  // no net effect
+      // Rule 3: the added ID leaves its previous holder; rule 2: it joins
+      // the holder of `existing`, if any.
+      owner[a->added] = owner[a->existing];
+    } else {
+      const auto& e = std::get<EdgeDesc>(sym);
+      if (!valid_id(e.from) || !valid_id(e.to)) {
+        return fail("edge descriptor with ID out of range at symbol " +
+                    std::to_string(pos));
+      }
+      const std::int64_t i = owner[e.from];
+      const std::int64_t j = owner[e.to];
+      if (i < 0 || j < 0) {
+        return fail("edge descriptor references an ID not in any node's "
+                    "ID-set at symbol " +
+                    std::to_string(pos));
+      }
+      const auto u = static_cast<std::uint32_t>(i);
+      const auto v = static_cast<std::uint32_t>(j);
+      // Coalesce repeated edges, merging annotations.
+      bool merged = false;
+      const auto& succ = out.graph.successors(u);
+      for (std::size_t s = 0; s < succ.size(); ++s) {
+        if (succ[s] == v) {
+          out.edge_annos[u][s] |= e.anno;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        out.graph.add_edge(u, v);
+        out.edge_annos[u].push_back(e.anno);
+      }
+    }
+  }
+  return ExpansionResult{std::move(out), ""};
+}
+
+namespace {
+
+std::uint8_t anno_of(const std::vector<std::vector<std::uint8_t>>* annos,
+                     const DiGraph& g, std::uint32_t u, std::uint32_t v) {
+  if (annos == nullptr) return 0;
+  const auto& succ = g.successors(u);
+  for (std::size_t i = 0; i < succ.size(); ++i) {
+    if (succ[i] == v) return (*annos)[u][i];
+  }
+  return 0;
+}
+
+std::optional<Operation> label_of(
+    const std::vector<std::optional<Operation>>* labels, std::uint32_t u) {
+  if (labels == nullptr) return std::nullopt;
+  return (*labels)[u];
+}
+
+}  // namespace
+
+Descriptor descriptor_for_graph(
+    const DiGraph& graph, std::size_t k,
+    const std::vector<std::optional<Operation>>* node_labels,
+    const std::vector<std::vector<std::uint8_t>>* edge_annos) {
+  SCV_EXPECTS(graph.node_bandwidth() <= k);
+  const std::size_t n = graph.node_count();
+
+  // max_nbr[u]: largest node index adjacent to u (u itself if isolated).
+  // A node is *active* at step u if it may still be referenced by an edge
+  // descriptor at or after step u.
+  std::vector<std::uint32_t> max_nbr(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    std::uint32_t m = u;
+    for (std::uint32_t v : graph.successors(u)) m = std::max(m, v);
+    for (std::uint32_t v : graph.predecessors(u)) m = std::max(m, v);
+    max_nbr[u] = m;
+  }
+
+  Descriptor desc;
+  desc.k = k;
+  std::vector<GraphId> id_of(n, kNoId);
+  std::vector<std::int64_t> holder(k + 2, -1);  // ID -> node, or -1
+
+  for (std::uint32_t u = 0; u < n; ++u) {
+    // Free the IDs of nodes with no further edges (max neighbor < u).
+    for (GraphId id = 1; id <= static_cast<GraphId>(k + 1); ++id) {
+      if (holder[id] >= 0 && max_nbr[holder[id]] < u) holder[id] = -1;
+    }
+    // Pick a free ID for u; bandwidth-boundedness guarantees one exists.
+    GraphId chosen = kNoId;
+    for (GraphId id = 1; id <= static_cast<GraphId>(k + 1); ++id) {
+      if (holder[id] < 0) {
+        chosen = id;
+        break;
+      }
+    }
+    SCV_ASSERT(chosen != kNoId);
+    holder[chosen] = u;
+    id_of[u] = chosen;
+    desc.symbols.push_back(NodeDesc{chosen, label_of(node_labels, u)});
+
+    // Emit all edges between u and already-described nodes (both
+    // directions), which by now all hold live IDs.
+    for (std::uint32_t v : graph.predecessors(u)) {
+      if (v <= u) {
+        SCV_ASSERT(id_of[v] != kNoId && holder[id_of[v]] ==
+                                            static_cast<std::int64_t>(v));
+        desc.symbols.push_back(
+            EdgeDesc{id_of[v], chosen, anno_of(edge_annos, graph, v, u)});
+      }
+    }
+    for (std::uint32_t v : graph.successors(u)) {
+      if (v < u) {
+        SCV_ASSERT(id_of[v] != kNoId && holder[id_of[v]] ==
+                                            static_cast<std::int64_t>(v));
+        desc.symbols.push_back(
+            EdgeDesc{chosen, id_of[v], anno_of(edge_annos, graph, u, v)});
+      }
+    }
+  }
+  return desc;
+}
+
+Descriptor naive_descriptor(
+    const DiGraph& graph,
+    const std::vector<std::optional<Operation>>* node_labels,
+    const std::vector<std::vector<std::uint8_t>>* edge_annos) {
+  const std::size_t n = graph.node_count();
+  Descriptor desc;
+  desc.k = n == 0 ? 0 : n - 1;  // IDs 1..n, no recycling
+  for (std::uint32_t u = 0; u < n; ++u) {
+    desc.symbols.push_back(
+        NodeDesc{static_cast<GraphId>(u + 1), label_of(node_labels, u)});
+    for (std::uint32_t v : graph.predecessors(u)) {
+      if (v <= u) {
+        desc.symbols.push_back(
+            EdgeDesc{static_cast<GraphId>(v + 1), static_cast<GraphId>(u + 1),
+                     anno_of(edge_annos, graph, v, u)});
+      }
+    }
+    for (std::uint32_t v : graph.successors(u)) {
+      if (v < u) {
+        desc.symbols.push_back(
+            EdgeDesc{static_cast<GraphId>(u + 1), static_cast<GraphId>(v + 1),
+                     anno_of(edge_annos, graph, u, v)});
+      }
+    }
+  }
+  return desc;
+}
+
+}  // namespace scv

@@ -1,0 +1,64 @@
+// k-graph descriptors: expansion (ID-set semantics of Section 3.2) and
+// generation (the constructive content of Lemma 3.2: every k-node-bandwidth-
+// bounded graph has a k-graph descriptor).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "descriptor/symbol.hpp"
+#include "graph/digraph.hpp"
+
+namespace scv {
+
+/// A descriptor string together with its bandwidth parameter k (IDs range
+/// over 1..k+1).
+struct Descriptor {
+  std::size_t k = 0;
+  std::vector<Symbol> symbols;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The graph denoted by a descriptor: nodes in descriptor order with their
+/// labels, plus labeled edges.
+struct ExpandedGraph {
+  DiGraph graph;
+  std::vector<std::optional<Operation>> node_labels;
+  /// anno[u] parallel to graph.successors(u); 0 = unlabeled edge.
+  std::vector<std::vector<std::uint8_t>> edge_annos;
+
+  [[nodiscard]] std::uint8_t annotation(std::uint32_t u,
+                                        std::uint32_t v) const;
+};
+
+/// Expands a descriptor to an explicit graph, implementing the ID-set
+/// semantics of Section 3.2 exactly (including all four ID-set update rules).
+/// Returns an error string if the descriptor is invalid: an ID outside
+/// 1..k+1, or an edge descriptor naming an ID not currently in any node's
+/// ID-set.
+struct ExpansionResult {
+  std::optional<ExpandedGraph> graph;  ///< nullopt on error
+  std::string error;                   ///< empty when graph is set
+};
+[[nodiscard]] ExpansionResult expand(const Descriptor& desc);
+
+/// Lemma 3.2 (constructive): emits a k-graph descriptor for any graph whose
+/// node bandwidth (under its node ordering) is at most k.  Each active node
+/// holds exactly one ID.  Node labels / edge annotations are optional.
+/// Precondition: graph.node_bandwidth() <= k.
+[[nodiscard]] Descriptor descriptor_for_graph(
+    const DiGraph& graph, std::size_t k,
+    const std::vector<std::optional<Operation>>* node_labels = nullptr,
+    const std::vector<std::vector<std::uint8_t>>* edge_annos = nullptr);
+
+/// The "naive" descriptor of Section 3.2 (k = node count, IDs are node
+/// numbers, no recycling).  Used for exposition and tests.
+[[nodiscard]] Descriptor naive_descriptor(
+    const DiGraph& graph,
+    const std::vector<std::optional<Operation>>* node_labels = nullptr,
+    const std::vector<std::vector<std::uint8_t>>* edge_annos = nullptr);
+
+}  // namespace scv

@@ -1,0 +1,66 @@
+// The k-graph descriptor notation of Section 3.2.
+//
+// A k-graph descriptor is a sequence of node descriptors, edge descriptors,
+// and add-ID symbols over the ID alphabet {1..k+1}.  IDs are *recycled*:
+// reading a node descriptor with ID I retires whatever node previously held
+// exactly {I} and starts a new node; add-ID(I,I') adds alias I' to the node
+// holding I (a node's ID-set models, e.g., the set of protocol storage
+// locations currently holding a store's value).
+//
+// Our symbols are typed, so the paper's syntactic well-formedness conditions
+// ("no two consecutive symbols from A", labels follow their node/edge) hold
+// by construction; the remaining semantic validity conditions (IDs in range,
+// edges only between live IDs) are checked during expansion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/constraint_graph.hpp"
+#include "trace/operation.hpp"
+
+namespace scv {
+
+/// A descriptor ID; valid IDs are 1..k+1 (0 is reserved as "none").
+using GraphId = std::uint16_t;
+inline constexpr GraphId kNoId = 0;
+
+/// Upper limit on the bandwidth parameter k supported by the bitset-based
+/// finite-state checkers (IDs and node slots must fit in 64-bit masks).
+inline constexpr std::size_t kMaxBandwidth = 62;
+
+/// Node descriptor: an ID, optionally followed by a node label (a trace
+/// operation, for constraint graphs).
+struct NodeDesc {
+  GraphId id = kNoId;
+  std::optional<Operation> label;
+
+  friend bool operator==(const NodeDesc&, const NodeDesc&) = default;
+};
+
+/// Edge descriptor (I, I') with an optional annotation label (a bitmask of
+/// EdgeAnno; 0 means unlabeled).
+struct EdgeDesc {
+  GraphId from = kNoId;
+  GraphId to = kNoId;
+  std::uint8_t anno = 0;
+
+  friend bool operator==(const EdgeDesc&, const EdgeDesc&) = default;
+};
+
+/// add-ID(I, I'): adds ID I' to the node currently holding ID I.
+struct AddId {
+  GraphId existing = kNoId;
+  GraphId added = kNoId;
+
+  friend bool operator==(const AddId&, const AddId&) = default;
+};
+
+using Symbol = std::variant<NodeDesc, EdgeDesc, AddId>;
+
+[[nodiscard]] std::string to_string(const Symbol& sym);
+
+}  // namespace scv

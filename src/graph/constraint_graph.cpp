@@ -1,0 +1,428 @@
+#include "graph/constraint_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+std::string anno_to_string(std::uint8_t mask) {
+  std::string out;
+  const auto append = [&out](const char* s) {
+    if (!out.empty()) out += "-";
+    out += s;
+  };
+  if (mask & kAnnoPo) append("po");
+  if (mask & kAnnoInh) append("inh");
+  if (mask & kAnnoSto) append("STo");
+  if (mask & kAnnoForced) append("forced");
+  if (out.empty()) out = "(none)";
+  return out;
+}
+
+ConstraintGraph::ConstraintGraph(Trace trace)
+    : trace_(std::move(trace)),
+      graph_(trace_.size()),
+      anno_(trace_.size()) {}
+
+void ConstraintGraph::add_edge(std::uint32_t u, std::uint32_t v,
+                               std::uint8_t anno) {
+  SCV_EXPECTS(u < node_count() && v < node_count());
+  SCV_EXPECTS(anno != 0);
+  const auto& succ = graph_.successors(u);
+  for (std::size_t i = 0; i < succ.size(); ++i) {
+    if (succ[i] == v) {
+      anno_[u][i] |= anno;
+      return;
+    }
+  }
+  graph_.add_edge(u, v);
+  anno_[u].push_back(anno);
+}
+
+std::uint8_t ConstraintGraph::annotation(std::uint32_t u,
+                                         std::uint32_t v) const {
+  SCV_EXPECTS(u < node_count() && v < node_count());
+  const auto& succ = graph_.successors(u);
+  for (std::size_t i = 0; i < succ.size(); ++i) {
+    if (succ[i] == v) return anno_[u][i];
+  }
+  return 0;
+}
+
+std::vector<ConstraintGraph::Edge> ConstraintGraph::edges() const {
+  std::vector<Edge> out;
+  for (std::uint32_t u = 0; u < node_count(); ++u) {
+    const auto& succ = graph_.successors(u);
+    for (std::size_t i = 0; i < succ.size(); ++i) {
+      out.push_back(Edge{u, succ[i], anno_[u][i]});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::vector<std::uint32_t>> nodes_by_processor(
+    const Trace& trace) {
+  std::vector<std::vector<std::uint32_t>> by_proc(processor_span(trace));
+  for (std::uint32_t i = 0; i < trace.size(); ++i) {
+    by_proc[trace[i].proc].push_back(i);
+  }
+  return by_proc;
+}
+
+std::map<BlockId, std::vector<std::uint32_t>> stores_by_block(
+    const Trace& trace) {
+  std::map<BlockId, std::vector<std::uint32_t>> by_block;
+  for (std::uint32_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].is_store()) by_block[trace[i].block].push_back(i);
+  }
+  return by_block;
+}
+
+std::string describe(const Trace& trace, std::uint32_t node) {
+  return "node " + std::to_string(node + 1) + " [" + to_string(trace[node]) +
+         "]";
+}
+
+}  // namespace
+
+std::optional<std::string> ConstraintGraph::validate() const {
+  const std::size_t n = node_count();
+
+  // --- Constraint 2: program order edges = consecutive same-processor
+  // pairs in trace order, all present, no extras.
+  {
+    const auto by_proc = nodes_by_processor(trace_);
+    // Required edges.
+    for (const auto& nodes : by_proc) {
+      for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+        if (!(annotation(nodes[i], nodes[i + 1]) & kAnnoPo)) {
+          return "missing program order edge " +
+                 describe(trace_, nodes[i]) + " -> " +
+                 describe(trace_, nodes[i + 1]);
+        }
+      }
+    }
+    // No extras.
+    for (const Edge& e : edges()) {
+      if (!(e.anno & kAnnoPo)) continue;
+      if (trace_[e.from].proc != trace_[e.to].proc) {
+        return "program order edge between different processors: " +
+               describe(trace_, e.from) + " -> " + describe(trace_, e.to);
+      }
+      const auto& nodes = by_proc[trace_[e.from].proc];
+      const auto it = std::find(nodes.begin(), nodes.end(), e.from);
+      SCV_ASSERT(it != nodes.end());
+      if (it + 1 == nodes.end() || *(it + 1) != e.to) {
+        return "program order edge not between trace-consecutive "
+               "operations: " +
+               describe(trace_, e.from) + " -> " + describe(trace_, e.to);
+      }
+    }
+  }
+
+  // --- Constraint 3: STo edges form a total (Hamiltonian-path) order over
+  // the stores of each block.
+  {
+    const auto by_block = stores_by_block(trace_);
+    std::vector<std::int64_t> sto_out(n, -1);
+    std::vector<std::int64_t> sto_in(n, -1);
+    std::size_t sto_edge_count = 0;
+    for (const Edge& e : edges()) {
+      if (!(e.anno & kAnnoSto)) continue;
+      if (!trace_[e.from].is_store() || !trace_[e.to].is_store() ||
+          trace_[e.from].block != trace_[e.to].block) {
+        return "ST order edge not between stores of one block: " +
+               describe(trace_, e.from) + " -> " + describe(trace_, e.to);
+      }
+      if (sto_out[e.from] != -1) {
+        return "two outgoing ST order edges from " + describe(trace_, e.from);
+      }
+      if (sto_in[e.to] != -1) {
+        return "two incoming ST order edges into " + describe(trace_, e.to);
+      }
+      sto_out[e.from] = e.to;
+      sto_in[e.to] = e.from;
+      ++sto_edge_count;
+    }
+    std::size_t required = 0;
+    for (const auto& [block, stores] : by_block) {
+      required += stores.size() - 1;
+      // Exactly one source; following out-edges must cover all stores.
+      std::uint32_t source = 0;
+      std::size_t sources = 0;
+      for (std::uint32_t s : stores) {
+        if (sto_in[s] == -1) {
+          source = s;
+          ++sources;
+        }
+      }
+      if (sources != 1 && stores.size() >= 1) {
+        return "ST order for block B" + std::to_string(block + 1) +
+               " does not have exactly one first store";
+      }
+      std::size_t visited = 0;
+      for (std::int64_t s = source; s != -1; s = sto_out[s]) ++visited;
+      if (visited != stores.size()) {
+        return "ST order for block B" + std::to_string(block + 1) +
+               " is not a single chain";
+      }
+    }
+    if (sto_edge_count != required) {
+      return "wrong number of ST order edges: have " +
+             std::to_string(sto_edge_count) + ", need " +
+             std::to_string(required);
+    }
+  }
+
+  // --- Constraint 4: inheritance edges.
+  {
+    std::vector<std::int64_t> inh_src(n, -1);
+    for (const Edge& e : edges()) {
+      if (!(e.anno & kAnnoInh)) continue;
+      const Operation& to = trace_[e.to];
+      const Operation& from = trace_[e.from];
+      if (!to.is_load() || to.value == kBottom) {
+        return "inheritance edge into a non-load or bottom-load: " +
+               describe(trace_, e.to);
+      }
+      if (!from.is_store() || from.block != to.block ||
+          from.value != to.value) {
+        return "inheritance edge from incompatible source: " +
+               describe(trace_, e.from) + " -> " + describe(trace_, e.to);
+      }
+      if (inh_src[e.to] != -1) {
+        return "two inheritance edges into " + describe(trace_, e.to);
+      }
+      inh_src[e.to] = e.from;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (trace_[i].is_load() && trace_[i].value != kBottom &&
+          inh_src[i] == -1) {
+        return "load without inheritance edge: " + describe(trace_, i);
+      }
+    }
+  }
+
+  // --- Constraints 5(a) and 5(b): forced edges.
+  {
+    // Recompute STo successor per store and inheritance source per load.
+    std::vector<std::int64_t> sto_out(n, -1);
+    std::vector<std::int64_t> sto_in(n, -1);
+    std::vector<std::int64_t> inh_src(n, -1);
+    for (const Edge& e : edges()) {
+      if (e.anno & kAnnoSto) {
+        sto_out[e.from] = e.to;
+        sto_in[e.to] = e.from;
+      }
+      if (e.anno & kAnnoInh) inh_src[e.to] = e.from;
+    }
+    const auto by_proc = nodes_by_processor(trace_);
+
+    // 5(a): for each load j inheriting from i with STo successor k, a forced
+    // edge must leave j or a program-order-later load of the same processor
+    // that also inherits from i, and land on k.
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (inh_src[j] == -1) continue;
+      const auto i = static_cast<std::uint32_t>(inh_src[j]);
+      if (sto_out[i] == -1) continue;
+      const auto k = static_cast<std::uint32_t>(sto_out[i]);
+      bool satisfied = false;
+      for (std::uint32_t jp : by_proc[trace_[j].proc]) {
+        if (jp < j) continue;
+        if (inh_src[jp] != static_cast<std::int64_t>(i)) continue;
+        if (annotation(jp, k) & kAnnoForced) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        return "constraint 5(a) unsatisfied: no forced edge on a program "
+               "order path from " +
+               describe(trace_, j) + " to " + describe(trace_, k);
+      }
+    }
+
+    // 5(b): each LD(P,B,⊥) needs a forced edge (possibly via a later
+    // bottom-load of the same processor and block) to the first store of B
+    // in ST order — when B has any store at all.
+    const auto by_block = stores_by_block(trace_);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const Operation& op = trace_[j];
+      if (!op.is_load() || op.value != kBottom) continue;
+      const auto it = by_block.find(op.block);
+      if (it == by_block.end()) continue;  // no stores: vacuous
+      std::uint32_t k0 = 0;
+      bool found = false;
+      for (std::uint32_t s : it->second) {
+        if (sto_in[s] == -1) {
+          k0 = s;
+          found = true;
+        }
+      }
+      SCV_ASSERT(found);  // constraint 3 already validated the chain
+      bool satisfied = false;
+      for (std::uint32_t jp : by_proc[op.proc]) {
+        if (jp < j) continue;
+        const Operation& opp = trace_[jp];
+        if (!opp.is_load() || opp.value != kBottom || opp.block != op.block) {
+          continue;
+        }
+        if (annotation(jp, k0) & kAnnoForced) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        return "constraint 5(b) unsatisfied: no forced edge on a program "
+               "order path from bottom-load " +
+               describe(trace_, j) + " to first store " +
+               describe(trace_, k0);
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+Reordering ConstraintGraph::extract_serial_reordering() const {
+  const auto order = graph_.topological_order();
+  SCV_EXPECTS(order.has_value());
+  Reordering perm(order->begin(), order->end());
+  // Lemma 3.1 (converse): any topological order of a valid acyclic
+  // constraint graph is a serial reordering.
+  SCV_ENSURES(is_serial_reordering(trace_, perm));
+  return perm;
+}
+
+std::string ConstraintGraph::to_string() const {
+  std::ostringstream os;
+  for (std::uint32_t i = 0; i < node_count(); ++i) {
+    os << (i + 1) << ": " << scv::to_string(trace_[i]) << "\n";
+  }
+  for (const Edge& e : edges()) {
+    os << "(" << (e.from + 1) << "," << (e.to + 1) << ") "
+       << anno_to_string(e.anno) << "\n";
+  }
+  return os.str();
+}
+
+std::string ConstraintGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph constraint_graph {\n  rankdir=LR;\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (std::uint32_t i = 0; i < node_count(); ++i) {
+    os << "  n" << i << " [label=\"" << (i + 1) << ": "
+       << scv::to_string(trace_[i]) << "\"];\n";
+  }
+  for (const Edge& e : edges()) {
+    const char* color = "black";
+    if (e.anno & kAnnoForced) {
+      color = "red";
+    } else if (e.anno & kAnnoInh) {
+      color = "blue";
+    } else if (e.anno & kAnnoSto) {
+      color = "darkgreen";
+    }
+    os << "  n" << e.from << " -> n" << e.to << " [label=\""
+       << anno_to_string(e.anno) << "\", color=" << color << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+ConstraintGraph build_constraint_graph(const Trace& trace,
+                                       const Reordering& perm) {
+  SCV_EXPECTS(is_serial_reordering(trace, perm));
+  ConstraintGraph g(trace);
+  const std::size_t n = trace.size();
+
+  // Program order edges: consecutive same-processor pairs (trace order and
+  // T' order coincide per processor).
+  {
+    std::vector<std::int64_t> last(processor_span(trace), -1);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const ProcId p = trace[i].proc;
+      if (last[p] != -1) {
+        g.add_edge(static_cast<std::uint32_t>(last[p]), i, kAnnoPo);
+      }
+      last[p] = i;
+    }
+  }
+
+  // Walk T' once recording, per block, the store chain (STo edges), each
+  // load's inheriting store (inh edges), and data for forced edges.
+  std::vector<std::int64_t> last_store(256, -1);   // per block, in T' order
+  std::vector<std::int64_t> first_store(256, -1);  // per block
+  std::vector<std::int64_t> inh_src(n, -1);
+  std::vector<std::int64_t> sto_succ(n, -1);
+  std::vector<std::uint32_t> bottom_loads;  // loads of ⊥, any block
+
+  for (std::uint32_t pos = 0; pos < n; ++pos) {
+    const std::uint32_t node = perm[pos];
+    const Operation& op = trace[node];
+    if (op.is_store()) {
+      if (last_store[op.block] != -1) {
+        const auto prev = static_cast<std::uint32_t>(last_store[op.block]);
+        g.add_edge(prev, node, kAnnoSto);
+        sto_succ[prev] = node;
+      } else {
+        first_store[op.block] = node;
+      }
+      last_store[op.block] = node;
+    } else if (op.value != kBottom) {
+      SCV_ASSERT(last_store[op.block] != -1);
+      const auto src = static_cast<std::uint32_t>(last_store[op.block]);
+      g.add_edge(src, node, kAnnoInh);
+      inh_src[node] = src;
+    } else {
+      bottom_loads.push_back(node);
+    }
+  }
+
+  // Forced edges, 5(a): every (i,j,k) with inh (i,j) and STo (i,k).
+  for (std::uint32_t j = 0; j < n; ++j) {
+    if (inh_src[j] == -1) continue;
+    const auto i = static_cast<std::uint32_t>(inh_src[j]);
+    if (sto_succ[i] != -1) {
+      g.add_edge(j, static_cast<std::uint32_t>(sto_succ[i]), kAnnoForced);
+    }
+  }
+  // Forced edges, 5(b): each ⊥-load to the first store of its block (if
+  // any store exists).
+  for (std::uint32_t j : bottom_loads) {
+    const BlockId b = trace[j].block;
+    if (first_store[b] != -1) {
+      g.add_edge(j, static_cast<std::uint32_t>(first_store[b]), kAnnoForced);
+    }
+  }
+
+  SCV_ENSURES(!g.validate().has_value());
+  SCV_ENSURES(g.acyclic());
+  return g;
+}
+
+Fig3Example figure3_example() {
+  // Figure 3's trace (1-based in the paper; 0-based here):
+  //   1: ST(P1,B,1)  2: LD(P2,B,1)  3: ST(P1,B,2)  4: LD(P2,B,1)
+  //   5: LD(P2,B,2)
+  Trace trace{
+      make_store(0, 0, 1), make_load(1, 0, 1), make_store(0, 0, 2),
+      make_load(1, 0, 1),  make_load(1, 0, 2),
+  };
+  ConstraintGraph g(trace);
+  g.add_edge(0, 1, kAnnoInh);
+  g.add_edge(0, 2, kAnnoPo | kAnnoSto);
+  g.add_edge(0, 3, kAnnoInh);
+  g.add_edge(1, 3, kAnnoPo);
+  g.add_edge(3, 2, kAnnoForced);
+  g.add_edge(2, 4, kAnnoInh);
+  g.add_edge(3, 4, kAnnoPo);
+  return Fig3Example{trace, std::move(g)};
+}
+
+}  // namespace scv

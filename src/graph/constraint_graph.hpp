@@ -1,0 +1,111 @@
+// Constraint graphs (Section 3.1).
+//
+// A constraint graph for a trace T has one node per LD/ST operation of T
+// (numbered in trace order) and edges annotated as inheritance (inh),
+// program order (po), store order (STo), and/or forced edges, subject to the
+// five edge annotation constraints of Section 3.1.  Lemma 3.1: T has a
+// serial reordering iff some constraint graph for T is acyclic.
+//
+// This module is the *unbounded-state reference implementation*: it builds
+// and validates constraint graphs explicitly.  The finite-state streaming
+// counterpart lives in src/checker; the test suite cross-checks the two.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "trace/trace.hpp"
+
+namespace scv {
+
+/// Edge annotation bits.  An edge may carry several annotations (the paper's
+/// alphabet has composite symbols such as po-STo).
+enum EdgeAnno : std::uint8_t {
+  kAnnoInh = 1u << 0,
+  kAnnoPo = 1u << 1,
+  kAnnoSto = 1u << 2,
+  kAnnoForced = 1u << 3,
+};
+
+[[nodiscard]] std::string anno_to_string(std::uint8_t mask);
+
+class ConstraintGraph {
+ public:
+  /// Creates a graph whose nodes are the operations of `trace`, with no
+  /// edges yet.
+  explicit ConstraintGraph(Trace trace);
+
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return trace_.size();
+  }
+
+  /// Adds (or extends the annotation of) an edge u -> v.
+  void add_edge(std::uint32_t u, std::uint32_t v, std::uint8_t anno);
+
+  [[nodiscard]] std::uint8_t annotation(std::uint32_t u,
+                                        std::uint32_t v) const;
+  [[nodiscard]] bool has_edge(std::uint32_t u, std::uint32_t v) const {
+    return annotation(u, v) != 0;
+  }
+
+  /// The underlying directed graph (all annotations merged).
+  [[nodiscard]] const DiGraph& digraph() const noexcept { return graph_; }
+
+  [[nodiscard]] bool acyclic() const { return !graph_.has_cycle(); }
+
+  /// Node bandwidth under the trace ordering (Section 3.2).
+  [[nodiscard]] std::size_t node_bandwidth() const {
+    return graph_.node_bandwidth();
+  }
+
+  /// Checks all five edge annotation constraints of Section 3.1.  Returns
+  /// nullopt if the graph is a valid constraint graph for its trace, or a
+  /// human-readable description of the first violation found.
+  [[nodiscard]] std::optional<std::string> validate() const;
+
+  /// For an *acyclic valid* constraint graph, extracts a serial reordering
+  /// of the trace (Lemma 3.1, converse direction: any topological order of
+  /// the nodes is a serial reordering).
+  [[nodiscard]] Reordering extract_serial_reordering() const;
+
+  /// Edges grouped for printing / test inspection.
+  struct Edge {
+    std::uint32_t from;
+    std::uint32_t to;
+    std::uint8_t anno;
+  };
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Graphviz rendering: nodes labeled with their operation, edges colored
+  /// by annotation (po black, inh blue, STo green, forced red).
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  Trace trace_;
+  DiGraph graph_;
+  // Sparse annotation store aligned with graph_ adjacency: anno_[u] is
+  // parallel to graph_.successors(u).
+  std::vector<std::vector<std::uint8_t>> anno_;
+};
+
+/// Lemma 3.1, forward direction: builds the (acyclic, valid) constraint
+/// graph induced by a serial reordering `perm` of `trace`.
+/// Precondition: is_serial_reordering(trace, perm).
+[[nodiscard]] ConstraintGraph build_constraint_graph(const Trace& trace,
+                                                     const Reordering& perm);
+
+/// The worked example of Figure 3: the 5-operation trace and its constraint
+/// graph (node bandwidth 3).
+struct Fig3Example {
+  Trace trace;
+  ConstraintGraph graph;
+};
+[[nodiscard]] Fig3Example figure3_example();
+
+}  // namespace scv

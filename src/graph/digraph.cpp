@@ -1,0 +1,166 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+std::uint32_t DiGraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<std::uint32_t>(out_.size() - 1);
+}
+
+bool DiGraph::add_edge(std::uint32_t u, std::uint32_t v) {
+  SCV_EXPECTS(u < out_.size() && v < out_.size());
+  if (has_edge(u, v)) return false;
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  ++edges_;
+  return true;
+}
+
+bool DiGraph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  SCV_EXPECTS(u < out_.size() && v < out_.size());
+  return std::find(out_[u].begin(), out_[u].end(), v) != out_[u].end();
+}
+
+const std::vector<std::uint32_t>& DiGraph::successors(std::uint32_t u) const {
+  SCV_EXPECTS(u < out_.size());
+  return out_[u];
+}
+
+const std::vector<std::uint32_t>& DiGraph::predecessors(
+    std::uint32_t u) const {
+  SCV_EXPECTS(u < in_.size());
+  return in_[u];
+}
+
+bool DiGraph::has_cycle() const { return !topological_order().has_value(); }
+
+std::optional<std::vector<std::uint32_t>> DiGraph::topological_order() const {
+  std::vector<std::uint32_t> indegree(out_.size(), 0);
+  for (std::uint32_t v = 0; v < out_.size(); ++v) {
+    indegree[v] = static_cast<std::uint32_t>(in_[v].size());
+  }
+  // Min-index-first queue makes the order deterministic (and, for constraint
+  // graphs, biases the extracted serial reordering toward trace order).
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>>
+      ready;
+  for (std::uint32_t v = 0; v < out_.size(); ++v) {
+    if (indegree[v] == 0) ready.push(v);
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(out_.size());
+  while (!ready.empty()) {
+    const std::uint32_t u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (std::uint32_t v : out_[u]) {
+      if (--indegree[v] == 0) ready.push(v);
+    }
+  }
+  if (order.size() != out_.size()) return std::nullopt;
+  return order;
+}
+
+std::optional<std::vector<std::uint32_t>> DiGraph::find_cycle() const {
+  enum class Color : std::uint8_t { White, Gray, Black };
+  std::vector<Color> color(out_.size(), Color::White);
+  std::vector<std::uint32_t> parent(out_.size(), 0);
+
+  for (std::uint32_t root = 0; root < out_.size(); ++root) {
+    if (color[root] != Color::White) continue;
+    // Iterative DFS with explicit stack of (node, next-successor-index).
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    color[root] = Color::Gray;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < out_[u].size()) {
+        const std::uint32_t v = out_[u][next++];
+        if (color[v] == Color::Gray) {
+          // Found a back edge u -> v; walk parents from u back to v.
+          std::vector<std::uint32_t> cycle{v};
+          for (std::uint32_t w = u; w != v; w = parent[w]) cycle.push_back(w);
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+        if (color[v] == Color::White) {
+          color[v] = Color::Gray;
+          parent[v] = u;
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        color[u] = Color::Black;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool DiGraph::reachable(std::uint32_t u, std::uint32_t v) const {
+  SCV_EXPECTS(u < out_.size() && v < out_.size());
+  if (u == v) return true;
+  std::vector<bool> seen(out_.size(), false);
+  std::vector<std::uint32_t> stack{u};
+  seen[u] = true;
+  while (!stack.empty()) {
+    const std::uint32_t w = stack.back();
+    stack.pop_back();
+    for (std::uint32_t x : out_[w]) {
+      if (x == v) return true;
+      if (!seen[x]) {
+        seen[x] = true;
+        stack.push_back(x);
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t DiGraph::node_bandwidth() const {
+  const std::size_t n = out_.size();
+  if (n == 0) return 0;
+  // Node u is "live at cut i" (cut between N_{i+1} = {0..i} and the rest,
+  // 0-based) iff u <= i and u has a neighbor > i.  Sweep with +1 at u and
+  // -1 after max neighbor.
+  std::vector<std::int64_t> delta(n + 1, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    std::uint32_t max_nbr = u;
+    for (std::uint32_t v : out_[u]) max_nbr = std::max(max_nbr, v);
+    for (std::uint32_t v : in_[u]) max_nbr = std::max(max_nbr, v);
+    if (max_nbr > u) {
+      delta[u] += 1;
+      delta[max_nbr] -= 1;  // live for cuts u .. max_nbr-1
+    }
+  }
+  std::int64_t live = 0;
+  std::int64_t best = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    live += delta[i];
+    best = std::max(best, live);
+  }
+  return static_cast<std::size_t>(best);
+}
+
+bool DiGraph::same_edges(const DiGraph& other) const {
+  if (node_count() != other.node_count() ||
+      edge_count() != other.edge_count()) {
+    return false;
+  }
+  for (std::uint32_t u = 0; u < node_count(); ++u) {
+    auto a = out_[u];
+    auto b = other.out_[u];
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) return false;
+  }
+  return true;
+}
+
+}  // namespace scv

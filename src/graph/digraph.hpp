@@ -1,0 +1,65 @@
+// A plain directed graph over nodes 0..n-1 with cycle detection, topological
+// sorting, and the paper's *node bandwidth* measure (Section 3.2).
+//
+// Node bandwidth is defined with respect to the node numbering: a graph is
+// k-node-bandwidth bounded if for every prefix N_i of the node ordering, at
+// most k nodes of N_i have edges to or from nodes outside N_i.  (This
+// differs from classical edge bandwidth; the number of crossing *edges* may
+// be unbounded.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace scv {
+
+class DiGraph {
+ public:
+  DiGraph() = default;
+  explicit DiGraph(std::size_t n) : out_(n), in_(n) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return out_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  /// Appends a node, returning its index.
+  std::uint32_t add_node();
+
+  /// Adds edge u -> v.  Parallel edges are coalesced (returns false if the
+  /// edge was already present).
+  bool add_edge(std::uint32_t u, std::uint32_t v);
+
+  [[nodiscard]] bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& successors(
+      std::uint32_t u) const;
+  [[nodiscard]] const std::vector<std::uint32_t>& predecessors(
+      std::uint32_t u) const;
+
+  /// Iterative DFS cycle check.
+  [[nodiscard]] bool has_cycle() const;
+
+  /// Kahn's algorithm; nullopt if the graph has a cycle.
+  [[nodiscard]] std::optional<std::vector<std::uint32_t>> topological_order()
+      const;
+
+  /// Any directed cycle (as a node sequence c0 -> c1 -> ... -> c0), or
+  /// nullopt if acyclic.  Used for counterexample explanation.
+  [[nodiscard]] std::optional<std::vector<std::uint32_t>> find_cycle() const;
+
+  /// Is v reachable from u (u == v counts as reachable)?
+  [[nodiscard]] bool reachable(std::uint32_t u, std::uint32_t v) const;
+
+  /// The node bandwidth of this graph under the identity node ordering.
+  [[nodiscard]] std::size_t node_bandwidth() const;
+
+  /// Structural equality: same node count and same edge set.
+  [[nodiscard]] bool same_edges(const DiGraph& other) const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::vector<std::uint32_t>> in_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace scv

@@ -1,0 +1,203 @@
+#include "litmus/litmus.hpp"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+namespace {
+
+std::size_t processor_count(const LitmusProgram& program) {
+  std::size_t procs = 0;
+  for (const LitmusOp& op : program.ops) {
+    procs = std::max<std::size_t>(procs, op.proc + 1);
+  }
+  return procs;
+}
+
+/// Executes `order` (indices into program.ops) on a serial memory,
+/// recording loaded register values.
+LitmusOutcome execute(const LitmusProgram& program,
+                      const std::vector<std::size_t>& order) {
+  std::array<Value, 256> memory{};
+  memory.fill(kBottom);
+  LitmusOutcome regs(program.registers, kBottom);
+  for (std::size_t i : order) {
+    const LitmusOp& op = program.ops[i];
+    if (op.kind == OpKind::Store) {
+      memory[op.block] = op.store_value;
+    } else {
+      SCV_EXPECTS(op.reg >= 0 &&
+                  static_cast<std::size_t>(op.reg) < regs.size());
+      regs[op.reg] = memory[op.block];
+    }
+  }
+  return regs;
+}
+
+/// Enumerates all interleavings of the per-processor sequences in
+/// `per_proc` (each a list of op indices, already in the desired
+/// per-processor execution order) and collects their outcomes.
+void interleave(const LitmusProgram& program,
+                const std::vector<std::vector<std::size_t>>& per_proc,
+                std::set<LitmusOutcome>& out) {
+  std::vector<std::size_t> cursor(per_proc.size(), 0);
+  std::vector<std::size_t> order;
+  std::function<void()> rec = [&] {
+    if (order.size() == program.ops.size()) {
+      out.insert(execute(program, order));
+      return;
+    }
+    for (std::size_t p = 0; p < per_proc.size(); ++p) {
+      if (cursor[p] == per_proc[p].size()) continue;
+      order.push_back(per_proc[p][cursor[p]]);
+      ++cursor[p];
+      rec();
+      --cursor[p];
+      order.pop_back();
+    }
+  };
+  rec();
+}
+
+std::vector<std::vector<std::size_t>> program_order(
+    const LitmusProgram& program) {
+  std::vector<std::vector<std::size_t>> per_proc(processor_count(program));
+  for (std::size_t i = 0; i < program.ops.size(); ++i) {
+    per_proc[program.ops[i].proc].push_back(i);
+  }
+  return per_proc;
+}
+
+/// May `first` and `second` (in that program order) execute out of order?
+bool may_swap(const LitmusOp& first, const LitmusOp& second,
+              const RelaxFlags& flags) {
+  if (first.block == second.block) return false;  // same-address order holds
+  if (first.kind == OpKind::Load && second.kind == OpKind::Load) {
+    return flags.load_load;
+  }
+  if (first.kind == OpKind::Load && second.kind == OpKind::Store) {
+    return flags.load_store;
+  }
+  if (first.kind == OpKind::Store && second.kind == OpKind::Load) {
+    return flags.store_load;
+  }
+  return flags.store_store;
+}
+
+/// All permutations of `seq` reachable by swapping adjacent pairs allowed
+/// by `flags` (the standard adjacent-transposition closure).
+std::set<std::vector<std::size_t>> local_reorderings(
+    const LitmusProgram& program, const std::vector<std::size_t>& seq,
+    const RelaxFlags& flags) {
+  std::set<std::vector<std::size_t>> seen;
+  std::vector<std::vector<std::size_t>> work{seq};
+  seen.insert(seq);
+  while (!work.empty()) {
+    const auto cur = work.back();
+    work.pop_back();
+    for (std::size_t i = 0; i + 1 < cur.size(); ++i) {
+      // Swapping is allowed based on the *original program order* of the
+      // pair: the earlier op (by index in seq order) must be permitted to
+      // pass the later one.
+      const LitmusOp& a = program.ops[cur[i]];
+      const LitmusOp& b = program.ops[cur[i + 1]];
+      const bool a_first_in_po = cur[i] < cur[i + 1];
+      const bool ok = a_first_in_po ? may_swap(a, b, flags)
+                                    : may_swap(b, a, flags);
+      if (!ok) continue;
+      auto next = cur;
+      std::swap(next[i], next[i + 1]);
+      if (seen.insert(next).second) work.push_back(next);
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+LitmusOutcome serial_outcome(const LitmusProgram& program) {
+  std::vector<std::size_t> order(program.ops.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  return execute(program, order);
+}
+
+std::set<LitmusOutcome> sc_outcomes(const LitmusProgram& program) {
+  std::set<LitmusOutcome> out;
+  interleave(program, program_order(program), out);
+  return out;
+}
+
+std::set<LitmusOutcome> relaxed_outcomes(const LitmusProgram& program,
+                                         const RelaxFlags& flags) {
+  const auto per_proc = program_order(program);
+  // Per-processor reordering choices, combined by cartesian product.
+  std::vector<std::vector<std::vector<std::size_t>>> choices;
+  for (const auto& seq : per_proc) {
+    const auto reorderings = local_reorderings(program, seq, flags);
+    choices.emplace_back(reorderings.begin(), reorderings.end());
+  }
+  std::set<LitmusOutcome> out;
+  std::vector<std::vector<std::size_t>> chosen(per_proc.size());
+  std::function<void(std::size_t)> rec = [&](std::size_t p) {
+    if (p == choices.size()) {
+      interleave(program, chosen, out);
+      return;
+    }
+    for (const auto& variant : choices[p]) {
+      chosen[p] = variant;
+      rec(p + 1);
+    }
+  };
+  rec(0);
+  return out;
+}
+
+LitmusProgram figure1_program() {
+  // Blocks: x = 0, y = 1.  Registers: r1 = 0, r2 = 1.
+  LitmusProgram prog;
+  prog.name = "figure1-message-passing";
+  prog.registers = 2;
+  prog.ops = {
+      LitmusOp{0, OpKind::Store, 0, 1, -1},  // time 1: P1: ST x = 1
+      LitmusOp{0, OpKind::Store, 1, 2, -1},  // time 2: P1: ST y = 2
+      LitmusOp{1, OpKind::Load, 1, 0, 1},    // time 3: P2: LD y -> r2
+      LitmusOp{1, OpKind::Load, 0, 0, 0},    // time 4: P2: LD x -> r1
+  };
+  return prog;
+}
+
+LitmusProgram store_buffer_program() {
+  LitmusProgram prog;
+  prog.name = "store-buffering";
+  prog.registers = 2;
+  prog.ops = {
+      LitmusOp{0, OpKind::Store, 0, 1, -1},  // P1: ST x = 1
+      LitmusOp{1, OpKind::Store, 1, 1, -1},  // P2: ST y = 1
+      LitmusOp{0, OpKind::Load, 1, 0, 0},    // P1: LD y -> r1
+      LitmusOp{1, OpKind::Load, 0, 0, 1},    // P2: LD x -> r2
+  };
+  return prog;
+}
+
+std::string to_string(const LitmusOutcome& outcome) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < outcome.size(); ++i) {
+    if (i) os << ",";
+    os << "r" << (i + 1) << "=";
+    if (outcome[i] == kBottom) {
+      os << "0";  // Figure 1 writes the initial value as 0
+    } else {
+      os << static_cast<int>(outcome[i]);
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace scv

@@ -1,0 +1,76 @@
+// Litmus-test engine for Figure 1 of the paper: enumerate the outcomes a
+// small multi-threaded program can produce under different memory models.
+//
+//   * serial memory: operations execute atomically in the given real-time
+//     order — a unique outcome;
+//   * sequential consistency: all interleavings that respect each
+//     processor's program order;
+//   * relaxed models: per-processor reorderings allowed by a set of
+//     relaxation flags (store-load for TSO-like store buffers, load-load /
+//     store-store for weaker models), with same-block order preserved, then
+//     interleaved as in SC.
+//
+// Figure 1's example is the classic message-passing shape: with sequential
+// consistency r1=0,r2=2 is impossible; allowing the two loads to execute
+// out of order admits it.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trace/operation.hpp"
+
+namespace scv {
+
+struct LitmusOp {
+  ProcId proc = 0;
+  OpKind kind = OpKind::Load;
+  BlockId block = 0;
+  Value store_value = 0;  ///< for stores
+  int reg = -1;           ///< destination register index, for loads
+};
+
+struct LitmusProgram {
+  std::string name;
+  std::size_t registers = 0;
+  /// Operations in real-time issue order (defines the serial-memory
+  /// schedule); per-processor program order is the induced subsequence.
+  std::vector<LitmusOp> ops;
+};
+
+/// A register assignment after a complete execution.
+using LitmusOutcome = std::vector<Value>;
+
+struct RelaxFlags {
+  bool load_load = false;
+  bool store_store = false;
+  bool store_load = false;  ///< store followed by load may reorder (TSO)
+  bool load_store = false;
+};
+
+/// The unique serial-memory outcome (real-time order execution).
+[[nodiscard]] LitmusOutcome serial_outcome(const LitmusProgram& program);
+
+/// All outcomes under sequential consistency.
+[[nodiscard]] std::set<LitmusOutcome> sc_outcomes(
+    const LitmusProgram& program);
+
+/// All outcomes when per-processor reorderings allowed by `flags` are
+/// applied before SC interleaving.  Same-block pairs never reorder.
+[[nodiscard]] std::set<LitmusOutcome> relaxed_outcomes(
+    const LitmusProgram& program, const RelaxFlags& flags);
+
+/// Figure 1's program: P1: ST x=1; ST y=2.  P2: LD y -> r2; LD x -> r1.
+/// Registers: index 0 is r1, index 1 is r2.
+[[nodiscard]] LitmusProgram figure1_program();
+
+/// Store buffering (Dekker): P1: ST x=1; LD y -> r1.  P2: ST y=1;
+/// LD x -> r2.  SC forbids (0,0); a store buffer (store-load reordering)
+/// allows it — this is the shape of the WriteBuffer counterexample.
+[[nodiscard]] LitmusProgram store_buffer_program();
+
+[[nodiscard]] std::string to_string(const LitmusOutcome& outcome);
+
+}  // namespace scv

@@ -1,0 +1,413 @@
+#include "mc/model_checker.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <unordered_set>
+
+#include "checker/sc_checker.hpp"
+#include "descriptor/descriptor.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scv {
+
+std::string to_string(McVerdict v) {
+  switch (v) {
+    case McVerdict::Verified: return "Verified";
+    case McVerdict::Violation: return "Violation";
+    case McVerdict::BandwidthExceeded: return "BandwidthExceeded";
+    case McVerdict::TrackingInconsistent: return "TrackingInconsistent";
+    case McVerdict::StateLimit: return "StateLimit";
+  }
+  return "?";
+}
+
+std::string McResult::summary() const {
+  std::ostringstream os;
+  os << to_string(verdict) << ": " << states << " states, " << transitions
+     << " transitions, depth " << depth << ", "
+     << (seconds > 0 ? static_cast<std::size_t>(
+                           static_cast<double>(transitions) / seconds)
+                     : 0)
+     << " trans/s";
+  if (!reason.empty()) os << " — " << reason;
+  return os.str();
+}
+
+namespace {
+
+struct Entry {
+  std::vector<std::uint8_t> proto;
+  Observer obs;
+  ScChecker chk;
+  std::uint32_t idx = 0;
+};
+
+struct Meta {
+  std::uint32_t parent = 0;
+  Transition via{};
+};
+
+ScCheckerConfig checker_config(const Protocol& p, const McOptions& opt,
+                               const Observer& obs) {
+  const auto& pr = p.params();
+  return ScCheckerConfig{obs.bandwidth(), pr.procs, pr.blocks, pr.values,
+                         opt.observer.coherence_only};
+}
+
+std::string state_key(const Protocol&, const McOptions& opt,
+                      const Entry& e) {
+  ByteWriter w;
+  w.bytes(e.proto);
+  if (!opt.protocol_only) {
+    // Canonical (symmetry-reduced) serialization: the observer renames its
+    // live nodes into discovery order and hands the checker the same
+    // renaming, so states differing only in ID/slot naming coincide.
+    std::vector<GraphId> id_canon;
+    e.obs.serialize(w, &id_canon);
+    e.chk.serialize_canonical(w, id_canon);
+  }
+  const auto& bytes = w.data();
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+/// Re-executes `path` from the initial state, recording each step's action
+/// name and emitted observer symbols, plus the terminal failure reason.
+std::vector<CounterexampleStep> replay(const Protocol& proto,
+                                       const McOptions& opt,
+                                       const std::vector<Transition>& path,
+                                       std::string* reason) {
+  std::vector<CounterexampleStep> steps;
+  std::vector<std::uint8_t> state(proto.state_size());
+  proto.initial_state(state);
+  Observer obs(proto, opt.observer);
+  ScChecker chk(checker_config(proto, opt, obs));
+  for (const Transition& t : path) {
+    CounterexampleStep step;
+    step.action = proto.action_name(t.action);
+    proto.apply(state, t);
+    if (!opt.protocol_only) {
+      const ObserverStatus st = obs.step(t, state, step.emitted);
+      if (st != ObserverStatus::Ok) {
+        if (reason != nullptr) *reason = obs.error();
+        steps.push_back(std::move(step));
+        return steps;
+      }
+      for (const Symbol& sym : step.emitted) {
+        if (chk.feed(sym) == ScChecker::Status::Reject) {
+          if (reason != nullptr) *reason = chk.reject_reason();
+          steps.push_back(std::move(step));
+          return steps;
+        }
+      }
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+std::vector<Transition> path_to(const std::vector<Meta>& meta,
+                                std::uint32_t idx,
+                                const Transition* final_step) {
+  std::vector<Transition> path;
+  for (std::uint32_t i = idx; i != 0; i = meta[i].parent) {
+    path.push_back(meta[i].via);
+  }
+  std::reverse(path.begin(), path.end());
+  if (final_step != nullptr) path.push_back(*final_step);
+  return path;
+}
+
+/// Outcome of expanding one transition.
+enum class StepOutcome : std::uint8_t { Ok, Reject, Bound, Tracking };
+
+/// Precondition: dst.obs and dst.chk are already copies of src's.
+StepOutcome expand_one(const Protocol& proto, const McOptions& opt,
+                       const Entry& src, const Transition& t, Entry& dst,
+                       std::vector<Symbol>& scratch) {
+  dst.proto = src.proto;
+  proto.apply(dst.proto, t);
+  if (opt.protocol_only) return StepOutcome::Ok;
+  scratch.clear();
+  const ObserverStatus st = dst.obs.step(t, dst.proto, scratch);
+  if (st == ObserverStatus::BandwidthExceeded) return StepOutcome::Bound;
+  if (st == ObserverStatus::TrackingInconsistent) {
+    return StepOutcome::Tracking;
+  }
+  for (const Symbol& sym : scratch) {
+    if (dst.chk.feed(sym) == ScChecker::Status::Reject) {
+      return StepOutcome::Reject;
+    }
+  }
+  return StepOutcome::Ok;
+}
+
+McResult finish_failure(const Protocol& proto, const McOptions& opt,
+                        McResult result, StepOutcome outcome,
+                        const std::vector<Meta>& meta, std::uint32_t parent,
+                        const Transition& via) {
+  switch (outcome) {
+    case StepOutcome::Reject:
+      result.verdict = McVerdict::Violation;
+      break;
+    case StepOutcome::Bound:
+      result.verdict = McVerdict::BandwidthExceeded;
+      break;
+    case StepOutcome::Tracking:
+      result.verdict = McVerdict::TrackingInconsistent;
+      break;
+    case StepOutcome::Ok:
+      SCV_UNREACHABLE("finish_failure on Ok outcome");
+  }
+  const auto path = path_to(meta, parent, &via);
+  result.counterexample = replay(proto, opt, path, &result.reason);
+
+  // For cycle rejections, expand the full emitted descriptor (which is a
+  // valid graph description regardless of cycles) and extract a concrete
+  // cycle — the Lemma 3.1 witness that the trace is not SC.
+  if (result.verdict == McVerdict::Violation) {
+    Descriptor d;
+    d.k = Observer(proto, opt.observer).bandwidth();
+    for (const CounterexampleStep& step : result.counterexample) {
+      d.symbols.insert(d.symbols.end(), step.emitted.begin(),
+                       step.emitted.end());
+    }
+    const ExpansionResult expansion = expand(d);
+    if (expansion.graph.has_value()) {
+      if (const auto cyc = expansion.graph->graph.find_cycle()) {
+        for (const std::uint32_t node : *cyc) {
+          const auto& label = expansion.graph->node_labels[node];
+          result.cycle.push_back(
+              std::to_string(node + 1) + ":" +
+              (label ? to_string(*label) : std::string("?")));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+McResult run_sequential(const Protocol& proto, const McOptions& opt) {
+  McResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto finish = [&](McVerdict v) {
+    result.verdict = v;
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  };
+
+  std::unordered_set<std::string> visited;
+  std::vector<Meta> meta;
+
+  Entry init{std::vector<std::uint8_t>(proto.state_size()),
+             Observer(proto, opt.observer), ScChecker({1, 1, 1, 1}), 0};
+  proto.initial_state(init.proto);
+  init.chk = ScChecker(checker_config(proto, opt, init.obs));
+  visited.insert(state_key(proto, opt, init));
+  meta.push_back(Meta{});
+  result.states = 1;
+  result.state_bytes = state_key(proto, opt, init).size();
+
+  std::vector<Entry> frontier;
+  frontier.push_back(std::move(init));
+  std::vector<Transition> transitions;
+  std::vector<Symbol> scratch;
+
+  while (!frontier.empty()) {
+    if (result.depth >= opt.max_depth) return finish(McVerdict::StateLimit);
+    std::vector<Entry> next;
+    for (const Entry& e : frontier) {
+      transitions.clear();
+      proto.enumerate(e.proto, transitions);
+      for (const Transition& t : transitions) {
+        ++result.transitions;
+        Entry succ{{}, e.obs, e.chk, 0};
+        const StepOutcome outcome =
+            expand_one(proto, opt, e, t, succ, scratch);
+        if (outcome != StepOutcome::Ok) {
+          result.seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+          return finish_failure(proto, opt, std::move(result), outcome,
+                                meta, e.idx, t);
+        }
+        result.peak_live_nodes =
+            std::max(result.peak_live_nodes, succ.obs.peak_live_nodes());
+        auto [it, inserted] = visited.insert(state_key(proto, opt, succ));
+        if (inserted) {
+          succ.idx = static_cast<std::uint32_t>(meta.size());
+          meta.push_back(Meta{e.idx, t});
+          next.push_back(std::move(succ));
+          ++result.states;
+          if (result.states >= opt.max_states) {
+            return finish(McVerdict::StateLimit);
+          }
+        }
+      }
+    }
+    result.peak_frontier = std::max(result.peak_frontier, next.size());
+    frontier = std::move(next);
+    ++result.depth;
+  }
+  return finish(McVerdict::Verified);
+}
+
+McResult run_parallel(const Protocol& proto, const McOptions& opt) {
+  McResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t shards = opt.threads;
+  ThreadPool pool(opt.threads);
+
+  std::vector<std::unordered_set<std::string>> visited(shards);
+  std::vector<Meta> meta;
+
+  Entry init{std::vector<std::uint8_t>(proto.state_size()),
+             Observer(proto, opt.observer), ScChecker({1, 1, 1, 1}), 0};
+  proto.initial_state(init.proto);
+  init.chk = ScChecker(checker_config(proto, opt, init.obs));
+  {
+    const std::string key = state_key(proto, opt, init);
+    result.state_bytes = key.size();
+    visited[fnv1a64({reinterpret_cast<const std::uint8_t*>(key.data()),
+                     key.size()}) %
+            shards]
+        .insert(key);
+  }
+  meta.push_back(Meta{});
+  result.states = 1;
+
+  std::vector<Entry> frontier;
+  frontier.push_back(std::move(init));
+
+  struct Candidate {
+    std::string key;
+    Entry entry;
+    std::uint32_t parent;
+    Transition via;
+  };
+  // buckets[worker][shard]
+  std::vector<std::vector<std::vector<Candidate>>> buckets(
+      opt.threads,
+      std::vector<std::vector<Candidate>>(shards));
+
+  std::atomic<bool> failed{false};
+  std::mutex failure_mu;
+  StepOutcome failure_outcome = StepOutcome::Ok;
+  std::uint32_t failure_parent = 0;
+  Transition failure_via{};
+  std::atomic<std::uint64_t> transitions{0};
+  std::atomic<std::uint64_t> peak_live{0};
+
+  while (!frontier.empty()) {
+    if (result.depth >= opt.max_depth ||
+        result.states >= opt.max_states) {
+      result.verdict = McVerdict::StateLimit;
+      result.transitions = transitions.load();
+      result.seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      return result;
+    }
+
+    // Phase 1: expand this level, bucketing successors by shard.
+    pool.run_on_all([&](std::size_t w) {
+      std::vector<Transition> local_transitions;
+      std::vector<Symbol> scratch;
+      for (std::size_t i = w; i < frontier.size(); i += opt.threads) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        const Entry& e = frontier[i];
+        local_transitions.clear();
+        proto.enumerate(e.proto, local_transitions);
+        for (const Transition& t : local_transitions) {
+          transitions.fetch_add(1, std::memory_order_relaxed);
+          Candidate cand{{}, Entry{{}, e.obs, e.chk, 0}, e.idx, t};
+          const StepOutcome outcome =
+              expand_one(proto, opt, e, t, cand.entry, scratch);
+          if (outcome != StepOutcome::Ok) {
+            std::lock_guard lock(failure_mu);
+            if (!failed.exchange(true)) {
+              failure_outcome = outcome;
+              failure_parent = e.idx;
+              failure_via = t;
+            }
+            return;
+          }
+          std::uint64_t seen = peak_live.load(std::memory_order_relaxed);
+          const std::uint64_t mine = cand.entry.obs.peak_live_nodes();
+          while (mine > seen &&
+                 !peak_live.compare_exchange_weak(seen, mine)) {
+          }
+          cand.key = state_key(proto, opt, cand.entry);
+          const std::size_t shard =
+              fnv1a64({reinterpret_cast<const std::uint8_t*>(
+                           cand.key.data()),
+                       cand.key.size()}) %
+              shards;
+          buckets[w][shard].push_back(std::move(cand));
+        }
+      }
+    });
+
+    if (failed.load()) {
+      result.transitions = transitions.load();
+      result.peak_live_nodes = peak_live.load();
+      result.seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      return finish_failure(proto, opt, std::move(result), failure_outcome,
+                            meta, failure_parent, failure_via);
+    }
+
+    // Phase 2: each shard owner dedups its candidates in parallel.
+    std::vector<std::vector<Candidate>> accepted(shards);
+    pool.run_on_all([&](std::size_t shard) {
+      for (std::size_t w = 0; w < opt.threads; ++w) {
+        for (Candidate& cand : buckets[w][shard]) {
+          if (visited[shard].insert(cand.key).second) {
+            accepted[shard].push_back(std::move(cand));
+          }
+        }
+        buckets[w][shard].clear();
+      }
+    });
+
+    // Phase 3: sequential merge assigns global indexes.
+    std::vector<Entry> next;
+    for (auto& shard_accepted : accepted) {
+      for (Candidate& cand : shard_accepted) {
+        cand.entry.idx = static_cast<std::uint32_t>(meta.size());
+        meta.push_back(Meta{cand.parent, cand.via});
+        next.push_back(std::move(cand.entry));
+        ++result.states;
+      }
+    }
+    result.peak_frontier = std::max(result.peak_frontier, next.size());
+    frontier = std::move(next);
+    ++result.depth;
+  }
+
+  result.verdict = McVerdict::Verified;
+  result.transitions = transitions.load();
+  result.peak_live_nodes = peak_live.load();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace
+
+McResult model_check(const Protocol& protocol, const McOptions& options) {
+  SCV_EXPECTS(options.threads >= 1);
+  if (options.threads == 1) return run_sequential(protocol, options);
+  return run_parallel(protocol, options);
+}
+
+}  // namespace scv

@@ -1,0 +1,440 @@
+#include "observer/observer.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+namespace {
+/// In location-mirrored mode, location l is aliased by descriptor ID l+1.
+[[nodiscard]] GraphId loc_id(LocId l) { return static_cast<GraphId>(l + 1); }
+}  // namespace
+
+std::size_t Observer::default_pool_size(const Protocol& p) {
+  const auto& pr = p.params();
+  // Section 4.4 accounting: up to L inh-active stores, pb forced-active
+  // loads, plus program-order tails (p), ST-order tails and roots (2b),
+  // forced-target successors (bounded by inh-active stores, so within L in
+  // the worst case but typically tiny) and slack.
+  const std::size_t want =
+      pr.locations + pr.procs * pr.blocks + pr.procs + 2 * pr.blocks + 8;
+  return std::min<std::size_t>(want, kMaxBandwidth - 1);
+}
+
+Observer::Observer(const Protocol& protocol, ObserverConfig config)
+    : protocol_(&protocol),
+      cfg_(config),
+      tracker_(protocol.params().locations),
+      real_time_order_(protocol.real_time_st_order()) {
+  const auto& pr = protocol.params();
+  SCV_EXPECTS(pr.procs <= kMaxObsProcs);
+  SCV_EXPECTS(pr.blocks <= kMaxObsBlocks);
+  pool_count_ =
+      cfg_.pool_size != 0 ? cfg_.pool_size : default_pool_size(protocol);
+  SCV_EXPECTS(pool_count_ >= 1 && pool_count_ <= kMaxBandwidth);
+  if (cfg_.location_mirrored) {
+    // IDs 1..L alias locations; the pool sits above them; ID k+1 is the
+    // reserved null ID used to announce retirements.
+    pool_base_ = static_cast<GraphId>(pr.locations + 1);
+    k_ = pr.locations + pool_count_;
+  } else {
+    pool_base_ = 1;
+    k_ = pool_count_;
+  }
+  SCV_EXPECTS(k_ >= 1 && k_ <= kMaxBandwidth);
+  pool_free_ = pool_count_ >= 64 ? ~0ULL
+                                 : ((1ULL << pool_count_) - 1);
+  nodes_.assign(pool_count_, Node{});
+}
+
+ObserverStatus Observer::fail(ObserverStatus status, std::string message) {
+  if (error_.empty()) error_ = std::move(message);
+  return status;
+}
+
+GraphId Observer::alloc_pool_id() {
+  if (pool_free_ == 0) return kNoId;
+  const int idx = std::countr_zero(pool_free_);
+  pool_free_ &= pool_free_ - 1;
+  return static_cast<GraphId>(pool_base_ + idx);
+}
+
+void Observer::free_pool_id(GraphId id) {
+  const auto idx = static_cast<std::size_t>(id - pool_base_);
+  SCV_EXPECTS(idx < pool_count_);
+  SCV_EXPECTS((pool_free_ & (1ULL << idx)) == 0);
+  pool_free_ |= 1ULL << idx;
+}
+
+std::size_t Observer::live_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const Node& node : nodes_) n += node.in_use ? 1 : 0;
+  return n;
+}
+
+NodeHandle Observer::emit_op_node(const Operation& op,
+                                  std::vector<Symbol>& out) {
+  const GraphId id = alloc_pool_id();
+  if (id == kNoId) return kNone;
+  const auto h = static_cast<NodeHandle>(id - pool_base_ + 1);
+  Node& n = node(h);
+  n = Node{};
+  n.in_use = true;
+  n.op = op;
+  n.pool_id = id;
+  out.push_back(NodeDesc{id, op});
+
+  const std::size_t chain = chain_of(op);
+  const NodeHandle prev = last_op_[chain];
+  if (prev != kNone) {
+    out.push_back(EdgeDesc{node(prev).pool_id, id, kAnnoPo});
+  }
+  last_op_[chain] = h;
+  peak_live_ = std::max(peak_live_, live_nodes());
+  return h;
+}
+
+void Observer::on_serialized(NodeHandle h, std::vector<Symbol>& out) {
+  Node& n = node(h);
+  SCV_ASSERT(n.op.is_store() && !n.serialized);
+  n.serialized = true;
+  const BlockId b = n.op.block;
+  const NodeHandle tail = sto_tail_[b];
+  if (tail != kNone) {
+    Node& t = node(tail);
+    out.push_back(EdgeDesc{t.pool_id, n.pool_id, kAnnoSto});
+    t.sto_succ = h;
+    n.sto_pred = tail;
+    // Constraint 5(a): the last load per processor inheriting from the tail
+    // now owes — and immediately receives — a forced edge to h.
+    for (std::size_t p = 0; p < protocol_->params().procs; ++p) {
+      const NodeHandle j = t.pending_ld[p];
+      if (j != kNone) {
+        out.push_back(EdgeDesc{node(j).pool_id, n.pool_id, kAnnoForced});
+        node(j).pending_for = kNone;
+        t.pending_ld[p] = kNone;
+      }
+    }
+  } else {
+    // First store of the block in ST order: discharge the ⊥-load
+    // obligations (constraint 5(b)).
+    SCV_ASSERT(root_[b] == kNone && !root_gone_[b]);
+    root_[b] = h;
+    for (std::size_t p = 0; p < protocol_->params().procs; ++p) {
+      const NodeHandle j = pending_bottom_[b][p];
+      if (j != kNone) {
+        out.push_back(EdgeDesc{node(j).pool_id, n.pool_id, kAnnoForced});
+        node(j).bottom_pending = false;
+        pending_bottom_[b][p] = kNone;
+      }
+    }
+  }
+  sto_tail_[b] = h;
+}
+
+void Observer::apply_tracking(const Transition& t, NodeHandle store_node,
+                              std::vector<Symbol>& out) {
+  if (store_node != kNone) {
+    const NodeHandle old = tracker_.at(t.loc);
+    if (old != kNone) --node(old).copies;
+    tracker_.on_store(t.loc, store_node);
+    ++node(store_node).copies;
+    if (cfg_.location_mirrored) {
+      out.push_back(AddId{node(store_node).pool_id, loc_id(t.loc)});
+    }
+  }
+  if (t.copies.empty()) return;
+
+  // Stage sources first: entries apply simultaneously over the pre-copy
+  // contents (the store stamp above, if any, is visible to them — a ST may
+  // land in two locations at once, cf. Lazy Caching).
+  NodeHandle staged[16];
+  SCV_ASSERT(t.copies.size() <= 16);
+  for (std::size_t i = 0; i < t.copies.size(); ++i) {
+    staged[i] = t.copies[i].src == kClearSrc ? kNone
+                                             : tracker_.at(t.copies[i].src);
+  }
+  for (std::size_t i = 0; i < t.copies.size(); ++i) {
+    const NodeHandle old = tracker_.at(t.copies[i].dst);
+    if (old != kNone) --node(old).copies;
+    if (staged[i] != kNone) ++node(staged[i]).copies;
+  }
+  tracker_.on_copies({t.copies.begin(), t.copies.size()});
+  if (cfg_.location_mirrored) {
+    for (std::size_t i = 0; i < t.copies.size(); ++i) {
+      if (staged[i] != kNone) {
+        out.push_back(
+            AddId{node(staged[i]).pool_id, loc_id(t.copies[i].dst)});
+      } else {
+        // The destination no longer tracks any store: release the alias so
+        // the checker's ID bindings mirror the tracker exactly.
+        out.push_back(AddId{null_id(), loc_id(t.copies[i].dst)});
+      }
+    }
+  }
+}
+
+ObserverStatus Observer::step(const Transition& t,
+                              std::span<const std::uint8_t> post_state,
+                              std::vector<Symbol>& out) {
+  const Action& a = t.action;
+
+  if (a.kind == Action::Kind::Store) {
+    const NodeHandle h = emit_op_node(a.op, out);
+    if (h == kNone) {
+      return fail(ObserverStatus::BandwidthExceeded,
+                  "ID pool exhausted on " + protocol_->action_name(a));
+    }
+    apply_tracking(t, h, out);
+    if (real_time_order_) on_serialized(h, out);
+    retire_pass(post_state, out);
+    return ObserverStatus::Ok;
+  }
+
+  if (a.kind == Action::Kind::Load) {
+    const NodeHandle src = tracker_.at(t.loc);
+    const NodeHandle h = emit_op_node(a.op, out);
+    if (h == kNone) {
+      return fail(ObserverStatus::BandwidthExceeded,
+                  "ID pool exhausted on " + protocol_->action_name(a));
+    }
+    const ProcId p = a.op.proc;
+    const BlockId b = a.op.block;
+    if (a.op.value != kBottom) {
+      if (src == kNone) {
+        return fail(ObserverStatus::TrackingInconsistent,
+                    "load " + protocol_->action_name(a) +
+                        " reads a location tracking no store");
+      }
+      const Node& s = node(src);
+      if (!s.op.is_store() || s.op.block != b || s.op.value != a.op.value) {
+        return fail(ObserverStatus::TrackingInconsistent,
+                    "load " + protocol_->action_name(a) +
+                        " disagrees with the tracked store " +
+                        to_string(s.op));
+      }
+      out.push_back(EdgeDesc{s.pool_id, node(h).pool_id, kAnnoInh});
+      if (node(src).sto_succ == kGoneSucc) {
+        return fail(ObserverStatus::TrackingInconsistent,
+                    "load inherits from a store whose ST-order successor "
+                    "was retired");
+      }
+      if (node(src).sto_succ != kNone) {
+        out.push_back(EdgeDesc{node(h).pool_id,
+                               node(node(src).sto_succ).pool_id,
+                               kAnnoForced});
+      } else {
+        const NodeHandle old = node(src).pending_ld[p];
+        if (old != kNone) node(old).pending_for = kNone;
+        node(src).pending_ld[p] = h;
+        node(h).pending_for = src;
+      }
+    } else {
+      if (src != kNone) {
+        return fail(ObserverStatus::TrackingInconsistent,
+                    "load returned bottom from a location tracking " +
+                        to_string(node(src).op));
+      }
+      if (root_[b] != kNone) {
+        out.push_back(
+            EdgeDesc{node(h).pool_id, node(root_[b]).pool_id, kAnnoForced});
+      } else if (root_gone_[b]) {
+        return fail(ObserverStatus::TrackingInconsistent,
+                    "bottom-load after the first store of its block was "
+                    "retired (could_load_bottom hook is inconsistent)");
+      } else {
+        const NodeHandle old = pending_bottom_[b][p];
+        if (old != kNone) node(old).bottom_pending = false;
+        pending_bottom_[b][p] = h;
+        node(h).bottom_pending = true;
+      }
+    }
+    apply_tracking(t, kNone, out);
+    retire_pass(post_state, out);
+    return ObserverStatus::Ok;
+  }
+
+  // Internal action: serialization decisions read the pre-copy tracker.
+  NodeHandle serialized = kNone;
+  if (!real_time_order_ && t.serialize_loc >= 0) {
+    serialized = tracker_.at(static_cast<LocId>(t.serialize_loc));
+    if (serialized == kNone) {
+      return fail(ObserverStatus::TrackingInconsistent,
+                  "serialize_loc names a location tracking no store");
+    }
+  }
+  apply_tracking(t, kNone, out);
+  if (serialized != kNone) on_serialized(serialized, out);
+  retire_pass(post_state, out);
+  return ObserverStatus::Ok;
+}
+
+bool Observer::must_hold(NodeHandle h, const bool* bottom_loadable) const {
+  const Node& n = node(h);
+  if (last_op_[chain_of(n.op)] == h) return true;  // program-order tail
+  if (n.op.is_store()) {
+    if (n.copies > 0) return true;     // inh-active
+    if (!n.serialized) return true;    // awaiting its ST-order position
+    const BlockId b = n.op.block;
+    if (sto_tail_[b] == h) return true;  // next STo edge leaves from here
+    if (root_[b] == h && bottom_loadable[b]) return true;  // ⊥ target
+    // Forced-target: loads may still inherit from the predecessor and owe
+    // this node a forced edge.
+    if (n.sto_pred != kNone && node(n.sto_pred).copies > 0) return true;
+    return false;
+  }
+  return n.pending_for != kNone || n.bottom_pending;
+}
+
+void Observer::retire(NodeHandle h, std::vector<Symbol>& out) {
+  Node& n = node(h);
+  // Announce the retirement: rebinding the node's ID to the null ID unbinds
+  // it, retiring the node in the checker with edge contraction.  (In
+  // location-mirrored mode the pool ID is the node's only remaining alias:
+  // location aliases are rebound on overwrite and released on clears.)
+  out.push_back(AddId{null_id(), n.pool_id});
+  if (n.op.is_store()) {
+    const BlockId b = n.op.block;
+    if (root_[b] == h) {
+      root_[b] = kNone;
+      root_gone_[b] = true;
+    }
+    SCV_ASSERT(sto_tail_[b] != h);
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& m = nodes_[i];
+    if (!m.in_use || &m == &n) continue;
+    if (m.sto_succ == h) m.sto_succ = kGoneSucc;
+    if (m.sto_pred == h) m.sto_pred = kNone;
+    for (auto& pl : m.pending_ld) {
+      if (pl == h) pl = kNone;
+    }
+    if (m.pending_for == h) m.pending_for = kNone;
+  }
+  free_pool_id(n.pool_id);
+  n = Node{};
+}
+
+void Observer::retire_pass(std::span<const std::uint8_t> post_state,
+                           std::vector<Symbol>& out) {
+  bool bottom_loadable[kMaxObsBlocks] = {};
+  for (std::size_t b = 0; b < protocol_->params().blocks; ++b) {
+    bottom_loadable[b] =
+        protocol_->could_load_bottom(post_state, static_cast<BlockId>(b));
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i].in_use) continue;
+      const auto h = static_cast<NodeHandle>(i + 1);
+      if (!must_hold(h, bottom_loadable)) {
+        retire(h, out);
+        changed = true;
+      }
+    }
+  }
+}
+
+void Observer::serialize(ByteWriter& w,
+                         std::vector<GraphId>* id_canon) const {
+  const auto& pr = protocol_->params();
+
+  // --- Phase 1: canonical discovery order over live nodes.  Every live
+  // node is reachable from a fixed-order anchor scan (tracker locations,
+  // program-order tails, ST-order tails, roots, pending bottom-loads)
+  // followed by a reference closure; naming nodes by discovery position
+  // erases the incidental handle/ID permutation a particular history
+  // produced — a symmetry reduction on the product state space.
+  std::vector<std::uint16_t> canon(nodes_.size() + 1, 0);  // handle -> 1-based
+  std::vector<NodeHandle> order;
+  const auto visit = [&](NodeHandle h) {
+    if (h == kNone || h == kGoneSucc) return;
+    if (canon[h] != 0) return;
+    canon[h] = static_cast<std::uint16_t>(order.size() + 1);
+    order.push_back(h);
+  };
+  for (std::size_t l = 0; l < tracker_.locations(); ++l) {
+    visit(tracker_.at(static_cast<LocId>(l)));
+  }
+  for (std::size_t c = 0; c < chain_count(); ++c) visit(last_op_[c]);
+  for (std::size_t b = 0; b < pr.blocks; ++b) {
+    visit(sto_tail_[b]);
+    visit(root_[b]);
+  }
+  for (std::size_t b = 0; b < pr.blocks; ++b) {
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      visit(pending_bottom_[b][p]);
+    }
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {  // closure (order grows)
+    const Node& n = node(order[i]);
+    visit(n.sto_succ);
+    visit(n.sto_pred);
+    for (std::size_t p = 0; p < pr.procs; ++p) visit(n.pending_ld[p]);
+    visit(n.pending_for);
+  }
+  SCV_ASSERT(order.size() == live_nodes());  // liveness implies reachability
+
+  const auto enc = [&](NodeHandle h) -> std::uint64_t {
+    if (h == kNone) return 0;
+    if (h == kGoneSucc) return order.size() + 1;
+    return canon[h];
+  };
+
+  // --- Phase 2: serialize in canonical order.  Raw handles, pool IDs and
+  // the free mask are naming details and are deliberately excluded.
+  for (std::size_t l = 0; l < tracker_.locations(); ++l) {
+    w.uvar(enc(tracker_.at(static_cast<LocId>(l))));
+  }
+  for (std::size_t c = 0; c < chain_count(); ++c) w.uvar(enc(last_op_[c]));
+  for (std::size_t b = 0; b < pr.blocks; ++b) {
+    w.uvar(enc(sto_tail_[b]));
+    w.uvar(enc(root_[b]));
+    w.u8(root_gone_[b] ? 1 : 0);
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      w.uvar(enc(pending_bottom_[b][p]));
+    }
+  }
+  w.uvar(order.size());
+  for (const NodeHandle h : order) {
+    const Node& n = node(h);
+    w.u8(static_cast<std::uint8_t>(n.op.kind));
+    w.u8(n.op.proc);
+    w.u8(n.op.block);
+    w.u8(n.op.value);
+    w.uvar(n.copies);
+    w.u8(n.serialized ? 1 : 0);
+    w.uvar(enc(n.sto_succ));
+    w.uvar(enc(n.sto_pred));
+    for (std::size_t p = 0; p < pr.procs; ++p) w.uvar(enc(n.pending_ld[p]));
+    w.uvar(enc(n.pending_for));
+    w.u8(n.bottom_pending ? 1 : 0);
+  }
+
+  if (id_canon != nullptr) {
+    id_canon->assign(k_ + 2, 0);
+    for (const NodeHandle h : order) {
+      (*id_canon)[node(h).pool_id] = static_cast<GraphId>(canon[h]);
+    }
+    if (cfg_.location_mirrored) {
+      // Location-alias IDs canonicalize to their node's number as well.
+      for (std::size_t l = 0; l < tracker_.locations(); ++l) {
+        const NodeHandle h = tracker_.at(static_cast<LocId>(l));
+        if (h != kNone) {
+          (*id_canon)[l + 1] = static_cast<GraphId>(canon[h]);
+        }
+      }
+    }
+  }
+}
+
+std::size_t Observer::state_bytes() const {
+  ByteWriter w;
+  serialize(w);
+  return w.data().size();
+}
+
+}  // namespace scv

@@ -1,0 +1,206 @@
+// The finite-state witness observer of Theorem 4.1.
+//
+// The observer rides along with a protocol execution (it is driven by the
+// protocol's transitions, so trace equality — property (i) of Definition 3.1
+// — holds by construction) and emits a k-graph descriptor of the constraint
+// graph W(R) of Section 4.3:
+//
+//   * inheritance edges from the ST-index tracking of Section 4.1
+//     (Lemma 4.1);
+//   * program order edges by remembering each processor's latest operation;
+//   * ST order edges from the ST order generator (Section 4.2): trivial
+//     real-time ordering, or serialize_loc hints for deferred-serialization
+//     protocols such as Lazy Caching;
+//   * forced edges per the discipline in the proof of Theorem 4.1: a load
+//     stays active until its store's ST-order successor is known (then a
+//     forced edge is emitted) or a program-order-later load inherits from
+//     the same store; ⊥-loads stay until the first store of their block is
+//     serialized.
+//
+// Node lifetimes follow Section 4's accounting: a node is retired — its
+// descriptor IDs recycled — exactly when it is no longer inh-active,
+// STo-active, forced-active, a program-order tail, or a pinned ⊥-root.
+// The resulting descriptor bandwidth is bounded by a function of L, p, b
+// (Section 4.4), independent of run length; if the configured ID pool is
+// exhausted the observer reports BandwidthExceeded instead of guessing.
+//
+// Two emission modes:
+//   * compact (default): one descriptor ID per live node;
+//   * location-mirrored (Lemma 4.1 style): IDs 1..L alias the storage
+//     locations holding each store's value, maintained with add-ID symbols,
+//     plus a pool ID per node.  Same expanded graph, longer descriptor;
+//     kept for fidelity to the paper and as an ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "descriptor/symbol.hpp"
+#include "observer/st_order.hpp"
+#include "protocol/protocol.hpp"
+#include "protocol/st_index.hpp"
+#include "util/byte_io.hpp"
+
+namespace scv {
+
+enum class ObserverStatus : std::uint8_t {
+  Ok,
+  /// The ID pool ran dry: the run's constraint graph exceeded the
+  /// configured bandwidth bound (raise it, or the protocol is outside Γ).
+  BandwidthExceeded,
+  /// The tracking labels lied (a load's value does not match the store its
+  /// location tracks, etc.): the protocol is not in the class of
+  /// Section 4.1 as annotated.
+  TrackingInconsistent,
+};
+
+struct ObserverConfig {
+  /// Mirror storage locations as descriptor IDs (Lemma 4.1 style).
+  bool location_mirrored = false;
+  /// Pool of node IDs; 0 = use default_pool_size(protocol).
+  std::size_t pool_size = 0;
+  /// Memory-model extension (paper §5): emit program order edges per
+  /// (processor, block) chain instead of per processor, so the witness
+  /// graph certifies *coherence* (per-location SC) rather than full SC.
+  /// Pair with ScCheckerConfig::coherence_po.
+  bool coherence_only = false;
+};
+
+class Observer {
+ public:
+  static constexpr std::size_t kMaxObsProcs = 6;
+  static constexpr std::size_t kMaxObsBlocks = 6;
+
+  explicit Observer(const Protocol& protocol, ObserverConfig config = {});
+
+  Observer(const Observer&) = default;
+  Observer& operator=(const Observer&) = default;
+
+  /// Recommended node-ID pool size for a protocol: the Section 4.4
+  /// bandwidth accounting L + pb plus program-order/ST-order tails.
+  [[nodiscard]] static std::size_t default_pool_size(const Protocol& p);
+
+  /// The descriptor bandwidth parameter k this observer emits under (IDs
+  /// range over 1..k+1).  Feed the same k to the checker.
+  [[nodiscard]] std::size_t bandwidth() const noexcept { return k_; }
+
+  /// Processes one protocol transition.  `post_state` is the protocol state
+  /// *after* the transition (used for the could_load_bottom hook).  Appends
+  /// the emitted descriptor symbols to `out`.
+  ObserverStatus step(const Transition& t,
+                      std::span<const std::uint8_t> post_state,
+                      std::vector<Symbol>& out);
+
+  /// Diagnostics.
+  [[nodiscard]] std::size_t live_nodes() const noexcept;
+  [[nodiscard]] std::size_t peak_live_nodes() const noexcept {
+    return peak_live_;
+  }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Canonical state serialization (tracker + node table + globals) for
+  /// model-checking product hashing.  Live nodes are renamed into a
+  /// canonical discovery order (locations first, then per-processor /
+  /// per-block anchors, then reference closure), so two states that differ
+  /// only in ID/handle naming serialize identically — a symmetry reduction
+  /// that shrinks the product state space by orders of magnitude.
+  ///
+  /// If `id_canon` is non-null it receives the map from descriptor ID to
+  /// canonical node number (1-based; 0 = unmapped), sized k()+2.  The
+  /// checker's canonical serialization must use the same map.
+  void serialize(ByteWriter& w,
+                 std::vector<GraphId>* id_canon = nullptr) const;
+
+  /// Size in bytes of the serialized extra state (Section 4.4 comparison).
+  [[nodiscard]] std::size_t state_bytes() const;
+
+ private:
+  static constexpr NodeHandle kNone = 0;
+  /// sto_succ sentinel: the successor existed but has been retired.
+  static constexpr NodeHandle kGoneSucc = ~0u;
+
+  struct Node {
+    bool in_use = false;
+    Operation op{};
+    GraphId pool_id = kNoId;
+    std::uint32_t copies = 0;  ///< locations currently tracking this store
+    bool serialized = false;
+    NodeHandle sto_succ = 0;
+    NodeHandle sto_pred = 0;
+    NodeHandle pending_ld[kMaxObsProcs] = {};
+    NodeHandle pending_for = 0;
+    bool bottom_pending = false;
+  };
+
+  [[nodiscard]] Node& node(NodeHandle h) { return nodes_[h - 1]; }
+  [[nodiscard]] const Node& node(NodeHandle h) const { return nodes_[h - 1]; }
+
+  ObserverStatus fail(ObserverStatus status, std::string message);
+  [[nodiscard]] GraphId alloc_pool_id();
+  void free_pool_id(GraphId id);
+
+  /// Creates a node for operation `op`, emitting its node descriptor and
+  /// program order edge.  Returns kNone on pool exhaustion.
+  NodeHandle emit_op_node(const Operation& op, std::vector<Symbol>& out);
+
+  /// Emits the STo edge chain step for a newly serialized store, plus the
+  /// forced edges it triggers.
+  void on_serialized(NodeHandle h, std::vector<Symbol>& out);
+
+  /// Applies tracking-label effects (store stamp + copies) to the tracker,
+  /// maintaining per-node copy counts and emitting add-ID symbols in
+  /// location-mirrored mode.
+  void apply_tracking(const Transition& t, NodeHandle store_node,
+                      std::vector<Symbol>& out);
+
+  /// Retires every node with no remaining hold reason (fixpoint pass).
+  /// Each retirement is announced in the descriptor stream by rebinding the
+  /// node's IDs to the reserved null ID (add-ID(null, I) unbinds I, exactly
+  /// the retirement semantics of Section 3.2), so the checker's active
+  /// graph mirrors the observer's node table at all times.
+  void retire_pass(std::span<const std::uint8_t> post_state,
+                   std::vector<Symbol>& out);
+  [[nodiscard]] bool must_hold(NodeHandle h,
+                               const bool* bottom_loadable) const;
+  void retire(NodeHandle h, std::vector<Symbol>& out);
+
+  /// The reserved ID that is never bound to a node; rebinding an ID to it
+  /// retires the ID's node in any descriptor consumer.
+  [[nodiscard]] GraphId null_id() const {
+    return static_cast<GraphId>(k_ + 1);
+  }
+
+  const Protocol* protocol_ = nullptr;
+  ObserverConfig cfg_{};
+  std::size_t k_ = 0;            ///< descriptor bandwidth (IDs 1..k+1)
+  GraphId pool_base_ = 1;        ///< first pool ID (L+1 in mirrored mode)
+  std::size_t pool_count_ = 0;
+  std::uint64_t pool_free_ = 0;  ///< bit i set => pool ID pool_base_+i free
+
+  StIndexTracker tracker_;
+  bool real_time_order_ = true;
+
+  std::vector<Node> nodes_;
+  /// Program-order chains: one per processor, or per (processor, block) in
+  /// coherence mode.
+  [[nodiscard]] std::size_t chain_of(const Operation& op) const {
+    return cfg_.coherence_only
+               ? op.proc * protocol_->params().blocks + op.block
+               : static_cast<std::size_t>(op.proc);
+  }
+  [[nodiscard]] std::size_t chain_count() const {
+    const auto& pr = protocol_->params();
+    return cfg_.coherence_only ? pr.procs * pr.blocks : pr.procs;
+  }
+  NodeHandle last_op_[kMaxObsProcs * kMaxObsBlocks] = {};
+  NodeHandle sto_tail_[kMaxObsBlocks] = {};  ///< last *serialized* store
+  NodeHandle root_[kMaxObsBlocks] = {};      ///< first serialized store
+  bool root_gone_[kMaxObsBlocks] = {};
+  NodeHandle pending_bottom_[kMaxObsBlocks][kMaxObsProcs] = {};
+
+  std::size_t peak_live_ = 0;
+  std::string error_;
+};
+
+}  // namespace scv

@@ -1,0 +1,71 @@
+// ST order generators (Section 4.2).
+//
+// A ST order generator is a finite-state automaton that watches a protocol
+// run and decides when each store becomes *serialized*, i.e. takes its place
+// in the per-block total ST order.  The paper restricts attention to
+// generators no larger than the protocol itself; every implemented protocol
+// known to the authors needs only the trivial generator (real-time ST
+// ordering), while Afek et al.'s Lazy Caching serializes a store at its
+// memory-write event.
+//
+// Generators report serialization decisions as observer node handles; the
+// observer turns consecutive serializations per block into STo edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/protocol.hpp"
+#include "protocol/st_index.hpp"
+
+namespace scv {
+
+/// Observer node handle (slot + 1; 0 = none).  See Observer.
+using NodeHandle = std::uint32_t;
+
+class StOrderGenerator {
+ public:
+  virtual ~StOrderGenerator() = default;
+
+  /// A ST operation created observer node `handle`.  Appends any handles
+  /// that become serialized as a result (for real-time ordering: `handle`
+  /// itself).
+  virtual void on_store(NodeHandle handle, BlockId block,
+                        std::vector<NodeHandle>& serialized) = 0;
+
+  /// An internal action occurred.  `tracker` reflects the *pre-transition*
+  /// location contents, so serialize_loc hints resolve to the store being
+  /// serialized.  Appends newly serialized handles.
+  virtual void on_internal(const Transition& t, const StIndexTracker& tracker,
+                           std::vector<NodeHandle>& serialized) = 0;
+};
+
+/// The trivial generator of Section 4.2: trace order of stores per block is
+/// already the ST order ("real-time ST reordering", |G| = 0).
+class RealTimeStOrder final : public StOrderGenerator {
+ public:
+  void on_store(NodeHandle handle, BlockId,
+                std::vector<NodeHandle>& serialized) override {
+    serialized.push_back(handle);
+  }
+  void on_internal(const Transition&, const StIndexTracker&,
+                   std::vector<NodeHandle>&) override {}
+};
+
+/// The queue-based generator for protocols that serialize stores at a later
+/// internal event (Lazy Caching's memory-write): transitions carry a
+/// serialize_loc hint naming the location whose tracked store is serialized.
+class DeferredStOrder final : public StOrderGenerator {
+ public:
+  void on_store(NodeHandle, BlockId, std::vector<NodeHandle>&) override {}
+  void on_internal(const Transition& t, const StIndexTracker& tracker,
+                   std::vector<NodeHandle>& serialized) override {
+    if (t.serialize_loc >= 0) {
+      const NodeHandle h = tracker.at(static_cast<LocId>(t.serialize_loc));
+      SCV_EXPECTS(h != StIndexTracker::kNoStore);
+      serialized.push_back(h);
+    }
+  }
+};
+
+}  // namespace scv

@@ -1,0 +1,233 @@
+#include "protocol/directory.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+DirectoryProtocol::DirectoryProtocol(std::size_t procs, std::size_t blocks,
+                                     std::size_t values) {
+  SCV_EXPECTS(procs >= 1 && procs <= 7 && blocks >= 1 && values >= 1);
+  params_ = Params{procs, blocks, values,
+                   /*locations=*/2 * procs * blocks + blocks};
+}
+
+std::size_t DirectoryProtocol::state_size() const {
+  return 4 * params_.procs * params_.blocks + 2 * params_.blocks;
+}
+
+std::uint8_t DirectoryProtocol::cstate(std::span<const std::uint8_t> s,
+                                       std::size_t p, std::size_t b) const {
+  return s[c_off(p, b)];
+}
+std::uint8_t DirectoryProtocol::cdata(std::span<const std::uint8_t> s,
+                                      std::size_t p, std::size_t b) const {
+  return s[c_off(p, b) + 1];
+}
+std::uint8_t DirectoryProtocol::memory(std::span<const std::uint8_t> s,
+                                       std::size_t b) const {
+  return s[m_off(b)];
+}
+bool DirectoryProtocol::reply_full(std::span<const std::uint8_t> s,
+                                   std::size_t p, std::size_t b) const {
+  return s[r_off(p, b)] != 0;
+}
+std::uint8_t DirectoryProtocol::dir(std::span<const std::uint8_t> s,
+                                    std::size_t b) const {
+  return s[d_off(b)];
+}
+
+void DirectoryProtocol::initial_state(std::span<std::uint8_t> state) const {
+  SCV_EXPECTS(state.size() == state_size());
+  for (auto& x : state) x = 0;  // Invalid everywhere, dir Uncached, mem ⊥
+}
+
+void DirectoryProtocol::enumerate(std::span<const std::uint8_t> state,
+                                  std::vector<Transition>& out) const {
+  for (std::size_t p = 0; p < params_.procs; ++p) {
+    for (std::size_t b = 0; b < params_.blocks; ++b) {
+      const std::uint8_t cs = cstate(state, p, b);
+
+      if (cs == kShared || cs == kModified) {
+        Transition ld;
+        ld.action = load_action(static_cast<ProcId>(p),
+                                static_cast<BlockId>(b),
+                                cdata(state, p, b));
+        ld.loc = cache_loc(p, b);
+        out.push_back(ld);
+      }
+      if (cs == kModified) {
+        for (std::size_t v = 1; v <= params_.values; ++v) {
+          Transition st;
+          st.action = store_action(static_cast<ProcId>(p),
+                                   static_cast<BlockId>(b),
+                                   static_cast<Value>(v));
+          st.loc = cache_loc(p, b);
+          out.push_back(st);
+        }
+        // Voluntary writeback to the home.
+        Transition wb;
+        wb.action = internal_action(kWriteBack, static_cast<std::uint8_t>(p),
+                                    static_cast<std::uint8_t>(b));
+        wb.copies.push_back(CopyEntry{mem_loc(b), cache_loc(p, b)});
+        out.push_back(wb);
+      }
+      if (cs == kInvalid) {
+        out.push_back(
+            {internal_action(kReqS, static_cast<std::uint8_t>(p),
+                             static_cast<std::uint8_t>(b)),
+             0, {}, -1});
+        out.push_back(
+            {internal_action(kReqX, static_cast<std::uint8_t>(p),
+                             static_cast<std::uint8_t>(b)),
+             0, {}, -1});
+      }
+      // Home processes an outstanding request (atomic at the directory,
+      // but the data lands in the in-flight reply buffer).  The home is
+      // "busy" while any reply for this block is in flight — otherwise it
+      // could read an owner cache whose data is still in transit.
+      bool block_busy = false;
+      for (std::size_t q = 0; q < params_.procs; ++q) {
+        block_busy = block_busy || reply_full(state, q, b);
+      }
+      if ((cs == kWaitS || cs == kWaitX) && !block_busy) {
+        Transition home;
+        home.action = internal_action(cs == kWaitS ? kHomeS : kHomeX,
+                                      static_cast<std::uint8_t>(p),
+                                      static_cast<std::uint8_t>(b));
+        const std::uint8_t d = dir(state, b);
+        if (d & 0x80) {
+          const std::size_t owner = d & 0x7f;
+          SCV_ASSERT(owner != p);
+          if (cs == kWaitS) {
+            // Owner downgrades; data flows to memory and to the reply.
+            home.copies.push_back(CopyEntry{mem_loc(b), cache_loc(owner, b)});
+          }
+          home.copies.push_back(
+              CopyEntry{reply_loc(p, b), cache_loc(owner, b)});
+        } else {
+          home.copies.push_back(CopyEntry{reply_loc(p, b), mem_loc(b)});
+        }
+        out.push_back(home);
+      }
+      // Receive the reply into the cache.
+      if ((cs == kWaitS || cs == kWaitX) && reply_full(state, p, b)) {
+        Transition recv;
+        recv.action = internal_action(kRecv, static_cast<std::uint8_t>(p),
+                                      static_cast<std::uint8_t>(b));
+        recv.copies.push_back(CopyEntry{cache_loc(p, b), reply_loc(p, b)});
+        recv.copies.push_back(CopyEntry{reply_loc(p, b), kClearSrc});
+        out.push_back(recv);
+      }
+    }
+  }
+}
+
+void DirectoryProtocol::apply(std::span<std::uint8_t> state,
+                              const Transition& t) const {
+  const Action& a = t.action;
+  if (a.kind == Action::Kind::Store) {
+    state[c_off(a.op.proc, a.op.block) + 1] = a.op.value;
+    return;
+  }
+  if (a.kind == Action::Kind::Load) return;
+
+  const std::size_t p = a.arg0;
+  const std::size_t b = a.arg1;
+  switch (a.internal_id) {
+    case kReqS:
+      state[c_off(p, b)] = kWaitS;
+      break;
+    case kReqX:
+      state[c_off(p, b)] = kWaitX;
+      break;
+    case kHomeS: {
+      const std::uint8_t d = state[d_off(b)];
+      std::uint8_t data = state[m_off(b)];
+      std::uint8_t sharers = 0;
+      if (d & 0x80) {
+        const std::size_t owner = d & 0x7f;
+        data = state[c_off(owner, b) + 1];
+        state[m_off(b)] = data;             // owner writes back
+        state[c_off(owner, b)] = kShared;   // owner downgrades
+        sharers = static_cast<std::uint8_t>(1u << owner);
+      } else {
+        sharers = d;
+      }
+      state[d_off(b)] = static_cast<std::uint8_t>(sharers | (1u << p));
+      state[r_off(p, b)] = 1;
+      state[r_off(p, b) + 1] = data;
+      break;
+    }
+    case kHomeX: {
+      const std::uint8_t d = state[d_off(b)];
+      std::uint8_t data = state[m_off(b)];
+      if (d & 0x80) {
+        const std::size_t owner = d & 0x7f;
+        data = state[c_off(owner, b) + 1];
+        state[c_off(owner, b)] = kInvalid;
+      } else {
+        for (std::size_t q = 0; q < params_.procs; ++q) {
+          if (d & (1u << q)) state[c_off(q, b)] = kInvalid;
+        }
+      }
+      state[d_off(b)] = static_cast<std::uint8_t>(0x80 | p);
+      state[r_off(p, b)] = 1;
+      state[r_off(p, b) + 1] = data;
+      break;
+    }
+    case kRecv: {
+      const std::uint8_t cs = state[c_off(p, b)];
+      SCV_EXPECTS(cs == kWaitS || cs == kWaitX);
+      state[c_off(p, b)] = cs == kWaitS ? kShared : kModified;
+      state[c_off(p, b) + 1] = state[r_off(p, b) + 1];
+      state[r_off(p, b)] = 0;
+      state[r_off(p, b) + 1] = 0;
+      break;
+    }
+    case kWriteBack: {
+      SCV_EXPECTS(state[c_off(p, b)] == kModified);
+      state[m_off(b)] = state[c_off(p, b) + 1];
+      state[c_off(p, b)] = kInvalid;
+      state[d_off(b)] = 0;
+      break;
+    }
+    default:
+      SCV_UNREACHABLE("unknown DirectoryProtocol internal action");
+  }
+}
+
+bool DirectoryProtocol::could_load_bottom(std::span<const std::uint8_t> state,
+                                          BlockId b) const {
+  if (memory(state, b) == kBottom) return true;
+  for (std::size_t p = 0; p < params_.procs; ++p) {
+    const std::uint8_t cs = cstate(state, p, b);
+    if ((cs == kShared || cs == kModified) && cdata(state, p, b) == kBottom) {
+      return true;
+    }
+    if ((cs == kWaitS || cs == kWaitX) && reply_full(state, p, b) &&
+        state[r_off(p, b) + 1] == kBottom) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string DirectoryProtocol::action_name(const Action& a) const {
+  if (a.is_memory_op()) return Protocol::action_name(a);
+  std::ostringstream os;
+  switch (a.internal_id) {
+    case kReqS: os << "ReqS"; break;
+    case kReqX: os << "ReqX"; break;
+    case kHomeS: os << "HomeS"; break;
+    case kHomeX: os << "HomeX"; break;
+    case kRecv: os << "Recv"; break;
+    case kWriteBack: os << "WriteBack"; break;
+    default: os << "Internal" << static_cast<int>(a.internal_id);
+  }
+  os << "(P" << (a.arg0 + 1) << ",B" << (a.arg1 + 1) << ")";
+  return os.str();
+}
+
+}  // namespace scv

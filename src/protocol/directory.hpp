@@ -1,0 +1,96 @@
+// A directory-based MSI protocol in the style of Plakal et al.'s case study
+// (Lamport-clocks paper), with non-atomic three-hop data transfers.
+//
+// Each block has a home directory entry (Uncached / Shared(sharers) /
+// Modified(owner)).  A processor issues a request (cache enters a transient
+// IS/IM state), the home processes it — updating the directory, collecting
+// data from memory or the owner, and invalidating/downgrading remote copies
+// — and places the data in a per-(P,B) *reply buffer*; a separate receive
+// action moves it into the cache.  Directory processing is atomic (a common
+// verification abstraction), but data travels through an in-flight message
+// location, which exercises copy tracking across a network substrate.
+//
+// Locations: cache (P,B) = P*b + B; reply buffer (P,B) = p*b + P*b + B;
+// memory word B = 2*p*b + B.
+#pragma once
+
+#include "protocol/protocol.hpp"
+
+namespace scv {
+
+class DirectoryProtocol final : public Protocol {
+ public:
+  DirectoryProtocol(std::size_t procs, std::size_t blocks,
+                    std::size_t values);
+
+  [[nodiscard]] std::string name() const override { return "DirectoryMsi"; }
+  [[nodiscard]] const Params& params() const override { return params_; }
+  [[nodiscard]] std::size_t state_size() const override;
+  void initial_state(std::span<std::uint8_t> state) const override;
+  void enumerate(std::span<const std::uint8_t> state,
+                 std::vector<Transition>& out) const override;
+  void apply(std::span<std::uint8_t> state,
+             const Transition& t) const override;
+  [[nodiscard]] bool could_load_bottom(std::span<const std::uint8_t> state,
+                                       BlockId b) const override;
+  [[nodiscard]] std::string action_name(const Action& a) const override;
+
+  enum CacheState : std::uint8_t {
+    kInvalid = 0,
+    kShared = 1,
+    kModified = 2,
+    kWaitS = 3,  ///< requested Shared, awaiting reply
+    kWaitX = 4,  ///< requested Modified, awaiting reply
+  };
+  static constexpr std::uint8_t kReqS = 1;
+  static constexpr std::uint8_t kHomeS = 2;
+  static constexpr std::uint8_t kReqX = 3;
+  static constexpr std::uint8_t kHomeX = 4;
+  static constexpr std::uint8_t kRecv = 5;
+  static constexpr std::uint8_t kWriteBack = 6;
+
+  [[nodiscard]] LocId cache_loc(std::size_t p, std::size_t b) const {
+    return static_cast<LocId>(p * params_.blocks + b);
+  }
+  [[nodiscard]] LocId reply_loc(std::size_t p, std::size_t b) const {
+    return static_cast<LocId>(params_.procs * params_.blocks +
+                              p * params_.blocks + b);
+  }
+  [[nodiscard]] LocId mem_loc(std::size_t b) const {
+    return static_cast<LocId>(2 * params_.procs * params_.blocks + b);
+  }
+
+  // State accessors (public for tests).
+  [[nodiscard]] std::uint8_t cstate(std::span<const std::uint8_t> s,
+                                    std::size_t p, std::size_t b) const;
+  [[nodiscard]] std::uint8_t cdata(std::span<const std::uint8_t> s,
+                                   std::size_t p, std::size_t b) const;
+  [[nodiscard]] std::uint8_t memory(std::span<const std::uint8_t> s,
+                                    std::size_t b) const;
+  [[nodiscard]] bool reply_full(std::span<const std::uint8_t> s,
+                                std::size_t p, std::size_t b) const;
+  /// Directory entry: bit per sharer, or 0x80|owner when Modified.
+  [[nodiscard]] std::uint8_t dir(std::span<const std::uint8_t> s,
+                                 std::size_t b) const;
+
+ private:
+  // Layout: per (P,B): cstate, cdata; per (P,B): reply_flag, reply_data;
+  // per B: mem; per B: dir byte.
+  [[nodiscard]] std::size_t c_off(std::size_t p, std::size_t b) const {
+    return 2 * (p * params_.blocks + b);
+  }
+  [[nodiscard]] std::size_t r_off(std::size_t p, std::size_t b) const {
+    return 2 * params_.procs * params_.blocks +
+           2 * (p * params_.blocks + b);
+  }
+  [[nodiscard]] std::size_t m_off(std::size_t b) const {
+    return 4 * params_.procs * params_.blocks + b;
+  }
+  [[nodiscard]] std::size_t d_off(std::size_t b) const {
+    return 4 * params_.procs * params_.blocks + params_.blocks + b;
+  }
+
+  Params params_;
+};
+
+}  // namespace scv

@@ -1,0 +1,195 @@
+#include "protocol/msi_bus.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+MsiBus::MsiBus(std::size_t procs, std::size_t blocks, std::size_t values,
+               bool lost_invalidation)
+    : buggy_(lost_invalidation) {
+  SCV_EXPECTS(procs >= 1 && blocks >= 1 && values >= 1);
+  params_ = Params{procs, blocks, values,
+                   /*locations=*/procs * blocks + blocks};
+}
+
+std::size_t MsiBus::state_size() const {
+  return 2 * params_.procs * params_.blocks + params_.blocks;
+}
+
+void MsiBus::initial_state(std::span<std::uint8_t> state) const {
+  SCV_EXPECTS(state.size() == state_size());
+  for (auto& x : state) x = 0;  // all Invalid, all data ⊥, memory ⊥
+}
+
+void MsiBus::enumerate(std::span<const std::uint8_t> state,
+                       std::vector<Transition>& out) const {
+  const std::size_t p_count = params_.procs;
+  const std::size_t b_count = params_.blocks;
+
+  for (std::size_t p = 0; p < p_count; ++p) {
+    for (std::size_t b = 0; b < b_count; ++b) {
+      const std::uint8_t cs = cache_state(state, p, b);
+
+      if (cs != kInvalid) {
+        // Load hits the local cache.
+        Transition ld;
+        ld.action = load_action(static_cast<ProcId>(p),
+                                static_cast<BlockId>(b),
+                                cache_data(state, p, b));
+        ld.loc = cache_loc(p, b);
+        out.push_back(ld);
+        // Evict (write back if Modified).
+        Transition ev;
+        ev.action = internal_action(kEvict, static_cast<std::uint8_t>(p),
+                                    static_cast<std::uint8_t>(b));
+        if (cs == kModified) {
+          ev.copies.push_back(CopyEntry{mem_loc(b), cache_loc(p, b)});
+        }
+        out.push_back(ev);
+      }
+      if (cs == kModified) {
+        for (std::size_t v = 1; v <= params_.values; ++v) {
+          Transition st;
+          st.action = store_action(static_cast<ProcId>(p),
+                                   static_cast<BlockId>(b),
+                                   static_cast<Value>(v));
+          st.loc = cache_loc(p, b);
+          out.push_back(st);
+        }
+      }
+      if (cs == kInvalid) {
+        // BusGetS: fetch a Shared copy from the owner or from memory.
+        Transition gs;
+        gs.action = internal_action(kBusGetS, static_cast<std::uint8_t>(p),
+                                    static_cast<std::uint8_t>(b));
+        std::size_t owner = p_count;
+        for (std::size_t q = 0; q < p_count; ++q) {
+          if (q != p && cache_state(state, q, b) == kModified) owner = q;
+        }
+        if (owner < p_count) {
+          gs.copies.push_back(CopyEntry{mem_loc(b), cache_loc(owner, b)});
+          gs.copies.push_back(CopyEntry{cache_loc(p, b), cache_loc(owner, b)});
+        } else {
+          gs.copies.push_back(CopyEntry{cache_loc(p, b), mem_loc(b)});
+        }
+        out.push_back(gs);
+      }
+      if (cs != kModified) {
+        // BusGetX: acquire exclusive ownership.
+        Transition gx;
+        gx.action = internal_action(kBusGetX, static_cast<std::uint8_t>(p),
+                                    static_cast<std::uint8_t>(b));
+        std::size_t owner = p_count;
+        for (std::size_t q = 0; q < p_count; ++q) {
+          if (q != p && cache_state(state, q, b) == kModified) owner = q;
+        }
+        if (owner < p_count) {
+          gx.copies.push_back(CopyEntry{cache_loc(p, b), cache_loc(owner, b)});
+        } else if (cs == kInvalid) {
+          gx.copies.push_back(CopyEntry{cache_loc(p, b), mem_loc(b)});
+        }
+        out.push_back(gx);
+      }
+    }
+  }
+}
+
+void MsiBus::apply(std::span<std::uint8_t> state, const Transition& t) const {
+  const Action& a = t.action;
+  if (a.kind == Action::Kind::Store) {
+    set_cache(state, a.op.proc, a.op.block, kModified, a.op.value);
+    return;
+  }
+  if (a.kind == Action::Kind::Load) return;
+
+  const std::size_t p = a.arg0;
+  const std::size_t b = a.arg1;
+  switch (a.internal_id) {
+    case kBusGetS: {
+      SCV_EXPECTS(cache_state(state, p, b) == kInvalid);
+      std::uint8_t data = memory(state, b);
+      for (std::size_t q = 0; q < params_.procs; ++q) {
+        if (q != p && cache_state(state, q, b) == kModified) {
+          data = cache_data(state, q, b);
+          state[2 * params_.procs * params_.blocks + b] = data;  // writeback
+          set_cache(state, q, b, kShared, data);
+        }
+      }
+      set_cache(state, p, b, kShared, data);
+      break;
+    }
+    case kBusGetX: {
+      std::uint8_t data = cache_state(state, p, b) == kInvalid
+                              ? memory(state, b)
+                              : cache_data(state, p, b);
+      // The planted bug: skip invalidating the highest-numbered remote
+      // sharer, leaving its stale Shared copy readable.
+      std::size_t skipped = params_.procs;
+      if (buggy_) {
+        for (std::size_t q = 0; q < params_.procs; ++q) {
+          if (q != p && cache_state(state, q, b) == kShared) skipped = q;
+        }
+      }
+      for (std::size_t q = 0; q < params_.procs; ++q) {
+        if (q == p || q == skipped) continue;
+        if (cache_state(state, q, b) == kModified) {
+          data = cache_data(state, q, b);
+        }
+        if (cache_state(state, q, b) != kInvalid) {
+          set_cache(state, q, b, kInvalid, cache_data(state, q, b));
+        }
+      }
+      set_cache(state, p, b, kModified, data);
+      break;
+    }
+    case kEvict: {
+      SCV_EXPECTS(cache_state(state, p, b) != kInvalid);
+      if (cache_state(state, p, b) == kModified) {
+        state[2 * params_.procs * params_.blocks + b] =
+            cache_data(state, p, b);
+      }
+      set_cache(state, p, b, kInvalid, cache_data(state, p, b));
+      break;
+    }
+    default:
+      SCV_UNREACHABLE("unknown MsiBus internal action");
+  }
+}
+
+bool MsiBus::could_load_bottom(std::span<const std::uint8_t> state,
+                               BlockId b) const {
+  // ⊥ is loadable while memory still holds ⊥ (an Invalid cache can always
+  // fill from memory) or some readable cache copy is still ⊥.
+  if (memory(state, b) == kBottom) return true;
+  for (std::size_t p = 0; p < params_.procs; ++p) {
+    if (cache_state(state, p, b) != kInvalid &&
+        cache_data(state, p, b) == kBottom) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string MsiBus::action_name(const Action& a) const {
+  if (a.is_memory_op()) return Protocol::action_name(a);
+  std::ostringstream os;
+  switch (a.internal_id) {
+    case kBusGetS:
+      os << "BusGetS";
+      break;
+    case kBusGetX:
+      os << "BusGetX";
+      break;
+    case kEvict:
+      os << "Evict";
+      break;
+    default:
+      os << "Internal" << static_cast<int>(a.internal_id);
+  }
+  os << "(P" << (a.arg0 + 1) << ",B" << (a.arg1 + 1) << ")";
+  return os.str();
+}
+
+}  // namespace scv

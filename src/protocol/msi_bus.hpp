@@ -1,0 +1,86 @@
+// A snooping MSI cache-coherence protocol over an atomic bus.
+//
+// Each processor has one cache entry per block with a state in
+// {Invalid, Shared, Modified} and a data word.  Bus transactions are atomic
+// internal actions:
+//
+//   BusGetS(P,B): P acquires a Shared copy; a Modified owner is downgraded
+//                 to Shared and its data flows to memory and to P's cache.
+//   BusGetX(P,B): P acquires Modified ownership; every other copy is
+//                 invalidated, data flows from the owner (or memory) to P.
+//   Evict(P,B):   P drops its copy; a Modified copy is written back.
+//
+// Loads hit Shared/Modified copies; stores hit Modified copies.  The atomic
+// bus makes coherence (= ST) order real-time, so the protocol is in Γ with
+// the trivial ST order generator, and it is sequentially consistent.
+//
+// Locations: cache entry (P,B) is location P*b + B; memory word B is
+// location p*b + B.
+#pragma once
+
+#include "protocol/protocol.hpp"
+
+namespace scv {
+
+class MsiBus final : public Protocol {
+ public:
+  /// `lost_invalidation` plants a realistic coherence bug: BusGetX forgets
+  /// to invalidate the highest-numbered remote sharer, leaving a stale
+  /// Shared copy readable after newer stores — the kind of protocol slip
+  /// the paper's method is designed to catch (message-passing-shaped SC
+  /// violation).
+  MsiBus(std::size_t procs, std::size_t blocks, std::size_t values,
+         bool lost_invalidation = false);
+
+  [[nodiscard]] std::string name() const override {
+    return buggy_ ? "MsiBusBuggy" : "MsiBus";
+  }
+  [[nodiscard]] const Params& params() const override { return params_; }
+  [[nodiscard]] std::size_t state_size() const override;
+  void initial_state(std::span<std::uint8_t> state) const override;
+  void enumerate(std::span<const std::uint8_t> state,
+                 std::vector<Transition>& out) const override;
+  void apply(std::span<std::uint8_t> state,
+             const Transition& t) const override;
+  [[nodiscard]] bool could_load_bottom(std::span<const std::uint8_t> state,
+                                       BlockId b) const override;
+  [[nodiscard]] std::string action_name(const Action& a) const override;
+
+  enum CacheState : std::uint8_t { kInvalid = 0, kShared = 1, kModified = 2 };
+  static constexpr std::uint8_t kBusGetS = 1;
+  static constexpr std::uint8_t kBusGetX = 2;
+  static constexpr std::uint8_t kEvict = 3;
+
+  // State accessors (public for tests).
+  [[nodiscard]] std::uint8_t cache_state(std::span<const std::uint8_t> s,
+                                         std::size_t p, std::size_t b) const {
+    return s[2 * (p * params_.blocks + b)];
+  }
+  [[nodiscard]] std::uint8_t cache_data(std::span<const std::uint8_t> s,
+                                        std::size_t p, std::size_t b) const {
+    return s[2 * (p * params_.blocks + b) + 1];
+  }
+  [[nodiscard]] std::uint8_t memory(std::span<const std::uint8_t> s,
+                                    std::size_t b) const {
+    return s[2 * params_.procs * params_.blocks + b];
+  }
+
+  [[nodiscard]] LocId cache_loc(std::size_t p, std::size_t b) const {
+    return static_cast<LocId>(p * params_.blocks + b);
+  }
+  [[nodiscard]] LocId mem_loc(std::size_t b) const {
+    return static_cast<LocId>(params_.procs * params_.blocks + b);
+  }
+
+ private:
+  void set_cache(std::span<std::uint8_t> s, std::size_t p, std::size_t b,
+                 std::uint8_t st, std::uint8_t data) const {
+    s[2 * (p * params_.blocks + b)] = st;
+    s[2 * (p * params_.blocks + b) + 1] = data;
+  }
+
+  Params params_;
+  bool buggy_ = false;
+};
+
+}  // namespace scv

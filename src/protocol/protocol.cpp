@@ -1,0 +1,15 @@
+#include "protocol/protocol.hpp"
+
+#include <sstream>
+
+namespace scv {
+
+std::string Protocol::action_name(const Action& a) const {
+  if (a.is_memory_op()) return to_string(a.op);
+  std::ostringstream os;
+  os << "Internal(" << static_cast<int>(a.internal_id) << ","
+     << static_cast<int>(a.arg0) << "," << static_cast<int>(a.arg1) << ")";
+  return os.str();
+}
+
+}  // namespace scv

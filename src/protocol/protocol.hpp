@@ -1,0 +1,135 @@
+// The protocol framework of Sections 2.1 and 4.1.
+//
+// A protocol is a finite-state machine whose actions are LD/ST operations
+// (the trace alphabet A) plus internal actions (A').  Following Section 4.1,
+// the machine is augmented with a finite set of *storage locations* — the
+// caches, queues, buffers, network messages and memory words that hold block
+// values — and every transition carries *tracking labels*:
+//
+//   * a LD/ST transition names the location the value is read from /
+//     written to (the function f of the paper);
+//   * any transition may carry copy-tracking entries (dst <- src) recording
+//     value movement between locations (the functions c_l; we extend them to
+//     LD/ST transitions as well, which the paper's ST-index induction
+//     accommodates unchanged — Lazy Caching needs a write to land in two
+//     locations at once).
+//
+// Protocols are *prefix-closed* and *nondeterministic*: enumerate() lists
+// every transition enabled in a state (several may share the same action).
+// States are fixed-size byte arrays so the model checker can hash them
+// canonically without knowing their structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/operation.hpp"
+#include "util/inline_vec.hpp"
+
+namespace scv {
+
+/// Storage location index.  L locations are numbered 0..L-1.
+using LocId = std::uint8_t;
+
+/// Copy-tracking source meaning "this location's value is discarded" (the
+/// location reverts to holding no tracked store, as if freshly ⊥).
+inline constexpr LocId kClearSrc = 0xff;
+
+struct Action {
+  enum class Kind : std::uint8_t { Load, Store, Internal };
+  Kind kind = Kind::Internal;
+  // For Load/Store:
+  Operation op{};
+  // For Internal: protocol-defined opcode and small arguments.
+  std::uint8_t internal_id = 0;
+  std::uint8_t arg0 = 0;
+  std::uint8_t arg1 = 0;
+
+  [[nodiscard]] bool is_memory_op() const noexcept {
+    return kind != Kind::Internal;
+  }
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+[[nodiscard]] inline Action load_action(ProcId p, BlockId b, Value v) {
+  return Action{Action::Kind::Load, make_load(p, b, v), 0, 0, 0};
+}
+[[nodiscard]] inline Action store_action(ProcId p, BlockId b, Value v) {
+  return Action{Action::Kind::Store, make_store(p, b, v), 0, 0, 0};
+}
+[[nodiscard]] inline Action internal_action(std::uint8_t id,
+                                            std::uint8_t arg0 = 0,
+                                            std::uint8_t arg1 = 0) {
+  return Action{Action::Kind::Internal, Operation{}, id, arg0, arg1};
+}
+
+/// One copy-tracking entry: the value in `dst` was copied from `src` (or
+/// discarded, if src == kClearSrc).  All entries of a transition are applied
+/// simultaneously, reading sources from the pre-state.
+struct CopyEntry {
+  LocId dst = 0;
+  LocId src = 0;
+};
+
+struct Transition {
+  Action action{};
+  /// Tracking label f(t) for LD/ST transitions: the location read/written.
+  LocId loc = 0;
+  /// Copy-tracking labels (only entries with dst != src are listed).
+  InlineVec<CopyEntry, 12> copies;
+  /// For protocols without real-time ST ordering (Section 4.2): if >= 0,
+  /// this transition *serializes* the store currently tracked at this
+  /// location (evaluated on the pre-state, before `copies` apply).  The ST
+  /// order generator appends that store to its block's ST order.
+  std::int16_t serialize_loc = -1;
+};
+
+class Protocol {
+ public:
+  struct Params {
+    std::size_t procs = 1;      ///< p
+    std::size_t blocks = 1;     ///< b
+    std::size_t values = 1;     ///< v (real values 1..v)
+    std::size_t locations = 1;  ///< L
+  };
+
+  virtual ~Protocol() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual const Params& params() const = 0;
+
+  /// Size in bytes of the (fixed-size) state encoding.
+  [[nodiscard]] virtual std::size_t state_size() const = 0;
+
+  /// Writes the initial state into `state` (state.size() == state_size()).
+  virtual void initial_state(std::span<std::uint8_t> state) const = 0;
+
+  /// Appends every transition enabled in `state` to `out`.
+  virtual void enumerate(std::span<const std::uint8_t> state,
+                         std::vector<Transition>& out) const = 0;
+
+  /// Applies transition `t` to `state` in place.  `t` must have been
+  /// enabled in `state`.
+  virtual void apply(std::span<std::uint8_t> state,
+                     const Transition& t) const = 0;
+
+  /// Does the protocol obey real-time ST ordering (Section 4.2)?  If true,
+  /// the trivial ST order generator is used (trace order of stores per
+  /// block); if false, transitions carry serialize_loc hints.
+  [[nodiscard]] virtual bool real_time_st_order() const { return true; }
+
+  /// Could a LD of block `b` still return ⊥ in this state (or any state
+  /// reachable from it)?  May be conservatively true.  The observer keeps
+  /// the first store of `b` (in ST order) active while this holds, so that
+  /// forced edges from future ⊥-loads can be emitted (constraint 5b).
+  [[nodiscard]] virtual bool could_load_bottom(
+      std::span<const std::uint8_t> state, BlockId b) const = 0;
+
+  /// Human-readable action name ("ST(P1,B2,1)", "Drain(P2)", ...).
+  [[nodiscard]] virtual std::string action_name(const Action& a) const;
+};
+
+}  // namespace scv

@@ -1,0 +1,53 @@
+#include "protocol/serial_memory.hpp"
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+SerialMemory::SerialMemory(std::size_t procs, std::size_t blocks,
+                           std::size_t values) {
+  SCV_EXPECTS(procs >= 1 && blocks >= 1 && values >= 1);
+  params_ = Params{procs, blocks, values, /*locations=*/blocks};
+}
+
+void SerialMemory::initial_state(std::span<std::uint8_t> state) const {
+  SCV_EXPECTS(state.size() == state_size());
+  for (auto& b : state) b = kBottom;
+}
+
+void SerialMemory::enumerate(std::span<const std::uint8_t> state,
+                             std::vector<Transition>& out) const {
+  for (std::size_t p = 0; p < params_.procs; ++p) {
+    for (std::size_t b = 0; b < params_.blocks; ++b) {
+      // The only loadable value is the current memory word.
+      Transition ld;
+      ld.action = load_action(static_cast<ProcId>(p),
+                              static_cast<BlockId>(b), state[b]);
+      ld.loc = static_cast<LocId>(b);
+      out.push_back(ld);
+      for (std::size_t v = 1; v <= params_.values; ++v) {
+        Transition st;
+        st.action = store_action(static_cast<ProcId>(p),
+                                 static_cast<BlockId>(b),
+                                 static_cast<Value>(v));
+        st.loc = static_cast<LocId>(b);
+        out.push_back(st);
+      }
+    }
+  }
+}
+
+void SerialMemory::apply(std::span<std::uint8_t> state,
+                         const Transition& t) const {
+  SCV_EXPECTS(t.action.is_memory_op());
+  if (t.action.kind == Action::Kind::Store) {
+    state[t.action.op.block] = t.action.op.value;
+  }
+}
+
+bool SerialMemory::could_load_bottom(std::span<const std::uint8_t> state,
+                                     BlockId b) const {
+  return state[b] == kBottom;
+}
+
+}  // namespace scv

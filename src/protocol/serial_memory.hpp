@@ -1,0 +1,33 @@
+// Serial (atomic) memory: every LD/ST acts instantaneously on a single
+// shared memory array.  Trivially sequentially consistent; the simplest
+// member of the class Γ and the baseline for all experiments.
+//
+// Locations: one per block (location B holds block B's memory word).
+#pragma once
+
+#include "protocol/protocol.hpp"
+
+namespace scv {
+
+class SerialMemory final : public Protocol {
+ public:
+  SerialMemory(std::size_t procs, std::size_t blocks, std::size_t values);
+
+  [[nodiscard]] std::string name() const override { return "SerialMemory"; }
+  [[nodiscard]] const Params& params() const override { return params_; }
+  [[nodiscard]] std::size_t state_size() const override {
+    return params_.blocks;
+  }
+  void initial_state(std::span<std::uint8_t> state) const override;
+  void enumerate(std::span<const std::uint8_t> state,
+                 std::vector<Transition>& out) const override;
+  void apply(std::span<std::uint8_t> state,
+             const Transition& t) const override;
+  [[nodiscard]] bool could_load_bottom(std::span<const std::uint8_t> state,
+                                       BlockId b) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace scv

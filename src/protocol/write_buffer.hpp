@@ -1,0 +1,64 @@
+// Per-processor FIFO store buffers in front of a shared memory.
+//
+// Stores enter the issuing processor's buffer and drain to memory later
+// (internal Drain actions); loads read memory directly — and, in the
+// forwarding variant, the newest buffered store to the same block first.
+// Both variants violate sequential consistency (the classic store-buffering
+// litmus: with both stores buffered, both processors load the other block's
+// initial value), so these are the library's canonical *negative* examples:
+// the verifier must produce a counterexample run whose constraint graph is
+// cyclic via the ⊥-load forced edges of constraint 5(b).
+//
+// Locations: blocks 0..b-1 are the memory words; then per processor P and
+// buffer depth slot d, location b + P*depth + d is buffer entry d (entry 0
+// is the head; entries shift down on drain, expressed as copy labels).
+#pragma once
+
+#include "protocol/protocol.hpp"
+
+namespace scv {
+
+class WriteBuffer : public Protocol {
+ public:
+  /// `drain_order`: serialize stores at their Drain event (deferred ST
+  /// order generator, Section 4.2) instead of at issue.  Under drain order
+  /// the forwarding buffer is *coherent* (per-location SC) even though it
+  /// is not SC — the memory-model ablation of the paper's Section 5.
+  WriteBuffer(std::size_t procs, std::size_t blocks, std::size_t values,
+              std::size_t depth, bool forwarding, bool drain_order = false);
+
+  [[nodiscard]] std::string name() const override {
+    return forwarding_ ? "WriteBufferFwd" : "WriteBuffer";
+  }
+  [[nodiscard]] const Params& params() const override { return params_; }
+  [[nodiscard]] std::size_t state_size() const override;
+  [[nodiscard]] bool real_time_st_order() const override {
+    return !drain_order_;
+  }
+  void initial_state(std::span<std::uint8_t> state) const override;
+  void enumerate(std::span<const std::uint8_t> state,
+                 std::vector<Transition>& out) const override;
+  void apply(std::span<std::uint8_t> state,
+             const Transition& t) const override;
+  [[nodiscard]] bool could_load_bottom(std::span<const std::uint8_t> state,
+                                       BlockId b) const override;
+  [[nodiscard]] std::string action_name(const Action& a) const override;
+
+  static constexpr std::uint8_t kDrain = 1;  ///< internal action id
+
+ private:
+  // State layout: mem[blocks], then per proc: count, then depth*(block,val).
+  [[nodiscard]] std::size_t proc_base(std::size_t p) const {
+    return params_.blocks + p * (1 + 2 * depth_);
+  }
+  [[nodiscard]] LocId buffer_loc(std::size_t p, std::size_t d) const {
+    return static_cast<LocId>(params_.blocks + p * depth_ + d);
+  }
+
+  Params params_;
+  std::size_t depth_;
+  bool forwarding_;
+  bool drain_order_;
+};
+
+}  // namespace scv

@@ -1,0 +1,99 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+Trace random_trace(const TraceGenParams& params, Xoshiro256& rng) {
+  SCV_EXPECTS(params.processors >= 1 && params.blocks >= 1 &&
+              params.values >= 1);
+  Trace trace;
+  trace.reserve(params.length);
+  for (std::size_t i = 0; i < params.length; ++i) {
+    const auto proc = static_cast<ProcId>(rng.below(params.processors));
+    const auto block = static_cast<BlockId>(rng.below(params.blocks));
+    if (rng.chance(params.store_percent, 100)) {
+      const auto value = static_cast<Value>(rng.between(1, params.values));
+      trace.push_back(make_store(proc, block, value));
+    } else {
+      // Loads may claim any value including ⊥ — arbitrary, often wrong.
+      const auto value = static_cast<Value>(rng.below(params.values + 1));
+      trace.push_back(make_load(proc, block, value));
+    }
+  }
+  return trace;
+}
+
+Trace random_serial_trace(const TraceGenParams& params, Xoshiro256& rng) {
+  SCV_EXPECTS(params.processors >= 1 && params.blocks >= 1 &&
+              params.values >= 1);
+  std::array<Value, 256> memory{};
+  memory.fill(kBottom);
+  Trace trace;
+  trace.reserve(params.length);
+  for (std::size_t i = 0; i < params.length; ++i) {
+    const auto proc = static_cast<ProcId>(rng.below(params.processors));
+    const auto block = static_cast<BlockId>(rng.below(params.blocks));
+    if (rng.chance(params.store_percent, 100)) {
+      const auto value = static_cast<Value>(rng.between(1, params.values));
+      memory[block] = value;
+      trace.push_back(make_store(proc, block, value));
+    } else {
+      trace.push_back(make_load(proc, block, memory[block]));
+    }
+  }
+  SCV_ENSURES(is_serial_trace(trace));
+  return trace;
+}
+
+Reordering random_po_preserving_shuffle(const Trace& trace, Xoshiro256& rng) {
+  // Repeatedly pick a random processor with operations remaining and emit
+  // its next operation.  Every program-order-preserving interleaving has
+  // positive probability.
+  std::vector<std::vector<std::uint32_t>> ops_of(processor_span(trace));
+  for (std::uint32_t i = 0; i < trace.size(); ++i) {
+    ops_of[trace[i].proc].push_back(i);
+  }
+  std::vector<std::size_t> next(ops_of.size(), 0);
+  std::vector<std::size_t> live;
+  for (std::size_t p = 0; p < ops_of.size(); ++p) {
+    if (!ops_of[p].empty()) live.push_back(p);
+  }
+  Reordering out;
+  out.reserve(trace.size());
+  while (!live.empty()) {
+    const std::size_t pick = rng.below(live.size());
+    const std::size_t p = live[pick];
+    out.push_back(ops_of[p][next[p]]);
+    if (++next[p] == ops_of[p].size()) {
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  SCV_ENSURES(preserves_program_order(trace, out));
+  return out;
+}
+
+ScTraceWithWitness random_sc_trace(const TraceGenParams& params,
+                                   Xoshiro256& rng) {
+  const Trace serial = random_serial_trace(params, rng);
+  // Shuffle the serial trace preserving program order; the *inverse* maps
+  // the shuffled trace back to the serial one.
+  const Reordering shuffle = random_po_preserving_shuffle(serial, rng);
+  const Trace shuffled = apply_reordering(serial, shuffle);
+
+  // witness[i] = position in `shuffled` of serial operation i; applying it
+  // to `shuffled` recovers `serial`.
+  Reordering witness(shuffle.size());
+  for (std::uint32_t i = 0; i < shuffle.size(); ++i) {
+    witness[shuffle[i]] = i;
+  }
+  SCV_ENSURES(is_serial_reordering(shuffled, witness));
+  return ScTraceWithWitness{shuffled, witness};
+}
+
+}  // namespace scv

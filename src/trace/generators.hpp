@@ -1,0 +1,49 @@
+// Trace generators for tests and benchmarks.
+//
+// `random_sc_trace` builds sequentially consistent traces *by construction*:
+// it first generates a serial trace, then applies a random program-order-
+// preserving shuffle.  By Lemma 3.1 these are exactly the SC traces, so the
+// generator gives an unlimited supply of positive test cases whose witness
+// reordering is known.  `random_trace` draws unconstrained traces (mostly
+// non-SC once loads are value-constrained), giving negative cases.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace scv {
+
+struct TraceGenParams {
+  std::size_t processors = 2;
+  std::size_t blocks = 2;
+  std::size_t values = 2;  ///< real values 1..values (⊥ excluded)
+  std::size_t length = 10;
+  /// Probability (percent) that a generated operation is a store.
+  unsigned store_percent = 50;
+};
+
+/// A uniformly random trace; loads carry arbitrary values, so most are not
+/// serial and many are not SC.
+[[nodiscard]] Trace random_trace(const TraceGenParams& params, Xoshiro256& rng);
+
+/// A random *serial* trace: loads return the most recent store's value.
+[[nodiscard]] Trace random_serial_trace(const TraceGenParams& params,
+                                        Xoshiro256& rng);
+
+/// A random SC trace together with its witness serial reordering: generated
+/// as a serial trace, then shuffled preserving per-processor order.
+struct ScTraceWithWitness {
+  Trace trace;
+  Reordering witness;  ///< serial reordering of `trace`
+};
+[[nodiscard]] ScTraceWithWitness random_sc_trace(const TraceGenParams& params,
+                                                 Xoshiro256& rng);
+
+/// A random program-order-preserving permutation of 0..n-1 given the
+/// processor of each position.
+[[nodiscard]] Reordering random_po_preserving_shuffle(const Trace& trace,
+                                                      Xoshiro256& rng);
+
+}  // namespace scv

@@ -1,0 +1,61 @@
+// Memory operations (the alphabet A of the paper, Section 2.1).
+//
+// A protocol action is either a LD(P,B,V) / ST(P,B,V) operation — these form
+// the *trace* — or an internal action from A' (bus transactions, message
+// deliveries, queue drains, ...), which is invisible to the memory model but
+// drives the protocol and carries the copy-tracking labels of Section 4.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace scv {
+
+using ProcId = std::uint8_t;   ///< processor index, 0-based (paper: 1..p)
+using BlockId = std::uint8_t;  ///< memory block index, 0-based (paper: 1..b)
+using Value = std::uint8_t;    ///< data value; kBottom is the initial value
+
+/// The paper's ⊥ (initial value of every block).  Real values are 1..v.
+inline constexpr Value kBottom = 0;
+
+enum class OpKind : std::uint8_t { Load, Store };
+
+/// One LD or ST operation, i.e. one symbol of a protocol trace.
+struct Operation {
+  OpKind kind = OpKind::Load;
+  ProcId proc = 0;
+  BlockId block = 0;
+  Value value = kBottom;
+
+  [[nodiscard]] bool is_load() const noexcept { return kind == OpKind::Load; }
+  [[nodiscard]] bool is_store() const noexcept {
+    return kind == OpKind::Store;
+  }
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    return mix64((static_cast<std::uint64_t>(kind) << 24) |
+                 (static_cast<std::uint64_t>(proc) << 16) |
+                 (static_cast<std::uint64_t>(block) << 8) |
+                 static_cast<std::uint64_t>(value));
+  }
+};
+
+[[nodiscard]] inline Operation make_load(ProcId p, BlockId b,
+                                         Value v) noexcept {
+  return Operation{OpKind::Load, p, b, v};
+}
+
+[[nodiscard]] inline Operation make_store(ProcId p, BlockId b, Value v) {
+  SCV_EXPECTS(v != kBottom);  // the memory system does not create data (§4.1)
+  return Operation{OpKind::Store, p, b, v};
+}
+
+/// "ST(P1,B2,1)"-style rendering, 1-based like the paper.
+[[nodiscard]] std::string to_string(const Operation& op);
+
+}  // namespace scv

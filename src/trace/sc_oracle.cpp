@@ -1,0 +1,109 @@
+#include "trace/sc_oracle.hpp"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace scv {
+namespace {
+
+/// Per-processor program-order lists: ops_of[p] = indices of p's operations
+/// in trace order.
+std::vector<std::vector<std::uint32_t>> split_by_processor(
+    const Trace& trace) {
+  std::vector<std::vector<std::uint32_t>> ops_of(processor_span(trace));
+  for (std::uint32_t i = 0; i < trace.size(); ++i) {
+    ops_of[trace[i].proc].push_back(i);
+  }
+  return ops_of;
+}
+
+class Search {
+ public:
+  Search(const Trace& trace, ScOracleStats& stats)
+      : trace_(trace),
+        ops_of_(split_by_processor(trace)),
+        frontier_(ops_of_.size(), 0),
+        stats_(stats) {
+    BlockId max_block = 0;
+    for (const Operation& op : trace) max_block = std::max(max_block, op.block);
+    memory_.assign(static_cast<std::size_t>(max_block) + 1, kBottom);
+  }
+
+  bool run(Reordering& out) {
+    out.clear();
+    out.reserve(trace_.size());
+    return dfs(out);
+  }
+
+ private:
+  bool dfs(Reordering& out) {
+    if (out.size() == trace_.size()) return true;
+    ++stats_.nodes_explored;
+
+    const std::string key = encode();
+    if (dead_.contains(key)) {
+      ++stats_.memo_hits;
+      return false;
+    }
+
+    for (std::size_t p = 0; p < ops_of_.size(); ++p) {
+      if (frontier_[p] == ops_of_[p].size()) continue;
+      const std::uint32_t idx = ops_of_[p][frontier_[p]];
+      const Operation& op = trace_[idx];
+
+      if (op.is_load() && op.value != memory_[op.block]) continue;
+
+      const Value saved = memory_[op.block];
+      if (op.is_store()) memory_[op.block] = op.value;
+      ++frontier_[p];
+      out.push_back(idx);
+
+      if (dfs(out)) return true;
+
+      out.pop_back();
+      --frontier_[p];
+      memory_[op.block] = saved;
+    }
+
+    dead_.insert(key);
+    return false;
+  }
+
+  /// Memo key: frontier positions + memory contents.  Two states with equal
+  /// keys have identical sets of schedulable futures.
+  [[nodiscard]] std::string encode() const {
+    std::string key;
+    key.reserve(frontier_.size() * 2 + memory_.size());
+    for (std::uint32_t f : frontier_) {
+      key.push_back(static_cast<char>(f & 0xff));
+      key.push_back(static_cast<char>((f >> 8) & 0xff));
+    }
+    key.push_back('|');
+    for (Value v : memory_) key.push_back(static_cast<char>(v));
+    return key;
+  }
+
+  const Trace& trace_;
+  std::vector<std::vector<std::uint32_t>> ops_of_;
+  std::vector<std::uint32_t> frontier_;
+  std::vector<Value> memory_;
+  std::unordered_set<std::string> dead_;
+  ScOracleStats& stats_;
+};
+
+}  // namespace
+
+std::optional<Reordering> ScOracle::find_serial_reordering(
+    const Trace& trace) {
+  if (trace.empty()) return Reordering{};
+  Search search(trace, stats_);
+  Reordering out;
+  if (!search.run(out)) return std::nullopt;
+  SCV_ENSURES(is_serial_reordering(trace, out));
+  return out;
+}
+
+}  // namespace scv

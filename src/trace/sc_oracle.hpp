@@ -1,0 +1,46 @@
+// Ground-truth decision procedure for sequential consistency of a single
+// trace (the problem Gibbons & Korach call VSC).  Exponential in the worst
+// case — the per-trace problem is NP-complete — but fine on the small traces
+// used as oracles in the test suite.  The verification method of the paper
+// is validated against this oracle: for every trace, the observer+checker
+// pipeline must agree with `has_serial_reordering`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "trace/trace.hpp"
+
+namespace scv {
+
+struct ScOracleStats {
+  std::uint64_t nodes_explored = 0;  ///< search states expanded
+  std::uint64_t memo_hits = 0;       ///< memoized dead-ends reused
+};
+
+/// Memoized backtracking search for a serial reordering.
+///
+/// The search schedules operations one at a time, always respecting each
+/// processor's program order, and only schedules a LD when it returns the
+/// value currently in (simulated serial) memory.  A memo table over
+/// (per-processor frontier, per-block memory value) prunes re-exploration:
+/// two search states with equal frontiers and equal memory contents have
+/// identical futures.
+class ScOracle {
+ public:
+  /// Returns a serial reordering of `trace` if one exists.
+  [[nodiscard]] std::optional<Reordering> find_serial_reordering(
+      const Trace& trace);
+
+  /// Convenience wrapper: is the trace sequentially consistent?
+  [[nodiscard]] bool has_serial_reordering(const Trace& trace) {
+    return find_serial_reordering(trace).has_value();
+  }
+
+  [[nodiscard]] const ScOracleStats& stats() const noexcept { return stats_; }
+
+ private:
+  ScOracleStats stats_;
+};
+
+}  // namespace scv

@@ -1,0 +1,95 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+std::string to_string(const Operation& op) {
+  std::ostringstream os;
+  os << (op.is_load() ? "LD" : "ST") << "(P" << (op.proc + 1) << ",B"
+     << (op.block + 1) << ",";
+  if (op.value == kBottom) {
+    os << "_|_";
+  } else {
+    os << static_cast<int>(op.value);
+  }
+  os << ")";
+  return os.str();
+}
+
+std::optional<std::size_t> first_serial_violation(const Trace& trace) {
+  // Track the value of the most recent ST per block; kBottom = "no ST yet".
+  std::array<Value, 256> last{};
+  last.fill(kBottom);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Operation& op = trace[i];
+    if (op.is_store()) {
+      last[op.block] = op.value;
+    } else if (op.value != last[op.block]) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_serial_trace(const Trace& trace) {
+  return !first_serial_violation(trace).has_value();
+}
+
+bool preserves_program_order(const Trace& trace, const Reordering& perm) {
+  if (perm.size() != trace.size()) return false;
+  // perm must be a permutation of 0..n-1.
+  std::vector<bool> seen(trace.size(), false);
+  for (std::uint32_t p : perm) {
+    if (p >= trace.size() || seen[p]) return false;
+    seen[p] = true;
+  }
+  // For each processor, original indices must appear in increasing order.
+  std::array<std::int64_t, 256> last_index{};
+  last_index.fill(-1);
+  for (std::uint32_t p : perm) {
+    const ProcId proc = trace[p].proc;
+    if (static_cast<std::int64_t>(p) < last_index[proc]) return false;
+    last_index[proc] = p;
+  }
+  return true;
+}
+
+Trace apply_reordering(const Trace& trace, const Reordering& perm) {
+  SCV_EXPECTS(perm.size() == trace.size());
+  Trace out;
+  out.reserve(trace.size());
+  for (std::uint32_t p : perm) {
+    SCV_EXPECTS(p < trace.size());
+    out.push_back(trace[p]);
+  }
+  return out;
+}
+
+bool is_serial_reordering(const Trace& trace, const Reordering& perm) {
+  return preserves_program_order(trace, perm) &&
+         is_serial_trace(apply_reordering(trace, perm));
+}
+
+std::size_t processor_span(const Trace& trace) {
+  std::size_t span = 0;
+  for (const Operation& op : trace) {
+    span = std::max(span, static_cast<std::size_t>(op.proc) + 1);
+  }
+  return span;
+}
+
+std::string to_string(const Trace& trace) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    os << (i + 1) << ": " << to_string(trace[i]) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace scv

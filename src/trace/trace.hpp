@@ -1,0 +1,48 @@
+// Traces and the serial-trace predicate (Section 2.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/operation.hpp"
+
+namespace scv {
+
+/// A protocol trace: the subsequence of LD/ST operations of a run.
+using Trace = std::vector<Operation>;
+
+/// A reordering Π of a trace of length k: perm[i] is the index (into the
+/// original trace) of the i-th operation of the reordered trace T', i.e.
+/// T'[i] = T[perm[i]].  (The paper writes T' = t_{π(1)},...,t_{π(k)}.)
+using Reordering = std::vector<std::uint32_t>;
+
+/// Is T a serial trace?  Every LD returns the value of the most recent prior
+/// ST to the same block, or ⊥ if there is none (Section 2.2).
+[[nodiscard]] bool is_serial_trace(const Trace& trace);
+
+/// If the trace is not serial, returns the index of the first offending LD.
+[[nodiscard]] std::optional<std::size_t> first_serial_violation(
+    const Trace& trace);
+
+/// Does `perm` preserve each processor's program order of `trace`?
+[[nodiscard]] bool preserves_program_order(const Trace& trace,
+                                           const Reordering& perm);
+
+/// Is `perm` a serial reordering of `trace` (program-order preserving and
+/// yielding a serial trace)?
+[[nodiscard]] bool is_serial_reordering(const Trace& trace,
+                                        const Reordering& perm);
+
+/// Applies a reordering: result[i] = trace[perm[i]].
+[[nodiscard]] Trace apply_reordering(const Trace& trace,
+                                     const Reordering& perm);
+
+/// Number of distinct processors appearing in the trace (max proc id + 1).
+[[nodiscard]] std::size_t processor_span(const Trace& trace);
+
+/// Pretty-print a trace, one operation per line with its 1-based index.
+[[nodiscard]] std::string to_string(const Trace& trace);
+
+}  // namespace scv

@@ -1,0 +1,38 @@
+// Lightweight contract-checking macros in the spirit of the C++ Core
+// Guidelines' Expects/Ensures (I.6, I.8).  Checks are always on: this is a
+// verification library, and silently proceeding past a broken invariant
+// would defeat its purpose.  The cost is negligible relative to the
+// state-space exploration the library performs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scv {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "scv: %s violated: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace scv
+
+#define SCV_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::scv::contract_failure("precondition", #cond, __FILE__,   \
+                                    __LINE__))
+
+#define SCV_ENSURES(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::scv::contract_failure("postcondition", #cond, __FILE__,  \
+                                    __LINE__))
+
+#define SCV_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::scv::contract_failure("invariant", #cond, __FILE__,      \
+                                    __LINE__))
+
+#define SCV_UNREACHABLE(msg) \
+  ::scv::contract_failure("unreachable", msg, __FILE__, __LINE__)

@@ -1,0 +1,114 @@
+// Canonical byte serialization helpers.  The model checker hashes product
+// states (protocol state + observer state + checker state) by serializing
+// them to a byte string; these helpers give every component one fixed,
+// endian-independent encoding so that equal logical states always produce
+// equal byte strings.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { buf().push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buf().push_back(static_cast<std::uint8_t>(v));
+    buf().push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  /// Variable-length unsigned (LEB128-style); compact for small counts.
+  void uvar(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf().push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf().push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    buf().insert(buf().end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const {
+    return out_ ? *out_ : own_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(own_); }
+
+ private:
+  std::vector<std::uint8_t>& buf() { return out_ ? *out_ : own_; }
+
+  std::vector<std::uint8_t> own_;
+  std::vector<std::uint8_t>* out_ = nullptr;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    SCV_EXPECTS(pos_ < bytes_.size());
+    return bytes_[pos_++];
+  }
+
+  [[nodiscard]] std::uint16_t u16() {
+    const auto lo = u8();
+    const auto hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+
+  [[nodiscard]] std::uint64_t uvar() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      const std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+      SCV_EXPECTS(shift < 64);
+    }
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Hex dump for diagnostics and golden tests.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace scv

@@ -1,0 +1,39 @@
+// Hashing primitives used by the visited-state sets of the model checker and
+// by canonical state serialization.  We use well-known mixers (FNV-1a for
+// byte streams, splitmix64-style finalization for combining) rather than
+// std::hash, whose quality and stability are unspecified.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace scv {
+
+/// 64-bit FNV-1a over a byte span.  Deterministic across platforms.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: a fast, high-quality 64-bit mixer.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine an existing hash with a new value (order-sensitive).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+}  // namespace scv

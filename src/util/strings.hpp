@@ -1,0 +1,33 @@
+// Small string-building helpers used by the pretty-printers and benches.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace scv {
+
+template <class Range>
+[[nodiscard]] std::string join(const Range& parts, const std::string& sep) {
+  std::string out;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) out += sep;
+    out += p;
+    first = false;
+  }
+  return out;
+}
+
+/// printf-free fixed-width left padding for table output.
+[[nodiscard]] inline std::string pad_right(std::string s, std::size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+[[nodiscard]] inline std::string pad_left(std::string s, std::size_t width) {
+  if (s.size() < width) s.insert(0, width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace scv

@@ -1,0 +1,98 @@
+// A minimal fork-join thread pool for the parallel model checker and the
+// parallel trace tester.  Tasks are submitted in batches and joined with a
+// barrier; this matches the level-synchronized BFS structure of the model
+// checker, which is the only parallel pattern this library needs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `workers` threads.  `workers == 0` means "run
+  /// everything inline on the calling thread" (useful for deterministic
+  /// debugging and for single-core hosts).
+  explicit ThreadPool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Runs fn(worker_index) on every worker (and, if there are no workers,
+  /// once inline with index 0).  Blocks until all invocations finish.
+  void run_on_all(const std::function<void(std::size_t)>& fn) {
+    if (threads_.empty()) {
+      fn(0);
+      return;
+    }
+    {
+      std::lock_guard lock(mu_);
+      SCV_EXPECTS(task_ == nullptr);
+      task_ = &fn;
+      pending_ = threads_.size();
+      ++generation_;
+    }
+    cv_.notify_all();
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+
+ private:
+  void worker_loop(std::size_t index) {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* task = nullptr;
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [&] {
+          return stopping_ || generation_ != seen_generation;
+        });
+        if (stopping_) return;
+        seen_generation = generation_;
+        task = task_;
+      }
+      (*task)(index);
+      {
+        std::lock_guard lock(mu_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace scv

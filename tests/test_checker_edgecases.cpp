@@ -1,0 +1,239 @@
+// Deep edge-case coverage for the finite-state checkers: alias (add-ID)
+// interactions, retirement-order corner cases, the kGone successor
+// sentinel, mirrored-style streams, and the ST-order generator helper
+// classes of Section 4.2.
+#include <gtest/gtest.h>
+
+#include "checker/cycle_checker.hpp"
+#include "checker/sc_checker.hpp"
+#include "observer/st_order.hpp"
+#include "protocol/serial_memory.hpp"
+
+namespace scv {
+namespace {
+
+using Status = ScChecker::Status;
+
+ScChecker checker(std::size_t k = 12, std::size_t procs = 2,
+                  std::size_t blocks = 2, std::size_t values = 2) {
+  return ScChecker(ScCheckerConfig{k, procs, blocks, values});
+}
+
+// ----------------------------------------------------- add-ID aliasing
+
+TEST(Alias, MirroredStyleStoreWithLocationAliases) {
+  // A store gets a pool ID plus two location aliases; edges through any
+  // alias bind to the same node, so a load inheriting via an alias works.
+  auto c = checker();
+  ASSERT_EQ(c.feed(NodeDesc{5, make_store(0, 0, 1)}), Status::Ok);
+  ASSERT_EQ(c.feed(AddId{5, 1}), Status::Ok);  // location 0 alias
+  ASSERT_EQ(c.feed(AddId{5, 2}), Status::Ok);  // copied to location 1
+  ASSERT_EQ(c.feed(NodeDesc{6, make_load(1, 0, 1)}), Status::Ok);
+  EXPECT_EQ(c.feed(EdgeDesc{2, 6, kAnnoInh}), Status::Ok)
+      << c.reject_reason();
+  // A second inheritance via the other alias is still a duplicate.
+  EXPECT_EQ(c.feed(EdgeDesc{1, 6, kAnnoInh}), Status::Reject);
+}
+
+TEST(Alias, StrippingAliasKeepsObligations) {
+  // Rebinding one alias elsewhere must not retire the node or lose its
+  // obligations.
+  auto c = checker();
+  ASSERT_EQ(c.feed(NodeDesc{5, make_load(0, 0, 1)}), Status::Ok);
+  ASSERT_EQ(c.feed(AddId{5, 6}), Status::Ok);
+  // Alias 6 is recycled by a new node; the load survives with ID 5 and
+  // still owes its inheritance edge, so retiring 5 rejects.
+  ASSERT_EQ(c.feed(NodeDesc{6, make_store(1, 0, 1)}), Status::Ok);
+  EXPECT_EQ(c.feed(AddId{13, 5}), Status::Reject);  // null-ID retirement
+  EXPECT_NE(c.reject_reason().find("inheritance"), std::string::npos);
+}
+
+TEST(Alias, AddIdOntoDeadIdActsAsRelease) {
+  auto c = checker();
+  ASSERT_EQ(c.feed(NodeDesc{1, make_store(0, 0, 1)}), Status::Ok);
+  // ID 9 bound to nothing: add-ID(9, 1) unbinds 1 and retires the store —
+  // legal (sole store of its block, no obligations).
+  EXPECT_EQ(c.feed(AddId{9, 1}), Status::Ok) << c.reject_reason();
+  EXPECT_EQ(c.active_nodes(), 0u);
+}
+
+// ----------------------------------------------- retirement corner cases
+
+TEST(Retirement, StoreRetiringWithLivePendingLoadReleasesIt) {
+  // A store with no STo successor retires; its pending load is released
+  // (the forced-edge triple can never form) and may retire afterwards.
+  auto c = checker();
+  ASSERT_EQ(c.feed(NodeDesc{1, make_store(0, 0, 1)}), Status::Ok);
+  ASSERT_EQ(c.feed(NodeDesc{2, make_load(1, 0, 1)}), Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{1, 2, kAnnoInh}), Status::Ok);
+  // Retire the store via the null-ID idiom (it is the last store: legal).
+  ASSERT_EQ(c.feed(AddId{13, 1}), Status::Ok) << c.reject_reason();
+  // Now the load can retire too.
+  EXPECT_EQ(c.feed(AddId{13, 2}), Status::Ok) << c.reject_reason();
+}
+
+TEST(Retirement, ForcedTargetRetiringBeforeEdgeRejects) {
+  auto c = checker();
+  ASSERT_EQ(c.feed(NodeDesc{1, make_store(0, 0, 1)}), Status::Ok);
+  ASSERT_EQ(c.feed(NodeDesc{2, make_load(1, 0, 1)}), Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{1, 2, kAnnoInh}), Status::Ok);
+  ASSERT_EQ(c.feed(NodeDesc{3, make_store(0, 0, 2)}), Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{1, 3, kAnnoPo}), Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{1, 3, kAnnoSto}), Status::Ok);
+  // Node 3 is now the forced-edge target owed by load 2; retiring it
+  // before the edge arrives is irrecoverable.
+  EXPECT_EQ(c.feed(AddId{13, 3}), Status::Reject);
+  EXPECT_NE(c.reject_reason().find("target retired"), std::string::npos);
+}
+
+TEST(Retirement, NewOpAfterPoTailRetiredRejects) {
+  // Retiring a processor's program-order tail is legal (it may be the last
+  // op), but a further op of that processor can then never receive its po
+  // edge.
+  auto c = checker();
+  ASSERT_EQ(c.feed(NodeDesc{1, make_store(1, 0, 1)}), Status::Ok);
+  ASSERT_EQ(c.feed(AddId{13, 1}), Status::Ok) << c.reject_reason();
+  EXPECT_EQ(c.feed(NodeDesc{2, make_store(1, 0, 2)}), Status::Reject);
+  EXPECT_NE(c.reject_reason().find("predecessor retired"),
+            std::string::npos);
+}
+
+TEST(Retirement, InheritingFromStoreWithRetiredSuccessorRejects) {
+  auto c = checker();
+  ASSERT_EQ(c.feed(NodeDesc{1, make_store(0, 0, 1)}), Status::Ok);
+  ASSERT_EQ(c.feed(NodeDesc{2, make_store(1, 0, 2)}), Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{1, 2, kAnnoSto}), Status::Ok);
+  // Successor (node 2, P2's tail) retires — fine, no pending obligations.
+  ASSERT_EQ(c.feed(AddId{13, 2}), Status::Ok) << c.reject_reason();
+  // But a *new* load inheriting from node 1 now needs a forced edge to the
+  // retired successor: impossible (kGone sentinel).  Use P1, whose
+  // program-order tail (node 1) is still live.
+  ASSERT_EQ(c.feed(NodeDesc{3, make_load(0, 0, 1)}), Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{1, 3, kAnnoPo}), Status::Ok);
+  EXPECT_EQ(c.feed(EdgeDesc{1, 3, kAnnoInh}), Status::Reject);
+  EXPECT_NE(c.reject_reason().find("successor"), std::string::npos);
+}
+
+TEST(Retirement, SecondStoreChainStartRejectsAcrossRetirements) {
+  // STo chain S1 -> S2 exists.  Two *later* stores each retire without an
+  // incoming STo edge: at most one store per block may end chain-less
+  // (constraint 3), so the second such retirement rejects.
+  auto c = checker(12, 2, 1, 2);
+  ASSERT_EQ(c.feed(NodeDesc{1, make_store(0, 0, 1)}), Status::Ok);
+  ASSERT_EQ(c.feed(NodeDesc{2, make_store(1, 0, 2)}), Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{1, 2, kAnnoSto}), Status::Ok);
+  ASSERT_EQ(c.feed(NodeDesc{3, make_store(0, 0, 1)}), Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{1, 3, kAnnoPo}), Status::Ok);
+  ASSERT_EQ(c.feed(AddId{13, 3}), Status::Ok) << c.reject_reason();
+  ASSERT_EQ(c.feed(NodeDesc{4, make_store(1, 0, 2)}), Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{2, 4, kAnnoPo}), Status::Ok);
+  EXPECT_EQ(c.feed(AddId{13, 4}), Status::Reject);
+  EXPECT_NE(c.reject_reason().find("constraint 3"), std::string::npos);
+}
+
+TEST(Retirement, BottomLoadAfterRootRetiredRejects) {
+  auto c = checker(12, 2, 1, 1);
+  ASSERT_EQ(c.feed(NodeDesc{1, make_store(0, 0, 1)}), Status::Ok);
+  ASSERT_EQ(c.feed(AddId{13, 1}), Status::Ok);  // root retires
+  EXPECT_EQ(c.feed(NodeDesc{2, make_load(1, 0, kBottom)}), Status::Reject);
+  EXPECT_NE(c.reject_reason().find("5b"), std::string::npos);
+}
+
+// ------------------------------------------------ contraction fidelity
+
+TEST(Contraction, LongChainSurvivesInteriorRetirements) {
+  // Build 1 -> 2 -> 3 -> 4 as stores of one block (STo chain), retire the
+  // two interior nodes, then check 4 -> 1 still closes the cycle.
+  CycleChecker c(4);
+  for (GraphId id = 1; id <= 4; ++id) {
+    ASSERT_EQ(c.feed(NodeDesc{id}), CycleChecker::Status::Ok);
+  }
+  ASSERT_EQ(c.feed(EdgeDesc{1, 2}), CycleChecker::Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{2, 3}), CycleChecker::Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{3, 4}), CycleChecker::Status::Ok);
+  ASSERT_EQ(c.feed(NodeDesc{2}), CycleChecker::Status::Ok);  // retire old 2
+  ASSERT_EQ(c.feed(NodeDesc{3}), CycleChecker::Status::Ok);  // retire old 3
+  EXPECT_EQ(c.feed(EdgeDesc{4, 1}), CycleChecker::Status::Reject);
+}
+
+TEST(Contraction, DiamondPreservedThroughRetirement) {
+  // 1 -> {2,3} -> 4; retiring 2 and 3 must keep 1 -> 4 reachability.
+  CycleChecker c(4);
+  for (GraphId id = 1; id <= 4; ++id) {
+    ASSERT_EQ(c.feed(NodeDesc{id}), CycleChecker::Status::Ok);
+  }
+  ASSERT_EQ(c.feed(EdgeDesc{1, 2}), CycleChecker::Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{1, 3}), CycleChecker::Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{2, 4}), CycleChecker::Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{3, 4}), CycleChecker::Status::Ok);
+  ASSERT_EQ(c.feed(NodeDesc{2}), CycleChecker::Status::Ok);
+  ASSERT_EQ(c.feed(NodeDesc{3}), CycleChecker::Status::Ok);
+  EXPECT_EQ(c.feed(EdgeDesc{4, 1}), CycleChecker::Status::Reject);
+}
+
+// --------------------------------------------- ST order generator units
+
+TEST(StOrder, RealTimeSerializesAtIssue) {
+  RealTimeStOrder gen;
+  std::vector<NodeHandle> serialized;
+  gen.on_store(7, 0, serialized);
+  ASSERT_EQ(serialized.size(), 1u);
+  EXPECT_EQ(serialized[0], 7u);
+  // Internal actions never serialize anything under real-time order.
+  StIndexTracker tracker(4);
+  Transition t;
+  t.serialize_loc = 2;
+  gen.on_internal(t, tracker, serialized);
+  EXPECT_EQ(serialized.size(), 1u);
+}
+
+TEST(StOrder, DeferredSerializesAtHintedLocation) {
+  DeferredStOrder gen;
+  std::vector<NodeHandle> serialized;
+  gen.on_store(7, 0, serialized);
+  EXPECT_TRUE(serialized.empty());  // issue does not serialize
+  StIndexTracker tracker(4);
+  tracker.on_store(2, 7);
+  Transition t;
+  t.serialize_loc = 2;
+  gen.on_internal(t, tracker, serialized);
+  ASSERT_EQ(serialized.size(), 1u);
+  EXPECT_EQ(serialized[0], 7u);
+  // Transitions without a hint serialize nothing.
+  Transition none;
+  gen.on_internal(none, tracker, serialized);
+  EXPECT_EQ(serialized.size(), 1u);
+}
+
+// ------------------------------------------------ label range policing
+
+TEST(Labels, CheckerEnforcesConfiguredParameterRanges) {
+  auto c = checker(12, /*procs=*/2, /*blocks=*/2, /*values=*/2);
+  EXPECT_EQ(c.feed(NodeDesc{1, make_load(2, 0, 1)}), Status::Reject);
+  auto c2 = checker();
+  EXPECT_EQ(c2.feed(NodeDesc{1, make_load(0, 2, 1)}), Status::Reject);
+  auto c3 = checker();
+  EXPECT_EQ(c3.feed(NodeDesc{1, make_load(0, 0, 3)}), Status::Reject);
+}
+
+TEST(Labels, BottomValuedStoreLabelRejected) {
+  auto c = checker();
+  Operation bad;
+  bad.kind = OpKind::Store;
+  bad.value = kBottom;
+  EXPECT_EQ(c.feed(NodeDesc{1, bad}), Status::Reject);
+}
+
+// ------------------------------------------------ idempotent rejection
+
+TEST(Rejection, FirstReasonIsSticky) {
+  auto c = checker();
+  (void)c.feed(NodeDesc{1, make_load(0, 0, 3)});
+  const std::string reason = c.reject_reason();
+  (void)c.feed(NodeDesc{2, make_store(0, 0, 1)});
+  EXPECT_EQ(c.reject_reason(), reason);
+  EXPECT_TRUE(c.rejected());
+}
+
+}  // namespace
+}  // namespace scv

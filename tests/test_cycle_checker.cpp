@@ -1,0 +1,223 @@
+// Tests for the finite-state cycle checker of Lemma 3.3, including the
+// property it is defined by: it accepts a k-graph descriptor iff the
+// described graph is acyclic — cross-checked against explicit expansion on
+// thousands of random descriptors.
+#include <gtest/gtest.h>
+
+#include "checker/cycle_checker.hpp"
+#include "descriptor/descriptor.hpp"
+#include "util/rng.hpp"
+
+namespace scv {
+namespace {
+
+CycleChecker::Status feed_all(CycleChecker& c,
+                              const std::vector<Symbol>& symbols) {
+  CycleChecker::Status st = CycleChecker::Status::Ok;
+  for (const Symbol& s : symbols) st = c.feed(s);
+  return st;
+}
+
+TEST(CycleChecker, AcceptsChain) {
+  CycleChecker c(2);
+  EXPECT_EQ(feed_all(c, {NodeDesc{1}, NodeDesc{2}, EdgeDesc{1, 2},
+                         NodeDesc{3}, EdgeDesc{2, 3}}),
+            CycleChecker::Status::Ok);
+  EXPECT_FALSE(c.rejected());
+}
+
+TEST(CycleChecker, RejectsDirectCycle) {
+  CycleChecker c(2);
+  EXPECT_EQ(feed_all(c, {NodeDesc{1}, NodeDesc{2}, EdgeDesc{1, 2},
+                         EdgeDesc{2, 1}}),
+            CycleChecker::Status::Reject);
+  EXPECT_TRUE(c.rejected());
+}
+
+TEST(CycleChecker, RejectsSelfLoop) {
+  CycleChecker c(1);
+  EXPECT_EQ(feed_all(c, {NodeDesc{1}, EdgeDesc{1, 1}}),
+            CycleChecker::Status::Reject);
+  EXPECT_NE(c.reject_reason().find("self-loop"), std::string::npos);
+}
+
+TEST(CycleChecker, StaysRejected) {
+  CycleChecker c(1);
+  (void)feed_all(c, {NodeDesc{1}, EdgeDesc{1, 1}});
+  EXPECT_EQ(c.feed(NodeDesc{2}), CycleChecker::Status::Reject);
+}
+
+TEST(CycleChecker, ContractionPreservesCyclesAcrossRetirement) {
+  // 1 -> 2 -> 3, retire node with ID 2 (recycle the ID), then an edge
+  // 3 -> 1 closes the cycle through the contracted 1 -> 3 path.
+  CycleChecker c(2);
+  EXPECT_EQ(feed_all(c, {NodeDesc{1}, NodeDesc{2}, NodeDesc{3},
+                         EdgeDesc{1, 2}, EdgeDesc{2, 3}, NodeDesc{2}}),
+            CycleChecker::Status::Ok);
+  EXPECT_EQ(c.feed(EdgeDesc{3, 1}), CycleChecker::Status::Reject);
+}
+
+TEST(CycleChecker, ContractionDropsDeadPaths) {
+  // Retiring an endpoint with no outgoing edges must not invent paths.
+  CycleChecker c(2);
+  EXPECT_EQ(feed_all(c, {NodeDesc{1}, NodeDesc{2}, EdgeDesc{1, 2},
+                         NodeDesc{2},  // retire old node 2 (no out-edges)
+                         EdgeDesc{2, 1}}),
+            CycleChecker::Status::Ok);  // new node 2 -> 1 is fine
+}
+
+TEST(CycleChecker, AddIdAliasFollowsNode) {
+  CycleChecker c(3);
+  EXPECT_EQ(feed_all(c, {NodeDesc{1}, AddId{1, 2}, NodeDesc{3},
+                         EdgeDesc{3, 2}}),
+            CycleChecker::Status::Ok);
+  // Edge 1 -> 3 closes 3 -> (2=1) -> 3? Node with IDs {1,2} has edge from
+  // node 3; adding edge (1,3) makes node{1,2} -> node{3} while node{3} ->
+  // node{1,2} exists: cycle.
+  EXPECT_EQ(c.feed(EdgeDesc{1, 3}), CycleChecker::Status::Reject);
+}
+
+TEST(CycleChecker, StrippingOneAliasKeepsNodeAlive) {
+  CycleChecker c(3);
+  // Node A = {1,2}; rebinding ID 2 to a new node must not retire A.
+  EXPECT_EQ(feed_all(c, {NodeDesc{1}, AddId{1, 2}, NodeDesc{2},
+                         EdgeDesc{1, 2}}),
+            CycleChecker::Status::Ok);
+  EXPECT_EQ(c.feed(EdgeDesc{2, 1}), CycleChecker::Status::Reject);
+}
+
+TEST(CycleChecker, UnboundEdgeRejected) {
+  CycleChecker c(2);
+  EXPECT_EQ(feed_all(c, {NodeDesc{1}, EdgeDesc{1, 3}}),
+            CycleChecker::Status::Reject);
+  EXPECT_NE(c.reject_reason().find("not bound"), std::string::npos);
+}
+
+TEST(CycleChecker, IdOutOfRangeRejected) {
+  CycleChecker c(2);
+  EXPECT_EQ(c.feed(NodeDesc{4}), CycleChecker::Status::Reject);
+}
+
+TEST(CycleChecker, ActiveNodeCountIsBounded) {
+  CycleChecker c(3);
+  for (GraphId id = 1; id <= 4; ++id) {
+    ASSERT_EQ(c.feed(NodeDesc{id}), CycleChecker::Status::Ok);
+  }
+  EXPECT_EQ(c.active_nodes(), 4u);
+  // Recycling keeps the count at k+1.
+  for (int round = 0; round < 10; ++round) {
+    for (GraphId id = 1; id <= 4; ++id) {
+      ASSERT_EQ(c.feed(NodeDesc{id}), CycleChecker::Status::Ok);
+      EXPECT_LE(c.active_nodes(), 4u);
+    }
+  }
+}
+
+TEST(CycleChecker, SerializationDistinguishesStates) {
+  CycleChecker a(2), b(2);
+  (void)feed_all(a, {NodeDesc{1}, NodeDesc{2}, EdgeDesc{1, 2}});
+  (void)feed_all(b, {NodeDesc{1}, NodeDesc{2}});
+  ByteWriter wa, wb;
+  a.serialize(wa);
+  b.serialize(wb);
+  EXPECT_NE(wa.data(), wb.data());
+}
+
+// ------------------------- the defining property, on random descriptors
+
+std::vector<Symbol> random_descriptor(Xoshiro256& rng, std::size_t k,
+                                      std::size_t length) {
+  std::vector<Symbol> symbols;
+  std::vector<bool> bound(k + 2, false);
+  std::vector<GraphId> live;
+  for (std::size_t i = 0; i < length; ++i) {
+    const auto roll = rng.below(10);
+    if (roll < 4 || live.size() < 2) {
+      const auto id = static_cast<GraphId>(rng.between(1, k + 1));
+      symbols.push_back(NodeDesc{id});
+      if (!bound[id]) {
+        bound[id] = true;
+        live.push_back(id);
+      }
+    } else if (roll < 9) {
+      const GraphId from = live[rng.below(live.size())];
+      const GraphId to = live[rng.below(live.size())];
+      symbols.push_back(EdgeDesc{from, to});
+    } else {
+      const GraphId existing = live[rng.below(live.size())];
+      const auto added = static_cast<GraphId>(rng.between(1, k + 1));
+      symbols.push_back(AddId{existing, added});
+      // Conservatively track bound-ness: `added` follows `existing`'s node.
+      if (!bound[added]) {
+        bound[added] = true;
+        live.push_back(added);
+      }
+    }
+  }
+  return symbols;
+}
+
+TEST(CycleChecker, AgreesWithExplicitExpansionOnRandomDescriptors) {
+  Xoshiro256 rng(2024);
+  std::size_t rejected = 0, accepted = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t k = 1 + rng.below(5);
+    Descriptor d;
+    d.k = k;
+    d.symbols = random_descriptor(rng, k, 3 + rng.below(25));
+
+    CycleChecker checker(k);
+    bool checker_rejects = false;
+    std::size_t prefix = 0;
+    for (const Symbol& s : d.symbols) {
+      ++prefix;
+      if (checker.feed(s) == CycleChecker::Status::Reject) {
+        checker_rejects = true;
+        break;
+      }
+    }
+    // Compare against explicit expansion of the *consumed prefix* (the
+    // checker rejects at the first cycle-closing symbol).
+    Descriptor consumed;
+    consumed.k = k;
+    consumed.symbols.assign(d.symbols.begin(),
+                            d.symbols.begin() + prefix);
+    const auto r = expand(consumed);
+    ASSERT_TRUE(r.graph.has_value()) << r.error;
+    EXPECT_EQ(checker_rejects, r.graph->graph.has_cycle())
+        << "iteration " << iter << ": " << consumed.to_string();
+    if (checker_rejects) {
+      ++rejected;
+    } else {
+      ++accepted;
+    }
+  }
+  // The generator must exercise both outcomes heavily.
+  EXPECT_GT(rejected, 200u);
+  EXPECT_GT(accepted, 200u);
+}
+
+TEST(CycleChecker, AcceptsEveryLemma32DescriptorOfADag) {
+  Xoshiro256 rng(55);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = 2 + rng.below(20);
+    DiGraph g(n);
+    // Forward-only edges at distance <= 3: a DAG with bandwidth <= 3.
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = u + 1; v < std::min<std::uint32_t>(n, u + 4);
+           ++v) {
+        if (rng.chance(1, 2)) g.add_edge(u, v);
+      }
+    }
+    const std::size_t k = std::max<std::size_t>(g.node_bandwidth(), 1);
+    const Descriptor d = descriptor_for_graph(g, k);
+    CycleChecker checker(k);
+    for (const Symbol& s : d.symbols) {
+      ASSERT_EQ(checker.feed(s), CycleChecker::Status::Ok)
+          << checker.reject_reason();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scv

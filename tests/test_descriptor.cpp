@@ -1,0 +1,261 @@
+// Tests for the k-graph descriptor notation (Section 3.2): the ID-set
+// update rules, expansion, the Lemma 3.2 emitter, the naive descriptor, and
+// the Figure 3 example strings from the paper.
+#include <gtest/gtest.h>
+
+#include "descriptor/descriptor.hpp"
+#include "graph/constraint_graph.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace scv {
+namespace {
+
+// ------------------------------------------------------- ID-set semantics
+
+TEST(IdSets, NodeDescriptorStartsFreshNode) {
+  Descriptor d;
+  d.k = 2;
+  d.symbols = {NodeDesc{1}, NodeDesc{2}, EdgeDesc{1, 2}};
+  const auto r = expand(d);
+  ASSERT_TRUE(r.graph.has_value()) << r.error;
+  EXPECT_EQ(r.graph->graph.node_count(), 2u);
+  EXPECT_TRUE(r.graph->graph.has_edge(0, 1));
+}
+
+TEST(IdSets, ReusedIdRetiresOldNode) {
+  Descriptor d;
+  d.k = 1;
+  // Node 1 gets ID 1; reusing ID 1 creates node 2; the edge now refers to
+  // the *new* node: self-edges on (1,1)? No: edge (1,2) across the two IDs.
+  d.symbols = {NodeDesc{1}, NodeDesc{2}, NodeDesc{1}, EdgeDesc{1, 2}};
+  const auto r = expand(d);
+  ASSERT_TRUE(r.graph.has_value()) << r.error;
+  EXPECT_EQ(r.graph->graph.node_count(), 3u);
+  EXPECT_TRUE(r.graph->graph.has_edge(2, 1));  // third node -> second node
+  EXPECT_FALSE(r.graph->graph.has_edge(0, 1));
+}
+
+TEST(IdSets, AddIdCreatesAlias) {
+  Descriptor d;
+  d.k = 2;
+  d.symbols = {NodeDesc{1}, AddId{1, 2}, NodeDesc{3}, EdgeDesc{2, 3}};
+  const auto r = expand(d);
+  ASSERT_TRUE(r.graph.has_value()) << r.error;
+  EXPECT_TRUE(r.graph->graph.has_edge(0, 1));  // via alias 2
+}
+
+TEST(IdSets, AddIdStealsIdFromPreviousHolder) {
+  Descriptor d;
+  d.k = 2;
+  // Node A holds {1}, node B holds {2}.  add-ID(1,2) moves ID 2 to node A;
+  // edges via ID 2 now reach node A, and node B is unaddressable.
+  d.symbols = {NodeDesc{1}, NodeDesc{2}, AddId{1, 2}, NodeDesc{3},
+               EdgeDesc{3, 2}};
+  const auto r = expand(d);
+  ASSERT_TRUE(r.graph.has_value()) << r.error;
+  EXPECT_TRUE(r.graph->graph.has_edge(2, 0));
+}
+
+TEST(IdSets, AddIdFromUnboundIdUnbindsTarget) {
+  Descriptor d;
+  d.k = 2;
+  // ID 3 is bound to nothing; add-ID(3,1) strips ID 1 from node A, making
+  // it unaddressable — the descriptor-level "retire" idiom the observer
+  // uses.  A subsequent edge on ID 1 is invalid.
+  d.symbols = {NodeDesc{1}, AddId{3, 1}, NodeDesc{2}, EdgeDesc{1, 2}};
+  const auto r = expand(d);
+  EXPECT_FALSE(r.graph.has_value());
+  EXPECT_NE(r.error.find("not in any node"), std::string::npos);
+}
+
+TEST(IdSets, AddIdSelfIsNoOp) {
+  Descriptor d;
+  d.k = 1;
+  d.symbols = {NodeDesc{1}, AddId{1, 1}, NodeDesc{2}, EdgeDesc{1, 2}};
+  const auto r = expand(d);
+  ASSERT_TRUE(r.graph.has_value()) << r.error;
+  EXPECT_TRUE(r.graph->graph.has_edge(0, 1));
+}
+
+TEST(IdSets, EdgeOnUnboundIdIsInvalid) {
+  Descriptor d;
+  d.k = 2;
+  d.symbols = {NodeDesc{1}, EdgeDesc{1, 3}};
+  const auto r = expand(d);
+  EXPECT_FALSE(r.graph.has_value());
+}
+
+TEST(IdSets, IdOutOfRangeIsInvalid) {
+  Descriptor d;
+  d.k = 2;  // valid IDs 1..3
+  d.symbols = {NodeDesc{4}};
+  EXPECT_FALSE(expand(d).graph.has_value());
+  d.symbols = {NodeDesc{0}};
+  EXPECT_FALSE(expand(d).graph.has_value());
+}
+
+TEST(IdSets, EdgeLabelsMergeOnRepeat) {
+  Descriptor d;
+  d.k = 2;
+  d.symbols = {NodeDesc{1}, NodeDesc{2}, EdgeDesc{1, 2, kAnnoPo},
+               EdgeDesc{1, 2, kAnnoSto}};
+  const auto r = expand(d);
+  ASSERT_TRUE(r.graph.has_value());
+  EXPECT_EQ(r.graph->annotation(0, 1), kAnnoPo | kAnnoSto);
+}
+
+TEST(IdSets, LabelsAttachToNodes) {
+  Descriptor d;
+  d.k = 1;
+  d.symbols = {NodeDesc{1, make_store(0, 0, 1)},
+               NodeDesc{2, make_load(1, 0, 1)}};
+  const auto r = expand(d);
+  ASSERT_TRUE(r.graph.has_value());
+  ASSERT_TRUE(r.graph->node_labels[0].has_value());
+  EXPECT_TRUE(r.graph->node_labels[0]->is_store());
+  ASSERT_TRUE(r.graph->node_labels[1].has_value());
+  EXPECT_TRUE(r.graph->node_labels[1]->is_load());
+}
+
+// -------------------------------------------------- Figure 3 descriptors
+
+TEST(Fig3Descriptor, PaperRecycledDescriptorExpandsToFig3Graph) {
+  // The paper's 3-bandwidth descriptor for Figure 3, with ID 1 recycled
+  // for node 5:
+  //   1, ST(P1,B,1), 2, LD(P2,B,1), (1,2) inh, 3, ST(P1,B,2), (1,3) po-STo,
+  //   4, LD(P2,B,1), (1,4) inh, (2,4) po, (4,3) forced,
+  //   1, LD(P2,B,2), (3,1) inh, (4,1) po
+  Descriptor d;
+  d.k = 3;
+  d.symbols = {
+      NodeDesc{1, make_store(0, 0, 1)},
+      NodeDesc{2, make_load(1, 0, 1)},
+      EdgeDesc{1, 2, kAnnoInh},
+      NodeDesc{3, make_store(0, 0, 2)},
+      EdgeDesc{1, 3, static_cast<std::uint8_t>(kAnnoPo | kAnnoSto)},
+      NodeDesc{4, make_load(1, 0, 1)},
+      EdgeDesc{1, 4, kAnnoInh},
+      EdgeDesc{2, 4, kAnnoPo},
+      EdgeDesc{4, 3, kAnnoForced},
+      NodeDesc{1, make_load(1, 0, 2)},
+      EdgeDesc{3, 1, kAnnoInh},
+      EdgeDesc{4, 1, kAnnoPo},
+  };
+  const auto r = expand(d);
+  ASSERT_TRUE(r.graph.has_value()) << r.error;
+  const Fig3Example ex = figure3_example();
+  EXPECT_TRUE(r.graph->graph.same_edges(ex.graph.digraph()));
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    for (std::uint32_t v = 0; v < 5; ++v) {
+      EXPECT_EQ(r.graph->annotation(u, v), ex.graph.annotation(u, v))
+          << u << "," << v;
+    }
+  }
+}
+
+TEST(Fig3Descriptor, NaiveDescriptorAlsoExpandsToFig3Graph) {
+  const Fig3Example ex = figure3_example();
+  std::vector<std::optional<Operation>> labels;
+  for (const Operation& op : ex.trace) labels.emplace_back(op);
+  const Descriptor naive = naive_descriptor(ex.graph.digraph(), &labels);
+  EXPECT_EQ(naive.k, 4u);  // IDs 1..5, no recycling
+  const auto r = expand(naive);
+  ASSERT_TRUE(r.graph.has_value()) << r.error;
+  EXPECT_TRUE(r.graph->graph.same_edges(ex.graph.digraph()));
+}
+
+// ------------------------------------------------- Lemma 3.2 (round trip)
+
+DiGraph random_bounded_graph(Xoshiro256& rng, std::size_t n,
+                             std::size_t span) {
+  // Edges only between nodes at distance <= span, so bandwidth <= span.
+  DiGraph g(n);
+  const std::size_t edges = n + rng.below(n + 1);
+  for (std::size_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<std::uint32_t>(rng.below(n));
+    const std::size_t lo = u < span ? 0 : u - span;
+    const std::size_t hi = std::min<std::size_t>(n - 1, u + span);
+    const auto v = static_cast<std::uint32_t>(rng.between(lo, hi));
+    if (u != v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+TEST(Lemma32, RoundTripOnRandomBandwidthBoundedGraphs) {
+  Xoshiro256 rng(77);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = 2 + rng.below(30);
+    const std::size_t span = 1 + rng.below(4);
+    const DiGraph g = random_bounded_graph(rng, n, span);
+    const std::size_t bw = g.node_bandwidth();
+    ASSERT_LE(bw, 2 * span);  // sanity on the generator
+    const std::size_t k = std::max<std::size_t>(bw, 1);
+    const Descriptor d = descriptor_for_graph(g, k);
+    const auto r = expand(d);
+    ASSERT_TRUE(r.graph.has_value()) << r.error;
+    EXPECT_TRUE(r.graph->graph.same_edges(g)) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(Lemma32, EmitterNeverExceedsKPlusOneIds) {
+  Xoshiro256 rng(78);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 2 + rng.below(20);
+    const DiGraph g = random_bounded_graph(rng, n, 2);
+    const std::size_t k = std::max<std::size_t>(g.node_bandwidth(), 1);
+    const Descriptor d = descriptor_for_graph(g, k);
+    for (const Symbol& sym : d.symbols) {
+      if (const auto* nd = std::get_if<NodeDesc>(&sym)) {
+        EXPECT_GE(nd->id, 1);
+        EXPECT_LE(nd->id, k + 1);
+      }
+    }
+  }
+}
+
+TEST(Lemma32, ConstraintGraphsRoundTripWithAnnotations) {
+  Xoshiro256 rng(79);
+  TraceGenParams params;
+  params.processors = 2;
+  params.blocks = 2;
+  params.length = 20;
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto sc = random_sc_trace(params, rng);
+    const ConstraintGraph g = build_constraint_graph(sc.trace, sc.witness);
+    std::vector<std::optional<Operation>> labels;
+    for (const Operation& op : sc.trace) labels.emplace_back(op);
+    // Re-pack annotations in adjacency-parallel layout for the emitter.
+    std::vector<std::vector<std::uint8_t>> annos(g.node_count());
+    for (std::uint32_t u = 0; u < g.node_count(); ++u) {
+      for (std::uint32_t v : g.digraph().successors(u)) {
+        annos[u].push_back(g.annotation(u, v));
+      }
+    }
+    const std::size_t k = std::max<std::size_t>(g.node_bandwidth(), 1);
+    const Descriptor d = descriptor_for_graph(g.digraph(), k, &labels, &annos);
+    const auto r = expand(d);
+    ASSERT_TRUE(r.graph.has_value()) << r.error;
+    EXPECT_TRUE(r.graph->graph.same_edges(g.digraph()));
+    for (std::uint32_t u = 0; u < g.node_count(); ++u) {
+      for (std::uint32_t v : g.digraph().successors(u)) {
+        EXPECT_EQ(r.graph->annotation(u, v), g.annotation(u, v));
+      }
+      ASSERT_TRUE(r.graph->node_labels[u].has_value());
+      EXPECT_EQ(*r.graph->node_labels[u], sc.trace[u]);
+    }
+  }
+}
+
+TEST(DescriptorStrings, RenderFig3Prefix) {
+  Descriptor d;
+  d.k = 3;
+  d.symbols = {NodeDesc{1, make_store(0, 0, 1)},
+               NodeDesc{2, make_load(1, 0, 1)}, EdgeDesc{1, 2, kAnnoInh},
+               AddId{1, 3}};
+  EXPECT_EQ(d.to_string(),
+            "1, ST(P1,B1,1), 2, LD(P2,B1,1), (1,2), inh, add-ID(1,3)");
+}
+
+}  // namespace
+}  // namespace scv

@@ -1,0 +1,176 @@
+// Tests for the DiGraph substrate: cycle detection, topological order,
+// reachability, and the node-bandwidth measure of Section 3.2.
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace scv {
+namespace {
+
+DiGraph chain(std::size_t n) {
+  DiGraph g(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+TEST(DiGraph, EmptyGraphIsAcyclic) {
+  DiGraph g;
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_EQ(g.node_bandwidth(), 0u);
+}
+
+TEST(DiGraph, AddNodeGrows) {
+  DiGraph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(DiGraph, ParallelEdgesCoalesce) {
+  DiGraph g(2);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(DiGraph, ChainIsAcyclicWithTopoOrder) {
+  const DiGraph g = chain(5);
+  EXPECT_FALSE(g.has_cycle());
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(DiGraph, SelfLoopIsCycle) {
+  DiGraph g(1);
+  g.add_edge(0, 0);
+  EXPECT_TRUE(g.has_cycle());
+  const auto cycle = g.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(*cycle, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(DiGraph, TwoCycleDetected) {
+  DiGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_TRUE(g.has_cycle());
+  EXPECT_FALSE(g.topological_order().has_value());
+}
+
+TEST(DiGraph, FindCycleReturnsRealCycle) {
+  DiGraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);  // cycle 1 -> 2 -> 3 -> 1
+  g.add_edge(3, 4);
+  const auto cycle = g.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  ASSERT_GE(cycle->size(), 2u);
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    EXPECT_TRUE(
+        g.has_edge((*cycle)[i], (*cycle)[(i + 1) % cycle->size()]));
+  }
+}
+
+TEST(DiGraph, Reachability) {
+  const DiGraph g = chain(4);
+  EXPECT_TRUE(g.reachable(0, 3));
+  EXPECT_FALSE(g.reachable(3, 0));
+  EXPECT_TRUE(g.reachable(2, 2));
+}
+
+TEST(DiGraph, BandwidthOfChainIsOne) {
+  EXPECT_EQ(chain(10).node_bandwidth(), 1u);
+}
+
+TEST(DiGraph, BandwidthOfStarFromFirstNode) {
+  // Node 0 has edges to all others: only node 0 (plus nothing else in the
+  // prefix) crosses each cut, so bandwidth is 1.
+  DiGraph g(6);
+  for (std::uint32_t i = 1; i < 6; ++i) g.add_edge(0, i);
+  EXPECT_EQ(g.node_bandwidth(), 1u);
+}
+
+TEST(DiGraph, BandwidthOfCrossingPairs) {
+  // Edges (0,2) and (1,3): at the cut {0,1}, both 0 and 1 cross.
+  DiGraph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  EXPECT_EQ(g.node_bandwidth(), 2u);
+}
+
+TEST(DiGraph, BandwidthCountsNodesNotEdges) {
+  // Node 0 has many edges into the future, but it is one node.
+  DiGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(0, 4);
+  g.add_edge(1, 4);  // node 1 also crosses cuts 1..3
+  EXPECT_EQ(g.node_bandwidth(), 2u);
+}
+
+TEST(DiGraph, BandwidthIncomingEdgesCount) {
+  // Edge direction does not matter for bandwidth: (3,0) keeps node 0 live.
+  DiGraph g(4);
+  g.add_edge(3, 0);
+  EXPECT_EQ(g.node_bandwidth(), 1u);
+}
+
+TEST(DiGraph, SameEdgesComparison) {
+  DiGraph a(3), b(3);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  b.add_edge(1, 2);
+  b.add_edge(0, 1);
+  EXPECT_TRUE(a.same_edges(b));
+  b.add_edge(0, 2);
+  EXPECT_FALSE(a.same_edges(b));
+}
+
+TEST(DiGraph, RandomGraphCycleAgreesWithTopo) {
+  Xoshiro256 rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = 2 + rng.below(10);
+    DiGraph g(n);
+    const std::size_t edges = rng.below(2 * n);
+    for (std::size_t e = 0; e < edges; ++e) {
+      g.add_edge(static_cast<std::uint32_t>(rng.below(n)),
+                 static_cast<std::uint32_t>(rng.below(n)));
+    }
+    EXPECT_EQ(g.has_cycle(), g.find_cycle().has_value());
+    EXPECT_EQ(g.has_cycle(), !g.topological_order().has_value());
+    if (const auto order = g.topological_order()) {
+      // Verify it is a valid topological order.
+      std::vector<std::uint32_t> pos(n);
+      for (std::uint32_t i = 0; i < n; ++i) pos[(*order)[i]] = i;
+      for (std::uint32_t u = 0; u < n; ++u) {
+        for (std::uint32_t v : g.successors(u)) EXPECT_LT(pos[u], pos[v]);
+      }
+    }
+  }
+}
+
+TEST(DiGraph, RandomDagBandwidthMonotoneUnderEdgeAddition) {
+  Xoshiro256 rng(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 3 + rng.below(8);
+    DiGraph g(n);
+    std::size_t last_bw = 0;
+    for (int e = 0; e < 8; ++e) {
+      const auto u = static_cast<std::uint32_t>(rng.below(n));
+      const auto v = static_cast<std::uint32_t>(rng.below(n));
+      if (u == v) continue;
+      g.add_edge(std::min(u, v), std::max(u, v));
+      const std::size_t bw = g.node_bandwidth();
+      EXPECT_GE(bw, last_bw);
+      last_bw = bw;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scv

@@ -1,0 +1,213 @@
+// Cross-module property tests tying the whole pipeline together — the
+// invariants listed in DESIGN.md §5:
+//
+//   * Lemma 3.1 loop: SC trace -> constraint graph -> descriptor ->
+//     finite-state checker accepts; and checker-accept -> expanded graph is
+//     valid + acyclic -> extracted reordering is serial.
+//   * Observer + ScChecker agree with the offline validator and the
+//     brute-force oracle on random protocol runs.
+//   * Non-SC traces are rejected along every route.
+#include <gtest/gtest.h>
+
+#include "checker/cycle_checker.hpp"
+#include "checker/sc_checker.hpp"
+#include "descriptor/descriptor.hpp"
+#include "graph/constraint_graph.hpp"
+#include "observer/observer.hpp"
+#include "protocol/lazy_caching.hpp"
+#include "protocol/msi_bus.hpp"
+#include "protocol/write_buffer.hpp"
+#include "trace/generators.hpp"
+#include "trace/sc_oracle.hpp"
+#include "walker.hpp"
+
+namespace scv {
+namespace {
+
+using testing::random_walk;
+
+TEST(Pipeline, ScTraceToDescriptorToCycleCheckerLoop) {
+  Xoshiro256 rng(1001);
+  TraceGenParams params;
+  params.processors = 3;
+  params.blocks = 2;
+  params.values = 2;
+  params.length = 18;
+  for (int iter = 0; iter < 40; ++iter) {
+    // 1. SC trace with witness.
+    const auto sc = random_sc_trace(params, rng);
+    // 2. Lemma 3.1: acyclic valid constraint graph.
+    const ConstraintGraph g = build_constraint_graph(sc.trace, sc.witness);
+    ASSERT_EQ(g.validate(), std::nullopt);
+    ASSERT_TRUE(g.acyclic());
+    // 3. Lemma 3.2: bandwidth-bounded descriptor.
+    const std::size_t k = std::max<std::size_t>(g.node_bandwidth(), 1);
+    std::vector<std::optional<Operation>> labels;
+    for (const Operation& op : sc.trace) labels.emplace_back(op);
+    const Descriptor d = descriptor_for_graph(g.digraph(), k, &labels);
+    // 4. Lemma 3.3: the finite-state cycle checker accepts.
+    CycleChecker checker(k);
+    for (const Symbol& s : d.symbols) {
+      ASSERT_EQ(checker.feed(s), CycleChecker::Status::Ok)
+          << checker.reject_reason();
+    }
+    // 5. Converse: expansion -> topological order -> serial reordering.
+    const auto r = expand(d);
+    ASSERT_TRUE(r.graph.has_value());
+    ASSERT_FALSE(r.graph->graph.has_cycle());
+  }
+}
+
+TEST(Pipeline, NonScTraceGraphsAreRejectedByCycleChecker) {
+  // Build the (unique up to STo choice) constraint graph of the SB litmus
+  // and check the finite-state checker rejects its descriptor.
+  const Trace t{make_store(0, 0, 1), make_load(0, 1, kBottom),
+                make_store(1, 1, 1), make_load(1, 0, kBottom)};
+  ConstraintGraph g(t);
+  g.add_edge(0, 1, kAnnoPo);
+  g.add_edge(2, 3, kAnnoPo);
+  g.add_edge(1, 2, kAnnoForced);
+  g.add_edge(3, 0, kAnnoForced);
+  ASSERT_EQ(g.validate(), std::nullopt);
+  ASSERT_FALSE(g.acyclic());
+  const Descriptor d = naive_descriptor(g.digraph());
+  CycleChecker checker(d.k);
+  bool rejected = false;
+  for (const Symbol& s : d.symbols) {
+    if (checker.feed(s) == CycleChecker::Status::Reject) {
+      rejected = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(rejected);
+}
+
+TEST(Pipeline, ObserverCheckerAgreesWithOracleOnScProtocols) {
+  // For SC protocols, every prefix trace has a serial reordering and the
+  // observer–checker pair accepts the whole run.
+  MsiBus msi(2, 2, 2);
+  LazyCaching lazy(2, 2, 2, 1, 2);
+  ScOracle oracle;
+  for (const Protocol* proto :
+       std::initializer_list<const Protocol*>{&msi, &lazy}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto walk = random_walk(*proto, 120, seed);
+      Observer obs(*proto, {});
+      ScChecker chk(ScCheckerConfig{obs.bandwidth(), proto->params().procs,
+                                    proto->params().blocks,
+                                    proto->params().values});
+      std::vector<std::uint8_t> state(proto->state_size());
+      proto->initial_state(state);
+      std::vector<Symbol> symbols;
+      for (const Transition& t : walk.transitions) {
+        proto->apply(state, t);
+        symbols.clear();
+        ASSERT_EQ(obs.step(t, state, symbols), ObserverStatus::Ok)
+            << proto->name() << ": " << obs.error();
+        for (const Symbol& s : symbols) {
+          ASSERT_EQ(chk.feed(s), ScChecker::Status::Ok)
+              << proto->name() << " seed " << seed << ": "
+              << chk.reject_reason();
+        }
+      }
+      Trace prefix = walk.trace;
+      prefix.resize(std::min<std::size_t>(prefix.size(), 12));
+      EXPECT_TRUE(oracle.has_serial_reordering(prefix));
+    }
+  }
+}
+
+TEST(Pipeline, CheckerRejectsNoLaterThanTheOracleOnWriteBuffer) {
+  // Drive the write buffer randomly.  The guaranteed per-run direction is:
+  // once the accumulated *trace* has no serial reordering, the checker has
+  // already rejected (the run's witness graph W(R) is fully emitted under
+  // real-time ST ordering, and Lemma 3.1 makes some cycle inevitable).
+  //
+  // The converse is deliberately NOT asserted: the checker may reject
+  // *earlier*, on a run whose trace is still SC thanks to value
+  // collisions, because the observer is pinned to the physical data flow
+  // — the run's W(R) is cyclic even though some other constraint graph
+  // for the same trace is acyclic.  That is Definition 4.1 speaking: the
+  // write buffer is outside the class Γ, and the method reports protocols
+  // outside Γ ∪ SC as violations.  (Oracle calls are exponential: keep
+  // traces short.)
+  WriteBuffer proto(2, 2, 1, 1, false);
+  ScOracle oracle;
+  std::size_t rejections = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Xoshiro256 rng(seed);
+    Observer obs(proto, {});
+    ScChecker chk(ScCheckerConfig{obs.bandwidth(), 2, 2, 1});
+    std::vector<std::uint8_t> state(proto.state_size());
+    proto.initial_state(state);
+    Trace trace;
+    std::vector<Transition> enabled;
+    std::vector<Symbol> symbols;
+    bool rejected = false;
+    for (int step = 0; step < 16 && !rejected; ++step) {
+      enabled.clear();
+      proto.enumerate(state, enabled);
+      const Transition t = enabled[rng.below(enabled.size())];
+      proto.apply(state, t);
+      if (t.action.is_memory_op()) trace.push_back(t.action.op);
+      symbols.clear();
+      ASSERT_EQ(obs.step(t, state, symbols), ObserverStatus::Ok)
+          << obs.error();
+      for (const Symbol& s : symbols) {
+        if (chk.feed(s) == ScChecker::Status::Reject) {
+          rejected = true;
+          break;
+        }
+      }
+      if (!rejected) {
+        EXPECT_TRUE(oracle.has_serial_reordering(trace))
+            << "checker missed a violation:\n"
+            << to_string(trace);
+      } else {
+        ++rejections;
+      }
+    }
+  }
+  EXPECT_GT(rejections, 0u) << "random runs never hit the violation";
+}
+
+TEST(Pipeline, ExtractedWitnessesRoundTripThroughEveryRepresentation) {
+  // trace -> graph -> descriptor -> expansion -> graph' -> reordering ->
+  // apply -> serial trace, for a pile of random SC traces.
+  Xoshiro256 rng(4242);
+  TraceGenParams params;
+  params.processors = 2;
+  params.blocks = 3;
+  params.values = 3;
+  params.length = 24;
+  for (int iter = 0; iter < 25; ++iter) {
+    const auto sc = random_sc_trace(params, rng);
+    const ConstraintGraph g = build_constraint_graph(sc.trace, sc.witness);
+    std::vector<std::optional<Operation>> labels;
+    for (const Operation& op : sc.trace) labels.emplace_back(op);
+    std::vector<std::vector<std::uint8_t>> annos(g.node_count());
+    for (std::uint32_t u = 0; u < g.node_count(); ++u) {
+      for (std::uint32_t v : g.digraph().successors(u)) {
+        annos[u].push_back(g.annotation(u, v));
+      }
+    }
+    const Descriptor d = descriptor_for_graph(
+        g.digraph(), std::max<std::size_t>(g.node_bandwidth(), 1), &labels,
+        &annos);
+    const auto r = expand(d);
+    ASSERT_TRUE(r.graph.has_value());
+    // Rebuild a ConstraintGraph from the expansion and extract a witness.
+    ConstraintGraph g2(sc.trace);
+    for (std::uint32_t u = 0; u < r.graph->graph.node_count(); ++u) {
+      for (std::uint32_t v : r.graph->graph.successors(u)) {
+        g2.add_edge(u, v, r.graph->annotation(u, v));
+      }
+    }
+    ASSERT_EQ(g2.validate(), std::nullopt);
+    const Reordering witness = g2.extract_serial_reordering();
+    EXPECT_TRUE(is_serial_trace(apply_reordering(sc.trace, witness)));
+  }
+}
+
+}  // namespace
+}  // namespace scv

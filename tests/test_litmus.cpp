@@ -1,0 +1,135 @@
+// Tests for the litmus engine (Figure 1): outcome enumeration under serial
+// memory, sequential consistency, and relaxed per-processor reorderings.
+#include <gtest/gtest.h>
+
+#include "litmus/litmus.hpp"
+#include "trace/sc_oracle.hpp"
+
+namespace scv {
+namespace {
+
+TEST(Figure1, SerialMemoryHasUniqueOutcome) {
+  EXPECT_EQ(serial_outcome(figure1_program()), (LitmusOutcome{1, 2}));
+}
+
+TEST(Figure1, ScOutcomeSetMatchesPaper) {
+  // "r1 = 0, r2 = 0 is also legal, as is r1 = 1, r2 = 0, but not
+  //  r1 = 0, r2 = 2."
+  const auto sc = sc_outcomes(figure1_program());
+  EXPECT_TRUE(sc.contains(LitmusOutcome{1, 2}));
+  EXPECT_TRUE(sc.contains(LitmusOutcome{0, 0}));
+  EXPECT_TRUE(sc.contains(LitmusOutcome{1, 0}));
+  EXPECT_FALSE(sc.contains(LitmusOutcome{0, 2}));
+  EXPECT_EQ(sc.size(), 3u);
+}
+
+TEST(Figure1, LoadLoadRelaxationAdmitsTheForbiddenOutcome) {
+  // "More relaxed models permit ... the two loads to execute out-of-order,
+  //  resulting in r1 = 0 and r2 = 2."
+  RelaxFlags flags;
+  flags.load_load = true;
+  const auto relaxed = relaxed_outcomes(figure1_program(), flags);
+  EXPECT_TRUE(relaxed.contains(LitmusOutcome{0, 2}));
+  // Relaxation only adds outcomes.
+  for (const auto& o : sc_outcomes(figure1_program())) {
+    EXPECT_TRUE(relaxed.contains(o));
+  }
+}
+
+TEST(Figure1, StoreStoreRelaxationAlsoAdmitsIt) {
+  // Reordering P1's two stores has the same observable effect here.
+  RelaxFlags flags;
+  flags.store_store = true;
+  EXPECT_TRUE(
+      relaxed_outcomes(figure1_program(), flags).contains(LitmusOutcome{0, 2}));
+}
+
+TEST(Figure1, StoreLoadRelaxationDoesNot) {
+  // TSO-style store-load reordering does not affect the MP shape: neither
+  // processor has a store followed by a load to a different block.
+  RelaxFlags tso;
+  tso.store_load = true;
+  const auto relaxed = relaxed_outcomes(figure1_program(), tso);
+  EXPECT_EQ(relaxed, sc_outcomes(figure1_program()));
+}
+
+TEST(Figure1, OutcomesAgreeWithScOracle) {
+  // Cross-validate the litmus engine against the trace oracle: an outcome
+  // is SC iff the corresponding trace has a serial reordering.
+  const LitmusProgram prog = figure1_program();
+  const auto sc = sc_outcomes(prog);
+  ScOracle oracle;
+  for (const Value r1 : {Value{0}, Value{1}}) {
+    for (const Value r2 : {Value{0}, Value{2}}) {
+      const Trace trace{
+          make_store(0, 0, 1),
+          make_store(0, 1, 2),
+          make_load(1, 1, r2),
+          make_load(1, 0, r1),
+      };
+      EXPECT_EQ(sc.contains(LitmusOutcome{r1, r2}),
+                oracle.has_serial_reordering(trace))
+          << "r1=" << int(r1) << " r2=" << int(r2);
+    }
+  }
+}
+
+TEST(StoreBuffering, ScForbidsZeroZero) {
+  const auto sc = sc_outcomes(store_buffer_program());
+  EXPECT_FALSE(sc.contains(LitmusOutcome{0, 0}));
+  EXPECT_TRUE(sc.contains(LitmusOutcome{1, 1}));
+  EXPECT_TRUE(sc.contains(LitmusOutcome{0, 1}));
+  EXPECT_TRUE(sc.contains(LitmusOutcome{1, 0}));
+}
+
+TEST(StoreBuffering, TsoAllowsZeroZero) {
+  RelaxFlags tso;
+  tso.store_load = true;
+  EXPECT_TRUE(relaxed_outcomes(store_buffer_program(), tso)
+                  .contains(LitmusOutcome{0, 0}));
+}
+
+TEST(Relaxations, SameBlockOrderIsAlwaysPreserved) {
+  // A store and load of the same block never reorder, under any flags.
+  LitmusProgram prog;
+  prog.name = "same-block";
+  prog.registers = 1;
+  prog.ops = {
+      LitmusOp{0, OpKind::Store, 0, 1, -1},
+      LitmusOp{0, OpKind::Load, 0, 0, 0},
+  };
+  RelaxFlags all;
+  all.load_load = all.store_store = all.store_load = all.load_store = true;
+  const auto outcomes = relaxed_outcomes(prog, all);
+  EXPECT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes.contains(LitmusOutcome{1}));
+}
+
+TEST(Relaxations, NoFlagsEqualsSc) {
+  EXPECT_EQ(relaxed_outcomes(figure1_program(), RelaxFlags{}),
+            sc_outcomes(figure1_program()));
+  EXPECT_EQ(relaxed_outcomes(store_buffer_program(), RelaxFlags{}),
+            sc_outcomes(store_buffer_program()));
+}
+
+TEST(Litmus, SingleProcessorProgramHasOneScOutcome) {
+  LitmusProgram prog;
+  prog.name = "solo";
+  prog.registers = 2;
+  prog.ops = {
+      LitmusOp{0, OpKind::Store, 0, 2, -1},
+      LitmusOp{0, OpKind::Load, 0, 0, 0},
+      LitmusOp{0, OpKind::Store, 0, 1, -1},
+      LitmusOp{0, OpKind::Load, 0, 0, 1},
+  };
+  const auto sc = sc_outcomes(prog);
+  EXPECT_EQ(sc.size(), 1u);
+  EXPECT_TRUE(sc.contains(LitmusOutcome{2, 1}));
+}
+
+TEST(Litmus, OutcomeRendering) {
+  EXPECT_EQ(to_string(LitmusOutcome{0, 2}), "(r1=0,r2=2)");
+}
+
+}  // namespace
+}  // namespace scv

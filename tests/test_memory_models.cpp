@@ -1,0 +1,156 @@
+// Tests for the memory-model extension (paper §5, "extending these
+// techniques to other memory models"): verifying *coherence* (per-location
+// SC) by restricting program order edges to (processor, block) chains, and
+// the drain-order (deferred) ST serialization option of the write buffer.
+#include <gtest/gtest.h>
+
+#include "checker/sc_checker.hpp"
+#include "core/verifier.hpp"
+#include "observer/observer.hpp"
+#include "protocol/lazy_caching.hpp"
+#include "protocol/msi_bus.hpp"
+#include "protocol/serial_memory.hpp"
+#include "protocol/write_buffer.hpp"
+
+namespace scv {
+namespace {
+
+McResult verify_coherence(const Protocol& proto) {
+  McOptions opt;
+  opt.observer.coherence_only = true;
+  return verify_sc(proto, opt);
+}
+
+// --------------------------------------------------------- the headline
+
+TEST(Coherence, ForwardingWriteBufferIsCoherentButNotSc) {
+  // TSO in miniature: under drain-order serialization the forwarding
+  // buffer is per-location SC (coherent) yet fails full SC on the
+  // store-buffering litmus.
+  WriteBuffer proto(2, 2, 1, 1, /*forwarding=*/true, /*drain_order=*/true);
+  EXPECT_EQ(verify_sc(proto).verdict, McVerdict::Violation);
+  EXPECT_EQ(verify_coherence(proto).verdict, McVerdict::Verified);
+}
+
+TEST(Coherence, NonForwardingBufferIsNotEvenCoherent) {
+  // Missing your own buffered store is a same-block violation.
+  WriteBuffer proto(2, 2, 1, 1, /*forwarding=*/false, /*drain_order=*/true);
+  const McResult r = verify_coherence(proto);
+  ASSERT_EQ(r.verdict, McVerdict::Violation) << r.summary();
+  // Counterexample stays within one block: ST, stale LD, Drain.
+  EXPECT_LE(r.counterexample.size(), 3u);
+}
+
+TEST(Coherence, ScProtocolsAreCoherent) {
+  // SC implies coherence, and the restricted witness graphs are smaller.
+  MsiBus msi(2, 1, 1);
+  const McResult sc = verify_sc(msi);
+  const McResult coh = verify_coherence(msi);
+  EXPECT_EQ(sc.verdict, McVerdict::Verified);
+  EXPECT_EQ(coh.verdict, McVerdict::Verified);
+
+  LazyCaching lazy(2, 1, 1, 1, 2);
+  const McResult lc = verify_coherence(lazy);
+  EXPECT_EQ(lc.verdict, McVerdict::Verified);
+  // With a single block the chains coincide, so the products are equal.
+  EXPECT_EQ(lc.states, verify_sc(lazy).states);
+}
+
+TEST(Coherence, MultiBlockCoherenceProductIsSmaller) {
+  // With b >= 2, dropping cross-block program order shrinks the witness
+  // graphs and hence the product.
+  SerialMemory proto(2, 2, 1);
+  const McResult sc = verify_sc(proto);
+  const McResult coh = verify_coherence(proto);
+  ASSERT_EQ(sc.verdict, McVerdict::Verified);
+  ASSERT_EQ(coh.verdict, McVerdict::Verified);
+  EXPECT_LT(coh.states, sc.states);
+}
+
+TEST(Coherence, SerialMemoryCoherent) {
+  SerialMemory proto(2, 2, 2);
+  EXPECT_EQ(verify_coherence(proto).verdict, McVerdict::Verified);
+}
+
+// ----------------------------------------------------- drain-order option
+
+TEST(DrainOrder, SbViolationStillFoundUnderDeferredSerialization) {
+  WriteBuffer proto(2, 2, 1, 1, true, true);
+  const McResult r = verify_sc(proto);
+  ASSERT_EQ(r.verdict, McVerdict::Violation);
+  // The cycle closes only when the forced edges are emitted at the drains,
+  // so the counterexample includes them.
+  bool has_drain = false;
+  for (const auto& step : r.counterexample) {
+    has_drain = has_drain || step.action.find("Drain") != std::string::npos;
+  }
+  EXPECT_TRUE(has_drain);
+}
+
+TEST(DrainOrder, RealTimeAndDrainOrderAgreeOnVerdicts) {
+  for (const bool fwd : {false, true}) {
+    WriteBuffer rt(2, 2, 1, 1, fwd, false);
+    WriteBuffer dr(2, 2, 1, 1, fwd, true);
+    EXPECT_EQ(verify_sc(rt).verdict, verify_sc(dr).verdict) << fwd;
+  }
+}
+
+TEST(DrainOrder, ReportsDeferredGeneratorFlag) {
+  WriteBuffer rt(2, 1, 1, 1, true, false);
+  WriteBuffer dr(2, 1, 1, 1, true, true);
+  EXPECT_TRUE(rt.real_time_st_order());
+  EXPECT_FALSE(dr.real_time_st_order());
+}
+
+// ------------------------------------------------- checker-level checks
+
+TEST(CoherencePo, CrossBlockPoEdgeRejected) {
+  ScCheckerConfig cfg{8, 2, 2, 1, /*coherence_po=*/true};
+  ScChecker c(cfg);
+  ASSERT_EQ(c.feed(NodeDesc{1, make_store(0, 0, 1)}), ScChecker::Status::Ok);
+  ASSERT_EQ(c.feed(NodeDesc{2, make_store(0, 1, 1)}), ScChecker::Status::Ok);
+  // Same processor, different blocks: not a chain edge in coherence mode.
+  EXPECT_EQ(c.feed(EdgeDesc{1, 2, kAnnoPo}), ScChecker::Status::Reject);
+  EXPECT_NE(c.reject_reason().find("chain"), std::string::npos);
+}
+
+TEST(CoherencePo, SameBlockChainAccepted) {
+  ScCheckerConfig cfg{8, 2, 2, 1, true};
+  ScChecker c(cfg);
+  ASSERT_EQ(c.feed(NodeDesc{1, make_store(0, 0, 1)}), ScChecker::Status::Ok);
+  // An interleaved op on another block opens its own chain with no edge
+  // owed between them.
+  ASSERT_EQ(c.feed(NodeDesc{2, make_store(0, 1, 1)}), ScChecker::Status::Ok);
+  ASSERT_EQ(c.feed(EdgeDesc{1, 2, kAnnoSto}), ScChecker::Status::Reject)
+      << "cross-block STo must still be rejected";
+}
+
+TEST(CoherencePo, ObserverEmitsPerChainEdges) {
+  SerialMemory proto(1, 2, 1);
+  ObserverConfig cfg;
+  cfg.coherence_only = true;
+  Observer obs(proto, cfg);
+  std::vector<std::uint8_t> state(proto.state_size());
+  proto.initial_state(state);
+  std::vector<Symbol> symbols;
+  const auto drive = [&](BlockId b) {
+    Transition st;
+    st.action = store_action(0, b, 1);
+    st.loc = b;
+    proto.apply(state, st);
+    ASSERT_EQ(obs.step(st, state, symbols), ObserverStatus::Ok);
+  };
+  drive(0);
+  drive(1);  // different block: no po edge between the two stores
+  drive(0);  // same block as the first: po edge to it
+  std::size_t po_edges = 0;
+  for (const Symbol& s : symbols) {
+    if (const auto* e = std::get_if<EdgeDesc>(&s)) {
+      po_edges += (e->anno & kAnnoPo) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(po_edges, 1u);
+}
+
+}  // namespace
+}  // namespace scv

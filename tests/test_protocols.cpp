@@ -1,0 +1,569 @@
+// Tests for the concrete protocols: transition semantics, state invariants
+// (via exhaustive protocol-only reachability), truthfulness of the tracking
+// labels of Section 4.1, and the Figure 4 worked example.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "protocol/directory.hpp"
+#include "protocol/get_shared_toy.hpp"
+#include "protocol/lazy_caching.hpp"
+#include "protocol/msi_bus.hpp"
+#include "protocol/serial_memory.hpp"
+#include "protocol/st_index.hpp"
+#include "protocol/write_buffer.hpp"
+#include "trace/sc_oracle.hpp"
+#include "walker.hpp"
+
+namespace scv {
+namespace {
+
+using testing::find_transition;
+using testing::random_walk;
+
+/// Exhaustive reachability over the bare protocol, calling `check` on every
+/// reachable state.  Returns the number of states.
+std::size_t for_each_reachable(
+    const Protocol& proto,
+    const std::function<void(std::span<const std::uint8_t>)>& check,
+    std::size_t limit = 500000) {
+  std::set<std::vector<std::uint8_t>> visited;
+  std::vector<std::vector<std::uint8_t>> frontier;
+  std::vector<std::uint8_t> init(proto.state_size());
+  proto.initial_state(init);
+  visited.insert(init);
+  frontier.push_back(init);
+  check(init);
+  std::vector<Transition> transitions;
+  while (!frontier.empty() && visited.size() < limit) {
+    std::vector<std::vector<std::uint8_t>> next;
+    for (const auto& s : frontier) {
+      transitions.clear();
+      proto.enumerate(s, transitions);
+      for (const Transition& t : transitions) {
+        auto succ = s;
+        proto.apply(succ, t);
+        if (visited.insert(succ).second) {
+          check(succ);
+          next.push_back(std::move(succ));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return visited.size();
+}
+
+// ------------------------------------------------------------ tracking
+
+TEST(Tracking, SerialMemoryLabelsAreTruthful) {
+  SerialMemory proto(2, 2, 2);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto walk = random_walk(proto, 400, seed);
+    EXPECT_FALSE(walk.tracking_violation.has_value()) << "seed " << seed;
+  }
+}
+
+TEST(Tracking, WriteBufferLabelsAreTruthful) {
+  for (const bool fwd : {false, true}) {
+    WriteBuffer proto(2, 2, 2, 2, fwd);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto walk = random_walk(proto, 400, seed);
+      EXPECT_FALSE(walk.tracking_violation.has_value())
+          << "fwd=" << fwd << " seed " << seed;
+    }
+  }
+}
+
+TEST(Tracking, MsiLabelsAreTruthful) {
+  MsiBus proto(3, 2, 2);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto walk = random_walk(proto, 500, seed);
+    EXPECT_FALSE(walk.tracking_violation.has_value()) << "seed " << seed;
+  }
+}
+
+TEST(Tracking, DirectoryLabelsAreTruthful) {
+  DirectoryProtocol proto(3, 2, 2);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto walk = random_walk(proto, 500, seed);
+    EXPECT_FALSE(walk.tracking_violation.has_value()) << "seed " << seed;
+  }
+}
+
+TEST(Tracking, LazyCachingLabelsAreTruthful) {
+  LazyCaching proto(3, 2, 2, 2, 3);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto walk = random_walk(proto, 500, seed);
+    EXPECT_FALSE(walk.tracking_violation.has_value()) << "seed " << seed;
+  }
+}
+
+TEST(Tracking, GetSharedToyLabelsAreTruthful) {
+  GetSharedToy proto(2, 3, 3, 2);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto walk = random_walk(proto, 300, seed);
+    EXPECT_FALSE(walk.tracking_violation.has_value()) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------- SC by oracle
+
+TEST(ScByOracle, ScProtocolsProduceScTraces) {
+  // Random-walk traces of the SC protocols must all have serial
+  // reorderings (the oracle is exponential, so keep traces short).
+  ScOracle oracle;
+  {
+    MsiBus proto(2, 2, 2);
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      auto walk = random_walk(proto, 60, seed);
+      walk.trace.resize(std::min<std::size_t>(walk.trace.size(), 14));
+      EXPECT_TRUE(oracle.has_serial_reordering(walk.trace))
+          << "MSI seed " << seed << "\n"
+          << to_string(walk.trace);
+    }
+  }
+  {
+    LazyCaching proto(2, 2, 2, 1, 2);
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      auto walk = random_walk(proto, 80, seed);
+      walk.trace.resize(std::min<std::size_t>(walk.trace.size(), 14));
+      EXPECT_TRUE(oracle.has_serial_reordering(walk.trace))
+          << "Lazy seed " << seed << "\n"
+          << to_string(walk.trace);
+    }
+  }
+  {
+    DirectoryProtocol proto(2, 2, 2);
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      auto walk = random_walk(proto, 80, seed);
+      walk.trace.resize(std::min<std::size_t>(walk.trace.size(), 14));
+      EXPECT_TRUE(oracle.has_serial_reordering(walk.trace))
+          << "Dir seed " << seed << "\n"
+          << to_string(walk.trace);
+    }
+  }
+}
+
+// ---------------------------------------------------------- SerialMemory
+
+TEST(SerialMemory, EnumerationShape) {
+  SerialMemory proto(2, 2, 3);
+  std::vector<std::uint8_t> s(proto.state_size());
+  proto.initial_state(s);
+  std::vector<Transition> ts;
+  proto.enumerate(s, ts);
+  // Per (P,B): one load + v stores.
+  EXPECT_EQ(ts.size(), 2 * 2 * (1 + 3));
+}
+
+TEST(SerialMemory, LoadsSeeLatestStore) {
+  SerialMemory proto(1, 1, 2);
+  std::vector<std::uint8_t> s(proto.state_size());
+  proto.initial_state(s);
+  const auto st = find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Store && t.action.op.value == 2;
+  });
+  proto.apply(s, st);
+  const auto ld = find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Load;
+  });
+  EXPECT_EQ(ld.action.op.value, 2);
+  EXPECT_FALSE(proto.could_load_bottom(s, 0));
+}
+
+TEST(SerialMemory, StateSpaceIsExactlyValuePower) {
+  SerialMemory proto(2, 2, 2);
+  // Memory words over {⊥,1,2}^2 are all reachable: 9 states.
+  EXPECT_EQ(for_each_reachable(proto, [](auto) {}), 9u);
+}
+
+// ----------------------------------------------------------- WriteBuffer
+
+TEST(WriteBuffer, DrainMovesHeadToMemory) {
+  WriteBuffer proto(1, 2, 2, 2, false);
+  std::vector<std::uint8_t> s(proto.state_size());
+  proto.initial_state(s);
+  const auto st1 = find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Store && t.action.op.block == 0 &&
+           t.action.op.value == 1;
+  });
+  proto.apply(s, st1);
+  const auto st2 = find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Store && t.action.op.block == 1 &&
+           t.action.op.value == 2;
+  });
+  proto.apply(s, st2);
+  // Memory still ⊥: loads return ⊥.
+  auto ld = find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Load && t.action.op.block == 0;
+  });
+  EXPECT_EQ(ld.action.op.value, kBottom);
+  // Drain once: block 0 visible.
+  const auto dr = find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Internal;
+  });
+  proto.apply(s, dr);
+  ld = find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Load && t.action.op.block == 0;
+  });
+  EXPECT_EQ(ld.action.op.value, 1);
+  ld = find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Load && t.action.op.block == 1;
+  });
+  EXPECT_EQ(ld.action.op.value, kBottom);
+}
+
+TEST(WriteBuffer, ForwardingReadsNewestBufferedEntry) {
+  WriteBuffer proto(1, 1, 2, 2, true);
+  std::vector<std::uint8_t> s(proto.state_size());
+  proto.initial_state(s);
+  for (const Value v : {Value{1}, Value{2}}) {
+    const auto st = find_transition(proto, s, [v](const Transition& t) {
+      return t.action.kind == Action::Kind::Store && t.action.op.value == v;
+    });
+    proto.apply(s, st);
+  }
+  const auto ld = find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Load;
+  });
+  EXPECT_EQ(ld.action.op.value, 2);  // newest entry wins
+}
+
+TEST(WriteBuffer, FullBufferDisablesStores) {
+  WriteBuffer proto(1, 1, 1, 1, false);
+  std::vector<std::uint8_t> s(proto.state_size());
+  proto.initial_state(s);
+  const auto st = find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Store;
+  });
+  proto.apply(s, st);
+  std::vector<Transition> ts;
+  proto.enumerate(s, ts);
+  for (const Transition& t : ts) {
+    EXPECT_NE(t.action.kind, Action::Kind::Store);
+  }
+}
+
+// ----------------------------------------------------------------- MSI
+
+TEST(Msi, CoherenceInvariantsOnAllReachableStates) {
+  MsiBus proto(2, 2, 2);
+  const std::size_t states = for_each_reachable(
+      proto, [&](std::span<const std::uint8_t> s) {
+        for (std::size_t b = 0; b < 2; ++b) {
+          int modified = 0;
+          int shared = 0;
+          for (std::size_t p = 0; p < 2; ++p) {
+            const auto cs = proto.cache_state(s, p, b);
+            modified += cs == MsiBus::kModified;
+            shared += cs == MsiBus::kShared;
+          }
+          EXPECT_LE(modified, 1) << "two Modified owners";
+          if (modified == 1) {
+            EXPECT_EQ(shared, 0) << "Modified coexists with Shared";
+          }
+          // All Shared copies agree with memory.
+          for (std::size_t p = 0; p < 2; ++p) {
+            if (proto.cache_state(s, p, b) == MsiBus::kShared) {
+              EXPECT_EQ(proto.cache_data(s, p, b), proto.memory(s, b));
+            }
+          }
+        }
+      });
+  EXPECT_GT(states, 100u);
+}
+
+TEST(Msi, StoreRequiresModified) {
+  MsiBus proto(2, 1, 1);
+  std::vector<std::uint8_t> s(proto.state_size());
+  proto.initial_state(s);
+  std::vector<Transition> ts;
+  proto.enumerate(s, ts);
+  for (const Transition& t : ts) {
+    EXPECT_NE(t.action.kind, Action::Kind::Store)
+        << "store enabled from Invalid";
+    EXPECT_NE(t.action.kind, Action::Kind::Load)
+        << "load enabled from Invalid";
+  }
+}
+
+TEST(Msi, GetXThenStoreThenRemoteLoadSeesValue) {
+  MsiBus proto(2, 1, 2);
+  std::vector<std::uint8_t> s(proto.state_size());
+  proto.initial_state(s);
+  proto.apply(s, find_transition(proto, s, [](const Transition& t) {
+                return t.action.kind == Action::Kind::Internal &&
+                       t.action.internal_id == MsiBus::kBusGetX &&
+                       t.action.arg0 == 0;
+              }));
+  proto.apply(s, find_transition(proto, s, [](const Transition& t) {
+                return t.action.kind == Action::Kind::Store &&
+                       t.action.op.value == 2;
+              }));
+  // P2 fetches shared: must see 2 and downgrade P1.
+  proto.apply(s, find_transition(proto, s, [](const Transition& t) {
+                return t.action.kind == Action::Kind::Internal &&
+                       t.action.internal_id == MsiBus::kBusGetS &&
+                       t.action.arg0 == 1;
+              }));
+  EXPECT_EQ(proto.cache_state(s, 0, 0), MsiBus::kShared);
+  EXPECT_EQ(proto.cache_data(s, 1, 0), 2);
+  EXPECT_EQ(proto.memory(s, 0), 2);  // writeback happened
+}
+
+// ------------------------------------------------------------- Directory
+
+TEST(Directory, InvariantsOnAllReachableStates) {
+  DirectoryProtocol proto(2, 1, 1);
+  const std::size_t states = for_each_reachable(
+      proto, [&](std::span<const std::uint8_t> s) {
+        const std::uint8_t d = proto.dir(s, 0);
+        int modified = 0;
+        for (std::size_t p = 0; p < 2; ++p) {
+          modified += proto.cstate(s, p, 0) == DirectoryProtocol::kModified;
+        }
+        EXPECT_LE(modified, 1);
+        if (d & 0x80) {
+          const std::size_t owner = d & 0x7f;
+          // The registered owner is Modified unless its data is in flight.
+          EXPECT_TRUE(proto.cstate(s, owner, 0) ==
+                          DirectoryProtocol::kModified ||
+                      proto.reply_full(s, owner, 0))
+              << "directory names a non-owner";
+        } else {
+          EXPECT_EQ(modified, 0) << "Modified copy without directory owner";
+          // Registered sharers are Shared (or awaiting their fill).
+          for (std::size_t p = 0; p < 2; ++p) {
+            if (d & (1u << p)) {
+              EXPECT_TRUE(
+                  proto.cstate(s, p, 0) == DirectoryProtocol::kShared ||
+                  proto.reply_full(s, p, 0));
+            }
+          }
+        }
+      });
+  EXPECT_GT(states, 50u);
+}
+
+TEST(Directory, ThreeHopTransferDeliversData) {
+  DirectoryProtocol proto(2, 1, 2);
+  std::vector<std::uint8_t> s(proto.state_size());
+  proto.initial_state(s);
+  const auto drive = [&](std::uint8_t id, std::uint8_t p) {
+    proto.apply(s, find_transition(proto, s, [&](const Transition& t) {
+                  return t.action.kind == Action::Kind::Internal &&
+                         t.action.internal_id == id && t.action.arg0 == p;
+                }));
+  };
+  drive(DirectoryProtocol::kReqX, 0);
+  drive(DirectoryProtocol::kHomeX, 0);
+  drive(DirectoryProtocol::kRecv, 0);
+  proto.apply(s, find_transition(proto, s, [](const Transition& t) {
+                return t.action.kind == Action::Kind::Store &&
+                       t.action.op.value == 2;
+              }));
+  drive(DirectoryProtocol::kReqS, 1);
+  drive(DirectoryProtocol::kHomeS, 1);
+  EXPECT_TRUE(proto.reply_full(s, 1, 0));
+  drive(DirectoryProtocol::kRecv, 1);
+  EXPECT_EQ(proto.cstate(s, 1, 0), DirectoryProtocol::kShared);
+  EXPECT_EQ(proto.cdata(s, 1, 0), 2);
+  EXPECT_EQ(proto.cstate(s, 0, 0), DirectoryProtocol::kShared);
+}
+
+TEST(Directory, HomeBusyWhileReplyInFlight) {
+  DirectoryProtocol proto(2, 1, 1);
+  std::vector<std::uint8_t> s(proto.state_size());
+  proto.initial_state(s);
+  const auto drive = [&](std::uint8_t id, std::uint8_t p) {
+    proto.apply(s, find_transition(proto, s, [&](const Transition& t) {
+                  return t.action.kind == Action::Kind::Internal &&
+                         t.action.internal_id == id && t.action.arg0 == p;
+                }));
+  };
+  drive(DirectoryProtocol::kReqS, 0);
+  drive(DirectoryProtocol::kReqS, 1);
+  drive(DirectoryProtocol::kHomeS, 0);
+  // P2's request must not be processed while P1's reply is in flight.
+  std::vector<Transition> ts;
+  proto.enumerate(s, ts);
+  for (const Transition& t : ts) {
+    if (t.action.kind == Action::Kind::Internal &&
+        t.action.internal_id == DirectoryProtocol::kHomeS) {
+      EXPECT_NE(t.action.arg0, 1);
+    }
+  }
+}
+
+// ----------------------------------------------------------- LazyCaching
+
+TEST(LazyCaching, ReadsBlockedUntilOwnWritesApplied) {
+  LazyCaching proto(2, 1, 1, 1, 2);
+  std::vector<std::uint8_t> s(proto.state_size());
+  proto.initial_state(s);
+  proto.apply(s, find_transition(proto, s, [](const Transition& t) {
+                return t.action.kind == Action::Kind::Store &&
+                       t.action.op.proc == 0;
+              }));
+  // P1 wrote: P1 reads disabled (out-queue nonempty); P2 reads still fine.
+  std::vector<Transition> ts;
+  proto.enumerate(s, ts);
+  for (const Transition& t : ts) {
+    if (t.action.kind == Action::Kind::Load) {
+      EXPECT_EQ(t.action.op.proc, 1);
+    }
+  }
+  // Serialize: the starred update sits in P1's in-queue; reads still
+  // blocked until CacheUpdate applies it.
+  proto.apply(s, find_transition(proto, s, [](const Transition& t) {
+                return t.action.kind == Action::Kind::Internal &&
+                       t.action.internal_id == LazyCaching::kMemWrite;
+              }));
+  EXPECT_TRUE(proto.in_has_star(s, 0));
+  ts.clear();
+  proto.enumerate(s, ts);
+  for (const Transition& t : ts) {
+    if (t.action.kind == Action::Kind::Load) {
+      EXPECT_EQ(t.action.op.proc, 1);
+    }
+  }
+  // Apply the update: now P1 may read its own write.
+  proto.apply(s, find_transition(proto, s, [](const Transition& t) {
+                return t.action.kind == Action::Kind::Internal &&
+                       t.action.internal_id == LazyCaching::kCacheUpdate &&
+                       t.action.arg0 == 0;
+              }));
+  const auto ld = find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Load && t.action.op.proc == 0;
+  });
+  EXPECT_EQ(ld.action.op.value, 1);
+}
+
+TEST(LazyCaching, UpdatesApplyInMemoryOrderEverywhere) {
+  // Two writers to the same block: after all queues drain, every cache
+  // agrees with memory (the broadcast-in-memory-order property that makes
+  // the memory-write ST order correct).
+  LazyCaching proto(2, 1, 2, 1, 3);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Xoshiro256 rng(seed);
+    std::vector<std::uint8_t> s(proto.state_size());
+    proto.initial_state(s);
+    std::vector<Transition> ts;
+    for (int step = 0; step < 60; ++step) {
+      ts.clear();
+      proto.enumerate(s, ts);
+      proto.apply(s, ts[rng.below(ts.size())]);
+    }
+    // Drain: prefer MW/CU until queues are empty.
+    for (int step = 0; step < 100; ++step) {
+      ts.clear();
+      proto.enumerate(s, ts);
+      const Transition* drain = nullptr;
+      for (const Transition& t : ts) {
+        if (t.action.kind == Action::Kind::Internal &&
+            (t.action.internal_id == LazyCaching::kMemWrite ||
+             t.action.internal_id == LazyCaching::kCacheUpdate)) {
+          drain = &t;
+          break;
+        }
+      }
+      if (drain == nullptr) break;
+      proto.apply(s, *drain);
+    }
+    for (std::size_t p = 0; p < 2; ++p) {
+      EXPECT_EQ(proto.out_count(s, p), 0u);
+      EXPECT_EQ(proto.in_count(s, p), 0u);
+      EXPECT_EQ(proto.cache(s, p, 0), proto.memory(s, 0)) << "seed " << seed;
+    }
+  }
+}
+
+// -------------------------------------------------- GetSharedToy (Fig. 4)
+
+TEST(Fig4, TrackingLabelsAndStIndexesMatchThePaper) {
+  // Figure 4's run: ST(P1,B1,1) into location 1, ST(P2,B2,2) into location
+  // 4, Get-Shared(P2,B1) copying location 1 -> 3, ST(P1,B3,3) into
+  // location 1.  (Paper locations are 1-based; ours are 0-based.)
+  GetSharedToy proto(2, 3, 3, 2);
+  std::vector<std::uint8_t> s(proto.state_size());
+  proto.initial_state(s);
+  StIndexTracker tracker(proto.params().locations);
+  std::size_t trace_ops = 0;
+
+  const auto step = [&](const Transition& t) {
+    proto.apply(s, t);
+    if (t.action.kind == Action::Kind::Store) {
+      ++trace_ops;
+      tracker.on_store(t.loc, static_cast<std::uint32_t>(trace_ops));
+    }
+    if (!t.copies.empty()) {
+      tracker.on_copies({t.copies.begin(), t.copies.size()});
+    }
+  };
+
+  step(find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Store && t.action.op.proc == 0 &&
+           t.action.op.block == 0 && t.action.op.value == 1 && t.loc == 0;
+  }));
+  step(find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Store && t.action.op.proc == 1 &&
+           t.action.op.block == 1 && t.action.op.value == 2 && t.loc == 3;
+  }));
+  step(find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Internal && t.action.arg0 == 1 &&
+           t.action.arg1 == 0 && t.copies.size() == 1 &&
+           t.copies[0].src == 0 && t.copies[0].dst == 2;
+  }));
+  step(find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Store && t.action.op.proc == 0 &&
+           t.action.op.block == 2 && t.action.op.value == 3 && t.loc == 0;
+  }));
+
+  // Figure 4(c): ST-index(R,1)=3, (R,2)=0, (R,3)=1, (R,4)=2.
+  EXPECT_EQ(tracker.at(0), 3u);
+  EXPECT_EQ(tracker.at(1), 0u);
+  EXPECT_EQ(tracker.at(2), 1u);
+  EXPECT_EQ(tracker.at(3), 2u);
+  // And the protocol state matches Figure 4(b)'s final row.
+  EXPECT_EQ(proto.slot_block(s, 0), 2);   // B3
+  EXPECT_EQ(proto.slot_value(s, 0), 3);
+  EXPECT_EQ(proto.slot_block(s, 2), 0);   // B1 shared into P2
+  EXPECT_EQ(proto.slot_value(s, 2), 1);
+  EXPECT_EQ(proto.slot_block(s, 3), 1);   // B2
+  EXPECT_EQ(proto.slot_value(s, 3), 2);
+}
+
+TEST(GetSharedToy, StaleViewsMakeItNonSc) {
+  // P1 stores 1 then 2 into different slots; reading the stale slot after
+  // the newer store yields a non-SC trace — the toy protocol is broken by
+  // design (it exists to illustrate tracking labels).
+  GetSharedToy proto(1, 1, 2, 2);
+  std::vector<std::uint8_t> s(proto.state_size());
+  proto.initial_state(s);
+  Trace trace;
+  const auto step = [&](const Transition& t) {
+    proto.apply(s, t);
+    if (t.action.is_memory_op()) trace.push_back(t.action.op);
+  };
+  step(find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Store && t.action.op.value == 1 &&
+           t.loc == 0;
+  }));
+  step(find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Store && t.action.op.value == 2 &&
+           t.loc == 1;
+  }));
+  step(find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Load && t.loc == 1;
+  }));
+  step(find_transition(proto, s, [](const Transition& t) {
+    return t.action.kind == Action::Kind::Load && t.loc == 0;
+  }));
+  ScOracle oracle;
+  EXPECT_FALSE(oracle.has_serial_reordering(trace)) << to_string(trace);
+}
+
+}  // namespace
+}  // namespace scv

@@ -1,0 +1,237 @@
+// Tests for the trace substrate: the serial-trace predicate and serial
+// reorderings of Section 2.2, the brute-force SC oracle, and the trace
+// generators the property suites build on.
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+#include "trace/sc_oracle.hpp"
+#include "trace/trace.hpp"
+
+namespace scv {
+namespace {
+
+// ---------------------------------------------------------------- serial
+
+TEST(SerialTrace, EmptyTraceIsSerial) { EXPECT_TRUE(is_serial_trace({})); }
+
+TEST(SerialTrace, LoadOfBottomBeforeAnyStore) {
+  EXPECT_TRUE(is_serial_trace({make_load(0, 0, kBottom)}));
+  EXPECT_FALSE(is_serial_trace({make_load(0, 0, 1)}));
+}
+
+TEST(SerialTrace, LoadSeesMostRecentStore) {
+  const Trace t{make_store(0, 0, 1), make_store(1, 0, 2), make_load(0, 0, 2)};
+  EXPECT_TRUE(is_serial_trace(t));
+  const Trace bad{make_store(0, 0, 1), make_store(1, 0, 2),
+                  make_load(0, 0, 1)};
+  EXPECT_FALSE(is_serial_trace(bad));
+}
+
+TEST(SerialTrace, BlocksAreIndependent) {
+  const Trace t{make_store(0, 0, 1), make_load(0, 1, kBottom),
+                make_store(0, 1, 2), make_load(1, 0, 1),
+                make_load(1, 1, 2)};
+  EXPECT_TRUE(is_serial_trace(t));
+}
+
+TEST(SerialTrace, BottomAfterStoreIsNotSerial) {
+  const Trace t{make_store(0, 0, 1), make_load(1, 0, kBottom)};
+  EXPECT_FALSE(is_serial_trace(t));
+  EXPECT_EQ(first_serial_violation(t), 1u);
+}
+
+TEST(SerialTrace, FirstViolationIndexIsReported) {
+  const Trace t{make_store(0, 0, 1), make_load(0, 0, 1), make_load(0, 0, 2),
+                make_load(0, 0, 3)};
+  EXPECT_EQ(first_serial_violation(t), 2u);
+}
+
+// ----------------------------------------------------------- reorderings
+
+TEST(Reordering, IdentityPreservesProgramOrder) {
+  const Trace t{make_store(0, 0, 1), make_load(1, 0, 1)};
+  EXPECT_TRUE(preserves_program_order(t, {0, 1}));
+  EXPECT_TRUE(preserves_program_order(t, {1, 0}));  // different processors
+}
+
+TEST(Reordering, SameProcessorSwapViolatesProgramOrder) {
+  const Trace t{make_store(0, 0, 1), make_load(0, 0, 1)};
+  EXPECT_FALSE(preserves_program_order(t, {1, 0}));
+}
+
+TEST(Reordering, RejectsNonPermutations) {
+  const Trace t{make_store(0, 0, 1), make_load(1, 0, 1)};
+  EXPECT_FALSE(preserves_program_order(t, {0, 0}));
+  EXPECT_FALSE(preserves_program_order(t, {0}));
+  EXPECT_FALSE(preserves_program_order(t, {0, 5}));
+}
+
+TEST(Reordering, ApplyReordersOperations) {
+  const Trace t{make_store(0, 0, 1), make_load(1, 0, 1)};
+  const Trace r = apply_reordering(t, {1, 0});
+  EXPECT_EQ(r[0], t[1]);
+  EXPECT_EQ(r[1], t[0]);
+}
+
+TEST(Reordering, SerialReorderingOfFigureOneShape) {
+  // P1: ST x=1; ST y=2.  P2: LD y=⊥; LD x=1.  Legal under SC by moving
+  // P2's LD y before P1's ST y.
+  const Trace t{make_store(0, 0, 1), make_store(0, 1, 2),
+                make_load(1, 1, kBottom), make_load(1, 0, 1)};
+  // Order: LD y(⊥), ST x, LD x(1), ST y.
+  EXPECT_TRUE(is_serial_reordering(t, {2, 0, 3, 1}));
+  // Trace order itself is not serial (LD y returns ⊥ after ST y).
+  EXPECT_FALSE(is_serial_reordering(t, {0, 1, 2, 3}));
+}
+
+// ----------------------------------------------------------------- oracle
+
+TEST(ScOracle, EmptyAndSingleton) {
+  ScOracle oracle;
+  EXPECT_TRUE(oracle.has_serial_reordering({}));
+  EXPECT_TRUE(oracle.has_serial_reordering({make_store(0, 0, 1)}));
+  EXPECT_TRUE(oracle.has_serial_reordering({make_load(0, 0, kBottom)}));
+  EXPECT_FALSE(oracle.has_serial_reordering({make_load(0, 0, 1)}));
+}
+
+TEST(ScOracle, MessagePassingForbiddenOutcome) {
+  // Figure 1's forbidden outcome r1=0, r2=2: LD x=⊥ after LD y=2.
+  const Trace t{make_store(0, 0, 1), make_store(0, 1, 2), make_load(1, 1, 2),
+                make_load(1, 0, kBottom)};
+  ScOracle oracle;
+  EXPECT_FALSE(oracle.has_serial_reordering(t));
+}
+
+TEST(ScOracle, MessagePassingAllowedOutcomes) {
+  ScOracle oracle;
+  // r1=1, r2=2.
+  EXPECT_TRUE(oracle.has_serial_reordering(
+      {make_store(0, 0, 1), make_store(0, 1, 2), make_load(1, 1, 2),
+       make_load(1, 0, 1)}));
+  // r1=0, r2=0.
+  EXPECT_TRUE(oracle.has_serial_reordering(
+      {make_store(0, 0, 1), make_store(0, 1, 2), make_load(1, 1, kBottom),
+       make_load(1, 0, kBottom)}));
+  // r1=1, r2=0.
+  EXPECT_TRUE(oracle.has_serial_reordering(
+      {make_store(0, 0, 1), make_store(0, 1, 2), make_load(1, 1, kBottom),
+       make_load(1, 0, 1)}));
+}
+
+TEST(ScOracle, StoreBufferingIsNotSc) {
+  const Trace t{make_store(0, 0, 1), make_load(0, 1, kBottom),
+                make_store(1, 1, 1), make_load(1, 0, kBottom)};
+  ScOracle oracle;
+  EXPECT_FALSE(oracle.has_serial_reordering(t));
+}
+
+TEST(ScOracle, IriwIsNotSc) {
+  // Independent reads of independent writes: the two readers disagree on
+  // the order of the two writes — forbidden under SC.
+  const Trace t{
+      make_store(0, 0, 1), make_store(1, 1, 1),
+      make_load(2, 0, 1),  make_load(2, 1, kBottom),
+      make_load(3, 1, 1),  make_load(3, 0, kBottom),
+  };
+  ScOracle oracle;
+  EXPECT_FALSE(oracle.has_serial_reordering(t));
+}
+
+TEST(ScOracle, WitnessIsAlwaysVerified) {
+  Xoshiro256 rng(123);
+  TraceGenParams params;
+  params.processors = 3;
+  params.blocks = 2;
+  params.values = 2;
+  params.length = 12;
+  ScOracle oracle;
+  for (int i = 0; i < 50; ++i) {
+    const auto sc = random_sc_trace(params, rng);
+    const auto witness = oracle.find_serial_reordering(sc.trace);
+    ASSERT_TRUE(witness.has_value());
+    EXPECT_TRUE(is_serial_reordering(sc.trace, *witness));
+  }
+}
+
+TEST(ScOracle, CoherenceViolationDetected) {
+  // Same-block: P2 observes 2 then 1 while P1 wrote 1 then 2 and observed
+  // its own writes in order — no total store order can satisfy both.
+  const Trace t{
+      make_store(0, 0, 1), make_load(0, 0, 1), make_store(0, 0, 2),
+      make_load(0, 0, 2),  make_load(1, 0, 2), make_load(1, 0, 1),
+  };
+  ScOracle oracle;
+  EXPECT_FALSE(oracle.has_serial_reordering(t));
+}
+
+// -------------------------------------------------------------- generators
+
+TEST(Generators, SerialTracesAreSerial) {
+  Xoshiro256 rng(5);
+  TraceGenParams params;
+  params.length = 30;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(is_serial_trace(random_serial_trace(params, rng)));
+  }
+}
+
+TEST(Generators, ScTracesCarryValidWitness) {
+  Xoshiro256 rng(6);
+  TraceGenParams params;
+  params.processors = 4;
+  params.blocks = 3;
+  params.length = 25;
+  for (int i = 0; i < 20; ++i) {
+    const auto sc = random_sc_trace(params, rng);
+    EXPECT_TRUE(is_serial_reordering(sc.trace, sc.witness));
+  }
+}
+
+TEST(Generators, ShuffleCoversDistinctInterleavings) {
+  const Trace t{make_store(0, 0, 1), make_store(1, 0, 1)};
+  Xoshiro256 rng(7);
+  std::set<Reordering> seen;
+  for (int i = 0; i < 50; ++i) {
+    seen.insert(random_po_preserving_shuffle(t, rng));
+  }
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Generators, RandomTraceRespectsParams) {
+  Xoshiro256 rng(8);
+  TraceGenParams params;
+  params.processors = 2;
+  params.blocks = 3;
+  params.values = 2;
+  params.length = 100;
+  const Trace t = random_trace(params, rng);
+  ASSERT_EQ(t.size(), 100u);
+  for (const Operation& op : t) {
+    EXPECT_LT(op.proc, 2);
+    EXPECT_LT(op.block, 3);
+    EXPECT_LE(op.value, 2);
+    if (op.is_store()) EXPECT_GE(op.value, 1);
+  }
+}
+
+TEST(Generators, StorePercentExtremes) {
+  Xoshiro256 rng(9);
+  TraceGenParams params;
+  params.length = 50;
+  params.store_percent = 0;
+  for (const Operation& op : random_trace(params, rng)) {
+    EXPECT_TRUE(op.is_load());
+  }
+  params.store_percent = 100;
+  for (const Operation& op : random_trace(params, rng)) {
+    EXPECT_TRUE(op.is_store());
+  }
+}
+
+TEST(TraceStrings, Rendering) {
+  EXPECT_EQ(to_string(make_store(0, 1, 3)), "ST(P1,B2,3)");
+  EXPECT_EQ(to_string(make_load(2, 0, kBottom)), "LD(P3,B1,_|_)");
+}
+
+}  // namespace
+}  // namespace scv

@@ -1,0 +1,119 @@
+// Tests for the runtime-testing mode (Section 5's Gibbons–Korach testing
+// scenario): the observer + checker monitoring long random runs, at
+// parameters far beyond what the model checker explores.
+#include <gtest/gtest.h>
+
+#include "core/trace_tester.hpp"
+#include "protocol/directory.hpp"
+#include "protocol/lazy_caching.hpp"
+#include "protocol/msi_bus.hpp"
+#include "protocol/serial_memory.hpp"
+#include "protocol/write_buffer.hpp"
+
+namespace scv {
+namespace {
+
+TEST(TraceTester, ScProtocolsPassLongRuns) {
+  SerialMemory sm(3, 3, 3);
+  MsiBus msi(3, 2, 2);
+  DirectoryProtocol dir(3, 2, 2);
+  LazyCaching lazy(3, 2, 2, 2, 3);
+  for (const Protocol* proto :
+       std::initializer_list<const Protocol*>{&sm, &msi, &dir, &lazy}) {
+    TraceTestOptions opt;
+    opt.max_steps = 20000;
+    opt.seed = 7;
+    const TraceTestResult r = trace_test(*proto, opt);
+    EXPECT_EQ(r.verdict, TraceVerdict::Passed)
+        << proto->name() << ": " << r.summary();
+    EXPECT_EQ(r.steps, 20000u);
+    EXPECT_GT(r.memory_ops, 0u);
+    EXPECT_GT(r.symbols, r.memory_ops);  // edges come with the ops
+  }
+}
+
+TEST(TraceTester, FindsWriteBufferViolationQuickly) {
+  WriteBuffer proto(2, 2, 1, 1, false);
+  TraceTestOptions opt;
+  opt.max_steps = 50000;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 5 && !found; ++seed) {
+    opt.seed = seed;
+    const TraceTestResult r = trace_test(proto, opt);
+    if (r.verdict == TraceVerdict::Violation) {
+      found = true;
+      EXPECT_NE(r.reason.find("cycle"), std::string::npos);
+      EXPECT_FALSE(r.tail.empty());
+    }
+  }
+  EXPECT_TRUE(found) << "random testing should stumble on the stale read";
+}
+
+TEST(TraceTester, FindsForwardingViolationToo) {
+  // The forwarding buffer needs the genuine 4-op interleaving; random
+  // walks still find it within a modest budget.
+  WriteBuffer proto(2, 2, 1, 1, true);
+  TraceTestOptions opt;
+  opt.max_steps = 200000;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !found; ++seed) {
+    opt.seed = seed;
+    found = trace_test(proto, opt).verdict == TraceVerdict::Violation;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceTester, ScalesToParametersBeyondTheModelChecker) {
+  // p=4, b=3, v=3 MSI: the product state space is astronomically large,
+  // but runtime monitoring strolls through half a million steps.
+  MsiBus proto(4, 3, 3);
+  TraceTestOptions opt;
+  opt.max_steps = 100000;
+  const TraceTestResult r = trace_test(proto, opt);
+  EXPECT_EQ(r.verdict, TraceVerdict::Passed) << r.summary();
+}
+
+TEST(TraceTester, DeterministicGivenSeed) {
+  MsiBus proto(2, 2, 2);
+  TraceTestOptions opt;
+  opt.max_steps = 5000;
+  opt.seed = 99;
+  const TraceTestResult a = trace_test(proto, opt);
+  const TraceTestResult b = trace_test(proto, opt);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.memory_ops, b.memory_ops);
+  EXPECT_EQ(a.symbols, b.symbols);
+}
+
+TEST(TraceTester, TinyPoolReportsBandwidthExceeded) {
+  MsiBus proto(3, 3, 2);
+  TraceTestOptions opt;
+  opt.max_steps = 50000;
+  opt.observer.pool_size = 3;
+  const TraceTestResult r = trace_test(proto, opt);
+  EXPECT_EQ(r.verdict, TraceVerdict::BandwidthExceeded) << r.summary();
+}
+
+TEST(TraceTester, TailIsBounded) {
+  WriteBuffer proto(2, 2, 1, 1, false);
+  TraceTestOptions opt;
+  opt.max_steps = 50000;
+  opt.tail_length = 8;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    opt.seed = seed;
+    const TraceTestResult r = trace_test(proto, opt);
+    EXPECT_LE(r.tail.size(), 8u);
+  }
+}
+
+TEST(TraceTester, SummaryIsHumanReadable) {
+  SerialMemory proto(2, 1, 1);
+  TraceTestOptions opt;
+  opt.max_steps = 100;
+  const TraceTestResult r = trace_test(proto, opt);
+  EXPECT_NE(r.summary().find("Passed"), std::string::npos);
+  EXPECT_NE(r.summary().find("steps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scv

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/byte_io.hpp"
+#include "util/hash.hpp"
+#include "util/inline_vec.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scv {
+namespace {
+
+TEST(Hash, Fnv1aMatchesKnownVectors) {
+  // FNV-1a test vectors: empty string and "a".
+  EXPECT_EQ(fnv1a64({}), 0xcbf29ce484222325ULL);
+  const std::uint8_t a[] = {'a'};
+  EXPECT_EQ(fnv1a64(a), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Hash, Mix64IsBijectiveOnSamples) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 1000; ++x) outputs.insert(mix64(x));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 100));
+    EXPECT_TRUE(rng.chance(100, 100));
+  }
+}
+
+TEST(InlineVec, PushPopAndIterate) {
+  InlineVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 6);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(InlineVec, TryPushReportsOverflow) {
+  InlineVec<int, 2> v;
+  EXPECT_TRUE(v.try_push_back(1));
+  EXPECT_TRUE(v.try_push_back(2));
+  EXPECT_FALSE(v.try_push_back(3));
+  EXPECT_TRUE(v.full());
+}
+
+TEST(InlineVec, EraseAtPreservesOrder) {
+  InlineVec<int, 4> v{10, 20, 30, 40};
+  v.erase_at(1);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 30);
+  EXPECT_EQ(v[2], 40);
+}
+
+TEST(InlineVec, SwapEraseIsO1) {
+  InlineVec<int, 4> v{10, 20, 30, 40};
+  v.swap_erase_at(0);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 40);
+}
+
+TEST(InlineVec, ContainsAndEquality) {
+  InlineVec<int, 4> a{1, 2, 3};
+  InlineVec<int, 4> b{1, 2, 3};
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_FALSE(a.contains(9));
+  EXPECT_EQ(a, b);
+  b.push_back(4);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ByteIo, RoundTripAllWidths) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.uvar(0);
+  w.uvar(127);
+  w.uvar(128);
+  w.uvar(0xffffffffffULL);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.uvar(), 0u);
+  EXPECT_EQ(r.uvar(), 127u);
+  EXPECT_EQ(r.uvar(), 128u);
+  EXPECT_EQ(r.uvar(), 0xffffffffffULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteIo, LittleEndianLayout) {
+  ByteWriter w;
+  w.u16(0x0102);
+  EXPECT_EQ(w.data()[0], 0x02);
+  EXPECT_EQ(w.data()[1], 0x01);
+}
+
+TEST(ByteIo, HexDump) {
+  ByteWriter w;
+  w.u8(0x0f);
+  w.u8(0xa0);
+  EXPECT_EQ(to_hex(w.data()), "0fa0");
+}
+
+TEST(Strings, JoinAndPad) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, ", "), "a, b, c");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+TEST(ThreadPool, RunsOnAllWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::atomic<int> mask{0};
+  pool.run_on_all([&](std::size_t i) {
+    count.fetch_add(1);
+    mask.fetch_or(1 << i);
+  });
+  EXPECT_EQ(count.load(), 3);
+  EXPECT_EQ(mask.load(), 0b111);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  int calls = 0;
+  pool.run_on_all([&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.run_on_all([&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 20);
+}
+
+}  // namespace
+}  // namespace scv

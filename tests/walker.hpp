@@ -1,0 +1,96 @@
+// Shared test helper: random walks over a protocol with independent
+// ST-index tracking (trace-indexed, as in Figure 4), used to check that
+// tracking labels tell the truth and to collect traces for the SC oracle.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "protocol/protocol.hpp"
+#include "protocol/st_index.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace scv::testing {
+
+struct WalkResult {
+  Trace trace;                         ///< LD/ST operations, in order
+  std::vector<Transition> transitions; ///< every transition taken
+  /// Set if a load's value disagreed with the store its location tracks
+  /// (tracking labels inconsistent) — never expected for our protocols.
+  std::optional<std::size_t> tracking_violation;
+};
+
+/// Walks `steps` random transitions, maintaining a trace-indexed
+/// StIndexTracker exactly as Section 4.1 prescribes, and validates at every
+/// load that the tracked store matches the loaded (block, value) — or that
+/// the location tracks nothing and the load returned ⊥.
+inline WalkResult random_walk(const Protocol& proto, std::size_t steps,
+                              std::uint64_t seed,
+                              unsigned memory_op_percent = 60) {
+  Xoshiro256 rng(seed);
+  WalkResult result;
+  std::vector<std::uint8_t> state(proto.state_size());
+  proto.initial_state(state);
+  StIndexTracker tracker(proto.params().locations);
+
+  std::vector<Transition> enabled;
+  std::vector<Transition> ops;
+  for (std::size_t i = 0; i < steps; ++i) {
+    enabled.clear();
+    proto.enumerate(state, enabled);
+    if (enabled.empty()) break;
+    ops.clear();
+    for (const Transition& t : enabled) {
+      if (t.action.is_memory_op()) ops.push_back(t);
+    }
+    const Transition chosen =
+        (!ops.empty() && rng.chance(memory_op_percent, 100))
+            ? ops[rng.below(ops.size())]
+            : enabled[rng.below(enabled.size())];
+
+    if (chosen.action.kind == Action::Kind::Load) {
+      const std::uint32_t idx = tracker.at(chosen.loc);
+      const Operation& op = chosen.action.op;
+      const bool ok =
+          (idx == StIndexTracker::kNoStore)
+              ? op.value == kBottom
+              : (result.trace[idx - 1].is_store() &&
+                 result.trace[idx - 1].block == op.block &&
+                 result.trace[idx - 1].value == op.value);
+      if (!ok && !result.tracking_violation) {
+        result.tracking_violation = result.trace.size();
+      }
+    }
+
+    proto.apply(state, chosen);
+    if (chosen.action.is_memory_op()) {
+      result.trace.push_back(chosen.action.op);
+    }
+    if (chosen.action.kind == Action::Kind::Store) {
+      tracker.on_store(chosen.loc,
+                       static_cast<std::uint32_t>(result.trace.size()));
+    }
+    if (!chosen.copies.empty()) {
+      tracker.on_copies({chosen.copies.begin(), chosen.copies.size()});
+    }
+    result.transitions.push_back(chosen);
+  }
+  return result;
+}
+
+/// Finds the unique enabled transition matching `pred`; aborts if absent or
+/// ambiguous matches with different effects are fine for driving scripts.
+inline Transition find_transition(
+    const Protocol& proto, std::span<const std::uint8_t> state,
+    const std::function<bool(const Transition&)>& pred) {
+  std::vector<Transition> enabled;
+  proto.enumerate(state, enabled);
+  for (const Transition& t : enabled) {
+    if (pred(t)) return t;
+  }
+  SCV_UNREACHABLE("no enabled transition matches the predicate");
+}
+
+}  // namespace scv::testing
