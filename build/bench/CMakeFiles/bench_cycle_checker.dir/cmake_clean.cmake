@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cycle_checker.dir/bench_cycle_checker.cpp.o"
+  "CMakeFiles/bench_cycle_checker.dir/bench_cycle_checker.cpp.o.d"
+  "bench_cycle_checker"
+  "bench_cycle_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cycle_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

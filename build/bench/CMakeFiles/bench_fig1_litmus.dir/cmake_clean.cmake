@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_litmus.dir/bench_fig1_litmus.cpp.o"
+  "CMakeFiles/bench_fig1_litmus.dir/bench_fig1_litmus.cpp.o.d"
+  "bench_fig1_litmus"
+  "bench_fig1_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_descriptor.dir/bench_fig3_descriptor.cpp.o"
+  "CMakeFiles/bench_fig3_descriptor.dir/bench_fig3_descriptor.cpp.o.d"
+  "bench_fig3_descriptor"
+  "bench_fig3_descriptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_descriptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

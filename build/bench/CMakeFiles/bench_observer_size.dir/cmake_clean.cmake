@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_observer_size.dir/bench_observer_size.cpp.o"
+  "CMakeFiles/bench_observer_size.dir/bench_observer_size.cpp.o.d"
+  "bench_observer_size"
+  "bench_observer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_observer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

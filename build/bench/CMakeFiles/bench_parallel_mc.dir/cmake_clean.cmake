@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_mc.dir/bench_parallel_mc.cpp.o"
+  "CMakeFiles/bench_parallel_mc.dir/bench_parallel_mc.cpp.o.d"
+  "bench_parallel_mc"
+  "bench_parallel_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

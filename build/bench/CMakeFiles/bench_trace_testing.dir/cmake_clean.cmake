@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_testing.dir/bench_trace_testing.cpp.o"
+  "CMakeFiles/bench_trace_testing.dir/bench_trace_testing.cpp.o.d"
+  "bench_trace_testing"
+  "bench_trace_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hunt_violation.dir/hunt_violation.cpp.o"
+  "CMakeFiles/hunt_violation.dir/hunt_violation.cpp.o.d"
+  "hunt_violation"
+  "hunt_violation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hunt_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_caching_tour.dir/lazy_caching_tour.cpp.o"
+  "CMakeFiles/lazy_caching_tour.dir/lazy_caching_tour.cpp.o.d"
+  "lazy_caching_tour"
+  "lazy_caching_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_caching_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_msi.dir/verify_msi.cpp.o"
+  "CMakeFiles/verify_msi.dir/verify_msi.cpp.o.d"
+  "verify_msi"
+  "verify_msi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_msi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_checker.dir/cycle_checker.cpp.o"
+  "CMakeFiles/scv_checker.dir/cycle_checker.cpp.o.d"
+  "CMakeFiles/scv_checker.dir/sc_checker.cpp.o"
+  "CMakeFiles/scv_checker.dir/sc_checker.cpp.o.d"
+  "libscv_checker.a"
+  "libscv_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

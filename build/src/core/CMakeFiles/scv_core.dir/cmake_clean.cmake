@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_core.dir/trace_tester.cpp.o"
+  "CMakeFiles/scv_core.dir/trace_tester.cpp.o.d"
+  "CMakeFiles/scv_core.dir/verifier.cpp.o"
+  "CMakeFiles/scv_core.dir/verifier.cpp.o.d"
+  "libscv_core.a"
+  "libscv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

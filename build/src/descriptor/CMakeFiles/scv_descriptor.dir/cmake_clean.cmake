@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_descriptor.dir/descriptor.cpp.o"
+  "CMakeFiles/scv_descriptor.dir/descriptor.cpp.o.d"
+  "libscv_descriptor.a"
+  "libscv_descriptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_descriptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_graph.dir/constraint_graph.cpp.o"
+  "CMakeFiles/scv_graph.dir/constraint_graph.cpp.o.d"
+  "CMakeFiles/scv_graph.dir/digraph.cpp.o"
+  "CMakeFiles/scv_graph.dir/digraph.cpp.o.d"
+  "libscv_graph.a"
+  "libscv_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

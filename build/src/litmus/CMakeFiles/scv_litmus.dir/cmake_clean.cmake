@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_litmus.dir/litmus.cpp.o"
+  "CMakeFiles/scv_litmus.dir/litmus.cpp.o.d"
+  "libscv_litmus.a"
+  "libscv_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_mc.dir/model_checker.cpp.o"
+  "CMakeFiles/scv_mc.dir/model_checker.cpp.o.d"
+  "libscv_mc.a"
+  "libscv_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

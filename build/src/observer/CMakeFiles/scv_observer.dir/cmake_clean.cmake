@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_observer.dir/observer.cpp.o"
+  "CMakeFiles/scv_observer.dir/observer.cpp.o.d"
+  "libscv_observer.a"
+  "libscv_observer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/directory.cpp" "src/protocol/CMakeFiles/scv_protocol.dir/directory.cpp.o" "gcc" "src/protocol/CMakeFiles/scv_protocol.dir/directory.cpp.o.d"
+  "/root/repo/src/protocol/get_shared_toy.cpp" "src/protocol/CMakeFiles/scv_protocol.dir/get_shared_toy.cpp.o" "gcc" "src/protocol/CMakeFiles/scv_protocol.dir/get_shared_toy.cpp.o.d"
+  "/root/repo/src/protocol/lazy_caching.cpp" "src/protocol/CMakeFiles/scv_protocol.dir/lazy_caching.cpp.o" "gcc" "src/protocol/CMakeFiles/scv_protocol.dir/lazy_caching.cpp.o.d"
+  "/root/repo/src/protocol/msi_bus.cpp" "src/protocol/CMakeFiles/scv_protocol.dir/msi_bus.cpp.o" "gcc" "src/protocol/CMakeFiles/scv_protocol.dir/msi_bus.cpp.o.d"
+  "/root/repo/src/protocol/protocol.cpp" "src/protocol/CMakeFiles/scv_protocol.dir/protocol.cpp.o" "gcc" "src/protocol/CMakeFiles/scv_protocol.dir/protocol.cpp.o.d"
+  "/root/repo/src/protocol/serial_memory.cpp" "src/protocol/CMakeFiles/scv_protocol.dir/serial_memory.cpp.o" "gcc" "src/protocol/CMakeFiles/scv_protocol.dir/serial_memory.cpp.o.d"
+  "/root/repo/src/protocol/write_buffer.cpp" "src/protocol/CMakeFiles/scv_protocol.dir/write_buffer.cpp.o" "gcc" "src/protocol/CMakeFiles/scv_protocol.dir/write_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/scv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_protocol.dir/directory.cpp.o"
+  "CMakeFiles/scv_protocol.dir/directory.cpp.o.d"
+  "CMakeFiles/scv_protocol.dir/get_shared_toy.cpp.o"
+  "CMakeFiles/scv_protocol.dir/get_shared_toy.cpp.o.d"
+  "CMakeFiles/scv_protocol.dir/lazy_caching.cpp.o"
+  "CMakeFiles/scv_protocol.dir/lazy_caching.cpp.o.d"
+  "CMakeFiles/scv_protocol.dir/msi_bus.cpp.o"
+  "CMakeFiles/scv_protocol.dir/msi_bus.cpp.o.d"
+  "CMakeFiles/scv_protocol.dir/protocol.cpp.o"
+  "CMakeFiles/scv_protocol.dir/protocol.cpp.o.d"
+  "CMakeFiles/scv_protocol.dir/serial_memory.cpp.o"
+  "CMakeFiles/scv_protocol.dir/serial_memory.cpp.o.d"
+  "CMakeFiles/scv_protocol.dir/write_buffer.cpp.o"
+  "CMakeFiles/scv_protocol.dir/write_buffer.cpp.o.d"
+  "libscv_protocol.a"
+  "libscv_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

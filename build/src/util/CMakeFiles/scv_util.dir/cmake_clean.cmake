@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_util.dir/byte_io.cpp.o"
+  "CMakeFiles/scv_util.dir/byte_io.cpp.o.d"
+  "libscv_util.a"
+  "libscv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_edgecases.dir/test_checker_edgecases.cpp.o"
+  "CMakeFiles/test_checker_edgecases.dir/test_checker_edgecases.cpp.o.d"
+  "test_checker_edgecases"
+  "test_checker_edgecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_edgecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constraint_graph.dir/test_constraint_graph.cpp.o"
+  "CMakeFiles/test_constraint_graph.dir/test_constraint_graph.cpp.o.d"
+  "test_constraint_graph"
+  "test_constraint_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constraint_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cycle_checker.dir/test_cycle_checker.cpp.o"
+  "CMakeFiles/test_cycle_checker.dir/test_cycle_checker.cpp.o.d"
+  "test_cycle_checker"
+  "test_cycle_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cycle_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

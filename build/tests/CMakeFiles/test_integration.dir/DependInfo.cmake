@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/scv_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/observer/CMakeFiles/scv_observer.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/scv_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/descriptor/CMakeFiles/scv_descriptor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/scv_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/scv_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/scv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/scv_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

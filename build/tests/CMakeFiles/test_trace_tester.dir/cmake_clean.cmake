@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_tester.dir/test_trace_tester.cpp.o"
+  "CMakeFiles/test_trace_tester.dir/test_trace_tester.cpp.o.d"
+  "test_trace_tester"
+  "test_trace_tester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_tester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
