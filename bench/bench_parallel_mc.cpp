@@ -2,9 +2,16 @@
 // the observer–checker product, sharded visited sets.  Reports wall time
 // and speedup for 1/2/4 worker threads (this host may be single-core, in
 // which case the table documents the synchronization overhead instead).
+//
+// Also the memory experiment for the compact fingerprint state store: the
+// same search with 128-bit fingerprints vs full serialized keys
+// (`McOptions::exact_states`), with verdict/state-count parity checked and
+// states/s + bytes/state written to BENCH_mc.json so the perf trajectory
+// is tracked across PRs.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "core/verifier.hpp"
@@ -32,6 +39,73 @@ void scaling_rows(const Protocol& proto, const char* params) {
   }
 }
 
+void store_row(const char* mode, const McResult& r) {
+  std::printf("  %-12s | %-10s | %8zu states | %10.0f states/s | "
+              "%6.1f B/state | load %.2f | key %zu B\n",
+              mode, to_string(r.verdict).c_str(), r.states,
+              r.seconds > 0 ? static_cast<double>(r.states) / r.seconds : 0,
+              r.bytes_per_state(), r.store_load_factor, r.state_bytes);
+  std::fflush(stdout);
+}
+
+void json_mode(std::ofstream& out, const char* name, const McResult& r) {
+  out << "    \"" << name << "\": {\n"
+      << "      \"verdict\": \"" << to_string(r.verdict) << "\",\n"
+      << "      \"states\": " << r.states << ",\n"
+      << "      \"transitions\": " << r.transitions << ",\n"
+      << "      \"seconds\": " << r.seconds << ",\n"
+      << "      \"states_per_sec\": "
+      << (r.seconds > 0 ? static_cast<double>(r.states) / r.seconds : 0)
+      << ",\n"
+      << "      \"trans_per_sec\": "
+      << (r.seconds > 0 ? static_cast<double>(r.transitions) / r.seconds : 0)
+      << ",\n"
+      << "      \"state_bytes\": " << r.state_bytes << ",\n"
+      << "      \"store_bytes\": " << r.store_bytes << ",\n"
+      << "      \"bytes_per_state\": " << r.bytes_per_state() << ",\n"
+      << "      \"store_load_factor\": " << r.store_load_factor << "\n"
+      << "    }";
+}
+
+/// Fingerprint vs exact store on the MSI bus protocol; emits BENCH_mc.json.
+void store_comparison() {
+  std::printf("== MEM: fingerprint vs exact visited-state store ==\n");
+  // Two blocks so the canonical key (45 B) escapes the small-string
+  // optimization, as real workloads do.  The state budget bounds the run
+  // to a few seconds and lands the fingerprint table near its steady
+  // operating load (just under the 3/4 growth threshold); the per-insertion
+  // limit makes both modes stop at exactly the same state.
+  MsiBus proto(2, 2, 1);
+  McOptions fp_opt;
+  fp_opt.max_states = 360'000;
+  McOptions ex_opt = fp_opt;
+  ex_opt.exact_states = true;
+  const McResult fp = model_check(proto, fp_opt);
+  const McResult ex = model_check(proto, ex_opt);
+  store_row("fingerprint", fp);
+  store_row("exact", ex);
+  const bool parity = fp.verdict == ex.verdict && fp.states == ex.states;
+  const double ratio =
+      fp.bytes_per_state() > 0 ? ex.bytes_per_state() / fp.bytes_per_state()
+                               : 0;
+  std::printf("  parity: %s | bytes/state ratio (exact/fingerprint): "
+              "x%.1f\n\n",
+              parity ? "OK (verdict+states identical)" : "MISMATCH", ratio);
+
+  std::ofstream out("BENCH_mc.json");
+  out << "{\n"
+      << "  \"bench\": \"bench_parallel_mc\",\n"
+      << "  \"protocol\": \"" << proto.name() << "\",\n"
+      << "  \"params\": \"p2 b2 v1 max_states 360000\",\n"
+      << "  \"parity\": " << (parity ? "true" : "false") << ",\n"
+      << "  \"bytes_per_state_ratio\": " << ratio << ",\n"
+      << "  \"modes\": {\n";
+  json_mode(out, "fingerprint", fp);
+  out << ",\n";
+  json_mode(out, "exact", ex);
+  out << "\n  }\n}\n";
+}
+
 void print_table() {
   std::printf("== PAR: parallel model-checking scaling ==\n");
   std::printf("(hardware threads available: %u)\n\n",
@@ -39,6 +113,7 @@ void print_table() {
   scaling_rows(MsiBus(2, 1, 1), "p2 b1 v1");
   scaling_rows(DirectoryProtocol(2, 1, 1), "p2 b1 v1");
   std::printf("\n");
+  store_comparison();
 }
 
 void BM_ParallelVsSequential(benchmark::State& state) {

@@ -24,9 +24,10 @@ void row(const Protocol& proto, const char* params, const char* expected) {
   opt.max_states = 5'000'000;
   const McResult r = verify_sc(proto, opt);
   std::printf("  %-14s %-16s -> %-18s %9zu states %10zu trans  depth %3zu"
-              "  %6.2fs  (expect %s)\n",
+              "  %6.2fs  %5.1f B/state  (expect %s)\n",
               proto.name().c_str(), params, to_string(r.verdict).c_str(),
-              r.states, r.transitions, r.depth, r.seconds, expected);
+              r.states, r.transitions, r.depth, r.seconds,
+              r.bytes_per_state(), expected);
   if (r.verdict == McVerdict::Violation && r.counterexample.size() <= 8) {
     std::printf("      counterexample:");
     for (const auto& s : r.counterexample) {

@@ -105,8 +105,15 @@ CycleChecker::Status CycleChecker::feed(const Symbol& sym) {
       return reject("add-ID with ID out of range");
     }
     if (a->existing == a->added) return Status::Ok;
-    unbind_id(a->added);
+    // `existing` must name a live node — except for the reserved null ID
+    // (k+1, never bound by the observer): add-ID(null, I) is the explicit
+    // retirement idiom that unbinds I.  Any other dangling alias source is
+    // a malformed descriptor (mirrors the edge-descriptor check).
     const int s = slot_of(a->existing);
+    if (s < 0 && static_cast<std::size_t>(a->existing) != k_ + 1) {
+      return reject("add-ID references an ID not bound to any node");
+    }
+    unbind_id(a->added);
     if (s >= 0) slots_[s].id_set |= 1ULL << a->added;
     return Status::Ok;
   }

@@ -435,9 +435,14 @@ ScChecker::Status ScChecker::feed(const Symbol& sym) {
       return reject("add-ID with ID out of range");
     }
     if (a->existing == a->added) return Status::Ok;
+    // Same rule as CycleChecker: an unbound `existing` is only legal as the
+    // reserved null ID (k+1), the observer's retirement idiom.
+    const int s = slot_of(a->existing);
+    if (s < 0 && static_cast<std::size_t>(a->existing) != cfg_.k + 1) {
+      return reject("add-ID references an ID not bound to any node");
+    }
     unbind_id(a->added);
     if (rejected_) return Status::Reject;
-    const int s = slot_of(a->existing);
     if (s >= 0) nodes_[s].id_set |= 1ULL << a->added;
     return Status::Ok;
   }

@@ -4,12 +4,15 @@
 #include <atomic>
 #include <chrono>
 #include <mutex>
+#include <span>
 #include <sstream>
 #include <unordered_set>
 
 #include "checker/sc_checker.hpp"
 #include "descriptor/descriptor.hpp"
 #include "util/assert.hpp"
+#include "util/fingerprint.hpp"
+#include "util/fp_set.hpp"
 #include "util/hash.hpp"
 #include "util/thread_pool.hpp"
 
@@ -59,21 +62,94 @@ ScCheckerConfig checker_config(const Protocol& p, const McOptions& opt,
                          opt.observer.coherence_only};
 }
 
-std::string state_key(const Protocol&, const McOptions& opt,
-                      const Entry& e) {
+/// Reusable per-worker scratch for serializing product states: the writer
+/// buffer and the observer's ID-canonicalization map.  Reusing both kills
+/// the per-transition heap allocations of the old string-keyed path.
+struct KeyScratch {
   ByteWriter w;
-  w.bytes(e.proto);
+  std::vector<GraphId> id_canon;
+};
+
+/// Serializes the canonical product state of `e` into `ks.w` (cleared
+/// first) and returns a view of the bytes, valid until the next call on
+/// the same scratch.
+std::span<const std::uint8_t> state_key(const McOptions& opt, const Entry& e,
+                                        KeyScratch& ks) {
+  ks.w.clear();
+  ks.w.bytes(e.proto);
   if (!opt.protocol_only) {
     // Canonical (symmetry-reduced) serialization: the observer renames its
     // live nodes into discovery order and hands the checker the same
     // renaming, so states differing only in ID/slot naming coincide.
-    std::vector<GraphId> id_canon;
-    e.obs.serialize(w, &id_canon);
-    e.chk.serialize_canonical(w, id_canon);
+    e.obs.serialize(ks.w, &ks.id_canon);
+    e.chk.serialize_canonical(ks.w, ks.id_canon);
   }
-  const auto& bytes = w.data();
-  return std::string(reinterpret_cast<const char*>(bytes.data()),
-                     bytes.size());
+  return ks.w.data();
+}
+
+/// Visited-state store: one 128-bit fingerprint per state by default
+/// (16 bytes/slot, flat open-addressing table), or the full serialized
+/// key behind McOptions::exact_states — the differential-testing escape
+/// hatch for fingerprint collisions (see DESIGN.md).
+class StateStore {
+ public:
+  explicit StateStore(bool exact) : exact_(exact) {}
+
+  /// Returns true iff the state was not already present.  `key` is only
+  /// read in exact mode; `fp` must be its fingerprint.
+  bool insert(std::span<const std::uint8_t> key, Fingerprint fp) {
+    if (!exact_) return fps_.insert(fp);
+    return keys_
+        .emplace(reinterpret_cast<const char*>(key.data()), key.size())
+        .second;
+  }
+
+  [[nodiscard]] std::size_t occupied() const noexcept {
+    return exact_ ? keys_.size() : fps_.size();
+  }
+  [[nodiscard]] std::size_t slots() const noexcept {
+    return exact_ ? keys_.bucket_count() : fps_.capacity();
+  }
+
+  /// Resident-set estimate.  Exact mode charges each state one hash node
+  /// (bucket chain pointer + cached hash + std::string header) plus the
+  /// key's heap buffer when it escapes the small-string optimization,
+  /// plus the bucket array.  Both per-state allocations are rounded up to
+  /// the allocator's chunk granularity (glibc: 8-byte header, 16-byte
+  /// alignment, 32-byte minimum chunk) — measured against mallinfo2 this
+  /// matches std::unordered_set<std::string> within a few percent.
+  [[nodiscard]] std::size_t memory_bytes(
+      std::size_t state_bytes) const noexcept {
+    if (!exact_) return fps_.memory_bytes();
+    const auto chunk = [](std::size_t payload) noexcept {
+      return std::max<std::size_t>(32, (payload + 8 + 15) / 16 * 16);
+    };
+    const std::size_t node = chunk(2 * sizeof(void*) + sizeof(std::string));
+    const std::size_t heap =
+        state_bytes > 15 ? chunk(state_bytes + 1) : 0;
+    return keys_.size() * (node + heap) +
+           keys_.bucket_count() * sizeof(void*);
+  }
+
+ private:
+  bool exact_;
+  FingerprintSet fps_;
+  std::unordered_set<std::string> keys_;
+};
+
+void fill_store_stats(McResult& result, std::span<const StateStore> stores) {
+  std::size_t occupied = 0;
+  std::size_t slots = 0;
+  std::size_t bytes = 0;
+  for (const StateStore& s : stores) {
+    occupied += s.occupied();
+    slots += s.slots();
+    bytes += s.memory_bytes(result.state_bytes);
+  }
+  result.store_bytes = bytes;
+  result.store_load_factor =
+      slots == 0 ? 0.0
+                 : static_cast<double>(occupied) / static_cast<double>(slots);
 }
 
 /// Re-executes `path` from the initial state, recording each step's action
@@ -195,25 +271,30 @@ McResult finish_failure(const Protocol& proto, const McOptions& opt,
 McResult run_sequential(const Protocol& proto, const McOptions& opt) {
   McResult result;
   const auto t0 = std::chrono::steady_clock::now();
+  StateStore visited(opt.exact_states);
   const auto finish = [&](McVerdict v) {
     result.verdict = v;
+    fill_store_stats(result, {&visited, 1});
     result.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     return result;
   };
 
-  std::unordered_set<std::string> visited;
   std::vector<Meta> meta;
+  KeyScratch ks;
 
   Entry init{std::vector<std::uint8_t>(proto.state_size()),
              Observer(proto, opt.observer), ScChecker({1, 1, 1, 1}), 0};
   proto.initial_state(init.proto);
   init.chk = ScChecker(checker_config(proto, opt, init.obs));
-  visited.insert(state_key(proto, opt, init));
+  {
+    const auto key = state_key(opt, init, ks);
+    result.state_bytes = key.size();
+    visited.insert(key, fingerprint128(key));
+  }
   meta.push_back(Meta{});
   result.states = 1;
-  result.state_bytes = state_key(proto, opt, init).size();
 
   std::vector<Entry> frontier;
   frontier.push_back(std::move(init));
@@ -232,6 +313,7 @@ McResult run_sequential(const Protocol& proto, const McOptions& opt) {
         const StepOutcome outcome =
             expand_one(proto, opt, e, t, succ, scratch);
         if (outcome != StepOutcome::Ok) {
+          fill_store_stats(result, {&visited, 1});
           result.seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - t0)
                                .count();
@@ -240,8 +322,8 @@ McResult run_sequential(const Protocol& proto, const McOptions& opt) {
         }
         result.peak_live_nodes =
             std::max(result.peak_live_nodes, succ.obs.peak_live_nodes());
-        auto [it, inserted] = visited.insert(state_key(proto, opt, succ));
-        if (inserted) {
+        const auto key = state_key(opt, succ, ks);
+        if (visited.insert(key, fingerprint128(key))) {
           succ.idx = static_cast<std::uint32_t>(meta.size());
           meta.push_back(Meta{e.idx, t});
           next.push_back(std::move(succ));
@@ -265,20 +347,33 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
   const std::size_t shards = opt.threads;
   ThreadPool pool(opt.threads);
 
-  std::vector<std::unordered_set<std::string>> visited(shards);
+  std::vector<StateStore> visited(shards, StateStore(opt.exact_states));
   std::vector<Meta> meta;
+
+  std::atomic<std::uint64_t> transitions{0};
+  std::atomic<std::uint64_t> peak_live{0};
+
+  const auto finish = [&](McVerdict v) {
+    result.verdict = v;
+    result.transitions = transitions.load();
+    result.peak_live_nodes = peak_live.load();
+    fill_store_stats(result, visited);
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  };
 
   Entry init{std::vector<std::uint8_t>(proto.state_size()),
              Observer(proto, opt.observer), ScChecker({1, 1, 1, 1}), 0};
   proto.initial_state(init.proto);
   init.chk = ScChecker(checker_config(proto, opt, init.obs));
   {
-    const std::string key = state_key(proto, opt, init);
+    KeyScratch ks;
+    const auto key = state_key(opt, init, ks);
     result.state_bytes = key.size();
-    visited[fnv1a64({reinterpret_cast<const std::uint8_t*>(key.data()),
-                     key.size()}) %
-            shards]
-        .insert(key);
+    const Fingerprint fp = fingerprint128(key);
+    visited[fp.lo % shards].insert(key, fp);
   }
   meta.push_back(Meta{});
   result.states = 1;
@@ -287,7 +382,8 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
   frontier.push_back(std::move(init));
 
   struct Candidate {
-    std::string key;
+    Fingerprint fp;
+    std::string key;  ///< full serialized key (exact mode only)
     Entry entry;
     std::uint32_t parent;
     Transition via;
@@ -297,39 +393,36 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
       opt.threads,
       std::vector<std::vector<Candidate>>(shards));
 
+  // Per-worker reusable scratch, allocated once for the whole search.
+  struct WorkerScratch {
+    std::vector<Transition> transitions;
+    std::vector<Symbol> symbols;
+    KeyScratch key;
+  };
+  std::vector<WorkerScratch> scratch(opt.threads);
+
   std::atomic<bool> failed{false};
   std::mutex failure_mu;
   StepOutcome failure_outcome = StepOutcome::Ok;
   std::uint32_t failure_parent = 0;
   Transition failure_via{};
-  std::atomic<std::uint64_t> transitions{0};
-  std::atomic<std::uint64_t> peak_live{0};
 
   while (!frontier.empty()) {
-    if (result.depth >= opt.max_depth ||
-        result.states >= opt.max_states) {
-      result.verdict = McVerdict::StateLimit;
-      result.transitions = transitions.load();
-      result.seconds = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count();
-      return result;
-    }
+    if (result.depth >= opt.max_depth) return finish(McVerdict::StateLimit);
 
     // Phase 1: expand this level, bucketing successors by shard.
     pool.run_on_all([&](std::size_t w) {
-      std::vector<Transition> local_transitions;
-      std::vector<Symbol> scratch;
+      WorkerScratch& ws = scratch[w];
       for (std::size_t i = w; i < frontier.size(); i += opt.threads) {
         if (failed.load(std::memory_order_relaxed)) return;
         const Entry& e = frontier[i];
-        local_transitions.clear();
-        proto.enumerate(e.proto, local_transitions);
-        for (const Transition& t : local_transitions) {
+        ws.transitions.clear();
+        proto.enumerate(e.proto, ws.transitions);
+        for (const Transition& t : ws.transitions) {
           transitions.fetch_add(1, std::memory_order_relaxed);
-          Candidate cand{{}, Entry{{}, e.obs, e.chk, 0}, e.idx, t};
+          Candidate cand{{}, {}, Entry{{}, e.obs, e.chk, 0}, e.idx, t};
           const StepOutcome outcome =
-              expand_one(proto, opt, e, t, cand.entry, scratch);
+              expand_one(proto, opt, e, t, cand.entry, ws.symbols);
           if (outcome != StepOutcome::Ok) {
             std::lock_guard lock(failure_mu);
             if (!failed.exchange(true)) {
@@ -344,12 +437,13 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
           while (mine > seen &&
                  !peak_live.compare_exchange_weak(seen, mine)) {
           }
-          cand.key = state_key(proto, opt, cand.entry);
-          const std::size_t shard =
-              fnv1a64({reinterpret_cast<const std::uint8_t*>(
-                           cand.key.data()),
-                       cand.key.size()}) %
-              shards;
+          const auto key = state_key(opt, cand.entry, ws.key);
+          cand.fp = fingerprint128(key);
+          if (opt.exact_states) {
+            cand.key.assign(reinterpret_cast<const char*>(key.data()),
+                            key.size());
+          }
+          const std::size_t shard = cand.fp.lo % shards;
           buckets[w][shard].push_back(std::move(cand));
         }
       }
@@ -358,6 +452,7 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
     if (failed.load()) {
       result.transitions = transitions.load();
       result.peak_live_nodes = peak_live.load();
+      fill_store_stats(result, visited);
       result.seconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
                            .count();
@@ -370,7 +465,10 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
     pool.run_on_all([&](std::size_t shard) {
       for (std::size_t w = 0; w < opt.threads; ++w) {
         for (Candidate& cand : buckets[w][shard]) {
-          if (visited[shard].insert(cand.key).second) {
+          const std::span<const std::uint8_t> key{
+              reinterpret_cast<const std::uint8_t*>(cand.key.data()),
+              cand.key.size()};
+          if (visited[shard].insert(key, cand.fp)) {
             accepted[shard].push_back(std::move(cand));
           }
         }
@@ -378,7 +476,9 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
       }
     });
 
-    // Phase 3: sequential merge assigns global indexes.
+    // Phase 3: sequential merge assigns global indexes.  The state budget
+    // is enforced per insertion, exactly as in run_sequential, so both
+    // report identical StateLimit verdicts and state counts.
     std::vector<Entry> next;
     for (auto& shard_accepted : accepted) {
       for (Candidate& cand : shard_accepted) {
@@ -386,6 +486,9 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
         meta.push_back(Meta{cand.parent, cand.via});
         next.push_back(std::move(cand.entry));
         ++result.states;
+        if (result.states >= opt.max_states) {
+          return finish(McVerdict::StateLimit);
+        }
       }
     }
     result.peak_frontier = std::max(result.peak_frontier, next.size());
@@ -393,13 +496,7 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
     ++result.depth;
   }
 
-  result.verdict = McVerdict::Verified;
-  result.transitions = transitions.load();
-  result.peak_live_nodes = peak_live.load();
-  result.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  return result;
+  return finish(McVerdict::Verified);
 }
 
 }  // namespace

@@ -54,6 +54,12 @@ struct McOptions {
   /// Explore the bare protocol without observer/checker (for measuring the
   /// observer's state-space overhead).
   bool protocol_only = false;
+  /// Keep the full serialized key of every visited state instead of its
+  /// 128-bit fingerprint.  An order of magnitude more memory per state;
+  /// used for differential testing of the fingerprint store (fingerprint
+  /// collisions could silently prune states — see DESIGN.md for the
+  /// ~n^2/2^129 birthday bound).
+  bool exact_states = false;
 };
 
 struct CounterexampleStep {
@@ -69,6 +75,11 @@ struct McResult {
   std::size_t peak_frontier = 0;
   std::size_t peak_live_nodes = 0;  ///< max observer active-graph size seen
   std::size_t state_bytes = 0;      ///< size of one serialized product state
+  /// Resident-set estimate of the visited-state store (all shards): flat
+  /// table bytes in fingerprint mode, string + node + bucket estimate in
+  /// exact mode.
+  std::size_t store_bytes = 0;
+  double store_load_factor = 0.0;  ///< occupancy of the visited-state store
   double seconds = 0.0;
   std::string reason;  ///< reject reason / error message
   std::vector<CounterexampleStep> counterexample;
@@ -77,6 +88,14 @@ struct McResult {
   /// (1-based trace positions).  The cycle is the Lemma 3.1 witness that
   /// the trace has no serial reordering.
   std::vector<std::string> cycle;
+
+  /// Visited-store resident bytes per distinct state — the headline memory
+  /// metric tracked by bench_parallel_mc (BENCH_mc.json).
+  [[nodiscard]] double bytes_per_state() const {
+    return states == 0 ? 0.0
+                       : static_cast<double>(store_bytes) /
+                             static_cast<double>(states);
+  }
 
   [[nodiscard]] std::string summary() const;
 };

@@ -49,6 +49,11 @@ class ByteWriter {
     buf().insert(buf().end(), b.begin(), b.end());
   }
 
+  /// Drops the contents but keeps the allocation, so one writer can be
+  /// reused as a scratch buffer across many serializations (the model
+  /// checker serializes one product state per transition).
+  void clear() noexcept { buf().clear(); }
+
   [[nodiscard]] const std::vector<std::uint8_t>& data() const {
     return out_ ? *out_ : own_;
   }

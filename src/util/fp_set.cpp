@@ -1,0 +1,56 @@
+#include "util/fp_set.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+namespace {
+constexpr std::size_t kMinCapacity = 64;
+}  // namespace
+
+FingerprintSet::FingerprintSet(std::size_t expected) {
+  // Size so that `expected` entries stay under the 3/4 growth threshold.
+  std::size_t cap = kMinCapacity;
+  while (cap * 3 < expected * 4) cap <<= 1;
+  slots_.assign(cap, Fingerprint{});
+  mask_ = cap - 1;
+}
+
+bool FingerprintSet::insert(Fingerprint fp) {
+  SCV_EXPECTS(!fp.is_zero());
+  if ((size_ + 1) * 4 > slots_.size() * 3) grow();
+  std::size_t i = fp.hi & mask_;
+  while (!slots_[i].is_zero()) {
+    if (slots_[i] == fp) return false;
+    i = (i + 1) & mask_;
+  }
+  slots_[i] = fp;
+  ++size_;
+  return true;
+}
+
+bool FingerprintSet::contains(Fingerprint fp) const noexcept {
+  if (fp.is_zero()) return false;
+  std::size_t i = fp.hi & mask_;
+  while (!slots_[i].is_zero()) {
+    if (slots_[i] == fp) return true;
+    i = (i + 1) & mask_;
+  }
+  return false;
+}
+
+void FingerprintSet::grow() {
+  std::vector<Fingerprint> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Fingerprint{});
+  mask_ = slots_.size() - 1;
+  for (const Fingerprint& fp : old) {
+    if (fp.is_zero()) continue;
+    std::size_t i = fp.hi & mask_;
+    while (!slots_[i].is_zero()) i = (i + 1) & mask_;
+    slots_[i] = fp;
+  }
+}
+
+}  // namespace scv

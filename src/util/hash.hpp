@@ -29,6 +29,17 @@ namespace scv {
   return x ^ (x >> 31);
 }
 
+/// MurmurHash3 fmix64: a second high-quality mixer, independent of mix64.
+/// The 128-bit state fingerprints run both over the same stream.
+[[nodiscard]] constexpr std::uint64_t mix64_alt(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
 /// Combine an existing hash with a new value (order-sensitive).
 [[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
                                                    std::uint64_t v) noexcept {

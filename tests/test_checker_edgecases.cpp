@@ -48,13 +48,22 @@ TEST(Alias, StrippingAliasKeepsObligations) {
   EXPECT_NE(c.reject_reason().find("inheritance"), std::string::npos);
 }
 
-TEST(Alias, AddIdOntoDeadIdActsAsRelease) {
+TEST(Alias, AddIdFromNullIdActsAsRelease) {
+  auto c = checker();  // k = 12, reserved null ID = 13
+  ASSERT_EQ(c.feed(NodeDesc{1, make_store(0, 0, 1)}), Status::Ok);
+  // add-ID(null, 1) unbinds 1 and retires the store — legal (sole store
+  // of its block, no obligations).
+  EXPECT_EQ(c.feed(AddId{13, 1}), Status::Ok) << c.reject_reason();
+  EXPECT_EQ(c.active_nodes(), 0u);
+}
+
+TEST(Alias, AddIdFromDanglingIdRejected) {
   auto c = checker();
   ASSERT_EQ(c.feed(NodeDesc{1, make_store(0, 0, 1)}), Status::Ok);
-  // ID 9 bound to nothing: add-ID(9, 1) unbinds 1 and retires the store —
-  // legal (sole store of its block, no obligations).
-  EXPECT_EQ(c.feed(AddId{9, 1}), Status::Ok) << c.reject_reason();
-  EXPECT_EQ(c.active_nodes(), 0u);
+  // ID 9 is bound to nothing and is not the reserved null ID: the alias
+  // source is dangling, so the descriptor is malformed.
+  EXPECT_EQ(c.feed(AddId{9, 1}), Status::Reject);
+  EXPECT_NE(c.reject_reason().find("not bound"), std::string::npos);
 }
 
 // ----------------------------------------------- retirement corner cases

@@ -86,6 +86,22 @@ TEST(CycleChecker, StrippingOneAliasKeepsNodeAlive) {
   EXPECT_EQ(c.feed(EdgeDesc{2, 1}), CycleChecker::Status::Reject);
 }
 
+TEST(CycleChecker, DanglingAddIdRejected) {
+  // add-ID whose `existing` is neither bound nor the reserved null ID
+  // (k+1) is a malformed descriptor: the alias would silently vanish.
+  CycleChecker c(3);
+  EXPECT_EQ(c.feed(NodeDesc{1}), CycleChecker::Status::Ok);
+  EXPECT_EQ(c.feed(AddId{2, 1}), CycleChecker::Status::Reject);
+  EXPECT_NE(c.reject_reason().find("not bound"), std::string::npos);
+}
+
+TEST(CycleChecker, NullIdReleaseStillAccepted) {
+  CycleChecker c(3);  // reserved null ID = 4
+  EXPECT_EQ(c.feed(NodeDesc{1}), CycleChecker::Status::Ok);
+  EXPECT_EQ(c.feed(AddId{4, 1}), CycleChecker::Status::Ok);
+  EXPECT_EQ(c.active_nodes(), 0u);
+}
+
 TEST(CycleChecker, UnboundEdgeRejected) {
   CycleChecker c(2);
   EXPECT_EQ(feed_all(c, {NodeDesc{1}, EdgeDesc{1, 3}}),

@@ -1,0 +1,102 @@
+// Tests for the 128-bit fingerprint state store: hash determinism and
+// sensitivity, open-addressing set mechanics across growth, and a large
+// differential run against std::unordered_set<std::string> — the exact
+// store the model checker used before fingerprints.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/fingerprint.hpp"
+#include "util/fp_set.hpp"
+#include "util/rng.hpp"
+
+namespace scv {
+namespace {
+
+std::span<const std::uint8_t> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Fingerprint, DeterministicAndNeverZero) {
+  const std::string key = "canonical product state bytes";
+  EXPECT_EQ(fingerprint128(as_bytes(key)), fingerprint128(as_bytes(key)));
+  EXPECT_FALSE(fingerprint128(as_bytes(key)).is_zero());
+  EXPECT_FALSE(fingerprint128({}).is_zero());
+}
+
+TEST(Fingerprint, SensitiveToContentAndLength) {
+  const std::string a(32, 'x');
+  std::string b = a;
+  b[17] ^= 1;
+  EXPECT_NE(fingerprint128(as_bytes(a)), fingerprint128(as_bytes(b)));
+  // A strict prefix (same words, shorter tail) must differ too.
+  std::string c = a + std::string(1, '\0');
+  EXPECT_NE(fingerprint128(as_bytes(a)), fingerprint128(as_bytes(c)));
+  // Both lanes react, not just one.
+  const Fingerprint fa = fingerprint128(as_bytes(a));
+  const Fingerprint fb = fingerprint128(as_bytes(b));
+  EXPECT_NE(fa.lo, fb.lo);
+  EXPECT_NE(fa.hi, fb.hi);
+}
+
+TEST(FingerprintSet, InsertContainsAndGrowth) {
+  FingerprintSet set;
+  const std::size_t n = 200'000;  // forces many doublings from 64 slots
+  for (std::size_t i = 0; i < n; ++i) {
+    const Fingerprint fp{mix64(i + 1), mix64_alt(i + 1)};
+    EXPECT_FALSE(set.contains(fp));
+    EXPECT_TRUE(set.insert(fp));
+    EXPECT_FALSE(set.insert(fp));  // duplicate
+    EXPECT_TRUE(set.contains(fp));
+  }
+  EXPECT_EQ(set.size(), n);
+  // Power-of-two capacity, load kept at or under the 3/4 growth threshold.
+  EXPECT_EQ(set.capacity() & (set.capacity() - 1), 0u);
+  EXPECT_LE(set.load_factor(), 0.75);
+  EXPECT_EQ(set.memory_bytes(), set.capacity() * sizeof(Fingerprint));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(set.contains(Fingerprint{mix64(i + 1), mix64_alt(i + 1)}));
+  }
+}
+
+TEST(FingerprintSet, PresizedConstructorHoldsExpectedWithoutGrowth) {
+  FingerprintSet set(100'000);
+  const std::size_t cap = set.capacity();
+  for (std::size_t i = 0; i < 100'000; ++i) {
+    set.insert(Fingerprint{mix64(i + 1), mix64_alt(i + 1)});
+  }
+  EXPECT_EQ(set.capacity(), cap);
+}
+
+TEST(FingerprintSet, DifferentialAgainstStringSet) {
+  // >= 100k keys with deliberate duplicates: every insert must agree with
+  // std::unordered_set<std::string> on new-vs-seen, and the final sizes
+  // must match.  (A disagreement would mean a fingerprint collision;
+  // at this scale the probability is ~ 1e-29.)
+  Xoshiro256 rng(20'260'806);
+  FingerprintSet fps;
+  std::unordered_set<std::string> strings;
+  std::vector<std::string> pool;
+  for (std::size_t i = 0; i < 150'000; ++i) {
+    std::string key;
+    if (!pool.empty() && rng.below(4) == 0) {
+      key = pool[rng.below(pool.size())];  // forced duplicate
+    } else {
+      const std::size_t len = rng.below(64);
+      key.reserve(len);
+      for (std::size_t j = 0; j < len; ++j) {
+        key.push_back(static_cast<char>(rng.below(256)));
+      }
+      if (pool.size() < 4096) pool.push_back(key);
+    }
+    const bool fresh_string = strings.insert(key).second;
+    const bool fresh_fp = fps.insert(fingerprint128(as_bytes(key)));
+    ASSERT_EQ(fresh_string, fresh_fp) << "at key " << i;
+  }
+  EXPECT_EQ(fps.size(), strings.size());
+}
+
+}  // namespace
+}  // namespace scv

@@ -187,6 +187,87 @@ TEST(Parallel, ProtocolOnlyCountsMatch) {
   EXPECT_EQ(r.states, 9u);
 }
 
+TEST(Parallel, SequentialParityUnderTightStateLimit) {
+  // Sequential and parallel runs must report the same verdict and state
+  // count when the state budget bites: both enforce max_states per
+  // insertion (the parallel path used to check only between BFS levels).
+  const auto parity = [](const Protocol& proto, std::size_t max_states) {
+    McOptions seq;
+    seq.max_states = max_states;
+    McOptions par = seq;
+    par.threads = 3;
+    const McResult rs = model_check(proto, seq);
+    const McResult rp = model_check(proto, par);
+    EXPECT_EQ(rs.verdict, rp.verdict)
+        << proto.name() << ": " << rs.summary() << " vs " << rp.summary();
+    EXPECT_EQ(rs.states, rp.states) << proto.name();
+    // Regression for the parallel StateLimit path dropping stats.
+    EXPECT_GT(rp.peak_live_nodes, 0u) << proto.name();
+    EXPECT_GT(rp.transitions, 0u) << proto.name();
+  };
+  {
+    MsiBus proto(2, 1, 1);
+    parity(proto, 400);
+  }
+  {
+    LazyCaching proto(2, 1, 1, 1, 2);
+    parity(proto, 400);
+  }
+}
+
+// ------------------------------------------- fingerprint vs exact store
+
+TEST(Verify, ExactStoreMatchesFingerprintStore) {
+  // McOptions::exact_states keeps full serialized keys; verdicts and state
+  // counts must match the default fingerprint store on every bundled
+  // protocol family (a mismatch would expose a fingerprint collision or a
+  // store bug), while the fingerprint store stays far smaller.
+  const auto check = [](const Protocol& proto) {
+    McOptions fp;
+    McOptions exact;
+    exact.exact_states = true;
+    const McResult rf = model_check(proto, fp);
+    const McResult re = model_check(proto, exact);
+    EXPECT_EQ(rf.verdict, re.verdict)
+        << proto.name() << ": " << rf.summary() << " vs " << re.summary();
+    EXPECT_EQ(rf.states, re.states) << proto.name();
+    EXPECT_EQ(rf.depth, re.depth) << proto.name();
+    EXPECT_GT(rf.store_bytes, 0u);
+    // The flat fingerprint table starts at a fixed minimum capacity, so
+    // only compare footprints once the state count dwarfs it.
+    if (rf.states > 1000) {
+      EXPECT_GT(re.store_bytes, rf.store_bytes) << proto.name();
+    }
+  };
+  check(SerialMemory(2, 2, 1));
+  check(MsiBus(2, 1, 1));
+  check(LazyCaching(2, 1, 1, 1, 2));
+  check(WriteBuffer(2, 2, 1, 1, false));
+}
+
+TEST(Parallel, ExactStoreMatchesFingerprintStore) {
+  MsiBus proto(2, 1, 1);
+  McOptions fp;
+  fp.threads = 2;
+  McOptions exact = fp;
+  exact.exact_states = true;
+  const McResult rf = model_check(proto, fp);
+  const McResult re = model_check(proto, exact);
+  EXPECT_EQ(rf.verdict, re.verdict);
+  EXPECT_EQ(rf.states, re.states);
+  EXPECT_EQ(rf.depth, re.depth);
+}
+
+TEST(Verify, StoreStatsAreReported) {
+  MsiBus proto(2, 1, 1);
+  const McResult r = verify_sc(proto);
+  EXPECT_GT(r.state_bytes, 0u);
+  EXPECT_GT(r.store_bytes, 0u);
+  EXPECT_GT(r.store_load_factor, 0.0);
+  EXPECT_LE(r.store_load_factor, 1.0);
+  EXPECT_GT(r.bytes_per_state(), 0.0);
+}
+
 // ---------------------------------------------------------- reporting
 
 TEST(Verify, SummaryMentionsVerdictAndCounts) {

@@ -24,6 +24,7 @@ struct ObservedRun {
   std::vector<Symbol> symbols;
   ObserverStatus status = ObserverStatus::Ok;
   std::size_t peak_live = 0;
+  std::size_t bandwidth = 0;
   std::string error;
 };
 
@@ -45,6 +46,7 @@ ObservedRun observe_walk(const Protocol& proto, std::size_t steps,
     }
   }
   run.peak_live = obs.peak_live_nodes();
+  run.bandwidth = obs.bandwidth();
   return run;
 }
 
@@ -146,7 +148,10 @@ TEST(Observer, LazyCachingRunsAreAcceptedByChecker) {
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     const auto run = observe_walk(proto, 300, seed);
     ASSERT_EQ(run.status, ObserverStatus::Ok) << run.error;
-    ScChecker chk(ScCheckerConfig{kMaxBandwidth, 2, 2, 2});
+    // The checker's k must match the stream's bandwidth: the observer's
+    // null-ID releases land on its own k+1, and any other unbound add-ID
+    // source is rejected as dangling.
+    ScChecker chk(ScCheckerConfig{run.bandwidth, 2, 2, 2});
     for (const Symbol& s : run.symbols) {
       ASSERT_EQ(chk.feed(s), ScChecker::Status::Ok)
           << chk.reject_reason() << " seed " << seed;

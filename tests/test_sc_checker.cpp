@@ -231,7 +231,16 @@ TEST(ScChecker, ForcedEdgeMustLandOnStoSuccessor) {
   ASSERT_EQ(c2.feed(EdgeDesc{1, 3, kAnnoPo}), Status::Ok);
   ASSERT_EQ(c2.feed(EdgeDesc{1, 3, kAnnoSto}), Status::Ok);
   ASSERT_EQ(c2.feed(EdgeDesc{2, 3, kAnnoForced}), Status::Ok);
-  EXPECT_EQ(c2.feed(AddId{8, 2}), Status::Ok) << c2.reject_reason();
+  EXPECT_EQ(c2.feed(AddId{9, 2}), Status::Ok) << c2.reject_reason();
+}
+
+TEST(ScChecker, DanglingAddIdRejected) {
+  // add-ID whose `existing` is neither bound nor the reserved null ID
+  // (k+1) is a malformed descriptor: the alias source is dangling.
+  auto c = make_checker(4, 2, 1, 1);  // null ID = 5
+  (void)c.feed(NodeDesc{1, make_store(0, 0, 1)});
+  EXPECT_EQ(c.feed(AddId{3, 1}), Status::Reject);
+  EXPECT_NE(c.reject_reason().find("not bound"), std::string::npos);
 }
 
 TEST(ScChecker, ForcedEdgeFromStoreRejected) {
