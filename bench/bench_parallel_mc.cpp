@@ -1,51 +1,86 @@
 // Experiment PAR — the HPC substrate: level-synchronized parallel BFS over
-// the observer–checker product, sharded visited sets.  Reports wall time
-// and speedup for 1/2/4 worker threads (this host may be single-core, in
-// which case the table documents the synchronization overhead instead).
+// the observer–checker product with a shared concurrent fingerprint store
+// and a compact serialized frontier.  Sweeps 1/2/4/8 worker threads in both
+// visited-store modes (128-bit fingerprints vs full serialized keys,
+// `McOptions::exact_states`) and writes states/s, speedup over the
+// single-thread sequential engine, parallel efficiency, and peak frontier
+// bytes to BENCH_mc.json so the perf trajectory is tracked across PRs.
 //
-// Also the memory experiment for the compact fingerprint state store: the
-// same search with 128-bit fingerprints vs full serialized keys
-// (`McOptions::exact_states`), with verdict/state-count parity checked and
-// states/s + bytes/state written to BENCH_mc.json so the perf trajectory
-// is tracked across PRs.
+// On a single-core host the sweep still shows >1x "speedup": the parallel
+// engine dedups successors against the visited store before materializing
+// them, so it skips the per-transition heap allocation the sequential
+// engine pays.  That algorithmic gain is what the table documents there;
+// on real multi-core hardware thread-level parallelism stacks on top.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <fstream>
 #include <thread>
+#include <vector>
 
 #include "core/verifier.hpp"
-#include "protocol/directory.hpp"
 #include "protocol/msi_bus.hpp"
 
 namespace {
 
 using namespace scv;
 
-void scaling_rows(const Protocol& proto, const char* params) {
-  double base = 0.0;
-  for (const std::size_t threads : {1u, 2u, 4u}) {
-    McOptions opt;
-    opt.threads = threads;
-    opt.max_states = 5'000'000;
-    const McResult r = model_check(proto, opt);
-    if (threads == 1) base = r.seconds;
-    std::printf("  %-14s %-10s | %zu thread%s | %-10s | %8zu states | "
-                "%6.2fs | speedup x%.2f\n",
-                proto.name().c_str(), params, threads,
-                threads == 1 ? " " : "s", to_string(r.verdict).c_str(),
-                r.states, r.seconds, base / r.seconds);
-    std::fflush(stdout);
+constexpr std::size_t kMaxStates = 360'000;
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kReps = 2;  // best-of-N to damp scheduler noise
+
+struct SweepPoint {
+  std::size_t threads = 0;
+  McResult result;
+};
+
+/// Runs one configuration kReps times and keeps the fastest run (verdict
+/// and state counts are identical across reps by construction).
+McResult best_of(const Protocol& proto, const McOptions& opt) {
+  McResult best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    McResult r = model_check(proto, opt);
+    if (rep == 0 || r.seconds < best.seconds) best = std::move(r);
   }
+  return best;
 }
 
-void store_row(const char* mode, const McResult& r) {
-  std::printf("  %-12s | %-10s | %8zu states | %10.0f states/s | "
-              "%6.1f B/state | load %.2f | key %zu B\n",
-              mode, to_string(r.verdict).c_str(), r.states,
-              r.seconds > 0 ? static_cast<double>(r.states) / r.seconds : 0,
-              r.bytes_per_state(), r.store_load_factor, r.state_bytes);
-  std::fflush(stdout);
+double states_per_sec(const McResult& r) {
+  return r.seconds > 0 ? static_cast<double>(r.states) / r.seconds : 0;
+}
+
+std::vector<SweepPoint> sweep(const Protocol& proto, bool exact) {
+  std::vector<SweepPoint> points;
+  for (const std::size_t threads : kThreadCounts) {
+    McOptions opt;
+    opt.threads = threads;
+    opt.max_states = kMaxStates;
+    opt.exact_states = exact;
+    points.push_back({threads, best_of(proto, opt)});
+    const McResult& r = points.back().result;
+    const double base = points.front().result.seconds;
+    std::printf("  %-11s | %zu thread%s | %-10s | %8zu states | %6.2fs | "
+                "%8.0f states/s | speedup x%.2f | frontier %zu B\n",
+                exact ? "exact" : "fingerprint", threads,
+                threads == 1 ? " " : "s", to_string(r.verdict).c_str(),
+                r.states, r.seconds, states_per_sec(r), base / r.seconds,
+                r.frontier_bytes);
+    std::fflush(stdout);
+  }
+  return points;
+}
+
+void json_point(std::ofstream& out, const SweepPoint& p, double base_secs) {
+  const McResult& r = p.result;
+  const double speedup = r.seconds > 0 ? base_secs / r.seconds : 0;
+  out << "      {\"threads\": " << p.threads << ", \"verdict\": \""
+      << to_string(r.verdict) << "\", \"states\": " << r.states
+      << ", \"transitions\": " << r.transitions
+      << ", \"seconds\": " << r.seconds
+      << ", \"states_per_sec\": " << states_per_sec(r)
+      << ", \"speedup\": " << speedup << ", \"efficiency\": "
+      << speedup / static_cast<double>(p.threads)
+      << ", \"frontier_bytes\": " << r.frontier_bytes << "}";
 }
 
 void json_mode(std::ofstream& out, const char* name, const McResult& r) {
@@ -54,9 +89,7 @@ void json_mode(std::ofstream& out, const char* name, const McResult& r) {
       << "      \"states\": " << r.states << ",\n"
       << "      \"transitions\": " << r.transitions << ",\n"
       << "      \"seconds\": " << r.seconds << ",\n"
-      << "      \"states_per_sec\": "
-      << (r.seconds > 0 ? static_cast<double>(r.states) / r.seconds : 0)
-      << ",\n"
+      << "      \"states_per_sec\": " << states_per_sec(r) << ",\n"
       << "      \"trans_per_sec\": "
       << (r.seconds > 0 ? static_cast<double>(r.transitions) / r.seconds : 0)
       << ",\n"
@@ -67,53 +100,78 @@ void json_mode(std::ofstream& out, const char* name, const McResult& r) {
       << "    }";
 }
 
-/// Fingerprint vs exact store on the MSI bus protocol; emits BENCH_mc.json.
-void store_comparison() {
-  std::printf("== MEM: fingerprint vs exact visited-state store ==\n");
+void json_sweep(std::ofstream& out, const char* name,
+                const std::vector<SweepPoint>& points) {
+  const double base = points.front().result.seconds;
+  out << "    \"" << name << "\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    json_point(out, points[i], base);
+    out << (i + 1 < points.size() ? ",\n" : "\n");
+  }
+  out << "    ]";
+}
+
+/// Thread-scaling sweep in both store modes plus the fingerprint-vs-exact
+/// memory comparison; emits BENCH_mc.json.
+void run_experiments() {
   // Two blocks so the canonical key (45 B) escapes the small-string
-  // optimization, as real workloads do.  The state budget bounds the run
-  // to a few seconds and lands the fingerprint table near its steady
-  // operating load (just under the 3/4 growth threshold); the per-insertion
-  // limit makes both modes stop at exactly the same state.
+  // optimization, as real workloads do.  The state budget bounds each run
+  // to a few seconds; the per-insertion limit makes every configuration
+  // stop at exactly the same state count, so states/s is comparable.
   MsiBus proto(2, 2, 1);
-  McOptions fp_opt;
-  fp_opt.max_states = 360'000;
-  McOptions ex_opt = fp_opt;
-  ex_opt.exact_states = true;
-  const McResult fp = model_check(proto, fp_opt);
-  const McResult ex = model_check(proto, ex_opt);
-  store_row("fingerprint", fp);
-  store_row("exact", ex);
-  const bool parity = fp.verdict == ex.verdict && fp.states == ex.states;
-  const double ratio =
-      fp.bytes_per_state() > 0 ? ex.bytes_per_state() / fp.bytes_per_state()
-                               : 0;
-  std::printf("  parity: %s | bytes/state ratio (exact/fingerprint): "
-              "x%.1f\n\n",
-              parity ? "OK (verdict+states identical)" : "MISMATCH", ratio);
+
+  std::printf("== PAR: parallel model-checking scaling (MsiBus p2 b2 v1, "
+              "max_states %zu) ==\n",
+              kMaxStates);
+  std::printf("(hardware threads available: %u; best of %d reps)\n\n",
+              std::thread::hardware_concurrency(), kReps);
+  const auto fp = sweep(proto, /*exact=*/false);
+  const auto ex = sweep(proto, /*exact=*/true);
+
+  bool fp_ge_exact = true;
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    if (states_per_sec(fp[i].result) < states_per_sec(ex[i].result))
+      fp_ge_exact = false;
+  }
+
+  std::printf("\n== MEM: fingerprint vs exact visited-state store "
+              "(1 thread) ==\n");
+  const McResult& fp1 = fp.front().result;
+  const McResult& ex1 = ex.front().result;
+  const bool parity = fp1.verdict == ex1.verdict && fp1.states == ex1.states;
+  const double ratio = fp1.bytes_per_state() > 0
+                           ? ex1.bytes_per_state() / fp1.bytes_per_state()
+                           : 0;
+  std::printf("  fingerprint: %6.1f B/state | exact: %6.1f B/state | "
+              "ratio x%.1f\n",
+              fp1.bytes_per_state(), ex1.bytes_per_state(), ratio);
+  std::printf("  parity: %s | fingerprint >= exact throughput at every "
+              "thread count: %s\n\n",
+              parity ? "OK (verdict+states identical)" : "MISMATCH",
+              fp_ge_exact ? "yes" : "NO");
 
   std::ofstream out("BENCH_mc.json");
   out << "{\n"
       << "  \"bench\": \"bench_parallel_mc\",\n"
       << "  \"protocol\": \"" << proto.name() << "\",\n"
-      << "  \"params\": \"p2 b2 v1 max_states 360000\",\n"
+      << "  \"params\": \"p2 b2 v1 max_states " << kMaxStates << "\",\n"
+      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"reps\": " << kReps << ",\n"
       << "  \"parity\": " << (parity ? "true" : "false") << ",\n"
+      << "  \"fingerprint_ge_exact\": " << (fp_ge_exact ? "true" : "false")
+      << ",\n"
       << "  \"bytes_per_state_ratio\": " << ratio << ",\n"
-      << "  \"modes\": {\n";
-  json_mode(out, "fingerprint", fp);
+      << "  \"scaling\": {\n";
+  json_sweep(out, "fingerprint", fp);
   out << ",\n";
-  json_mode(out, "exact", ex);
+  json_sweep(out, "exact", ex);
+  out << "\n  },\n"
+      << "  \"modes\": {\n";
+  json_mode(out, "fingerprint", fp1);
+  out << ",\n";
+  json_mode(out, "exact", ex1);
   out << "\n  }\n}\n";
-}
-
-void print_table() {
-  std::printf("== PAR: parallel model-checking scaling ==\n");
-  std::printf("(hardware threads available: %u)\n\n",
-              std::thread::hardware_concurrency());
-  scaling_rows(MsiBus(2, 1, 1), "p2 b1 v1");
-  scaling_rows(DirectoryProtocol(2, 1, 1), "p2 b1 v1");
-  std::printf("\n");
-  store_comparison();
 }
 
 void BM_ParallelVsSequential(benchmark::State& state) {
@@ -126,13 +184,13 @@ void BM_ParallelVsSequential(benchmark::State& state) {
     benchmark::DoNotOptimize(r.states);
   }
 }
-BENCHMARK(BM_ParallelVsSequential)->Arg(1)->Arg(2)->Unit(
+BENCHMARK(BM_ParallelVsSequential)->Arg(1)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
+  run_experiments();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -575,4 +575,53 @@ void ScChecker::serialize(ByteWriter& w) const {
   }
 }
 
+void ScChecker::restore(ByteReader& r) {
+  // Inverse of serialize(); int8 fields round-trip through uint8 so the
+  // kNone/kGone sentinels survive.
+  const auto i8 = [&r] { return static_cast<std::int8_t>(r.u8()); };
+  rejected_ = r.u8() != 0;
+  reason_.clear();  // diagnostic only; rejected states are never re-expanded
+  for (std::size_t c = 0; c < chain_count(); ++c) {
+    last_op_[c] = i8();
+    const std::uint8_t f = r.u8();
+    last_op_live_[c] = (f & 1) != 0;
+    po_pending_[c] = (f & 2) != 0;
+    po_expected_from_[c] = i8();
+  }
+  for (std::size_t b = 0; b < cfg_.blocks; ++b) {
+    root_ref_[b] = i8();
+    const std::uint8_t f = r.u8();
+    root_retired_[b] = (f & 1) != 0;
+    retired_no_in_[b] = (f >> 1) & 3;
+    retired_no_out_[b] = (f >> 3) & 3;
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      pending_bottom_[b][p] = i8();
+    }
+  }
+  for (Node& n : nodes_) {
+    n = Node{};
+    n.in_use = r.u8() != 0;
+    if (!n.in_use) continue;
+    n.op.kind = static_cast<OpKind>(r.u8());
+    n.op.proc = r.u8();
+    n.op.block = r.u8();
+    n.op.value = r.u8();
+    n.id_set = r.u64();
+    n.out = r.u64();
+    const std::uint8_t f = r.u8();
+    n.po_in = (f & 1) != 0;
+    n.po_out = (f & 2) != 0;
+    n.sto_in = (f & 4) != 0;
+    n.sto_out = (f & 8) != 0;
+    n.inh_in = (f & 16) != 0;
+    n.bottom_pending = (f & 32) != 0;
+    n.sto_succ = i8();
+    n.inh_src = i8();
+    n.forced_target = i8();
+    n.pending_for = i8();
+    for (std::size_t p = 0; p < cfg_.procs; ++p) n.pending_ld[p] = i8();
+    n.forced_out = r.u64();
+  }
+}
+
 }  // namespace scv

@@ -85,6 +85,12 @@ class ScChecker {
   void serialize_canonical(ByteWriter& w,
                            std::span<const GraphId> id_canon) const;
 
+  /// serialize() is already a raw, faithful dump of every mutable field, so
+  /// the compact-frontier snapshot is the same encoding; restore() is its
+  /// inverse.  Only valid between two checkers built from the same config.
+  void snapshot(ByteWriter& w) const { serialize(w); }
+  void restore(ByteReader& r);
+
  private:
   static constexpr std::size_t kMaxSlots = kMaxBandwidth + 2;
   static constexpr std::int8_t kNone = -1;

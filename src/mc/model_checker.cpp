@@ -1,8 +1,10 @@
 #include "mc/model_checker.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <sstream>
@@ -11,6 +13,7 @@
 #include "checker/sc_checker.hpp"
 #include "descriptor/descriptor.hpp"
 #include "util/assert.hpp"
+#include "util/concurrent_fp_set.hpp"
 #include "util/fingerprint.hpp"
 #include "util/fp_set.hpp"
 #include "util/hash.hpp"
@@ -87,13 +90,46 @@ std::span<const std::uint8_t> state_key(const McOptions& opt, const Entry& e,
   return ks.w.data();
 }
 
-/// Visited-state store: one 128-bit fingerprint per state by default
-/// (16 bytes/slot, flat open-addressing table), or the full serialized
-/// key behind McOptions::exact_states — the differential-testing escape
-/// hatch for fingerprint collisions (see DESIGN.md).
+/// Expected distinct-state count used to pre-size the visited store and
+/// avoid rehash churn mid-run (DESIGN.md §9).  An explicit hint wins,
+/// clamped by the state budget.  Without one, a small max_states is a
+/// genuine exploration budget worth sizing for, while the 50M default
+/// would pre-size a ~1 GB table for what is usually a tiny run — so large
+/// budgets fall back to organic growth.
+std::size_t presize_expected(const McOptions& opt) {
+  if (opt.visited_size_hint != 0) {
+    return std::min(opt.max_states, opt.visited_size_hint);
+  }
+  return opt.max_states <= (std::size_t{1} << 20) ? opt.max_states : 0;
+}
+
+/// glibc allocator chunk model: 8-byte header, 16-byte alignment, 32-byte
+/// minimum chunk.  Shared by the exact-mode store estimates; measured
+/// against mallinfo2 this matches std::unordered_set<std::string> within a
+/// few percent.
+std::size_t malloc_chunk(std::size_t payload) noexcept {
+  return std::max<std::size_t>(32, (payload + 8 + 15) / 16 * 16);
+}
+
+/// Exact mode charges each state one hash node (bucket chain pointer +
+/// cached hash + std::string header) plus the key's heap buffer when it
+/// escapes the small-string optimization, plus the bucket array.
+std::size_t exact_store_bytes(std::size_t keys, std::size_t buckets,
+                              std::size_t state_bytes) noexcept {
+  const std::size_t node = malloc_chunk(2 * sizeof(void*) + sizeof(std::string));
+  const std::size_t heap = state_bytes > 15 ? malloc_chunk(state_bytes + 1) : 0;
+  return keys * (node + heap) + buckets * sizeof(void*);
+}
+
+/// Visited-state store for the sequential path: one 128-bit fingerprint per
+/// state by default (16 bytes/slot, flat open-addressing table), or the
+/// full serialized key behind McOptions::exact_states — the
+/// differential-testing escape hatch for fingerprint collisions (see
+/// DESIGN.md).
 class StateStore {
  public:
-  explicit StateStore(bool exact) : exact_(exact) {}
+  StateStore(bool exact, std::size_t expected)
+      : exact_(exact), fps_(exact ? 0 : expected) {}
 
   /// Returns true iff the state was not already present.  `key` is only
   /// read in exact mode; `fp` must be its fingerprint.
@@ -110,25 +146,11 @@ class StateStore {
   [[nodiscard]] std::size_t slots() const noexcept {
     return exact_ ? keys_.bucket_count() : fps_.capacity();
   }
-
-  /// Resident-set estimate.  Exact mode charges each state one hash node
-  /// (bucket chain pointer + cached hash + std::string header) plus the
-  /// key's heap buffer when it escapes the small-string optimization,
-  /// plus the bucket array.  Both per-state allocations are rounded up to
-  /// the allocator's chunk granularity (glibc: 8-byte header, 16-byte
-  /// alignment, 32-byte minimum chunk) — measured against mallinfo2 this
-  /// matches std::unordered_set<std::string> within a few percent.
   [[nodiscard]] std::size_t memory_bytes(
       std::size_t state_bytes) const noexcept {
-    if (!exact_) return fps_.memory_bytes();
-    const auto chunk = [](std::size_t payload) noexcept {
-      return std::max<std::size_t>(32, (payload + 8 + 15) / 16 * 16);
-    };
-    const std::size_t node = chunk(2 * sizeof(void*) + sizeof(std::string));
-    const std::size_t heap =
-        state_bytes > 15 ? chunk(state_bytes + 1) : 0;
-    return keys_.size() * (node + heap) +
-           keys_.bucket_count() * sizeof(void*);
+    return exact_ ? exact_store_bytes(keys_.size(), keys_.bucket_count(),
+                                      state_bytes)
+                  : fps_.memory_bytes();
   }
 
  private:
@@ -137,19 +159,186 @@ class StateStore {
   std::unordered_set<std::string> keys_;
 };
 
-void fill_store_stats(McResult& result, std::span<const StateStore> stores) {
-  std::size_t occupied = 0;
-  std::size_t slots = 0;
-  std::size_t bytes = 0;
-  for (const StateStore& s : stores) {
-    occupied += s.occupied();
-    slots += s.slots();
-    bytes += s.memory_bytes(result.state_bytes);
+/// Thread-safe visited-state store for the parallel engine: a CAS-based
+/// ConcurrentFingerprintSet by default, or mutex-striped exact key sets
+/// behind McOptions::exact_states (the differential escape hatch values
+/// correctness over scalability; stripes keep contention tolerable).
+class ConcurrentStateStore {
+ public:
+  using Insert = ConcurrentFingerprintSet::Insert;
+
+  ConcurrentStateStore(bool exact, std::size_t expected)
+      : exact_(exact), fps_(exact ? 0 : expected) {}
+
+  Insert insert(std::span<const std::uint8_t> key, Fingerprint fp) {
+    if (!exact_) return fps_.insert(fp);
+    Stripe& s = stripes_[fp.lo % kStripes];
+    std::lock_guard lock(s.mu);
+    const bool fresh =
+        s.keys.emplace(reinterpret_cast<const char*>(key.data()), key.size())
+            .second;
+    return fresh ? Insert::Fresh : Insert::Duplicate;
   }
-  result.store_bytes = bytes;
+
+  [[nodiscard]] bool should_grow() const noexcept {
+    return !exact_ && fps_.should_grow();
+  }
+  /// Requires quiescence (no concurrent insert); the BFS calls it between
+  /// run_on_all barriers.
+  void grow() {
+    if (!exact_) fps_.grow();
+  }
+
+  [[nodiscard]] std::size_t occupied() const noexcept {
+    if (!exact_) return fps_.size();
+    std::size_t n = 0;
+    for (const Stripe& s : stripes_) n += s.keys.size();
+    return n;
+  }
+  [[nodiscard]] std::size_t slots() const noexcept {
+    if (!exact_) return fps_.capacity();
+    std::size_t n = 0;
+    for (const Stripe& s : stripes_) n += s.keys.bucket_count();
+    return n;
+  }
+  [[nodiscard]] std::size_t memory_bytes(
+      std::size_t state_bytes) const noexcept {
+    return exact_ ? exact_store_bytes(occupied(), slots(), state_bytes)
+                  : fps_.memory_bytes();
+  }
+
+ private:
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_set<std::string> keys;
+  };
+  static constexpr std::size_t kStripes = 64;
+
+  bool exact_;
+  ConcurrentFingerprintSet fps_;
+  std::array<Stripe, kStripes> stripes_;
+};
+
+template <typename Store>
+void fill_store_stats(McResult& result, const Store& store) {
+  result.store_bytes = store.memory_bytes(result.state_bytes);
+  const std::size_t slots = store.slots();
   result.store_load_factor =
       slots == 0 ? 0.0
-                 : static_cast<double>(occupied) / static_cast<double>(slots);
+                 : static_cast<double>(store.occupied()) /
+                       static_cast<double>(slots);
+}
+
+/// Chunked, append-only arena of per-state Meta records, indexed by the
+/// atomic global state counter — the replacement for the old sequential
+/// phase-3 merge.  Workers call slot() concurrently: chunk pointers never
+/// move once allocated, and the chunk directory grows copy-on-write under a
+/// mutex, published with release/acquire.  Retired directories are kept
+/// alive (graveyard) so a concurrent slot() still holding the old pointer
+/// dereferences valid memory; the happens-before edge through
+/// chunks_published_ guarantees it only indexes chunks that directory
+/// already contained.
+class MetaArena {
+ public:
+  MetaArena() { grow_to(0); }
+
+  /// Thread-safe: returns the record for `idx`, allocating on demand.
+  Meta& slot(std::size_t idx) {
+    const std::size_t c = idx >> kChunkShift;
+    if (c >= chunks_published_.load(std::memory_order_acquire)) grow_to(c);
+    return dir_.load(std::memory_order_acquire)[c][idx & kChunkMask];
+  }
+
+  /// Read access for counterexample reconstruction; callers run after a
+  /// barrier, so every claimed slot is fully written.
+  const Meta& operator[](std::size_t idx) const {
+    const std::size_t c = idx >> kChunkShift;
+    SCV_EXPECTS(c < chunks_published_.load(std::memory_order_acquire));
+    return dir_.load(std::memory_order_acquire)[c][idx & kChunkMask];
+  }
+
+ private:
+  static constexpr std::size_t kChunkShift = 14;  ///< 16K entries per chunk
+  static constexpr std::size_t kChunkMask =
+      (std::size_t{1} << kChunkShift) - 1;
+
+  void grow_to(std::size_t chunk) {
+    std::lock_guard lock(mu_);
+    while (chunks_.size() <= chunk) {
+      if (chunks_.size() == dir_cap_) {
+        const std::size_t cap = std::max<std::size_t>(dir_cap_ * 2, 16);
+        auto next = std::make_unique<Meta*[]>(cap);
+        for (std::size_t i = 0; i < chunks_.size(); ++i) {
+          next[i] = chunks_[i].get();
+        }
+        dir_.store(next.get(), std::memory_order_release);
+        dirs_.push_back(std::move(next));
+        dir_cap_ = cap;
+      }
+      chunks_.push_back(
+          std::make_unique<Meta[]>(std::size_t{1} << kChunkShift));
+      dir_.load(std::memory_order_relaxed)[chunks_.size() - 1] =
+          chunks_.back().get();
+      chunks_published_.store(chunks_.size(), std::memory_order_release);
+    }
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Meta[]>> chunks_;
+  std::vector<std::unique_ptr<Meta*[]>> dirs_;  ///< last live, rest graveyard
+  std::atomic<Meta**> dir_{nullptr};
+  std::size_t dir_cap_ = 0;
+  std::atomic<std::size_t> chunks_published_{0};
+};
+
+/// One worker's slice of a BFS level as flat serialized entries:
+/// [u32 global index][protocol bytes][observer snapshot][checker snapshot],
+/// delimited by an offsets array.  This is the compact frontier: a level
+/// lives as two flat buffers per worker (the one being read and the one
+/// being written) instead of a heavyweight Entry object graph per state.
+struct FrontierBatch {
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::uint32_t> offsets;
+
+  [[nodiscard]] std::size_t size() const noexcept { return offsets.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> entry(std::size_t i) const {
+    const std::size_t begin = offsets[i];
+    const std::size_t end =
+        i + 1 < offsets.size() ? offsets[i + 1] : bytes.size();
+    return std::span<const std::uint8_t>(bytes).subspan(begin, end - begin);
+  }
+  /// Keeps the allocations for the next level (double buffering).
+  void clear() noexcept {
+    bytes.clear();
+    offsets.clear();
+  }
+};
+
+void append_entry(const Entry& e, bool product, FrontierBatch& b) {
+  b.offsets.push_back(static_cast<std::uint32_t>(b.bytes.size()));
+  ByteWriter w(b.bytes);
+  w.u32(e.idx);
+  w.bytes(e.proto);
+  if (product) {
+    // Raw snapshots, not the canonical serialization: the canonical form
+    // deliberately erases pool IDs and handle naming, so it cannot rebuild
+    // a steppable observer.  Snapshot/restore is bit-faithful.
+    e.obs.snapshot(w);
+    e.chk.snapshot(w);
+  }
+}
+
+void restore_entry(std::span<const std::uint8_t> blob, std::size_t proto_size,
+                   bool product, Entry& e) {
+  ByteReader r(blob);
+  e.idx = r.u32();
+  const auto pv = r.view(proto_size);
+  e.proto.assign(pv.begin(), pv.end());
+  if (product) {
+    e.obs.restore(r);
+    e.chk.restore(r);
+  }
+  SCV_ASSERT(r.done());
 }
 
 /// Re-executes `path` from the initial state, recording each step's action
@@ -187,8 +376,10 @@ std::vector<CounterexampleStep> replay(const Protocol& proto,
   return steps;
 }
 
-std::vector<Transition> path_to(const std::vector<Meta>& meta,
-                                std::uint32_t idx,
+/// `MetaStore` is std::vector<Meta> (sequential) or MetaArena (parallel);
+/// both index by state number.
+template <typename MetaStore>
+std::vector<Transition> path_to(const MetaStore& meta, std::uint32_t idx,
                                 const Transition* final_step) {
   std::vector<Transition> path;
   for (std::uint32_t i = idx; i != 0; i = meta[i].parent) {
@@ -223,9 +414,10 @@ StepOutcome expand_one(const Protocol& proto, const McOptions& opt,
   return StepOutcome::Ok;
 }
 
+template <typename MetaStore>
 McResult finish_failure(const Protocol& proto, const McOptions& opt,
                         McResult result, StepOutcome outcome,
-                        const std::vector<Meta>& meta, std::uint32_t parent,
+                        const MetaStore& meta, std::uint32_t parent,
                         const Transition& via) {
   switch (outcome) {
     case StepOutcome::Reject:
@@ -271,10 +463,10 @@ McResult finish_failure(const Protocol& proto, const McOptions& opt,
 McResult run_sequential(const Protocol& proto, const McOptions& opt) {
   McResult result;
   const auto t0 = std::chrono::steady_clock::now();
-  StateStore visited(opt.exact_states);
+  StateStore visited(opt.exact_states, presize_expected(opt));
   const auto finish = [&](McVerdict v) {
     result.verdict = v;
-    fill_store_stats(result, {&visited, 1});
+    fill_store_stats(result, visited);
     result.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -301,8 +493,13 @@ McResult run_sequential(const Protocol& proto, const McOptions& opt) {
   std::vector<Transition> transitions;
   std::vector<Symbol> scratch;
 
+  // Rough per-entry footprint of the object-graph frontier (the parallel
+  // engine's compact frontier reports measured bytes instead).
+  const std::size_t entry_bytes = sizeof(Entry) + proto.state_size();
+
   while (!frontier.empty()) {
     if (result.depth >= opt.max_depth) return finish(McVerdict::StateLimit);
+    const auto lt0 = std::chrono::steady_clock::now();
     std::vector<Entry> next;
     for (const Entry& e : frontier) {
       transitions.clear();
@@ -313,7 +510,7 @@ McResult run_sequential(const Protocol& proto, const McOptions& opt) {
         const StepOutcome outcome =
             expand_one(proto, opt, e, t, succ, scratch);
         if (outcome != StepOutcome::Ok) {
-          fill_store_stats(result, {&visited, 1});
+          fill_store_stats(result, visited);
           result.seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - t0)
                                .count();
@@ -335,28 +532,76 @@ McResult run_sequential(const Protocol& proto, const McOptions& opt) {
       }
     }
     result.peak_frontier = std::max(result.peak_frontier, next.size());
+    result.frontier_bytes =
+        std::max(result.frontier_bytes,
+                 (frontier.size() + next.size()) * entry_bytes);
+    result.level_stats.push_back(
+        {frontier.size(), next.size(),
+         std::chrono::duration<double>(std::chrono::steady_clock::now() - lt0)
+             .count()});
     frontier = std::move(next);
     ++result.depth;
   }
   return finish(McVerdict::Verified);
 }
 
+// The parallel engine.  Level-synchronized BFS with:
+//
+//   * a shared concurrent visited store — workers deduplicate successors
+//     *during* expansion, so the old phase-2 shard-owner pass and its
+//     cross-thread candidate shuffling are gone;
+//   * dedup-before-materialize — every successor is stepped into reused
+//     per-worker scratch, fingerprinted, and only *fresh* states are
+//     serialized into the worker's next-level batch (duplicates, the
+//     majority, allocate nothing);
+//   * a compact frontier — levels live as flat serialized buffers;
+//     Observer/ScChecker are rebuilt on expansion via snapshot/restore;
+//   * a chunked MetaArena indexed by the atomic state counter — no
+//     sequential merge phase.
+//
+// Parity with run_sequential is preserved: levels are still synchronized
+// (same BFS depth, shortest counterexamples), and max_states is enforced
+// per insertion through the same counter that assigns state indices, so
+// verdict and state count match (see DESIGN.md §9 for the argument).
+//
+// When the fingerprint table fills mid-level, workers abort at entry
+// granularity (their resume cursor stays on the unfinished entry), the
+// table grows single-threaded at the barrier, and expansion resumes:
+// re-expanding the interrupted entry is safe because its already-claimed
+// successors were batched immediately and now dedup to Duplicate, and its
+// transition count is only committed once the entry completes.
 McResult run_parallel(const Protocol& proto, const McOptions& opt) {
   McResult result;
   const auto t0 = std::chrono::steady_clock::now();
-  const std::size_t shards = opt.threads;
   ThreadPool pool(opt.threads);
+  const bool product = !opt.protocol_only;
 
-  std::vector<StateStore> visited(shards, StateStore(opt.exact_states));
-  std::vector<Meta> meta;
+  ConcurrentStateStore visited(opt.exact_states, presize_expected(opt));
+  MetaArena meta;
 
   std::atomic<std::uint64_t> transitions{0};
-  std::atomic<std::uint64_t> peak_live{0};
+  std::atomic<std::size_t> states{1};  // the initial state
+  std::atomic<bool> failed{false};
+  std::atomic<bool> limit_hit{false};
+  std::atomic<bool> table_full{false};
+
+  std::mutex failure_mu;
+  StepOutcome failure_outcome = StepOutcome::Ok;
+  std::uint32_t failure_parent = 0;
+  Transition failure_via{};
 
   const auto finish = [&](McVerdict v) {
     result.verdict = v;
     result.transitions = transitions.load();
-    result.peak_live_nodes = peak_live.load();
+    // Under a state limit the counter may overshoot (several workers can
+    // claim fresh states concurrently before the flag propagates); clamp
+    // to the sequential engine's report.  max(·, 2) covers the degenerate
+    // max_states <= 1 budgets, where the sequential path also reports the
+    // two states it saw before stopping.
+    const std::size_t n = states.load();
+    result.states = limit_hit.load()
+                        ? std::max(opt.max_states, std::size_t{2})
+                        : n;
     fill_store_stats(result, visited);
     result.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -372,86 +617,145 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
     KeyScratch ks;
     const auto key = state_key(opt, init, ks);
     result.state_bytes = key.size();
-    const Fingerprint fp = fingerprint128(key);
-    visited[fp.lo % shards].insert(key, fp);
+    visited.insert(key, fingerprint128(key));
   }
-  meta.push_back(Meta{});
-  result.states = 1;
 
-  std::vector<Entry> frontier;
-  frontier.push_back(std::move(init));
-
-  struct Candidate {
-    Fingerprint fp;
-    std::string key;  ///< full serialized key (exact mode only)
-    Entry entry;
-    std::uint32_t parent;
-    Transition via;
+  const auto make_entry = [&] {
+    Entry e{std::vector<std::uint8_t>(proto.state_size()),
+            Observer(proto, opt.observer), ScChecker({1, 1, 1, 1}), 0};
+    e.chk = ScChecker(checker_config(proto, opt, e.obs));
+    return e;
   };
-  // buckets[worker][shard]
-  std::vector<std::vector<std::vector<Candidate>>> buckets(
-      opt.threads,
-      std::vector<std::vector<Candidate>>(shards));
 
-  // Per-worker reusable scratch, allocated once for the whole search.
-  struct WorkerScratch {
+  struct Worker {
+    Worker(Entry c, Entry s) : cur(std::move(c)), succ(std::move(s)) {}
+    Entry cur;   ///< entry being expanded (restored from the frontier)
+    Entry succ;  ///< successor scratch, reused across transitions
+    KeyScratch key;
     std::vector<Transition> transitions;
     std::vector<Symbol> symbols;
-    KeyScratch key;
+    FrontierBatch out;           ///< next-level entries this worker found
+    std::size_t next_entry = 0;  ///< resume cursor into the global frontier
+    std::size_t peak_live = 0;
   };
-  std::vector<WorkerScratch> scratch(opt.threads);
+  std::vector<Worker> workers;
+  workers.reserve(opt.threads);
+  for (std::size_t w = 0; w < opt.threads; ++w) {
+    workers.emplace_back(make_entry(), make_entry());
+  }
 
-  std::atomic<bool> failed{false};
-  std::mutex failure_mu;
-  StepOutcome failure_outcome = StepOutcome::Ok;
-  std::uint32_t failure_parent = 0;
-  Transition failure_via{};
+  std::vector<FrontierBatch> frontier(opt.threads);
+  append_entry(init, product, frontier[0]);
+  std::size_t frontier_entries = 1;
+  std::vector<std::size_t> prefix(opt.threads + 1, 0);
 
-  while (!frontier.empty()) {
+  while (frontier_entries > 0) {
     if (result.depth >= opt.max_depth) return finish(McVerdict::StateLimit);
+    const auto lt0 = std::chrono::steady_clock::now();
+    const std::size_t states_before = states.load();
 
-    // Phase 1: expand this level, bucketing successors by shard.
-    pool.run_on_all([&](std::size_t w) {
-      WorkerScratch& ws = scratch[w];
-      for (std::size_t i = w; i < frontier.size(); i += opt.threads) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        const Entry& e = frontier[i];
+    prefix[0] = 0;
+    for (std::size_t b = 0; b < frontier.size(); ++b) {
+      prefix[b + 1] = prefix[b] + frontier[b].size();
+    }
+    const std::size_t total = prefix.back();
+    SCV_ASSERT(total == frontier_entries);
+    std::size_t cur_bytes = 0;
+    for (const FrontierBatch& b : frontier) cur_bytes += b.bytes.size();
+
+    for (std::size_t w = 0; w < opt.threads; ++w) {
+      workers[w].out.clear();
+      workers[w].next_entry = w;
+    }
+
+    const auto expand = [&](std::size_t w) {
+      Worker& ws = workers[w];
+      std::size_t batch = 0;
+      while (ws.next_entry < total) {
+        if (failed.load(std::memory_order_relaxed) ||
+            limit_hit.load(std::memory_order_relaxed) ||
+            table_full.load(std::memory_order_relaxed)) {
+          return;  // entry boundary: nothing partial to roll back
+        }
+        const std::size_t gi = ws.next_entry;
+        while (prefix[batch + 1] <= gi) ++batch;
+        restore_entry(frontier[batch].entry(gi - prefix[batch]),
+                      proto.state_size(), product, ws.cur);
         ws.transitions.clear();
-        proto.enumerate(e.proto, ws.transitions);
+        proto.enumerate(ws.cur.proto, ws.transitions);
+        std::uint64_t expanded = 0;
         for (const Transition& t : ws.transitions) {
-          transitions.fetch_add(1, std::memory_order_relaxed);
-          Candidate cand{{}, {}, Entry{{}, e.obs, e.chk, 0}, e.idx, t};
+          ++expanded;
+          ws.succ.obs = ws.cur.obs;
+          ws.succ.chk = ws.cur.chk;
           const StepOutcome outcome =
-              expand_one(proto, opt, e, t, cand.entry, ws.symbols);
+              expand_one(proto, opt, ws.cur, t, ws.succ, ws.symbols);
           if (outcome != StepOutcome::Ok) {
             std::lock_guard lock(failure_mu);
             if (!failed.exchange(true)) {
               failure_outcome = outcome;
-              failure_parent = e.idx;
+              failure_parent = ws.cur.idx;
               failure_via = t;
             }
+            // Like the sequential engine, the failing transition counts.
+            transitions.fetch_add(expanded, std::memory_order_relaxed);
             return;
           }
-          std::uint64_t seen = peak_live.load(std::memory_order_relaxed);
-          const std::uint64_t mine = cand.entry.obs.peak_live_nodes();
-          while (mine > seen &&
-                 !peak_live.compare_exchange_weak(seen, mine)) {
+          ws.peak_live =
+              std::max(ws.peak_live,
+                       static_cast<std::size_t>(ws.succ.obs.peak_live_nodes()));
+          const auto key = state_key(opt, ws.succ, ws.key);
+          const Fingerprint fp = fingerprint128(key);
+          const auto ins = visited.insert(key, fp);
+          if (ins == ConcurrentStateStore::Insert::TableFull) {
+            // Abort at entry granularity *without* committing this entry's
+            // transition count: after the grow barrier the whole entry is
+            // re-expanded, its already-claimed successors dedup to
+            // Duplicate (they were batched the moment they were claimed),
+            // and the count is taken exactly once.
+            table_full.store(true, std::memory_order_release);
+            return;
           }
-          const auto key = state_key(opt, cand.entry, ws.key);
-          cand.fp = fingerprint128(key);
-          if (opt.exact_states) {
-            cand.key.assign(reinterpret_cast<const char*>(key.data()),
-                            key.size());
+          if (ins == ConcurrentStateStore::Insert::Fresh) {
+            const std::size_t idx =
+                states.fetch_add(1, std::memory_order_relaxed);
+            Meta& m = meta.slot(idx);
+            m.parent = ws.cur.idx;
+            m.via = t;
+            ws.succ.idx = static_cast<std::uint32_t>(idx);
+            append_entry(ws.succ, product, ws.out);
+            if (idx + 1 >= opt.max_states) {
+              limit_hit.store(true, std::memory_order_relaxed);
+              transitions.fetch_add(expanded, std::memory_order_relaxed);
+              return;
+            }
           }
-          const std::size_t shard = cand.fp.lo % shards;
-          buckets[w][shard].push_back(std::move(cand));
         }
+        transitions.fetch_add(expanded, std::memory_order_relaxed);
+        ws.next_entry = gi + opt.threads;
       }
-    });
+    };
 
+    for (;;) {
+      pool.run_on_all(expand);
+      if (failed.load() || limit_hit.load()) break;
+      if (table_full.exchange(false)) {
+        visited.grow();  // workers are quiescent between barriers
+        continue;
+      }
+      break;
+    }
+
+    for (const Worker& ws : workers) {
+      result.peak_live_nodes = std::max(result.peak_live_nodes, ws.peak_live);
+    }
+
+    // Failure wins over the state limit, matching the old engine: within a
+    // level the choice is inherently order-dependent, and reporting the
+    // violation is strictly more informative.
     if (failed.load()) {
       result.transitions = transitions.load();
-      result.peak_live_nodes = peak_live.load();
+      result.states = states.load();
       fill_store_stats(result, visited);
       result.seconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
@@ -459,40 +763,27 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
       return finish_failure(proto, opt, std::move(result), failure_outcome,
                             meta, failure_parent, failure_via);
     }
+    if (limit_hit.load()) return finish(McVerdict::StateLimit);
 
-    // Phase 2: each shard owner dedups its candidates in parallel.
-    std::vector<std::vector<Candidate>> accepted(shards);
-    pool.run_on_all([&](std::size_t shard) {
-      for (std::size_t w = 0; w < opt.threads; ++w) {
-        for (Candidate& cand : buckets[w][shard]) {
-          const std::span<const std::uint8_t> key{
-              reinterpret_cast<const std::uint8_t*>(cand.key.data()),
-              cand.key.size()};
-          if (visited[shard].insert(key, cand.fp)) {
-            accepted[shard].push_back(std::move(cand));
-          }
-        }
-        buckets[w][shard].clear();
-      }
-    });
+    if (visited.should_grow()) visited.grow();
 
-    // Phase 3: sequential merge assigns global indexes.  The state budget
-    // is enforced per insertion, exactly as in run_sequential, so both
-    // report identical StateLimit verdicts and state counts.
-    std::vector<Entry> next;
-    for (auto& shard_accepted : accepted) {
-      for (Candidate& cand : shard_accepted) {
-        cand.entry.idx = static_cast<std::uint32_t>(meta.size());
-        meta.push_back(Meta{cand.parent, cand.via});
-        next.push_back(std::move(cand.entry));
-        ++result.states;
-        if (result.states >= opt.max_states) {
-          return finish(McVerdict::StateLimit);
-        }
-      }
+    // Swap the workers' batches in as the next frontier; the old frontier
+    // buffers become next level's write buffers (double buffering).
+    std::size_t next_entries = 0;
+    std::size_t next_bytes = 0;
+    for (std::size_t w = 0; w < opt.threads; ++w) {
+      std::swap(frontier[w], workers[w].out);
+      next_entries += frontier[w].size();
+      next_bytes += frontier[w].bytes.size();
     }
-    result.peak_frontier = std::max(result.peak_frontier, next.size());
-    frontier = std::move(next);
+    frontier_entries = next_entries;
+    result.peak_frontier = std::max(result.peak_frontier, next_entries);
+    result.frontier_bytes =
+        std::max(result.frontier_bytes, cur_bytes + next_bytes);
+    result.level_stats.push_back(
+        {total, states.load() - states_before,
+         std::chrono::duration<double>(std::chrono::steady_clock::now() - lt0)
+             .count()});
     ++result.depth;
   }
 

@@ -60,11 +60,22 @@ struct McOptions {
   /// collisions could silently prune states — see DESIGN.md for the
   /// ~n^2/2^129 birthday bound).
   bool exact_states = false;
+  /// Expected number of distinct states, used to pre-size the visited store
+  /// and avoid rehash churn mid-run.  0 = derive from max_states when that
+  /// looks like a genuine budget (see presize heuristic in DESIGN.md §9).
+  std::size_t visited_size_hint = 0;
 };
 
 struct CounterexampleStep {
   std::string action;                ///< human-readable action
   std::vector<Symbol> emitted;       ///< observer symbols for this step
+};
+
+/// Per-BFS-level accounting, for profiling the exploration engine.
+struct McLevelStat {
+  std::size_t frontier = 0;  ///< states expanded at this level
+  std::size_t fresh = 0;     ///< new states discovered at this level
+  double seconds = 0.0;
 };
 
 struct McResult {
@@ -80,6 +91,10 @@ struct McResult {
   /// exact mode.
   std::size_t store_bytes = 0;
   double store_load_factor = 0.0;  ///< occupancy of the visited-state store
+  /// Peak bytes held by the serialized BFS frontier (both buffers of the
+  /// compact frontier in the parallel engine; Entry-object estimate in the
+  /// sequential one).
+  std::size_t frontier_bytes = 0;
   double seconds = 0.0;
   std::string reason;  ///< reject reason / error message
   std::vector<CounterexampleStep> counterexample;
@@ -88,6 +103,9 @@ struct McResult {
   /// (1-based trace positions).  The cycle is the Lemma 3.1 witness that
   /// the trace has no serial reordering.
   std::vector<std::string> cycle;
+  /// Per-level exploration timing/counts (index = BFS depth of the
+  /// expanded frontier).
+  std::vector<McLevelStat> level_stats;
 
   /// Visited-store resident bytes per distinct state — the headline memory
   /// metric tracked by bench_parallel_mc (BENCH_mc.json).

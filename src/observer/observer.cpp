@@ -437,4 +437,74 @@ std::size_t Observer::state_bytes() const {
   return w.data().size();
 }
 
+void Observer::snapshot(ByteWriter& w) const {
+  const auto& pr = protocol_->params();
+  tracker_.serialize(w);
+  w.u64(pool_free_);
+  w.uvar(peak_live_);
+  for (std::size_t c = 0; c < chain_count(); ++c) w.uvar(last_op_[c]);
+  for (std::size_t b = 0; b < pr.blocks; ++b) {
+    w.uvar(sto_tail_[b]);
+    w.uvar(root_[b]);
+    w.u8(root_gone_[b] ? 1 : 0);
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      w.uvar(pending_bottom_[b][p]);
+    }
+  }
+  for (const Node& n : nodes_) {
+    w.u8(n.in_use ? 1 : 0);
+    if (!n.in_use) continue;
+    w.u8(static_cast<std::uint8_t>(n.op.kind));
+    w.u8(n.op.proc);
+    w.u8(n.op.block);
+    w.u8(n.op.value);
+    w.uvar(n.pool_id);
+    w.uvar(n.copies);
+    w.u8(n.serialized ? 1 : 0);
+    w.uvar(n.sto_succ);
+    w.uvar(n.sto_pred);
+    for (std::size_t p = 0; p < pr.procs; ++p) w.uvar(n.pending_ld[p]);
+    w.uvar(n.pending_for);
+    w.u8(n.bottom_pending ? 1 : 0);
+  }
+}
+
+void Observer::restore(ByteReader& r) {
+  const auto& pr = protocol_->params();
+  tracker_.restore(r);
+  pool_free_ = r.u64();
+  peak_live_ = static_cast<std::size_t>(r.uvar());
+  for (std::size_t c = 0; c < chain_count(); ++c) {
+    last_op_[c] = static_cast<NodeHandle>(r.uvar());
+  }
+  for (std::size_t b = 0; b < pr.blocks; ++b) {
+    sto_tail_[b] = static_cast<NodeHandle>(r.uvar());
+    root_[b] = static_cast<NodeHandle>(r.uvar());
+    root_gone_[b] = r.u8() != 0;
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      pending_bottom_[b][p] = static_cast<NodeHandle>(r.uvar());
+    }
+  }
+  for (Node& n : nodes_) {
+    n = Node{};
+    n.in_use = r.u8() != 0;
+    if (!n.in_use) continue;
+    n.op.kind = static_cast<OpKind>(r.u8());
+    n.op.proc = r.u8();
+    n.op.block = r.u8();
+    n.op.value = r.u8();
+    n.pool_id = static_cast<GraphId>(r.uvar());
+    n.copies = static_cast<std::uint32_t>(r.uvar());
+    n.serialized = r.u8() != 0;
+    n.sto_succ = static_cast<NodeHandle>(r.uvar());
+    n.sto_pred = static_cast<NodeHandle>(r.uvar());
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      n.pending_ld[p] = static_cast<NodeHandle>(r.uvar());
+    }
+    n.pending_for = static_cast<NodeHandle>(r.uvar());
+    n.bottom_pending = r.u8() != 0;
+  }
+  error_.clear();
+}
+
 }  // namespace scv

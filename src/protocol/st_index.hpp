@@ -71,6 +71,12 @@ class StIndexTracker {
     for (std::uint32_t h : index_) w.uvar(h);
   }
 
+  /// Inverse of serialize() over the same location count; used by the
+  /// compact-frontier restore path.
+  void restore(ByteReader& r) {
+    for (std::uint32_t& h : index_) h = static_cast<std::uint32_t>(r.uvar());
+  }
+
  private:
   std::vector<std::uint32_t> index_;
 };

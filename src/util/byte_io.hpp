@@ -105,6 +105,16 @@ class ByteReader {
     }
   }
 
+  /// Zero-copy view of the next `n` raw bytes (valid while the underlying
+  /// buffer lives); used by the compact-frontier decoder to splice
+  /// fixed-size protocol states out of serialized entries.
+  [[nodiscard]] std::span<const std::uint8_t> view(std::size_t n) {
+    SCV_EXPECTS(pos_ + n <= bytes_.size());
+    const auto s = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
   [[nodiscard]] bool done() const noexcept { return pos_ == bytes_.size(); }
   [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
 

@@ -1,0 +1,94 @@
+#include "util/concurrent_fp_set.hpp"
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+namespace {
+constexpr std::size_t kMinCapacity = 1024;
+}  // namespace
+
+ConcurrentFingerprintSet::ConcurrentFingerprintSet(std::size_t expected) {
+  // Size so that `expected` entries stay under the 5/8 proactive-growth
+  // watermark, leaving headroom to the hard 7/8 occupancy bound.
+  std::size_t cap = kMinCapacity;
+  while (cap * 5 < expected * 8) cap <<= 1;
+  slots_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+  limit_ = cap - cap / 8;
+}
+
+auto ConcurrentFingerprintSet::insert(Fingerprint fp) noexcept -> Insert {
+  SCV_EXPECTS(!fp.is_zero());
+  fp = normalize(fp);
+  // Reserve occupancy before probing: successful claims keep their
+  // reservation, so at most `limit_` slots are ever occupied and the probe
+  // loop below always reaches an empty slot.
+  if (size_.fetch_add(1, std::memory_order_relaxed) >= limit_) {
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return Insert::TableFull;
+  }
+  std::size_t i = fp.hi & mask_;
+  for (;;) {
+    Slot& s = slots_[i];
+    std::uint64_t h = s.hi.load(std::memory_order_acquire);
+    if (h == 0 &&
+        s.hi.compare_exchange_strong(h, fp.hi, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      s.lo.store(fp.lo, std::memory_order_release);
+      return Insert::Fresh;
+    }
+    // h now holds the slot's claimant (the CAS reloads it on failure).
+    if (h == fp.hi) {
+      // Same hi lane: the full 128-bit compare needs lo, which the claimer
+      // publishes right after its CAS — spin out the tiny window.
+      std::uint64_t l;
+      while ((l = s.lo.load(std::memory_order_acquire)) == 0) {
+      }
+      if (l == fp.lo) {
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return Insert::Duplicate;
+      }
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+bool ConcurrentFingerprintSet::contains(Fingerprint fp) const noexcept {
+  if (fp.is_zero()) return false;
+  fp = normalize(fp);
+  std::size_t i = fp.hi & mask_;
+  for (;;) {
+    const Slot& s = slots_[i];
+    const std::uint64_t h = s.hi.load(std::memory_order_acquire);
+    if (h == 0) return false;
+    if (h == fp.hi && s.lo.load(std::memory_order_acquire) == fp.lo) {
+      return true;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+void ConcurrentFingerprintSet::grow() {
+  const std::size_t old_cap = capacity();
+  auto old = std::move(slots_);
+  const std::size_t cap = old_cap * 2;
+  slots_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+  limit_ = cap - cap / 8;
+  // Quiescent by contract: plain (relaxed) stores suffice.
+  for (std::size_t j = 0; j < old_cap; ++j) {
+    const std::uint64_t h = old[j].hi.load(std::memory_order_relaxed);
+    if (h == 0) continue;
+    const std::uint64_t l = old[j].lo.load(std::memory_order_relaxed);
+    SCV_ASSERT(l != 0);  // every claim was published before the barrier
+    std::size_t i = h & mask_;
+    while (slots_[i].hi.load(std::memory_order_relaxed) != 0) {
+      i = (i + 1) & mask_;
+    }
+    slots_[i].hi.store(h, std::memory_order_relaxed);
+    slots_[i].lo.store(l, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace scv

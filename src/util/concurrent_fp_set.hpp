@@ -1,0 +1,104 @@
+// Concurrent open-addressing hash set of 128-bit state fingerprints.
+//
+// The parallel model checker's workers deduplicate successor states *during*
+// expansion (dedup-before-materialize), so the visited set must accept
+// concurrent inserts without a coordinator.  This table keeps the flat
+// 16-byte-slot layout of `FingerprintSet` but makes the slot claim a CAS:
+//
+//   * each slot is two 64-bit lanes {hi, lo}; probing starts from
+//     `hi & mask` (the same lane `FingerprintSet` probes from);
+//   * `hi == 0` means "empty": an inserter claims a slot by CASing hi from
+//     0 to its fingerprint's hi lane, then *publishes* the lo lane with a
+//     release store;
+//   * `lo == 0` means "claimed but not yet published": a concurrent reader
+//     that needs the full 128-bit compare spins (the publishing store is
+//     one instruction behind the claim, so the wait is bounded);
+//   * both sentinels are carved out of the fingerprint space by remapping a
+//     zero lane to 1 on entry — the same trick fingerprint128 plays for the
+//     all-zero value, adding ~2^-64 collision mass per lane, negligible
+//     against the 128-bit birthday bound (DESIGN.md §8).
+//
+// Capacity is fixed while concurrent inserts run.  A relaxed reservation
+// counter bounds occupancy at 7/8 of capacity so probe loops always
+// terminate; an insert that would cross the bound fails with `TableFull`
+// and the *caller* (the level-synchronized BFS) quiesces its workers, calls
+// grow() single-threaded between levels, and resumes.  See DESIGN.md §9 for
+// why resuming mid-level is safe.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "util/fingerprint.hpp"
+
+namespace scv {
+
+class ConcurrentFingerprintSet {
+ public:
+  enum class Insert : std::uint8_t {
+    Fresh,      ///< the fingerprint was not present; this call claimed it
+    Duplicate,  ///< already present (possibly claimed concurrently)
+    TableFull,  ///< occupancy bound reached; caller must quiesce and grow()
+  };
+
+  /// `expected` sizes the table to hold that many entries below the 5/8
+  /// proactive-growth watermark (see should_grow).
+  explicit ConcurrentFingerprintSet(std::size_t expected = 0);
+
+  ConcurrentFingerprintSet(const ConcurrentFingerprintSet&) = delete;
+  ConcurrentFingerprintSet& operator=(const ConcurrentFingerprintSet&) =
+      delete;
+
+  /// Thread-safe; wait-free except for the bounded publish spin.  Requires
+  /// a non-zero fingerprint (fingerprint128 guarantees this).
+  Insert insert(Fingerprint fp) noexcept;
+
+  /// Membership test for tests/diagnostics; requires external quiescence
+  /// (no concurrent insert of the same fingerprint mid-publish is waited
+  /// on, so results are only exact at a barrier).
+  [[nodiscard]] bool contains(Fingerprint fp) const noexcept;
+
+  /// Exact at a barrier (in-flight reservations inflate it transiently).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+  [[nodiscard]] double load_factor() const noexcept {
+    return static_cast<double>(size()) / static_cast<double>(capacity());
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return capacity() * 2 * sizeof(std::uint64_t);
+  }
+
+  /// True once the table is past the 5/8 proactive-growth watermark; the
+  /// owner should grow() at the next quiescent point rather than wait for
+  /// TableFull mid-level.
+  [[nodiscard]] bool should_grow() const noexcept {
+    return size() * 8 > capacity() * 5;
+  }
+
+  /// Doubles capacity and rehashes.  NOT thread-safe: callers must
+  /// guarantee no concurrent insert (the BFS calls it between levels).
+  void grow();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> hi{0};
+    std::atomic<std::uint64_t> lo{0};
+  };
+
+  /// Remaps zero lanes to 1 so 0 can serve as the empty/pending sentinel.
+  [[nodiscard]] static Fingerprint normalize(Fingerprint fp) noexcept {
+    if (fp.hi == 0) fp.hi = 1;
+    if (fp.lo == 0) fp.lo = 1;
+    return fp;
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;   ///< capacity - 1 (power of two)
+  std::size_t limit_ = 0;  ///< occupancy bound: 7/8 of capacity
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace scv

@@ -201,6 +201,7 @@ TEST(Parallel, SequentialParityUnderTightStateLimit) {
     EXPECT_EQ(rs.verdict, rp.verdict)
         << proto.name() << ": " << rs.summary() << " vs " << rp.summary();
     EXPECT_EQ(rs.states, rp.states) << proto.name();
+    EXPECT_EQ(rs.depth, rp.depth) << proto.name();
     // Regression for the parallel StateLimit path dropping stats.
     EXPECT_GT(rp.peak_live_nodes, 0u) << proto.name();
     EXPECT_GT(rp.transitions, 0u) << proto.name();
@@ -213,6 +214,72 @@ TEST(Parallel, SequentialParityUnderTightStateLimit) {
     LazyCaching proto(2, 1, 1, 1, 2);
     parity(proto, 400);
   }
+}
+
+TEST(Parallel, ViolationParityOnBuggyMsi) {
+  // The seeded lost-invalidation MSI bug (the same family the stream
+  // mutation study in tests/test_mutation.cpp perturbs) violates SC at
+  // BFS depth 6 with a 7-step counterexample.  The rewritten parallel
+  // engine stays level-synchronized, so it must report the same verdict,
+  // the same depth, and an equally *short* counterexample — at every
+  // thread count, and in the exact_states differential mode too.
+  MsiBus proto(2, 1, 1, /*lost_invalidation=*/true);
+  const McResult rs = model_check(proto, {});
+  ASSERT_EQ(rs.verdict, McVerdict::Violation) << rs.summary();
+  EXPECT_EQ(rs.depth, 6u);
+  EXPECT_EQ(rs.counterexample.size(), 7u);
+  EXPECT_FALSE(rs.cycle.empty());
+  for (const std::size_t threads : {2u, 4u}) {
+    for (const bool exact : {false, true}) {
+      McOptions par;
+      par.threads = threads;
+      par.exact_states = exact;
+      const McResult rp = model_check(proto, par);
+      EXPECT_EQ(rp.verdict, rs.verdict)
+          << threads << " threads, exact=" << exact << ": " << rp.summary();
+      EXPECT_EQ(rp.depth, rs.depth) << threads << " threads";
+      EXPECT_EQ(rp.counterexample.size(), rs.counterexample.size())
+          << threads << " threads";
+      EXPECT_FALSE(rp.cycle.empty()) << threads << " threads";
+    }
+  }
+}
+
+TEST(Parallel, GrowthUnderPressureMatchesSequential) {
+  // A deliberately tiny visited_size_hint forces the concurrent
+  // fingerprint table through many abort-grow-resume cycles mid-level
+  // (MsiBus(2,1,1) reaches ~39k states from the 1k-slot minimum table).
+  // Full-exploration results must be identical to the organically grown
+  // sequential store.
+  MsiBus proto(2, 1, 1);
+  McOptions seq;
+  const McResult rs = model_check(proto, seq);
+  ASSERT_EQ(rs.verdict, McVerdict::Verified) << rs.summary();
+  McOptions par;
+  par.threads = 3;
+  par.visited_size_hint = 1;
+  const McResult rp = model_check(proto, par);
+  EXPECT_EQ(rp.verdict, rs.verdict) << rp.summary();
+  EXPECT_EQ(rp.states, rs.states);
+  EXPECT_EQ(rp.depth, rs.depth);
+  EXPECT_EQ(rp.transitions, rs.transitions);
+  EXPECT_EQ(rp.peak_frontier, rs.peak_frontier);
+  EXPECT_EQ(rp.peak_live_nodes, rs.peak_live_nodes);
+}
+
+TEST(Parallel, ReportsLevelStatsAndFrontierBytes) {
+  MsiBus proto(2, 1, 1);
+  McOptions par;
+  par.threads = 2;
+  const McResult r = model_check(proto, par);
+  ASSERT_EQ(r.verdict, McVerdict::Verified) << r.summary();
+  ASSERT_EQ(r.level_stats.size(), r.depth);
+  EXPECT_EQ(r.level_stats.front().frontier, 1u);  // the initial state
+  // Every distinct state is discovered fresh at exactly one level.
+  std::size_t fresh = 1;
+  for (const McLevelStat& ls : r.level_stats) fresh += ls.fresh;
+  EXPECT_EQ(fresh, r.states);
+  EXPECT_GT(r.frontier_bytes, 0u);
 }
 
 // ------------------------------------------- fingerprint vs exact store

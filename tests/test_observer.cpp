@@ -312,5 +312,75 @@ TEST(Observer, DefaultPoolSizeWithinCheckerLimits) {
   EXPECT_LE(obs.bandwidth(), kMaxBandwidth);
 }
 
+// ------------------------------------------------ raw snapshot / restore
+//
+// The model checker's compact frontier serializes observers with
+// snapshot() and rebuilds them with restore(); unlike the canonical
+// serialization, the pair must be bit-faithful (pool IDs, handle naming,
+// free mask and all).
+
+TEST(Observer, SnapshotRestoreRoundtrip) {
+  MsiBus proto(2, 2, 1);
+  const auto walk = random_walk(proto, 120, 42);
+  Observer obs(proto, {});
+  std::vector<std::uint8_t> state(proto.state_size());
+  proto.initial_state(state);
+  std::vector<Symbol> out;
+  std::size_t step = 0;
+  for (const Transition& t : walk.transitions) {
+    proto.apply(state, t);
+    out.clear();
+    ASSERT_EQ(obs.step(t, state, out), ObserverStatus::Ok) << obs.error();
+    ByteWriter snap;
+    obs.snapshot(snap);
+    Observer copy(proto, {});
+    ByteReader r(snap.data());
+    copy.restore(r);
+    ASSERT_TRUE(r.done()) << "step " << step;
+    // Bit-faithful: identical raw re-snapshot and identical canonical
+    // serialization.
+    ByteWriter resnap;
+    copy.snapshot(resnap);
+    ASSERT_EQ(resnap.data(), snap.data()) << "step " << step;
+    ByteWriter ca, cb;
+    obs.serialize(ca);
+    copy.serialize(cb);
+    ASSERT_EQ(cb.data(), ca.data()) << "step " << step;
+    ++step;
+  }
+}
+
+TEST(Observer, RestoredObserverContinuesIdentically) {
+  LazyCaching proto(2, 1, 1, 1, 2);
+  const auto walk = random_walk(proto, 160, 7);
+  Observer obs(proto, {});
+  std::vector<std::uint8_t> state(proto.state_size());
+  proto.initial_state(state);
+  std::vector<Symbol> sym_a, sym_b;
+  const std::size_t half = walk.transitions.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    proto.apply(state, walk.transitions[i]);
+    ASSERT_EQ(obs.step(walk.transitions[i], state, sym_a),
+              ObserverStatus::Ok);
+  }
+  ByteWriter snap;
+  obs.snapshot(snap);
+  Observer copy(proto, {});
+  ByteReader r(snap.data());
+  copy.restore(r);
+  for (std::size_t i = half; i < walk.transitions.size(); ++i) {
+    proto.apply(state, walk.transitions[i]);
+    sym_a.clear();
+    sym_b.clear();
+    ASSERT_EQ(obs.step(walk.transitions[i], state, sym_a),
+              ObserverStatus::Ok);
+    ASSERT_EQ(copy.step(walk.transitions[i], state, sym_b),
+              ObserverStatus::Ok);
+    ASSERT_EQ(sym_a, sym_b) << "step " << i;
+  }
+  EXPECT_EQ(copy.peak_live_nodes(), obs.peak_live_nodes());
+  EXPECT_EQ(copy.live_nodes(), obs.live_nodes());
+}
+
 }  // namespace
 }  // namespace scv
