@@ -1,0 +1,61 @@
+// R3: static descriptor-bandwidth estimate.  The Section 4.4 accounting
+// bounds the observer's simultaneously active constraint-graph nodes by a
+// function of L, p, b; comparing that static bound against the bandwidth
+// the checker is configured for catches "the descriptor alphabet cannot
+// cover this protocol" before any exploration starts.
+#include <string>
+
+#include "analysis/internal.hpp"
+#include "descriptor/symbol.hpp"
+
+namespace scv::analysis {
+
+void check_bandwidth(LintContext& ctx) {
+  const Protocol& proto = *ctx.protocol;
+  const auto& pr = proto.params();
+  const ObserverConfig& oc = ctx.options->observer;
+
+  // Unclamped Section 4.4 accounting (mirrors the derivation in
+  // Observer::default_pool_size): L inh-active stores + pb forced-active
+  // loads + p program-order tails + 2b ST-order tails/roots + slack.
+  const std::size_t want =
+      pr.locations + pr.procs * pr.blocks + pr.procs + 2 * pr.blocks + 8;
+
+  // The bandwidth k the observer will actually emit under.
+  const std::size_t pool =
+      oc.pool_size != 0 ? oc.pool_size : Observer::default_pool_size(proto);
+  const std::size_t k = oc.location_mirrored ? pr.locations + pool : pool;
+
+  if (k > kMaxBandwidth) {
+    ctx.add(LintRule::R3_Bandwidth, LintSeverity::Error,
+            "configured descriptor bandwidth k=" + std::to_string(k) +
+                (oc.location_mirrored ? " (location-mirrored: L + pool)"
+                                      : "") +
+                " exceeds kMaxBandwidth=" + std::to_string(kMaxBandwidth) +
+                "; the finite-state checker cannot represent this protocol",
+            "k-overflow");
+    return;
+  }
+  if (pool < want) {
+    ctx.add(LintRule::R3_Bandwidth, LintSeverity::Warning,
+            "configured ID pool (" + std::to_string(pool) +
+                ") is below the static active-node bound " +
+                std::to_string(want) +
+                " (L + pb + p + 2b + slack); verification may abort with "
+                "BandwidthExceeded",
+            "pool-below-bound");
+  }
+  if (want > kMaxBandwidth - (oc.location_mirrored ? pr.locations : 0)) {
+    ctx.add(LintRule::R3_Bandwidth, LintSeverity::Warning,
+            "static active-node bound " + std::to_string(want) +
+                " exceeds the representable bandwidth " +
+                std::to_string(kMaxBandwidth) +
+                (oc.location_mirrored ? " minus the L mirrored location IDs"
+                                      : "") +
+                "; the descriptor alphabet cannot cover the worst case and "
+                "deep runs may abort with BandwidthExceeded",
+            "bound-overflow");
+  }
+}
+
+}  // namespace scv::analysis

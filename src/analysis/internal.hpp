@@ -1,0 +1,46 @@
+// Shared state between the lint driver and the individual rule passes.
+// Internal to src/analysis/ — nothing outside the subsystem includes this.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/lint.hpp"
+
+namespace scv::analysis {
+
+struct LintContext {
+  const Protocol* protocol = nullptr;
+  const LintOptions* options = nullptr;
+  LintReport* report = nullptr;
+
+  /// Canonical protocol-state sample (bounded BFS order; [0] is initial).
+  std::vector<std::vector<std::uint8_t>> states;
+
+  /// R2 aggregates, filled by the transition sweep: can location l come to
+  /// hold a store's value / is it ever consulted?
+  std::vector<bool> loc_written;
+  std::vector<bool> loc_read;
+
+  /// Emits a finding unless an identical (rule, dedup key) was already
+  /// reported; per-rule caps keep pathological protocols readable.
+  void add(LintRule rule, LintSeverity severity, std::string message,
+           const std::string& dedup_key);
+
+ private:
+  std::unordered_set<std::string> seen_;
+  std::size_t per_rule_[5] = {};
+  bool capped_[5] = {};
+};
+
+/// R1 + R5 + the R2 aggregates, in one sweep over the sampled states.
+void check_transitions(LintContext& ctx);
+/// R2, from the aggregates left by check_transitions().
+void check_location_liveness(LintContext& ctx);
+/// R3.
+void check_bandwidth(LintContext& ctx);
+/// R4.
+void check_interference(LintContext& ctx);
+
+}  // namespace scv::analysis

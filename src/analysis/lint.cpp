@@ -1,0 +1,198 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "analysis/internal.hpp"
+#include "util/assert.hpp"
+
+namespace scv {
+
+std::string to_string(LintRule r) {
+  switch (r) {
+    case LintRule::R1_TrackingLabels: return "R1:tracking-labels";
+    case LintRule::R2_LocationLiveness: return "R2:location-liveness";
+    case LintRule::R3_Bandwidth: return "R3:bandwidth";
+    case LintRule::R4_ObserverInterference: return "R4:non-interference";
+    case LintRule::R5_DeadTransitions: return "R5:dead-transitions";
+  }
+  return "?";
+}
+
+std::string to_string(LintSeverity s) {
+  switch (s) {
+    case LintSeverity::Note: return "note";
+    case LintSeverity::Warning: return "warning";
+    case LintSeverity::Error: return "error";
+  }
+  return "?";
+}
+
+std::size_t LintReport::count(LintSeverity s) const {
+  std::size_t n = 0;
+  for (const LintFinding& f : findings) n += f.severity == s ? 1 : 0;
+  return n;
+}
+
+std::size_t LintReport::count(LintRule r) const {
+  std::size_t n = 0;
+  for (const LintFinding& f : findings) n += f.rule == r ? 1 : 0;
+  return n;
+}
+
+std::string LintReport::summary() const {
+  std::ostringstream os;
+  os << protocol << ": " << count(LintSeverity::Error) << " error(s), "
+     << count(LintSeverity::Warning) << " warning(s) (" << stats.states_sampled
+     << " states, " << stats.transitions_checked << " transitions, "
+     << stats.prefixes_walked << " prefixes"
+     << (stats.truncated ? ", truncated sample" : "") << ")";
+  return os.str();
+}
+
+std::string LintReport::format() const {
+  std::ostringstream os;
+  os << summary() << "\n";
+  for (const LintFinding& f : findings) {
+    os << "  [" << to_string(f.severity) << "] " << to_string(f.rule) << ": "
+       << f.message << "\n";
+  }
+  return os.str();
+}
+
+namespace analysis {
+
+namespace {
+/// Per-rule finding cap; beyond it a single suppression note is emitted.
+constexpr std::size_t kMaxFindingsPerRule = 16;
+}  // namespace
+
+void LintContext::add(LintRule rule, LintSeverity severity,
+                      std::string message, const std::string& dedup_key) {
+  const auto idx = static_cast<std::size_t>(rule);
+  if (!seen_.insert(to_string(rule) + "\x1f" + dedup_key).second) return;
+  if (per_rule_[idx] >= kMaxFindingsPerRule) {
+    if (!capped_[idx]) {
+      capped_[idx] = true;
+      report->findings.push_back(
+          {rule, LintSeverity::Note,
+           "further findings for this rule suppressed (cap " +
+               std::to_string(kMaxFindingsPerRule) + ")"});
+    }
+    return;
+  }
+  ++per_rule_[idx];
+  report->findings.push_back({rule, severity, std::move(message)});
+}
+
+namespace {
+
+/// Bounded breadth-first sample of the protocol's own state space (no
+/// observer, no checker): the canonical control skeleton the structural
+/// rules enumerate transitions from.  Deliberately capped — the linter's
+/// job is to look at every *shape* of transition, not every state.
+void sample_states(LintContext& ctx) {
+  const Protocol& proto = *ctx.protocol;
+  const LintOptions& opt = *ctx.options;
+  std::unordered_set<std::string> visited;
+
+  std::vector<std::uint8_t> init(proto.state_size());
+  proto.initial_state(init);
+  visited.emplace(reinterpret_cast<const char*>(init.data()), init.size());
+  ctx.states.push_back(std::move(init));
+
+  std::vector<Transition> enabled;
+  std::size_t cursor = 0;   // BFS via index into ctx.states
+  std::size_t depth_end = 1;  // first index beyond the current BFS level
+  std::size_t depth = 0;
+  while (cursor < ctx.states.size()) {
+    if (cursor == depth_end) {
+      depth_end = ctx.states.size();
+      if (++depth >= opt.max_depth) {
+        ctx.report->stats.truncated = true;
+        break;
+      }
+    }
+    // Copy, not reference: ctx.states may reallocate as successors append.
+    const std::vector<std::uint8_t> state = ctx.states[cursor++];
+    enabled.clear();
+    proto.enumerate(state, enabled);
+    for (const Transition& t : enabled) {
+      if (ctx.states.size() >= opt.max_states) {
+        ctx.report->stats.truncated = true;
+        break;
+      }
+      std::vector<std::uint8_t> succ = state;
+      proto.apply(succ, t);
+      if (visited
+              .emplace(reinterpret_cast<const char*>(succ.data()), succ.size())
+              .second) {
+        ctx.states.push_back(std::move(succ));
+      }
+    }
+    if (ctx.states.size() >= opt.max_states) break;
+  }
+  ctx.report->stats.states_sampled = ctx.states.size();
+}
+
+/// R1 checks that do not need any state: the Params contract itself.
+void check_params(LintContext& ctx) {
+  const auto& pr = ctx.protocol->params();
+  if (pr.locations == 0) {
+    ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Error,
+            "protocol declares zero storage locations; every LD/ST tracking "
+            "label is necessarily dangling",
+            "zero-locations");
+  }
+  if (pr.locations > kMaxLocations) {
+    ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Error,
+            "protocol declares " + std::to_string(pr.locations) +
+                " locations, above kMaxLocations=" +
+                std::to_string(kMaxLocations) +
+                "; location 0xff would alias the kClearSrc sentinel",
+            "too-many-locations");
+  }
+}
+
+}  // namespace
+}  // namespace analysis
+
+LintReport lint_protocol(const Protocol& protocol,
+                         const LintOptions& options) {
+  LintReport report;
+  report.protocol = protocol.name();
+
+  analysis::LintContext ctx;
+  ctx.protocol = &protocol;
+  ctx.options = &options;
+  ctx.report = &report;
+  ctx.loc_written.assign(protocol.params().locations, false);
+  ctx.loc_read.assign(protocol.params().locations, false);
+
+  analysis::check_params(ctx);
+  analysis::sample_states(ctx);
+  analysis::check_transitions(ctx);
+  analysis::check_location_liveness(ctx);
+  analysis::check_bandwidth(ctx);
+  // R4 drives a real Observer along prefixes, and the observer (rightly)
+  // aborts on structurally broken metadata — dangling labels, bandwidth
+  // over the representable maximum.  Differential walks therefore only run
+  // once the structural rules came back clean.
+  if (options.check_interference && !report.has_errors()) {
+    analysis::check_interference(ctx);
+  }
+
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     if (a.severity != b.severity) {
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     }
+                     return static_cast<int>(a.rule) <
+                            static_cast<int>(b.rule);
+                   });
+  return report;
+}
+
+}  // namespace scv

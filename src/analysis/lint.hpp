@@ -1,0 +1,144 @@
+// Static protocol analysis (linting) for the Section 4 observer
+// construction.
+//
+// The observer of Theorem 4.1 is only a *witness* observer when the
+// protocol's tracking metadata is well-formed: every LD/ST transition must
+// name a real storage location (the function f of Section 4.1), copy labels
+// must move values between real locations, and the augmentation must not
+// constrain the protocol (the non-interference side condition of
+// Theorem 3.1).  None of that is visible to the type system — a protocol
+// with a dangling LocId compiles fine and only misbehaves (or aborts) deep
+// inside a model-checking run.
+//
+// lint_protocol() analyzes a protocol's per-transition metadata over its
+// control skeleton — transitions enumerated from a bounded canonical sample
+// of states (breadth-first from the initial state, capped) plus bounded
+// differential prefix walks — never the full reachable product space.  It
+// emits a severity-ranked LintReport over five rule families:
+//
+//   R1 tracking-labels   — LD/ST labels in range, copy entries reference
+//                          real locations, no double-written destination,
+//                          kClearSrc only as a source, serialize_loc sane,
+//                          location count within the LocId alphabet;
+//   R2 location-liveness — locations written but never read (dead tracking
+//                          state inflating the hashed key) and locations
+//                          read but never writable;
+//   R3 bandwidth         — the static Section 4.4 node bound vs the
+//                          configured descriptor bandwidth k;
+//   R4 non-interference  — differential check that augmenting sampled
+//                          prefixes with the Observer never changes the
+//                          enabled-transition set (and never rejects a run
+//                          the bare protocol can take);
+//   R5 dead-transitions  — duplicate or shadowed transitions and no-op
+//                          internal actions.
+//
+// The analysis is *sound for errors on what it samples* and deliberately
+// incomplete: R1/R5 findings are definite for the sampled skeleton, R2/R4
+// are bounded evidence (hence mostly warnings/errors only on definite
+// contradictions).  See DESIGN.md §10 for the soundness argument relative
+// to Theorem 3.1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "observer/observer.hpp"
+#include "protocol/protocol.hpp"
+
+namespace scv {
+
+enum class LintRule : std::uint8_t {
+  R1_TrackingLabels,
+  R2_LocationLiveness,
+  R3_Bandwidth,
+  R4_ObserverInterference,
+  R5_DeadTransitions,
+};
+
+enum class LintSeverity : std::uint8_t { Note, Warning, Error };
+
+[[nodiscard]] std::string to_string(LintRule r);
+[[nodiscard]] std::string to_string(LintSeverity s);
+
+struct LintFinding {
+  LintRule rule = LintRule::R1_TrackingLabels;
+  LintSeverity severity = LintSeverity::Note;
+  std::string message;
+};
+
+/// How much of the protocol the linter actually looked at — reported so a
+/// clean bill of health can be weighed against its coverage.
+struct LintStats {
+  std::size_t states_sampled = 0;       ///< canonical states enumerated
+  std::size_t transitions_checked = 0;  ///< transitions structurally checked
+  std::size_t prefixes_walked = 0;      ///< R4 differential prefixes
+  /// True when the canonical-state sample hit its cap before exhausting the
+  /// protocol's reachable control skeleton.
+  bool truncated = false;
+};
+
+struct LintReport {
+  std::string protocol;
+  /// Sorted most severe first, then by rule.
+  std::vector<LintFinding> findings;
+  LintStats stats;
+
+  [[nodiscard]] std::size_t count(LintSeverity s) const;
+  [[nodiscard]] std::size_t count(LintRule r) const;
+  [[nodiscard]] bool has_errors() const {
+    return count(LintSeverity::Error) > 0;
+  }
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+
+  /// One line: "MsiBus: 0 errors, 1 warning (412 states, 3310 transitions)".
+  [[nodiscard]] std::string summary() const;
+  /// Full multi-line report (summary + one line per finding).
+  [[nodiscard]] std::string format() const;
+};
+
+/// The augmentation seam for R4.  A sound augmentation observes transitions
+/// without writing the protocol state and never fails on a run the bare
+/// protocol can take; the default implementation wraps the real Observer.
+/// Tests inject misbehaving stubs to prove the differential check bites.
+class Augmentation {
+ public:
+  virtual ~Augmentation() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Observes one applied transition; `post_state` is the protocol state
+  /// after apply.  Returns false to report failure (see error()).
+  [[nodiscard]] virtual bool step(const Transition& t,
+                                  std::span<std::uint8_t> post_state) = 0;
+  [[nodiscard]] virtual std::string error() const = 0;
+  /// True when the last failure was a capacity limit (e.g. the observer's
+  /// ID pool ran dry) rather than interference.  Capacity failures are
+  /// reported under R3 as warnings — an undersized pool is a configuration
+  /// problem the model checker diagnoses precisely (BandwidthExceeded), not
+  /// a soundness violation of the augmentation.
+  [[nodiscard]] virtual bool failure_is_capacity() const { return false; }
+};
+
+struct LintOptions {
+  /// Canonical-state sample cap (bounded BFS from the initial state).
+  std::size_t max_states = 2048;
+  std::size_t max_depth = 64;
+  /// R4 differential prefixes: count and length.
+  std::size_t walks = 8;
+  std::size_t walk_steps = 64;
+  std::uint64_t seed = 0x11A7u;
+  /// Observer configuration the protocol will be verified under; R3/R4
+  /// check against exactly this configuration.
+  ObserverConfig observer{};
+  bool check_interference = true;
+  /// Augmentation factory for R4; null = wrap a real Observer.
+  std::function<std::unique_ptr<Augmentation>(const Protocol&)> augmentation;
+};
+
+/// Runs all lint rules on `protocol` and returns the ranked report.
+[[nodiscard]] LintReport lint_protocol(const Protocol& protocol,
+                                       const LintOptions& options = {});
+
+}  // namespace scv

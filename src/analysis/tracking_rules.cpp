@@ -1,0 +1,265 @@
+// R1 (tracking-label completeness), R5 (duplicate / shadowed / dead
+// transitions) and the liveness aggregates for R2, in a single sweep over
+// the sampled control skeleton.  Everything here is *definite* for the
+// sampled states: an out-of-range LocId is broken no matter what the rest
+// of the state space looks like.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/internal.hpp"
+
+namespace scv::analysis {
+namespace {
+
+/// Byte key for a whole transition (action + all metadata): two transitions
+/// with equal keys are indistinguishable to both the protocol and the
+/// observer.
+std::string transition_key(const Transition& t) {
+  std::string k;
+  k.push_back(static_cast<char>(t.action.kind));
+  k.push_back(static_cast<char>(t.action.op.kind));
+  k.push_back(static_cast<char>(t.action.op.proc));
+  k.push_back(static_cast<char>(t.action.op.block));
+  k.push_back(static_cast<char>(t.action.op.value));
+  k.push_back(static_cast<char>(t.action.internal_id));
+  k.push_back(static_cast<char>(t.action.arg0));
+  k.push_back(static_cast<char>(t.action.arg1));
+  k.push_back(static_cast<char>(t.loc));
+  k.push_back(static_cast<char>(t.serialize_loc & 0xff));
+  k.push_back(static_cast<char>((t.serialize_loc >> 8) & 0xff));
+  for (const CopyEntry& c : t.copies) {
+    k.push_back(static_cast<char>(c.dst));
+    k.push_back(static_cast<char>(c.src));
+  }
+  return k;
+}
+
+/// The tracking-effect part only (copies + serialize_loc), used to detect
+/// redundant internal nondeterminism.
+std::string effect_key(const Transition& t) {
+  std::string k;
+  k.push_back(static_cast<char>(t.serialize_loc & 0xff));
+  k.push_back(static_cast<char>((t.serialize_loc >> 8) & 0xff));
+  for (const CopyEntry& c : t.copies) {
+    k.push_back(static_cast<char>(c.dst));
+    k.push_back(static_cast<char>(c.src));
+  }
+  return k;
+}
+
+void check_one_r1(LintContext& ctx, const Transition& t,
+                  const std::string& an) {
+  const std::size_t locs = ctx.protocol->params().locations;
+
+  if (t.action.is_memory_op()) {
+    if (t.loc == kClearSrc) {
+      ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Error,
+              an + ": tracking label is the kClearSrc sentinel, which is "
+                   "only meaningful as a copy source",
+              "memloc-clear:" + an);
+    } else if (t.loc >= locs) {
+      ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Error,
+              an + ": tracking label names location " +
+                  std::to_string(t.loc) + " but the protocol declares " +
+                  std::to_string(locs) + " locations",
+              "memloc-range:" + an);
+    }
+  }
+
+  if (t.serialize_loc >= 0) {
+    if (static_cast<std::size_t>(t.serialize_loc) >= locs) {
+      ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Error,
+              an + ": serialize_loc names location " +
+                  std::to_string(t.serialize_loc) +
+                  " but the protocol declares " + std::to_string(locs) +
+                  " locations",
+              "serloc-range:" + an);
+    }
+    if (ctx.protocol->real_time_st_order()) {
+      ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Warning,
+              an + ": carries serialize_loc although the protocol declares "
+                   "real-time ST order; the hint is ignored",
+              "serloc-rt:" + an);
+    }
+  }
+
+  bool dst_seen[256] = {};
+  for (std::size_t i = 0; i < t.copies.size(); ++i) {
+    const CopyEntry& c = t.copies[i];
+    if (c.dst == kClearSrc) {
+      ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Error,
+              an + ": copy entry uses the kClearSrc sentinel as a "
+                   "destination; kClearSrc only appears as a source",
+              "copy-dst-clear:" + an);
+    } else if (c.dst >= locs) {
+      ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Error,
+              an + ": copy destination " + std::to_string(c.dst) +
+                  " is out of range (protocol declares " +
+                  std::to_string(locs) + " locations)",
+              "copy-dst-range:" + an);
+    }
+    if (c.src != kClearSrc && c.src >= locs) {
+      ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Error,
+              an + ": dangling copy source " + std::to_string(c.src) +
+                  " (protocol declares " + std::to_string(locs) +
+                  " locations)",
+              "copy-src-range:" + an);
+    }
+    if (c.dst == c.src) {
+      ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Warning,
+              an + ": self-copy entry (dst == src == " +
+                  std::to_string(c.dst) + ") is a no-op and must not be "
+                                          "listed",
+              "copy-self:" + an);
+    }
+    if (dst_seen[c.dst]) {
+      ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Error,
+              an + ": location " + std::to_string(c.dst) +
+                  " is written twice in one transition; simultaneous copy "
+                  "semantics make the result order-dependent",
+              "copy-dst-dup:" + an);
+    }
+    dst_seen[c.dst] = true;
+    if (t.action.kind == Action::Kind::Store && c.dst == t.loc &&
+        c.src != t.loc) {
+      ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Warning,
+              an + ": copy destination overwrites the transition's own "
+                   "store stamp at location " +
+                  std::to_string(t.loc),
+              "copy-overwrites-stamp:" + an);
+    }
+  }
+}
+
+void aggregate_liveness(LintContext& ctx, const Transition& t) {
+  const std::size_t locs = ctx.loc_written.size();
+  if (t.action.kind == Action::Kind::Store && t.loc < locs) {
+    ctx.loc_written[t.loc] = true;
+  }
+  if (t.action.kind == Action::Kind::Load && t.loc < locs) {
+    ctx.loc_read[t.loc] = true;
+  }
+  if (t.serialize_loc >= 0 &&
+      static_cast<std::size_t>(t.serialize_loc) < locs) {
+    ctx.loc_read[static_cast<std::size_t>(t.serialize_loc)] = true;
+  }
+  for (const CopyEntry& c : t.copies) {
+    if (c.src != kClearSrc && c.src < locs) ctx.loc_read[c.src] = true;
+    // A clear (src == kClearSrc) empties the destination; it does not make
+    // the location able to hold a store's value, so it is not a "write"
+    // for liveness purposes.
+    if (c.src != kClearSrc && c.dst < locs) ctx.loc_written[c.dst] = true;
+  }
+}
+
+}  // namespace
+
+void check_transitions(LintContext& ctx) {
+  const Protocol& proto = *ctx.protocol;
+  std::vector<Transition> enabled;
+  std::vector<std::uint8_t> post;
+  std::size_t checked = 0;
+
+  // Per-state R5 bookkeeping, reused across states.
+  struct SeenTransition {
+    std::string full_key;
+    std::string effect;
+    std::string post_key;
+    std::string name;
+    bool internal = false;
+  };
+  std::unordered_map<std::string, std::size_t> full_seen;  // key -> count
+  std::vector<SeenTransition> seen;
+
+  for (const auto& state : ctx.states) {
+    enabled.clear();
+    proto.enumerate(state, enabled);
+    full_seen.clear();
+    seen.clear();
+
+    for (const Transition& t : enabled) {
+      ++checked;
+      const std::string an = proto.action_name(t.action);
+      check_one_r1(ctx, t, an);
+      aggregate_liveness(ctx, t);
+
+      post.assign(state.begin(), state.end());
+      proto.apply(post, t);
+      std::string post_key(reinterpret_cast<const char*>(post.data()),
+                           post.size());
+      const bool internal = !t.action.is_memory_op();
+      const bool state_unchanged =
+          post.size() == state.size() &&
+          std::equal(post.begin(), post.end(), state.begin());
+
+      // R5a: dead internal action — changes nothing anywhere.
+      if (internal && state_unchanged && t.copies.empty() &&
+          t.serialize_loc < 0) {
+        ctx.add(LintRule::R5_DeadTransitions, LintSeverity::Warning,
+                an + ": internal action changes neither the protocol state "
+                     "nor any tracking state (dead self-loop)",
+                "dead-internal:" + an);
+      }
+
+      // R5b: exact duplicate within one enumeration.
+      std::string full_key = transition_key(t);
+      if (++full_seen[full_key] == 2) {
+        ctx.add(LintRule::R5_DeadTransitions, LintSeverity::Warning,
+                an + ": transition enumerated twice with identical action "
+                     "and metadata (duplicate successor work)",
+                "dup:" + an);
+      }
+
+      // R5c: redundant internal nondeterminism — a *different* internal
+      // action with the same successor state and the same tracking effect
+      // yields a bit-identical product successor.
+      std::string effect = effect_key(t);
+      if (internal) {
+        for (const SeenTransition& s : seen) {
+          if (s.internal && s.full_key != full_key &&
+              s.post_key == post_key && s.effect == effect) {
+            ctx.add(LintRule::R5_DeadTransitions, LintSeverity::Warning,
+                    an + " is shadowed by " + s.name +
+                        ": identical successor state and tracking effect",
+                    "shadow:" + an + "/" + s.name);
+            break;
+          }
+        }
+      }
+      seen.push_back({std::move(full_key), std::move(effect),
+                      std::move(post_key), an, internal});
+    }
+  }
+  ctx.report->stats.transitions_checked = checked;
+}
+
+void check_location_liveness(LintContext& ctx) {
+  const std::size_t locs = ctx.loc_written.size();
+  for (std::size_t l = 0; l < locs; ++l) {
+    const bool w = ctx.loc_written[l];
+    const bool r = ctx.loc_read[l];
+    if (w && !r) {
+      ctx.add(LintRule::R2_LocationLiveness, LintSeverity::Warning,
+              "location " + std::to_string(l) +
+                  " is written but never read by any load or copy over the "
+                  "sampled skeleton: dead tracking state inflating the "
+                  "hashed state key",
+              "dead-write:" + std::to_string(l));
+    } else if (r && !w) {
+      ctx.add(LintRule::R2_LocationLiveness, LintSeverity::Warning,
+              "location " + std::to_string(l) +
+                  " is read but never written over the sampled skeleton: it "
+                  "can only ever track \"no store\"",
+              "read-only:" + std::to_string(l));
+    } else if (!r && !w) {
+      ctx.add(LintRule::R2_LocationLiveness, LintSeverity::Warning,
+              "location " + std::to_string(l) +
+                  " is never referenced by any tracking label over the "
+                  "sampled skeleton (dead location)",
+              "unused:" + std::to_string(l));
+    }
+  }
+}
+
+}  // namespace scv::analysis

@@ -1,10 +1,12 @@
 // Public entry points of the library: one-call sequential-consistency
-// verification (model checking the observer–checker product) and the
-// Section 4.4 observer-size accounting.
+// verification (model checking the observer–checker product), the static
+// protocol linter it prechecks with, and the Section 4.4 observer-size
+// accounting.
 #pragma once
 
 #include <cstddef>
 
+#include "analysis/lint.hpp"
 #include "mc/model_checker.hpp"
 #include "protocol/protocol.hpp"
 
@@ -12,7 +14,9 @@ namespace scv {
 
 /// Verifies that `protocol` is sequentially consistent by constructing its
 /// witness observer (Theorem 4.1) and model checking the observer–checker
-/// product (Theorem 3.1).
+/// product (Theorem 3.1).  Unless McOptions::lint_first is cleared, the
+/// protocol's tracking metadata is statically linted first (DESIGN.md §10)
+/// and errors short-circuit to LintRejected.
 ///
 ///   Verified             — every reachable run describes an acyclic
 ///                          constraint graph: the protocol is SC.
@@ -20,6 +24,8 @@ namespace scv {
 ///   BandwidthExceeded /
 ///   TrackingInconsistent — the protocol, as annotated, is outside the
 ///                          decidable class (or the bound is too small).
+///   LintRejected         — malformed tracking metadata, caught statically
+///                          before exploration (see lint_protocol()).
 [[nodiscard]] inline McResult verify_sc(const Protocol& protocol,
                                         const McOptions& options = {}) {
   return model_check(protocol, options);

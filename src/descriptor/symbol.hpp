@@ -36,7 +36,7 @@ inline constexpr std::size_t kMaxBandwidth = 62;
 /// operation, for constraint graphs).
 struct NodeDesc {
   GraphId id = kNoId;
-  std::optional<Operation> label;
+  std::optional<Operation> label{};
 
   friend bool operator==(const NodeDesc&, const NodeDesc&) = default;
 };

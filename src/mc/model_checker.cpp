@@ -10,6 +10,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "analysis/lint.hpp"
 #include "checker/sc_checker.hpp"
 #include "descriptor/descriptor.hpp"
 #include "util/assert.hpp"
@@ -28,6 +29,7 @@ std::string to_string(McVerdict v) {
     case McVerdict::BandwidthExceeded: return "BandwidthExceeded";
     case McVerdict::TrackingInconsistent: return "TrackingInconsistent";
     case McVerdict::StateLimit: return "StateLimit";
+    case McVerdict::LintRejected: return "LintRejected";
   }
   return "?";
 }
@@ -794,6 +796,24 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
 
 McResult model_check(const Protocol& protocol, const McOptions& options) {
   SCV_EXPECTS(options.threads >= 1);
+  if (options.lint_first && !options.protocol_only) {
+    // Fail-fast static precheck: malformed tracking metadata would abort or
+    // mislead exploration much later; reject it in milliseconds instead.
+    LintOptions lopt;
+    lopt.observer = options.observer;
+    const LintReport lint = lint_protocol(protocol, lopt);
+    if (lint.has_errors()) {
+      McResult result;
+      result.verdict = McVerdict::LintRejected;
+      result.reason = "lint precheck failed — " + lint.summary();
+      for (const LintFinding& f : lint.findings) {
+        if (f.severity == LintSeverity::Error) {
+          result.reason += "; [" + to_string(f.rule) + "] " + f.message;
+        }
+      }
+      return result;
+    }
+  }
   if (options.threads == 1) return run_sequential(protocol, options);
   return run_parallel(protocol, options);
 }

@@ -42,6 +42,10 @@ enum class McVerdict : std::uint8_t {
   TrackingInconsistent,
   /// Exploration hit the state or depth limit before finishing.
   StateLimit,
+  /// The static lint precheck (McOptions::lint_first) found errors in the
+  /// protocol's tracking metadata; exploration was not started.  Run
+  /// lint_protocol() directly (or tools/scv_lint) for the full report.
+  LintRejected,
 };
 
 [[nodiscard]] std::string to_string(McVerdict v);
@@ -64,6 +68,11 @@ struct McOptions {
   /// and avoid rehash churn mid-run.  0 = derive from max_states when that
   /// looks like a genuine budget (see presize heuristic in DESIGN.md §9).
   std::size_t visited_size_hint = 0;
+  /// Fail fast: statically lint the protocol's tracking metadata
+  /// (src/analysis/) before exploring, returning LintRejected on errors
+  /// instead of misbehaving hours into a run.  Costs milliseconds; opt out
+  /// for linting the linter or for deliberately malformed inputs.
+  bool lint_first = true;
 };
 
 struct CounterexampleStep {

@@ -31,6 +31,10 @@ Observer::Observer(const Protocol& protocol, ObserverConfig config)
   const auto& pr = protocol.params();
   SCV_EXPECTS(pr.procs <= kMaxObsProcs);
   SCV_EXPECTS(pr.blocks <= kMaxObsBlocks);
+  // LocId alphabet bound: locations beyond kMaxLocations would collide
+  // with the kClearSrc sentinel in the tracker (and, in location-mirrored
+  // mode, overflow the location-alias ID range).
+  SCV_EXPECTS(pr.locations <= kMaxLocations);
   pool_count_ =
       cfg_.pool_size != 0 ? cfg_.pool_size : default_pool_size(protocol);
   SCV_EXPECTS(pool_count_ >= 1 && pool_count_ <= kMaxBandwidth);

@@ -8,9 +8,10 @@ namespace scv {
 
 DirectoryProtocol::DirectoryProtocol(std::size_t procs, std::size_t blocks,
                                      std::size_t values) {
-  SCV_EXPECTS(procs >= 1 && procs <= 7 && blocks >= 1 && values >= 1);
+  SCV_EXPECTS(procs <= 7);
   params_ = Params{procs, blocks, values,
                    /*locations=*/2 * procs * blocks + blocks};
+  validate_params(params_);
 }
 
 std::size_t DirectoryProtocol::state_size() const {

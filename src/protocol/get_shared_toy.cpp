@@ -9,10 +9,10 @@ namespace scv {
 GetSharedToy::GetSharedToy(std::size_t procs, std::size_t blocks,
                            std::size_t values, std::size_t slots_per_proc)
     : slots_(slots_per_proc) {
-  SCV_EXPECTS(procs >= 1 && blocks >= 1 && values >= 1 &&
-              slots_per_proc >= 1);
+  SCV_EXPECTS(slots_per_proc >= 1);
   params_ = Params{procs, blocks, values,
                    /*locations=*/procs * slots_per_proc};
+  validate_params(params_);
 }
 
 void GetSharedToy::initial_state(std::span<std::uint8_t> state) const {

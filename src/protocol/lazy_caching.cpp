@@ -10,12 +10,12 @@ LazyCaching::LazyCaching(std::size_t procs, std::size_t blocks,
                          std::size_t values, std::size_t out_depth,
                          std::size_t in_depth)
     : out_depth_(out_depth), in_depth_(in_depth) {
-  SCV_EXPECTS(procs >= 1 && blocks >= 1 && values >= 1 && out_depth >= 1 &&
-              in_depth >= 1);
+  SCV_EXPECTS(out_depth >= 1 && in_depth >= 1);
   params_ = Params{
       procs, blocks, values,
       /*locations=*/procs * blocks + blocks + procs * out_depth +
           procs * in_depth};
+  validate_params(params_);
 }
 
 std::size_t LazyCaching::state_size() const {

@@ -9,9 +9,9 @@ namespace scv {
 MsiBus::MsiBus(std::size_t procs, std::size_t blocks, std::size_t values,
                bool lost_invalidation)
     : buggy_(lost_invalidation) {
-  SCV_EXPECTS(procs >= 1 && blocks >= 1 && values >= 1);
   params_ = Params{procs, blocks, values,
                    /*locations=*/procs * blocks + blocks};
+  validate_params(params_);
 }
 
 std::size_t MsiBus::state_size() const {

@@ -2,7 +2,15 @@
 
 #include <sstream>
 
+#include "util/assert.hpp"
+
 namespace scv {
+
+void Protocol::validate_params(const Params& p) {
+  SCV_EXPECTS(p.procs >= 1 && p.blocks >= 1 && p.values >= 1);
+  SCV_EXPECTS(p.locations >= 1);
+  SCV_EXPECTS(p.locations <= kMaxLocations);
+}
 
 std::string Protocol::action_name(const Action& a) const {
   if (a.is_memory_op()) return to_string(a.op);

@@ -37,6 +37,12 @@ using LocId = std::uint8_t;
 /// location reverts to holding no tracked store, as if freshly ⊥).
 inline constexpr LocId kClearSrc = 0xff;
 
+/// Largest admissible location count.  LocId is a byte and kClearSrc = 0xff
+/// is reserved, so a protocol declaring 255+ locations would have a real
+/// location silently alias the clear sentinel.  Checked at construction
+/// (Protocol::validate_params) and by the linter's R1 rule.
+inline constexpr std::size_t kMaxLocations = 0xfe;
+
 struct Action {
   enum class Kind : std::uint8_t { Load, Store, Internal };
   Kind kind = Kind::Internal;
@@ -130,6 +136,12 @@ class Protocol {
 
   /// Human-readable action name ("ST(P1,B2,1)", "Drain(P2)", ...).
   [[nodiscard]] virtual std::string action_name(const Action& a) const;
+
+ protected:
+  /// Common Params contract, called by every concrete protocol constructor
+  /// once params_ is final: all dimensions nonzero and the location count
+  /// within the LocId alphabet (kMaxLocations keeps kClearSrc distinct).
+  static void validate_params(const Params& p);
 };
 
 }  // namespace scv

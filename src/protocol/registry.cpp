@@ -1,0 +1,65 @@
+#include "protocol/registry.hpp"
+
+#include "protocol/directory.hpp"
+#include "protocol/get_shared_toy.hpp"
+#include "protocol/lazy_caching.hpp"
+#include "protocol/msi_bus.hpp"
+#include "protocol/serial_memory.hpp"
+#include "protocol/write_buffer.hpp"
+
+namespace scv {
+
+const std::vector<RegisteredProtocol>& protocol_registry() {
+  // Parameterizations mirror the test suite's canonical sizes: big enough
+  // to exercise every transition shape, small enough to lint in
+  // milliseconds.
+  static const std::vector<RegisteredProtocol> registry = [] {
+    std::vector<RegisteredProtocol> r;
+    r.push_back({"serial_memory", "atomic shared memory (trivially SC)",
+                 false,
+                 [] { return std::make_unique<SerialMemory>(2, 2, 2); }});
+    r.push_back({"write_buffer",
+                 "per-processor FIFO store buffers (SC-violating)", true, [] {
+                   return std::make_unique<WriteBuffer>(2, 2, 2, 2, false);
+                 }});
+    r.push_back({"write_buffer_fwd",
+                 "store buffers with load forwarding (SC-violating)", true,
+                 [] {
+                   return std::make_unique<WriteBuffer>(2, 2, 2, 2, true);
+                 }});
+    r.push_back({"write_buffer_fwd_drain",
+                 "forwarding buffers under drain-order serialization "
+                 "(coherent, not SC)",
+                 true, [] {
+                   return std::make_unique<WriteBuffer>(2, 2, 2, 2, true,
+                                                        /*drain_order=*/true);
+                 }});
+    r.push_back({"msi_bus", "snooping MSI bus protocol", false,
+                 [] { return std::make_unique<MsiBus>(2, 2, 2); }});
+    r.push_back({"msi_bus_buggy",
+                 "MSI bus with a planted lost-invalidation bug", true, [] {
+                   return std::make_unique<MsiBus>(2, 2, 2,
+                                                   /*lost_invalidation=*/true);
+                 }});
+    r.push_back({"get_shared_toy", "toy slot-sharing protocol", false, [] {
+                   return std::make_unique<GetSharedToy>(2, 2, 2, 2);
+                 }});
+    r.push_back({"directory", "directory-based MSI with reply channels",
+                 false,
+                 [] { return std::make_unique<DirectoryProtocol>(2, 2, 2); }});
+    r.push_back({"lazy_caching",
+                 "Afek–Brown–Merritt lazy caching (deferred ST order)", false,
+                 [] { return std::make_unique<LazyCaching>(2, 2, 2, 1, 1); }});
+    return r;
+  }();
+  return registry;
+}
+
+std::unique_ptr<Protocol> make_registered_protocol(std::string_view id) {
+  for (const RegisteredProtocol& e : protocol_registry()) {
+    if (e.id == id) return e.make();
+  }
+  return nullptr;
+}
+
+}  // namespace scv

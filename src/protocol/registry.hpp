@@ -1,0 +1,34 @@
+// Registry of the bundled protocols at canonical small parameterizations.
+// One authoritative list for the tools that want to iterate "everything we
+// ship" — the scv_lint CLI, smoke scripts, CI sweeps — instead of each
+// hard-coding its own copy of the protocol zoo.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "protocol/protocol.hpp"
+
+namespace scv {
+
+struct RegisteredProtocol {
+  std::string id;           ///< stable CLI identifier ("msi_bus", ...)
+  std::string description;  ///< one-line human summary
+  /// True when the entry is a deliberately planted *behavioral* bug (an SC
+  /// violation).  Such entries still have well-formed tracking metadata, so
+  /// the linter accepts them; the model checker is what rejects them.
+  bool sc_violating = false;
+  std::function<std::unique_ptr<Protocol>()> make;
+};
+
+/// All bundled protocols, in presentation order.
+[[nodiscard]] const std::vector<RegisteredProtocol>& protocol_registry();
+
+/// Instantiates the registry entry with the given id; null if unknown.
+[[nodiscard]] std::unique_ptr<Protocol> make_registered_protocol(
+    std::string_view id);
+
+}  // namespace scv

@@ -6,8 +6,8 @@ namespace scv {
 
 SerialMemory::SerialMemory(std::size_t procs, std::size_t blocks,
                            std::size_t values) {
-  SCV_EXPECTS(procs >= 1 && blocks >= 1 && values >= 1);
   params_ = Params{procs, blocks, values, /*locations=*/blocks};
+  validate_params(params_);
 }
 
 void SerialMemory::initial_state(std::span<std::uint8_t> state) const {

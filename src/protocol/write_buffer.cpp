@@ -10,9 +10,10 @@ WriteBuffer::WriteBuffer(std::size_t procs, std::size_t blocks,
                          std::size_t values, std::size_t depth,
                          bool forwarding, bool drain_order)
     : depth_(depth), forwarding_(forwarding), drain_order_(drain_order) {
-  SCV_EXPECTS(procs >= 1 && blocks >= 1 && values >= 1 && depth >= 1);
+  SCV_EXPECTS(depth >= 1);
   params_ = Params{procs, blocks, values,
                    /*locations=*/blocks + procs * depth};
+  validate_params(params_);
 }
 
 std::size_t WriteBuffer::state_size() const {

@@ -70,7 +70,9 @@ void expect_valid_constraint_graph(const ObservedRun& run,
     }
   }
   EXPECT_EQ(g.validate(), std::nullopt);
-  if (expect_acyclic) EXPECT_TRUE(g.acyclic());
+  if (expect_acyclic) {
+    EXPECT_TRUE(g.acyclic());
+  }
 }
 
 TEST(Observer, SerialMemoryRunsYieldValidAcyclicGraphs) {

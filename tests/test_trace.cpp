@@ -210,7 +210,9 @@ TEST(Generators, RandomTraceRespectsParams) {
     EXPECT_LT(op.proc, 2);
     EXPECT_LT(op.block, 3);
     EXPECT_LE(op.value, 2);
-    if (op.is_store()) EXPECT_GE(op.value, 1);
+    if (op.is_store()) {
+      EXPECT_GE(op.value, 1);
+    }
   }
 }
 

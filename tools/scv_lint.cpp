@@ -1,0 +1,83 @@
+// scv_lint — static protocol analyzer CLI.
+//
+// Runs the src/analysis/ linter over registered protocols (all of them by
+// default, or the ids named on the command line) and prints each report.
+// Exit status: 0 when no protocol has error-severity findings, 1 when any
+// does (or 1 on warnings too, under --strict), 2 on usage errors.
+//
+//   scv_lint                  # lint every registered protocol
+//   scv_lint msi_bus directory
+//   scv_lint --strict         # warnings also fail
+//   scv_lint --list           # print registered protocol ids
+//   scv_lint --quiet          # summaries + findings only on failure
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "protocol/registry.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: scv_lint [--strict] [--quiet] [--list] [id...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  bool quiet = false;
+  std::vector<std::string> ids;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list") {
+      for (const scv::RegisteredProtocol& e : scv::protocol_registry()) {
+        std::printf("%-24s %s\n", e.id.c_str(), e.description.c_str());
+      }
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      ids.push_back(arg);
+    }
+  }
+
+  if (ids.empty()) {
+    for (const scv::RegisteredProtocol& e : scv::protocol_registry()) {
+      ids.push_back(e.id);
+    }
+  }
+
+  int failures = 0;
+  for (const std::string& id : ids) {
+    const std::unique_ptr<scv::Protocol> proto =
+        scv::make_registered_protocol(id);
+    if (proto == nullptr) {
+      std::fprintf(stderr, "scv_lint: unknown protocol id '%s'\n",
+                   id.c_str());
+      return 2;
+    }
+    scv::LintReport report = scv::lint_protocol(*proto);
+    if (report.protocol != id) {
+      report.protocol = id + " (" + report.protocol + ")";
+    }
+    const bool failed =
+        report.has_errors() ||
+        (strict && report.count(scv::LintSeverity::Warning) > 0);
+    failures += failed ? 1 : 0;
+    if (quiet && !failed) {
+      std::printf("%s\n", report.summary().c_str());
+    } else {
+      std::fputs(report.format().c_str(), stdout);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
