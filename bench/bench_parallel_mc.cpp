@@ -111,6 +111,55 @@ void json_sweep(std::ofstream& out, const char* name,
   out << "    ]";
 }
 
+/// Measures the symbol-sink pipeline's cost on the exploration hot path:
+/// the same bounded run with recording off (checker sink only, the default)
+/// and with the per-worker stream-statistics sink attached
+/// (`McOptions::symbol_stats`), which pays one extra virtual dispatch per
+/// emitted symbol.  `record_counterexample` is also exercised on; on a
+/// verified run it must be free (the counterexample replay never happens).
+struct RecordingOverhead {
+  McResult off;    ///< sinks: checker only
+  McResult stats;  ///< + SymbolStatsSink per worker
+  McResult rec;    ///< + record_counterexample armed (verified run: unused)
+
+  [[nodiscard]] double overhead_pct(const McResult& on) const {
+    const double base = states_per_sec(off);
+    return base > 0 ? (base / states_per_sec(on) - 1.0) * 100.0 : 0;
+  }
+};
+
+RecordingOverhead recording_overhead(const Protocol& proto,
+                                     std::size_t threads) {
+  McOptions opt;
+  opt.threads = threads;
+  opt.max_states = kMaxStates;
+  RecordingOverhead r;
+  r.off = best_of(proto, opt);
+  McOptions with_stats = opt;
+  with_stats.symbol_stats = true;
+  r.stats = best_of(proto, with_stats);
+  McOptions with_rec = opt;
+  with_rec.record_counterexample = true;
+  r.rec = best_of(proto, with_rec);
+  std::printf("  %zu thread%s | off %8.0f st/s | +stats sink %8.0f st/s "
+              "(%+.1f%%) | +record-cex %8.0f st/s (%+.1f%%)\n",
+              threads, threads == 1 ? " " : "s", states_per_sec(r.off),
+              states_per_sec(r.stats), r.overhead_pct(r.stats),
+              states_per_sec(r.rec), r.overhead_pct(r.rec));
+  std::fflush(stdout);
+  return r;
+}
+
+void json_recording(std::ofstream& out, std::size_t threads,
+                    const RecordingOverhead& r) {
+  out << "      {\"threads\": " << threads
+      << ", \"off_states_per_sec\": " << states_per_sec(r.off)
+      << ", \"stats_states_per_sec\": " << states_per_sec(r.stats)
+      << ", \"stats_overhead_pct\": " << r.overhead_pct(r.stats)
+      << ", \"record_cex_states_per_sec\": " << states_per_sec(r.rec)
+      << ", \"record_cex_overhead_pct\": " << r.overhead_pct(r.rec) << "}";
+}
+
 /// Thread-scaling sweep in both store modes plus the fingerprint-vs-exact
 /// memory comparison; emits BENCH_mc.json.
 void run_experiments() {
@@ -150,6 +199,12 @@ void run_experiments() {
               parity ? "OK (verdict+states identical)" : "MISMATCH",
               fp_ge_exact ? "yes" : "NO");
 
+  std::printf("== REC: symbol-sink pipeline overhead (recording off/on) "
+              "==\n");
+  const RecordingOverhead rec1 = recording_overhead(proto, 1);
+  const RecordingOverhead rec4 = recording_overhead(proto, 4);
+  std::printf("\n");
+
   std::ofstream out("BENCH_mc.json");
   out << "{\n"
       << "  \"bench\": \"bench_parallel_mc\",\n"
@@ -167,6 +222,11 @@ void run_experiments() {
   out << ",\n";
   json_sweep(out, "exact", ex);
   out << "\n  },\n"
+      << "  \"recording\": [\n";
+  json_recording(out, 1, rec1);
+  out << ",\n";
+  json_recording(out, 4, rec4);
+  out << "\n  ],\n"
       << "  \"modes\": {\n";
   json_mode(out, "fingerprint", fp1);
   out << ",\n";

@@ -2,17 +2,46 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
+#include <cstdlib>
 
 #include "checker/cycle_checker.hpp"
 #include "util/assert.hpp"
 
 namespace scv {
 
+std::string ScCheckerConfig::invalid_reason() const {
+  const auto range = [](const char* field, std::size_t got, std::size_t lo,
+                        std::size_t hi, const char* hi_name) {
+    return std::string(field) + " = " + std::to_string(got) +
+           (got < lo ? " below the minimum of " + std::to_string(lo)
+                     : " exceeds " + std::string(hi_name) + " = " +
+                           std::to_string(hi));
+  };
+  if (k < 1 || k > kMaxBandwidth) {
+    return range("k", k, 1, kMaxBandwidth, "kMaxBandwidth");
+  }
+  if (procs < 1 || procs > kMaxProcs) {
+    return range("procs", procs, 1, kMaxProcs, "kMaxProcs");
+  }
+  if (blocks < 1 || blocks > kMaxBlocks) {
+    return range("blocks", blocks, 1, kMaxBlocks, "kMaxBlocks");
+  }
+  if (values < 1 || values > 255) {
+    return range("values", values, 1, 255, "the Value alphabet");
+  }
+  return {};
+}
+
 ScChecker::ScChecker(const ScCheckerConfig& config) : cfg_(config) {
-  SCV_EXPECTS(cfg_.k >= 1 && cfg_.k <= kMaxBandwidth);
-  SCV_EXPECTS(cfg_.procs >= 1 && cfg_.procs <= kMaxProcs);
-  SCV_EXPECTS(cfg_.blocks >= 1 && cfg_.blocks <= kMaxBlocks);
-  SCV_EXPECTS(cfg_.values >= 1 && cfg_.values <= 255);
+  // Every slot/chain index below assumes these bounds; proceeding past a bad
+  // configuration would silently index out of range, so fail loudly with the
+  // exact offending field instead.
+  if (const std::string reason = cfg_.invalid_reason(); !reason.empty()) {
+    std::fprintf(stderr, "scv: invalid ScCheckerConfig: %s\n",
+                 reason.c_str());
+    std::abort();
+  }
   for (std::size_t c = 0; c < kMaxChains; ++c) {
     last_op_[c] = kNone;
     last_op_live_[c] = false;

@@ -53,6 +53,16 @@ struct ScCheckerConfig {
   /// constraints enter the constraint graph.  Everything else (ST order,
   /// inheritance, forced edges) is unchanged.
   bool coherence_po = false;
+
+  /// Empty when every field is in range; otherwise a precise description of
+  /// the first offending field ("procs = 9 exceeds kMaxProcs = 6").  The
+  /// ScChecker constructor aborts with this message on a bad config; callers
+  /// holding *untrusted* configurations (e.g. a run-trace file header) call
+  /// this first and turn the reason into a recoverable error instead.
+  [[nodiscard]] std::string invalid_reason() const;
+
+  friend bool operator==(const ScCheckerConfig&,
+                         const ScCheckerConfig&) = default;
 };
 
 class ScChecker {

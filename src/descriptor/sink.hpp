@@ -1,0 +1,48 @@
+// The descriptor-stream consumer seam.
+//
+// Theorem 3.1 splits verification into a protocol-specific observer that
+// *emits* a symbol stream and a protocol-independent checker that *consumes*
+// it.  SymbolSink is that consumption seam made explicit: anything that
+// wants to watch an observer run — the ScChecker, a run-trace recorder, a
+// statistics collector — implements it and is attached to the pipeline
+// driving the run.
+//
+// Sinks are observation-only: on_symbol returns void, so a sink cannot veto
+// or reorder the run it watches.  (The checker "rejects" by flipping its own
+// sticky state, which the driver inspects *after* the step — the sink
+// interface itself grants no control.)  This preserves the linter's R4
+// non-interference property by construction: attaching any number of sinks
+// can never change which runs the protocol takes.
+//
+// Stream framing: a run is a sequence of *steps* (one protocol transition
+// each).  Drivers bracket every step with begin_step/end_step so sinks that
+// care about run structure (the recorder) can group symbols per transition,
+// while flat consumers (the checker) just override on_symbol.
+#pragma once
+
+#include <string_view>
+
+#include "descriptor/symbol.hpp"
+
+namespace scv {
+
+class SymbolSink {
+ public:
+  SymbolSink() = default;
+  SymbolSink(const SymbolSink&) = default;
+  SymbolSink& operator=(const SymbolSink&) = default;
+  virtual ~SymbolSink() = default;
+
+  /// A new step begins; `action` is the human-readable protocol action
+  /// ("ST(P1,B2,1)", "Drain(P2)", ...), valid only for the duration of the
+  /// call.
+  virtual void begin_step(std::string_view action) { (void)action; }
+
+  /// One descriptor symbol emitted within the current step.
+  virtual void on_symbol(const Symbol& sym) = 0;
+
+  /// The current step is complete (all of its symbols were delivered).
+  virtual void end_step() {}
+};
+
+}  // namespace scv

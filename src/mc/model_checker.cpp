@@ -13,6 +13,7 @@
 #include "analysis/lint.hpp"
 #include "checker/sc_checker.hpp"
 #include "descriptor/descriptor.hpp"
+#include "mc/product.hpp"
 #include "util/assert.hpp"
 #include "util/concurrent_fp_set.hpp"
 #include "util/fingerprint.hpp"
@@ -48,49 +49,10 @@ std::string McResult::summary() const {
 
 namespace {
 
-struct Entry {
-  std::vector<std::uint8_t> proto;
-  Observer obs;
-  ScChecker chk;
-  std::uint32_t idx = 0;
-};
-
 struct Meta {
   std::uint32_t parent = 0;
   Transition via{};
 };
-
-ScCheckerConfig checker_config(const Protocol& p, const McOptions& opt,
-                               const Observer& obs) {
-  const auto& pr = p.params();
-  return ScCheckerConfig{obs.bandwidth(), pr.procs, pr.blocks, pr.values,
-                         opt.observer.coherence_only};
-}
-
-/// Reusable per-worker scratch for serializing product states: the writer
-/// buffer and the observer's ID-canonicalization map.  Reusing both kills
-/// the per-transition heap allocations of the old string-keyed path.
-struct KeyScratch {
-  ByteWriter w;
-  std::vector<GraphId> id_canon;
-};
-
-/// Serializes the canonical product state of `e` into `ks.w` (cleared
-/// first) and returns a view of the bytes, valid until the next call on
-/// the same scratch.
-std::span<const std::uint8_t> state_key(const McOptions& opt, const Entry& e,
-                                        KeyScratch& ks) {
-  ks.w.clear();
-  ks.w.bytes(e.proto);
-  if (!opt.protocol_only) {
-    // Canonical (symmetry-reduced) serialization: the observer renames its
-    // live nodes into discovery order and hands the checker the same
-    // renaming, so states differing only in ID/slot naming coincide.
-    e.obs.serialize(ks.w, &ks.id_canon);
-    e.chk.serialize_canonical(ks.w, ks.id_canon);
-  }
-  return ks.w.data();
-}
 
 /// Expected distinct-state count used to pre-size the visited store and
 /// avoid rehash churn mid-run (DESIGN.md §9).  An explicit hint wins,
@@ -123,48 +85,12 @@ std::size_t exact_store_bytes(std::size_t keys, std::size_t buckets,
   return keys * (node + heap) + buckets * sizeof(void*);
 }
 
-/// Visited-state store for the sequential path: one 128-bit fingerprint per
-/// state by default (16 bytes/slot, flat open-addressing table), or the
-/// full serialized key behind McOptions::exact_states — the
-/// differential-testing escape hatch for fingerprint collisions (see
-/// DESIGN.md).
-class StateStore {
- public:
-  StateStore(bool exact, std::size_t expected)
-      : exact_(exact), fps_(exact ? 0 : expected) {}
-
-  /// Returns true iff the state was not already present.  `key` is only
-  /// read in exact mode; `fp` must be its fingerprint.
-  bool insert(std::span<const std::uint8_t> key, Fingerprint fp) {
-    if (!exact_) return fps_.insert(fp);
-    return keys_
-        .emplace(reinterpret_cast<const char*>(key.data()), key.size())
-        .second;
-  }
-
-  [[nodiscard]] std::size_t occupied() const noexcept {
-    return exact_ ? keys_.size() : fps_.size();
-  }
-  [[nodiscard]] std::size_t slots() const noexcept {
-    return exact_ ? keys_.bucket_count() : fps_.capacity();
-  }
-  [[nodiscard]] std::size_t memory_bytes(
-      std::size_t state_bytes) const noexcept {
-    return exact_ ? exact_store_bytes(keys_.size(), keys_.bucket_count(),
-                                      state_bytes)
-                  : fps_.memory_bytes();
-  }
-
- private:
-  bool exact_;
-  FingerprintSet fps_;
-  std::unordered_set<std::string> keys_;
-};
-
-/// Thread-safe visited-state store for the parallel engine: a CAS-based
-/// ConcurrentFingerprintSet by default, or mutex-striped exact key sets
-/// behind McOptions::exact_states (the differential escape hatch values
-/// correctness over scalability; stripes keep contention tolerable).
+/// Thread-safe visited-state store: a CAS-based ConcurrentFingerprintSet by
+/// default, or mutex-striped exact key sets behind McOptions::exact_states
+/// (the differential escape hatch values correctness over scalability;
+/// stripes keep contention tolerable).  The single-worker run uses the same
+/// store — uncontended CAS is cheap, and one store means one growth policy
+/// and bit-identical dedup across thread counts.
 class ConcurrentStateStore {
  public:
   using Insert = ConcurrentFingerprintSet::Insert;
@@ -221,8 +147,7 @@ class ConcurrentStateStore {
   std::array<Stripe, kStripes> stripes_;
 };
 
-template <typename Store>
-void fill_store_stats(McResult& result, const Store& store) {
+void fill_store_stats(McResult& result, const ConcurrentStateStore& store) {
   result.store_bytes = store.memory_bytes(result.state_bytes);
   const std::size_t slots = store.slots();
   result.store_load_factor =
@@ -232,14 +157,13 @@ void fill_store_stats(McResult& result, const Store& store) {
 }
 
 /// Chunked, append-only arena of per-state Meta records, indexed by the
-/// atomic global state counter — the replacement for the old sequential
-/// phase-3 merge.  Workers call slot() concurrently: chunk pointers never
-/// move once allocated, and the chunk directory grows copy-on-write under a
-/// mutex, published with release/acquire.  Retired directories are kept
-/// alive (graveyard) so a concurrent slot() still holding the old pointer
-/// dereferences valid memory; the happens-before edge through
-/// chunks_published_ guarantees it only indexes chunks that directory
-/// already contained.
+/// atomic global state counter.  Workers call slot() concurrently: chunk
+/// pointers never move once allocated, and the chunk directory grows
+/// copy-on-write under a mutex, published with release/acquire.  Retired
+/// directories are kept alive (graveyard) so a concurrent slot() still
+/// holding the old pointer dereferences valid memory; the happens-before
+/// edge through chunks_published_ guarantees it only indexes chunks that
+/// directory already contained.
 class MetaArena {
  public:
   MetaArena() { grow_to(0); }
@@ -294,10 +218,10 @@ class MetaArena {
 };
 
 /// One worker's slice of a BFS level as flat serialized entries:
-/// [u32 global index][protocol bytes][observer snapshot][checker snapshot],
-/// delimited by an offsets array.  This is the compact frontier: a level
-/// lives as two flat buffers per worker (the one being read and the one
-/// being written) instead of a heavyweight Entry object graph per state.
+/// [u32 global index][product snapshot], delimited by an offsets array.
+/// This is the compact frontier: a level lives as two flat buffers per
+/// worker (the one being read and the one being written) instead of a
+/// heavyweight object graph per state.
 struct FrontierBatch {
   std::vector<std::uint8_t> bytes;
   std::vector<std::uint32_t> offsets;
@@ -316,70 +240,62 @@ struct FrontierBatch {
   }
 };
 
-void append_entry(const Entry& e, bool product, FrontierBatch& b) {
+void append_entry(std::uint32_t idx, const Product& p, FrontierBatch& b) {
   b.offsets.push_back(static_cast<std::uint32_t>(b.bytes.size()));
   ByteWriter w(b.bytes);
-  w.u32(e.idx);
-  w.bytes(e.proto);
-  if (product) {
-    // Raw snapshots, not the canonical serialization: the canonical form
-    // deliberately erases pool IDs and handle naming, so it cannot rebuild
-    // a steppable observer.  Snapshot/restore is bit-faithful.
-    e.obs.snapshot(w);
-    e.chk.snapshot(w);
-  }
+  w.u32(idx);
+  // Raw snapshots through the component loop, not the canonical key: the
+  // canonical form deliberately erases pool IDs and handle naming, so it
+  // cannot rebuild a steppable product.  Snapshot/restore is bit-faithful.
+  p.snapshot(w);
 }
 
-void restore_entry(std::span<const std::uint8_t> blob, std::size_t proto_size,
-                   bool product, Entry& e) {
+std::uint32_t restore_entry(std::span<const std::uint8_t> blob, Product& p) {
   ByteReader r(blob);
-  e.idx = r.u32();
-  const auto pv = r.view(proto_size);
-  e.proto.assign(pv.begin(), pv.end());
-  if (product) {
-    e.obs.restore(r);
-    e.chk.restore(r);
-  }
+  const std::uint32_t idx = r.u32();
+  p.restore(r);
   SCV_ASSERT(r.done());
+  return idx;
 }
 
-/// Re-executes `path` from the initial state, recording each step's action
-/// name and emitted observer symbols, plus the terminal failure reason.
-std::vector<CounterexampleStep> replay(const Protocol& proto,
-                                       const McOptions& opt,
-                                       const std::vector<Transition>& path,
-                                       std::string* reason) {
+/// The checker configuration the product pairs with `proto`'s observer.
+ScCheckerConfig checker_config(const Protocol& proto, const McOptions& opt) {
+  const auto& pr = proto.params();
+  return ScCheckerConfig{Observer(proto, opt.observer).bandwidth(), pr.procs,
+                         pr.blocks, pr.values, opt.observer.coherence_only};
+}
+
+struct ReplayOutput {
   std::vector<CounterexampleStep> steps;
-  std::vector<std::uint8_t> state(proto.state_size());
-  proto.initial_state(state);
-  Observer obs(proto, opt.observer);
-  ScChecker chk(checker_config(proto, opt, obs));
+  std::string reason;
+  std::vector<RunStep> recorded;  ///< filled only when recording
+};
+
+/// Re-executes `path` from the initial state through a fresh product,
+/// collecting each step's action name and emitted observer symbols, the
+/// terminal failure reason, and — when `record` — the RunTrace step body
+/// via a recorder sink on the same pipeline.
+ReplayOutput replay(const Protocol& proto, const McOptions& opt,
+                    const std::vector<Transition>& path, bool record) {
+  ReplayOutput out;
+  Product p(proto, opt.observer, !opt.protocol_only);
+  RunRecorder recorder;
+  if (record) p.add_sink(&recorder);
+  std::vector<Symbol> symbols;
   for (const Transition& t : path) {
-    CounterexampleStep step;
-    step.action = proto.action_name(t.action);
-    proto.apply(state, t);
-    if (!opt.protocol_only) {
-      const ObserverStatus st = obs.step(t, state, step.emitted);
-      if (st != ObserverStatus::Ok) {
-        if (reason != nullptr) *reason = obs.error();
-        steps.push_back(std::move(step));
-        return steps;
-      }
-      for (const Symbol& sym : step.emitted) {
-        if (chk.feed(sym) == ScChecker::Status::Reject) {
-          if (reason != nullptr) *reason = chk.reject_reason();
-          steps.push_back(std::move(step));
-          return steps;
-        }
-      }
+    const std::string action = proto.action_name(t.action);
+    const StepOutcome outcome = p.step(t, symbols, action);
+    out.steps.push_back({action, symbols});
+    if (outcome != StepOutcome::Ok) {
+      out.reason = p.failure_reason(outcome);
+      break;
     }
-    steps.push_back(std::move(step));
   }
-  return steps;
+  if (record) out.recorded = recorder.take();
+  return out;
 }
 
-/// `MetaStore` is std::vector<Meta> (sequential) or MetaArena (parallel);
-/// both index by state number.
+/// `MetaStore` is MetaArena or anything else indexable by state number.
 template <typename MetaStore>
 std::vector<Transition> path_to(const MetaStore& meta, std::uint32_t idx,
                                 const Transition* final_step) {
@@ -390,30 +306,6 @@ std::vector<Transition> path_to(const MetaStore& meta, std::uint32_t idx,
   std::reverse(path.begin(), path.end());
   if (final_step != nullptr) path.push_back(*final_step);
   return path;
-}
-
-/// Outcome of expanding one transition.
-enum class StepOutcome : std::uint8_t { Ok, Reject, Bound, Tracking };
-
-/// Precondition: dst.obs and dst.chk are already copies of src's.
-StepOutcome expand_one(const Protocol& proto, const McOptions& opt,
-                       const Entry& src, const Transition& t, Entry& dst,
-                       std::vector<Symbol>& scratch) {
-  dst.proto = src.proto;
-  proto.apply(dst.proto, t);
-  if (opt.protocol_only) return StepOutcome::Ok;
-  scratch.clear();
-  const ObserverStatus st = dst.obs.step(t, dst.proto, scratch);
-  if (st == ObserverStatus::BandwidthExceeded) return StepOutcome::Bound;
-  if (st == ObserverStatus::TrackingInconsistent) {
-    return StepOutcome::Tracking;
-  }
-  for (const Symbol& sym : scratch) {
-    if (dst.chk.feed(sym) == ScChecker::Status::Reject) {
-      return StepOutcome::Reject;
-    }
-  }
-  return StepOutcome::Ok;
 }
 
 template <typename MetaStore>
@@ -435,7 +327,23 @@ McResult finish_failure(const Protocol& proto, const McOptions& opt,
       SCV_UNREACHABLE("finish_failure on Ok outcome");
   }
   const auto path = path_to(meta, parent, &via);
-  result.counterexample = replay(proto, opt, path, &result.reason);
+  ReplayOutput rep = replay(proto, opt, path, opt.record_counterexample);
+  result.reason = std::move(rep.reason);
+  result.counterexample = std::move(rep.steps);
+
+  if (opt.record_counterexample) {
+    RunTrace trace;
+    trace.protocol = proto.name();
+    trace.checker = checker_config(proto, opt);
+    trace.verdict = result.verdict == McVerdict::Violation
+                        ? RunVerdict::Violation
+                        : (result.verdict == McVerdict::BandwidthExceeded
+                               ? RunVerdict::BandwidthExceeded
+                               : RunVerdict::TrackingInconsistent);
+    trace.reason = result.reason;
+    trace.steps = std::move(rep.recorded);
+    result.counterexample_trace = std::move(trace);
+  }
 
   // For cycle rejections, expand the full emitted descriptor (which is a
   // valid graph description regardless of cycles) and extract a concrete
@@ -462,109 +370,33 @@ McResult finish_failure(const Protocol& proto, const McOptions& opt,
   return result;
 }
 
-McResult run_sequential(const Protocol& proto, const McOptions& opt) {
-  McResult result;
-  const auto t0 = std::chrono::steady_clock::now();
-  StateStore visited(opt.exact_states, presize_expected(opt));
-  const auto finish = [&](McVerdict v) {
-    result.verdict = v;
-    fill_store_stats(result, visited);
-    result.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    return result;
-  };
-
-  std::vector<Meta> meta;
-  KeyScratch ks;
-
-  Entry init{std::vector<std::uint8_t>(proto.state_size()),
-             Observer(proto, opt.observer), ScChecker({1, 1, 1, 1}), 0};
-  proto.initial_state(init.proto);
-  init.chk = ScChecker(checker_config(proto, opt, init.obs));
-  {
-    const auto key = state_key(opt, init, ks);
-    result.state_bytes = key.size();
-    visited.insert(key, fingerprint128(key));
-  }
-  meta.push_back(Meta{});
-  result.states = 1;
-
-  std::vector<Entry> frontier;
-  frontier.push_back(std::move(init));
-  std::vector<Transition> transitions;
-  std::vector<Symbol> scratch;
-
-  // Rough per-entry footprint of the object-graph frontier (the parallel
-  // engine's compact frontier reports measured bytes instead).
-  const std::size_t entry_bytes = sizeof(Entry) + proto.state_size();
-
-  while (!frontier.empty()) {
-    if (result.depth >= opt.max_depth) return finish(McVerdict::StateLimit);
-    const auto lt0 = std::chrono::steady_clock::now();
-    std::vector<Entry> next;
-    for (const Entry& e : frontier) {
-      transitions.clear();
-      proto.enumerate(e.proto, transitions);
-      for (const Transition& t : transitions) {
-        ++result.transitions;
-        Entry succ{{}, e.obs, e.chk, 0};
-        const StepOutcome outcome =
-            expand_one(proto, opt, e, t, succ, scratch);
-        if (outcome != StepOutcome::Ok) {
-          fill_store_stats(result, visited);
-          result.seconds = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count();
-          return finish_failure(proto, opt, std::move(result), outcome,
-                                meta, e.idx, t);
-        }
-        result.peak_live_nodes =
-            std::max(result.peak_live_nodes, succ.obs.peak_live_nodes());
-        const auto key = state_key(opt, succ, ks);
-        if (visited.insert(key, fingerprint128(key))) {
-          succ.idx = static_cast<std::uint32_t>(meta.size());
-          meta.push_back(Meta{e.idx, t});
-          next.push_back(std::move(succ));
-          ++result.states;
-          if (result.states >= opt.max_states) {
-            return finish(McVerdict::StateLimit);
-          }
-        }
-      }
-    }
-    result.peak_frontier = std::max(result.peak_frontier, next.size());
-    result.frontier_bytes =
-        std::max(result.frontier_bytes,
-                 (frontier.size() + next.size()) * entry_bytes);
-    result.level_stats.push_back(
-        {frontier.size(), next.size(),
-         std::chrono::duration<double>(std::chrono::steady_clock::now() - lt0)
-             .count()});
-    frontier = std::move(next);
-    ++result.depth;
-  }
-  return finish(McVerdict::Verified);
-}
-
-// The parallel engine.  Level-synchronized BFS with:
+// The exploration engine — one level-synchronized BFS for every thread
+// count, driving the uniform Product through the compact frontier:
 //
 //   * a shared concurrent visited store — workers deduplicate successors
-//     *during* expansion, so the old phase-2 shard-owner pass and its
-//     cross-thread candidate shuffling are gone;
+//     *during* expansion;
 //   * dedup-before-materialize — every successor is stepped into reused
 //     per-worker scratch, fingerprinted, and only *fresh* states are
 //     serialized into the worker's next-level batch (duplicates, the
 //     majority, allocate nothing);
-//   * a compact frontier — levels live as flat serialized buffers;
-//     Observer/ScChecker are rebuilt on expansion via snapshot/restore;
-//   * a chunked MetaArena indexed by the atomic state counter — no
-//     sequential merge phase.
+//   * a compact frontier — levels live as flat serialized buffers; the
+//     product is rebuilt on expansion via the component snapshot loop;
+//   * a chunked MetaArena indexed by the atomic state counter.
 //
-// Parity with run_sequential is preserved: levels are still synchronized
-// (same BFS depth, shortest counterexamples), and max_states is enforced
-// per insertion through the same counter that assigns state indices, so
-// verdict and state count match (see DESIGN.md §9 for the argument).
+// `threads == 1` runs the identical code inline on the calling thread (the
+// pool spawns no workers), so sequential/parallel parity — same BFS depth,
+// same state set, shortest counterexamples — holds because it is literally
+// the same engine, not a maintained invariant between two.
+//
+// Failure determinism: with several workers, *which* failing transition is
+// captured first is a race, which would make the reported counterexample
+// (and any recorded run trace) vary run to run.  On a failure verdict the
+// multi-worker run therefore discards its partial result and delegates to
+// a single-worker re-run, whose deterministic expansion order yields the
+// canonical counterexample — still depth-minimal, since level synchrony
+// means no failure exists below the failing level.  Failures are the cold
+// path; re-exploring for a deterministic artifact is the right trade
+// (DESIGN.md §11).
 //
 // When the fingerprint table fills mid-level, workers abort at entry
 // granularity (their resume cursor stays on the unfinished entry), the
@@ -572,10 +404,12 @@ McResult run_sequential(const Protocol& proto, const McOptions& opt) {
 // re-expanding the interrupted entry is safe because its already-claimed
 // successors were batched immediately and now dedup to Duplicate, and its
 // transition count is only committed once the entry completes.
-McResult run_parallel(const Protocol& proto, const McOptions& opt) {
+McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
+  const std::size_t nworkers = opt.threads;
   McResult result;
   const auto t0 = std::chrono::steady_clock::now();
-  ThreadPool pool(opt.threads);
+  // One worker needs no OS threads: the pool runs the task inline.
+  ThreadPool pool(nworkers == 1 ? 0 : nworkers);
   const bool product = !opt.protocol_only;
 
   ConcurrentStateStore visited(opt.exact_states, presize_expected(opt));
@@ -592,14 +426,57 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
   std::uint32_t failure_parent = 0;
   Transition failure_via{};
 
+  Product init(proto, opt.observer, product);
+  {
+    KeyScratch ks;
+    const auto key = init.key(ks);
+    result.state_bytes = key.size();
+    visited.insert(key, fingerprint128(key));
+  }
+  const GraphId stats_null_id =
+      product ? static_cast<GraphId>(init.observer().bandwidth() + 1)
+              : kNoId;
+
+  struct Worker {
+    Worker(const Protocol& p, const ObserverConfig& c, bool prod,
+           GraphId null_id)
+        : cur(p, c, prod), succ(p, c, prod), stats(null_id) {}
+    Product cur;   ///< entry being expanded (restored from the frontier)
+    Product succ;  ///< successor scratch, reused across transitions
+    std::uint32_t cur_idx = 0;
+    KeyScratch key;
+    std::vector<Transition> transitions;
+    std::vector<Symbol> symbols;
+    SymbolStatsSink stats;       ///< attached to succ when symbol_stats
+    FrontierBatch out;           ///< next-level entries this worker found
+    std::size_t next_entry = 0;  ///< resume cursor into the global frontier
+    std::size_t peak_live = 0;
+  };
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(nworkers);
+  for (std::size_t w = 0; w < nworkers; ++w) {
+    workers.push_back(std::make_unique<Worker>(proto, opt.observer, product,
+                                               stats_null_id));
+    if (opt.symbol_stats && product) {
+      workers.back()->succ.add_sink(&workers.back()->stats);
+    }
+  }
+
+  const auto merge_worker_stats = [&] {
+    for (const auto& ws : workers) {
+      result.peak_live_nodes = std::max(result.peak_live_nodes, ws->peak_live);
+      if (opt.symbol_stats) result.symbol_stats.merge(ws->stats.stats());
+    }
+  };
+
   const auto finish = [&](McVerdict v) {
     result.verdict = v;
     result.transitions = transitions.load();
     // Under a state limit the counter may overshoot (several workers can
     // claim fresh states concurrently before the flag propagates); clamp
-    // to the sequential engine's report.  max(·, 2) covers the degenerate
-    // max_states <= 1 budgets, where the sequential path also reports the
-    // two states it saw before stopping.
+    // to the budget.  max(·, 2) covers the degenerate max_states <= 1
+    // budgets, where expansion still sees the two states it touched before
+    // stopping.
     const std::size_t n = states.load();
     result.states = limit_hit.load()
                         ? std::max(opt.max_states, std::size_t{2})
@@ -611,48 +488,16 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
     return result;
   };
 
-  Entry init{std::vector<std::uint8_t>(proto.state_size()),
-             Observer(proto, opt.observer), ScChecker({1, 1, 1, 1}), 0};
-  proto.initial_state(init.proto);
-  init.chk = ScChecker(checker_config(proto, opt, init.obs));
-  {
-    KeyScratch ks;
-    const auto key = state_key(opt, init, ks);
-    result.state_bytes = key.size();
-    visited.insert(key, fingerprint128(key));
-  }
-
-  const auto make_entry = [&] {
-    Entry e{std::vector<std::uint8_t>(proto.state_size()),
-            Observer(proto, opt.observer), ScChecker({1, 1, 1, 1}), 0};
-    e.chk = ScChecker(checker_config(proto, opt, e.obs));
-    return e;
-  };
-
-  struct Worker {
-    Worker(Entry c, Entry s) : cur(std::move(c)), succ(std::move(s)) {}
-    Entry cur;   ///< entry being expanded (restored from the frontier)
-    Entry succ;  ///< successor scratch, reused across transitions
-    KeyScratch key;
-    std::vector<Transition> transitions;
-    std::vector<Symbol> symbols;
-    FrontierBatch out;           ///< next-level entries this worker found
-    std::size_t next_entry = 0;  ///< resume cursor into the global frontier
-    std::size_t peak_live = 0;
-  };
-  std::vector<Worker> workers;
-  workers.reserve(opt.threads);
-  for (std::size_t w = 0; w < opt.threads; ++w) {
-    workers.emplace_back(make_entry(), make_entry());
-  }
-
-  std::vector<FrontierBatch> frontier(opt.threads);
-  append_entry(init, product, frontier[0]);
+  std::vector<FrontierBatch> frontier(nworkers);
+  append_entry(0, init, frontier[0]);
   std::size_t frontier_entries = 1;
-  std::vector<std::size_t> prefix(opt.threads + 1, 0);
+  std::vector<std::size_t> prefix(nworkers + 1, 0);
 
   while (frontier_entries > 0) {
-    if (result.depth >= opt.max_depth) return finish(McVerdict::StateLimit);
+    if (result.depth >= opt.max_depth) {
+      merge_worker_stats();
+      return finish(McVerdict::StateLimit);
+    }
     const auto lt0 = std::chrono::steady_clock::now();
     const std::size_t states_before = states.load();
 
@@ -665,13 +510,13 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
     std::size_t cur_bytes = 0;
     for (const FrontierBatch& b : frontier) cur_bytes += b.bytes.size();
 
-    for (std::size_t w = 0; w < opt.threads; ++w) {
-      workers[w].out.clear();
-      workers[w].next_entry = w;
+    for (std::size_t w = 0; w < nworkers; ++w) {
+      workers[w]->out.clear();
+      workers[w]->next_entry = w;
     }
 
-    const auto expand = [&](std::size_t w) {
-      Worker& ws = workers[w];
+    const auto expand_worker = [&](std::size_t w) {
+      Worker& ws = *workers[w];
       std::size_t batch = 0;
       while (ws.next_entry < total) {
         if (failed.load(std::memory_order_relaxed) ||
@@ -681,32 +526,32 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
         }
         const std::size_t gi = ws.next_entry;
         while (prefix[batch + 1] <= gi) ++batch;
-        restore_entry(frontier[batch].entry(gi - prefix[batch]),
-                      proto.state_size(), product, ws.cur);
+        ws.cur_idx =
+            restore_entry(frontier[batch].entry(gi - prefix[batch]), ws.cur);
         ws.transitions.clear();
-        proto.enumerate(ws.cur.proto, ws.transitions);
+        ws.cur.enumerate(ws.transitions);
         std::uint64_t expanded = 0;
         for (const Transition& t : ws.transitions) {
           ++expanded;
-          ws.succ.obs = ws.cur.obs;
-          ws.succ.chk = ws.cur.chk;
-          const StepOutcome outcome =
-              expand_one(proto, opt, ws.cur, t, ws.succ, ws.symbols);
+          ws.succ.assign_from(ws.cur);
+          const StepOutcome outcome = ws.succ.step(t, ws.symbols);
           if (outcome != StepOutcome::Ok) {
             std::lock_guard lock(failure_mu);
             if (!failed.exchange(true)) {
               failure_outcome = outcome;
-              failure_parent = ws.cur.idx;
+              failure_parent = ws.cur_idx;
               failure_via = t;
             }
-            // Like the sequential engine, the failing transition counts.
+            // The failing transition counts.
             transitions.fetch_add(expanded, std::memory_order_relaxed);
             return;
           }
-          ws.peak_live =
-              std::max(ws.peak_live,
-                       static_cast<std::size_t>(ws.succ.obs.peak_live_nodes()));
-          const auto key = state_key(opt, ws.succ, ws.key);
+          if (product) {
+            ws.peak_live = std::max(
+                ws.peak_live,
+                static_cast<std::size_t>(ws.succ.observer().peak_live_nodes()));
+          }
+          const auto key = ws.succ.key(ws.key);
           const Fingerprint fp = fingerprint128(key);
           const auto ins = visited.insert(key, fp);
           if (ins == ConcurrentStateStore::Insert::TableFull) {
@@ -722,10 +567,9 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
             const std::size_t idx =
                 states.fetch_add(1, std::memory_order_relaxed);
             Meta& m = meta.slot(idx);
-            m.parent = ws.cur.idx;
+            m.parent = ws.cur_idx;
             m.via = t;
-            ws.succ.idx = static_cast<std::uint32_t>(idx);
-            append_entry(ws.succ, product, ws.out);
+            append_entry(static_cast<std::uint32_t>(idx), ws.succ, ws.out);
             if (idx + 1 >= opt.max_states) {
               limit_hit.store(true, std::memory_order_relaxed);
               transitions.fetch_add(expanded, std::memory_order_relaxed);
@@ -734,12 +578,12 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
           }
         }
         transitions.fetch_add(expanded, std::memory_order_relaxed);
-        ws.next_entry = gi + opt.threads;
+        ws.next_entry = gi + nworkers;
       }
     };
 
     for (;;) {
-      pool.run_on_all(expand);
+      pool.run_on_all(expand_worker);
       if (failed.load() || limit_hit.load()) break;
       if (table_full.exchange(false)) {
         visited.grow();  // workers are quiescent between barriers
@@ -748,14 +592,19 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
       break;
     }
 
-    for (const Worker& ws : workers) {
-      result.peak_live_nodes = std::max(result.peak_live_nodes, ws.peak_live);
-    }
-
-    // Failure wins over the state limit, matching the old engine: within a
-    // level the choice is inherently order-dependent, and reporting the
-    // violation is strictly more informative.
+    // Failure wins over the state limit: within a level the choice is
+    // inherently order-dependent, and reporting the violation is strictly
+    // more informative.
     if (failed.load()) {
+      if (nworkers > 1) {
+        // Delegate to the deterministic single-worker engine for the
+        // canonical (and, with record_counterexample, byte-stable)
+        // counterexample; see the engine comment above.
+        McOptions seq = opt;
+        seq.threads = 1;
+        return run_bfs(proto, seq);
+      }
+      merge_worker_stats();
       result.transitions = transitions.load();
       result.states = states.load();
       fill_store_stats(result, visited);
@@ -765,7 +614,10 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
       return finish_failure(proto, opt, std::move(result), failure_outcome,
                             meta, failure_parent, failure_via);
     }
-    if (limit_hit.load()) return finish(McVerdict::StateLimit);
+    if (limit_hit.load()) {
+      merge_worker_stats();
+      return finish(McVerdict::StateLimit);
+    }
 
     if (visited.should_grow()) visited.grow();
 
@@ -773,8 +625,8 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
     // buffers become next level's write buffers (double buffering).
     std::size_t next_entries = 0;
     std::size_t next_bytes = 0;
-    for (std::size_t w = 0; w < opt.threads; ++w) {
-      std::swap(frontier[w], workers[w].out);
+    for (std::size_t w = 0; w < nworkers; ++w) {
+      std::swap(frontier[w], workers[w]->out);
       next_entries += frontier[w].size();
       next_bytes += frontier[w].bytes.size();
     }
@@ -789,6 +641,7 @@ McResult run_parallel(const Protocol& proto, const McOptions& opt) {
     ++result.depth;
   }
 
+  merge_worker_stats();
   return finish(McVerdict::Verified);
 }
 
@@ -814,8 +667,7 @@ McResult model_check(const Protocol& protocol, const McOptions& options) {
       return result;
     }
   }
-  if (options.threads == 1) return run_sequential(protocol, options);
-  return run_parallel(protocol, options);
+  return run_bfs(protocol, options);
 }
 
 }  // namespace scv

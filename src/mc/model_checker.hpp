@@ -21,11 +21,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "observer/observer.hpp"
 #include "protocol/protocol.hpp"
+#include "runlog/run_trace.hpp"
+#include "runlog/sinks.hpp"
 
 namespace scv {
 
@@ -73,6 +76,19 @@ struct McOptions {
   /// instead of misbehaving hours into a run.  Costs milliseconds; opt out
   /// for linting the linter or for deliberately malformed inputs.
   bool lint_first = true;
+  /// On a failure verdict, export the counterexample run as a replayable
+  /// run trace (McResult::counterexample_trace): the failing run's full
+  /// descriptor stream plus the checker configuration needed to re-verify
+  /// it offline (tools/scv_check).  Costs one extra counterexample replay;
+  /// exploration itself is unaffected.
+  bool record_counterexample = false;
+  /// Collect per-symbol-kind counts over every expanded transition's
+  /// emitted stream (McResult::symbol_stats).  Duplicate successors count
+  /// too — the stats describe the exploration work, not the distinct state
+  /// graph — and peak_bound_ids is not meaningful for the branch-interleaved
+  /// exploration stream (see SymbolStats).  Adds one statistics sink per
+  /// worker to the symbol pipeline.
+  bool symbol_stats = false;
 };
 
 struct CounterexampleStep {
@@ -115,6 +131,11 @@ struct McResult {
   /// Per-level exploration timing/counts (index = BFS depth of the
   /// expanded frontier).
   std::vector<McLevelStat> level_stats;
+  /// The counterexample as a replayable run trace, when
+  /// McOptions::record_counterexample was set and the verdict is a failure.
+  std::optional<RunTrace> counterexample_trace;
+  /// Aggregated symbol-kind counts when McOptions::symbol_stats was set.
+  SymbolStats symbol_stats;
 
   /// Visited-store resident bytes per distinct state — the headline memory
   /// metric tracked by bench_parallel_mc (BENCH_mc.json).

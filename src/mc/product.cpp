@@ -1,0 +1,98 @@
+#include "mc/product.hpp"
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+namespace {
+
+ScCheckerConfig product_checker_config(const Protocol& protocol,
+                                       const ObserverConfig& config,
+                                       const Observer& obs) {
+  const auto& pr = protocol.params();
+  return ScCheckerConfig{obs.bandwidth(), pr.procs, pr.blocks, pr.values,
+                         config.coherence_only};
+}
+
+}  // namespace
+
+Product::Product(const Protocol& protocol, const ObserverConfig& config,
+                 bool with_observer)
+    : protocol_(&protocol), proto_(protocol) {
+  components_[ncomponents_++] = &proto_;
+  if (with_observer) {
+    obs_ = std::make_unique<ObserverComponent>(protocol, config);
+    chk_ = std::make_unique<CheckerComponent>(
+        product_checker_config(protocol, config, obs_->observer()));
+    chk_sink_ = std::make_unique<CheckerSink>(chk_->checker());
+    components_[ncomponents_++] = obs_.get();
+    components_[ncomponents_++] = chk_.get();
+    sinks_.push_back(chk_sink_.get());
+  }
+}
+
+void Product::add_sink(SymbolSink* sink) {
+  SCV_EXPECTS(sink != nullptr);
+  sinks_.push_back(sink);
+}
+
+StepOutcome Product::step(const Transition& t, std::vector<Symbol>& symbols,
+                          std::string_view action) {
+  proto_.apply(t);
+  if (obs_ == nullptr) return StepOutcome::Ok;
+  symbols.clear();
+  const ObserverStatus st =
+      obs_->observer().step(t, proto_.state(), symbols);
+  if (st == ObserverStatus::BandwidthExceeded) return StepOutcome::Bound;
+  if (st == ObserverStatus::TrackingInconsistent) {
+    return StepOutcome::Tracking;
+  }
+  for (SymbolSink* sink : sinks_) sink->begin_step(action);
+  for (const Symbol& sym : symbols) {
+    for (SymbolSink* sink : sinks_) sink->on_symbol(sym);
+  }
+  for (SymbolSink* sink : sinks_) sink->end_step();
+  return chk_->checker().rejected() ? StepOutcome::Reject : StepOutcome::Ok;
+}
+
+std::span<const std::uint8_t> Product::key(KeyScratch& ks) const {
+  ks.w.clear();
+  for (std::size_t c = 0; c < ncomponents_; ++c) {
+    components_[c]->key(ks.w, ks.ctx);
+  }
+  return ks.w.data();
+}
+
+void Product::snapshot(ByteWriter& w) const {
+  for (std::size_t c = 0; c < ncomponents_; ++c) {
+    components_[c]->snapshot(w);
+  }
+}
+
+void Product::restore(ByteReader& r) {
+  for (std::size_t c = 0; c < ncomponents_; ++c) {
+    components_[c]->restore(r);
+  }
+}
+
+void Product::assign_from(const Product& other) {
+  SCV_EXPECTS(ncomponents_ == other.ncomponents_);
+  for (std::size_t c = 0; c < ncomponents_; ++c) {
+    components_[c]->assign_from(*other.components_[c]);
+  }
+}
+
+std::string Product::failure_reason(StepOutcome outcome) const {
+  switch (outcome) {
+    case StepOutcome::Reject:
+      return chk_->checker().reject_reason();
+    case StepOutcome::Bound:
+    case StepOutcome::Tracking:
+      return obs_->observer().error();
+    case StepOutcome::Ok:
+      break;
+  }
+  return {};
+}
+
+}  // namespace scv

@@ -1,0 +1,247 @@
+// The product automaton as an explicit component pipeline.
+//
+// Section 3.4's verification object is the synchronous product of three
+// machines: the protocol, the witness observer annotating its transitions,
+// and the protocol-independent checker consuming the annotations.  The
+// model checker needs four things from that product, uniformly: step it,
+// hash it (canonical key), and capture/restore it bit-faithfully (compact
+// frontier).  ProductComponent is that contract; Product composes the three
+// concrete components and drives every operation through one loop instead
+// of the three bespoke per-member code paths the engines used to hand-wire.
+//
+// Key vs snapshot, deliberately distinct:
+//   * key()      — canonical, symmetry-reduced serialization for visited-
+//                  state hashing.  The observer renames live nodes into
+//                  discovery order and publishes the renaming through
+//                  KeyContext; the checker keys itself through the same map,
+//                  so components are keyed strictly in product order.
+//   * snapshot() — raw, bit-faithful capture (pool IDs, handle naming and
+//                  all); restore() of it yields a steppable product.  The
+//                  canonical form cannot do this: it erases naming on
+//                  purpose.
+//
+// Symbol distribution: each observer step's emitted symbols are broadcast
+// to the attached SymbolSinks — the checker is one sink among others
+// (recorder, statistics).  Sinks are observation-only and cannot veto; the
+// checker's verdict reaches the driver only because Product polls its
+// sticky rejected() state after delivering the step (see
+// descriptor/sink.hpp for the non-interference argument).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checker/sc_checker.hpp"
+#include "descriptor/sink.hpp"
+#include "observer/observer.hpp"
+#include "protocol/protocol.hpp"
+#include "runlog/sinks.hpp"
+#include "util/byte_io.hpp"
+
+namespace scv {
+
+/// Shared context for one canonical-key pass: the observer fills id_canon
+/// (descriptor ID -> canonical node number), the checker reads it.
+struct KeyContext {
+  std::vector<GraphId> id_canon;
+};
+
+/// Reusable per-worker scratch for key(): the writer buffer and the key
+/// context.  Reusing both kills per-transition heap allocations.
+struct KeyScratch {
+  ByteWriter w;
+  KeyContext ctx;
+};
+
+/// One member of the product automaton.
+class ProductComponent {
+ public:
+  virtual ~ProductComponent() = default;
+
+  /// Appends this component's canonical-key contribution to `w`.
+  /// Components are keyed in product order (protocol, observer, checker);
+  /// `ctx` carries the observer's ID renaming forward to the checker.
+  virtual void key(ByteWriter& w, KeyContext& ctx) const = 0;
+
+  /// Bit-faithful state capture; restore() is its inverse.  Only valid
+  /// between two components built over the same protocol and config.
+  virtual void snapshot(ByteWriter& w) const = 0;
+  virtual void restore(ByteReader& r) = 0;
+
+  /// Copies state from a same-shape component (same protocol and config).
+  virtual void assign_from(const ProductComponent& other) = 0;
+
+ protected:
+  ProductComponent() = default;
+  ProductComponent(const ProductComponent&) = default;
+  ProductComponent& operator=(const ProductComponent&) = default;
+};
+
+/// The protocol's fixed-size state vector, adapted to the component
+/// contract.  Its key and snapshot coincide: the byte encoding is already
+/// canonical (the protocol framework requires it).
+class ProtocolComponent final : public ProductComponent {
+ public:
+  explicit ProtocolComponent(const Protocol& protocol)
+      : protocol_(&protocol), state_(protocol.state_size()) {
+    protocol.initial_state(state_);
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> state() const noexcept {
+    return state_;
+  }
+  void enumerate(std::vector<Transition>& out) const {
+    protocol_->enumerate(state_, out);
+  }
+  void apply(const Transition& t) { protocol_->apply(state_, t); }
+
+  void key(ByteWriter& w, KeyContext& /*ctx*/) const override {
+    w.bytes(state_);
+  }
+  void snapshot(ByteWriter& w) const override { w.bytes(state_); }
+  void restore(ByteReader& r) override {
+    const auto v = r.view(state_.size());
+    std::copy(v.begin(), v.end(), state_.begin());
+  }
+  void assign_from(const ProductComponent& other) override {
+    state_ = static_cast<const ProtocolComponent&>(other).state_;
+  }
+
+ private:
+  const Protocol* protocol_;
+  std::vector<std::uint8_t> state_;
+};
+
+/// The Theorem 4.1 witness observer as a component.
+class ObserverComponent final : public ProductComponent {
+ public:
+  ObserverComponent(const Protocol& protocol, const ObserverConfig& config)
+      : obs_(protocol, config) {}
+
+  [[nodiscard]] Observer& observer() noexcept { return obs_; }
+  [[nodiscard]] const Observer& observer() const noexcept { return obs_; }
+
+  void key(ByteWriter& w, KeyContext& ctx) const override {
+    obs_.serialize(w, &ctx.id_canon);
+  }
+  void snapshot(ByteWriter& w) const override { obs_.snapshot(w); }
+  void restore(ByteReader& r) override { obs_.restore(r); }
+  void assign_from(const ProductComponent& other) override {
+    obs_ = static_cast<const ObserverComponent&>(other).obs_;
+  }
+
+ private:
+  Observer obs_;
+};
+
+/// The Theorem 3.1 checker as a component.  Keyed through the observer's
+/// renaming, so checker states differing only in slot/ID naming coincide.
+class CheckerComponent final : public ProductComponent {
+ public:
+  explicit CheckerComponent(const ScCheckerConfig& config) : chk_(config) {}
+
+  [[nodiscard]] ScChecker& checker() noexcept { return chk_; }
+  [[nodiscard]] const ScChecker& checker() const noexcept { return chk_; }
+
+  void key(ByteWriter& w, KeyContext& ctx) const override {
+    chk_.serialize_canonical(w, ctx.id_canon);
+  }
+  void snapshot(ByteWriter& w) const override { chk_.snapshot(w); }
+  void restore(ByteReader& r) override { chk_.restore(r); }
+  void assign_from(const ProductComponent& other) override {
+    chk_ = static_cast<const CheckerComponent&>(other).chk_;
+  }
+
+ private:
+  ScChecker chk_;
+};
+
+/// Outcome of stepping the product by one transition.
+enum class StepOutcome : std::uint8_t {
+  Ok,
+  Reject,    ///< checker rejected the emitted symbols
+  Bound,     ///< observer ID pool exhausted
+  Tracking,  ///< tracking labels inconsistent with protocol behaviour
+};
+
+/// The composed product automaton.  Constructed in the initial state.
+/// Non-copyable (it holds internal wiring); state moves between same-shape
+/// products via assign_from or snapshot/restore.
+class Product {
+ public:
+  /// `with_observer == false` is protocol-only mode: the product degenerates
+  /// to the bare protocol machine (for measuring observer overhead).
+  Product(const Protocol& protocol, const ObserverConfig& config,
+          bool with_observer);
+
+  Product(const Product&) = delete;
+  Product& operator=(const Product&) = delete;
+
+  [[nodiscard]] const Protocol& protocol() const noexcept {
+    return *protocol_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> protocol_state() const noexcept {
+    return proto_.state();
+  }
+  [[nodiscard]] Observer& observer() { return obs_->observer(); }
+  [[nodiscard]] const Observer& observer() const { return obs_->observer(); }
+  [[nodiscard]] const ScChecker& checker() const { return chk_->checker(); }
+  [[nodiscard]] bool with_observer() const noexcept { return obs_ != nullptr; }
+
+  /// Attaches an additional observation-only sink (recorder, statistics).
+  /// The checker sink is always attached first, so it sees symbols in the
+  /// same order as before the pipeline existed.  Sinks are not copied by
+  /// assign_from: they are per-product wiring, not product state.
+  void add_sink(SymbolSink* sink);
+
+  /// Appends the transitions enabled in the current state to `out`.
+  void enumerate(std::vector<Transition>& out) const {
+    proto_.enumerate(out);
+  }
+
+  /// Steps every component through transition `t`: protocol apply, observer
+  /// annotation, symbol broadcast to the sinks, checker verdict poll.
+  /// `symbols` is caller-provided scratch that receives the emitted symbols
+  /// (cleared first).  `action` frames the step for sinks that record run
+  /// structure; exploration passes the default empty view (computing action
+  /// names per transition would allocate in the hot loop).
+  ///
+  /// On Bound/Tracking the observer's partial emission is left in `symbols`
+  /// for diagnostics but NOT broadcast: a recorded trace contains complete
+  /// steps only, so its stream replays cleanly through an offline checker.
+  StepOutcome step(const Transition& t, std::vector<Symbol>& symbols,
+                   std::string_view action = {});
+
+  /// Canonical state key into `ks` (cleared first); the returned view is
+  /// valid until the next call on the same scratch.
+  [[nodiscard]] std::span<const std::uint8_t> key(KeyScratch& ks) const;
+
+  /// Bit-faithful whole-product capture/restore (the compact frontier's
+  /// entry payload) and same-shape state copy — each one uniform loop over
+  /// the components.
+  void snapshot(ByteWriter& w) const;
+  void restore(ByteReader& r);
+  void assign_from(const Product& other);
+
+  /// Failure diagnostics after a non-Ok step.
+  [[nodiscard]] std::string failure_reason(StepOutcome outcome) const;
+
+ private:
+  const Protocol* protocol_;
+  ProtocolComponent proto_;
+  std::unique_ptr<ObserverComponent> obs_;  ///< null in protocol-only mode
+  std::unique_ptr<CheckerComponent> chk_;   ///< null in protocol-only mode
+  std::unique_ptr<CheckerSink> chk_sink_;
+
+  std::array<ProductComponent*, 3> components_{};
+  std::size_t ncomponents_ = 0;
+  std::vector<SymbolSink*> sinks_;
+};
+
+}  // namespace scv

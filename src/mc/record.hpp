@@ -1,0 +1,39 @@
+// Deterministic run-trace recording: golden traces for the offline checker.
+//
+// record_walk drives the observer–checker product down one seeded
+// pseudo-random run and records the descriptor stream as a RunTrace.  The
+// walk depends only on (protocol, config, steps, seed) — never on engine,
+// thread count, or wall clock — so the same invocation always produces a
+// byte-identical trace file: exactly what a golden-trace regression (record
+// once in CI, re-check with tools/scv_check after every checker change)
+// needs.  Violation traces, by contrast, come from the model checker
+// (McOptions::record_counterexample), which records the depth-minimal
+// counterexample run it found.
+#pragma once
+
+#include <cstdint>
+
+#include "observer/observer.hpp"
+#include "protocol/protocol.hpp"
+#include "runlog/run_trace.hpp"
+
+namespace scv {
+
+struct RecordWalkOptions {
+  std::size_t steps = 200;     ///< walk length (stops early in a dead end)
+  std::uint64_t seed = 1;      ///< Xoshiro256 seed; same seed, same trace
+  /// Probability (percent) of preferring a LD/ST transition when one is
+  /// enabled, matching the trace-tester walk mix.
+  unsigned memory_op_percent = 60;
+  ObserverConfig observer{};
+};
+
+/// Walks `opt.steps` seeded-random transitions through a fresh product and
+/// returns the recorded trace.  The verdict is Accepted for a clean walk;
+/// if the run fails mid-walk (checker reject on a buggy protocol, observer
+/// bound/tracking failure) the walk stops there and the trace carries the
+/// failure verdict, its reason, and every *complete* step up to it.
+[[nodiscard]] RunTrace record_walk(const Protocol& protocol,
+                                   const RecordWalkOptions& opt = {});
+
+}  // namespace scv

@@ -1,0 +1,38 @@
+#include "runlog/replay.hpp"
+
+#include "checker/sc_checker.hpp"
+
+namespace scv {
+
+TraceCheckResult check_trace(const RunTrace& trace) {
+  TraceCheckResult result;
+  // The header crossed a trust boundary; reject a bad config as an error
+  // rather than letting the ScChecker constructor abort the process.
+  if (std::string reason = trace.checker.invalid_reason(); !reason.empty()) {
+    result.error = "invalid checker config in trace header: " + reason;
+    return result;
+  }
+  result.ok = true;
+
+  ScChecker checker(trace.checker);
+  CheckerSink check_sink(checker);
+  SymbolStatsSink stats_sink(static_cast<GraphId>(trace.checker.k + 1));
+  SymbolSink* sinks[] = {&check_sink, &stats_sink};
+
+  for (const RunStep& step : trace.steps) {
+    for (SymbolSink* sink : sinks) sink->begin_step(step.action);
+    for (const Symbol& sym : step.symbols) {
+      for (SymbolSink* sink : sinks) sink->on_symbol(sym);
+    }
+    for (SymbolSink* sink : sinks) sink->end_step();
+    ++result.steps_fed;
+    result.symbols_fed += step.symbols.size();
+  }
+
+  result.accepted = !checker.rejected();
+  if (checker.rejected()) result.reject_reason = checker.reject_reason();
+  result.stats = stats_sink.stats();
+  return result;
+}
+
+}  // namespace scv

@@ -1,0 +1,290 @@
+#include "runlog/run_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+namespace scv {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'S', 'C', 'V', 'R'};
+constexpr std::uint8_t kTagNode = 0;
+constexpr std::uint8_t kTagEdge = 1;
+constexpr std::uint8_t kTagAddId = 2;
+
+void write_str(ByteWriter& w, const std::string& s) {
+  w.uvar(s.size());
+  w.bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+/// Bounds-checked cursor for untrusted buffers.  Unlike ByteReader (whose
+/// SCV_EXPECTS aborts on overrun — correct for trusted in-process
+/// snapshots), every read reports failure, so a corrupt file surfaces as a
+/// parse error instead of terminating the process.
+class TryReader {
+ public:
+  explicit TryReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ >= bytes_.size()) return false;
+    v = bytes_[pos_++];
+    return true;
+  }
+
+  bool u16(std::uint16_t& v) {
+    std::uint8_t lo = 0;
+    std::uint8_t hi = 0;
+    if (!u8(lo) || !u8(hi)) return false;
+    v = static_cast<std::uint16_t>(lo | (hi << 8));
+    return true;
+  }
+
+  bool uvar(std::uint64_t& v) {
+    v = 0;
+    int shift = 0;
+    for (;;) {
+      std::uint8_t b = 0;
+      if (!u8(b) || shift >= 64) return false;
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return true;
+      shift += 7;
+    }
+  }
+
+  bool str(std::string& s) {
+    std::uint64_t n = 0;
+    if (!uvar(n) || n > remaining()) return false;
+    s.assign(reinterpret_cast<const char*>(bytes_.data()) + pos_,
+             static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void write_symbol(ByteWriter& w, const Symbol& sym) {
+  if (const auto* n = std::get_if<NodeDesc>(&sym)) {
+    w.u8(kTagNode);
+    w.uvar(n->id);
+    w.u8(n->label.has_value() ? 1 : 0);
+    if (n->label.has_value()) {
+      w.u8(static_cast<std::uint8_t>(n->label->kind));
+      w.u8(n->label->proc);
+      w.u8(n->label->block);
+      w.u8(n->label->value);
+    }
+    return;
+  }
+  if (const auto* e = std::get_if<EdgeDesc>(&sym)) {
+    w.u8(kTagEdge);
+    w.uvar(e->from);
+    w.uvar(e->to);
+    w.u8(e->anno);
+    return;
+  }
+  const auto& a = std::get<AddId>(sym);
+  w.u8(kTagAddId);
+  w.uvar(a.existing);
+  w.uvar(a.added);
+}
+
+bool read_symbol(TryReader& r, Symbol& sym) {
+  std::uint8_t tag = 0;
+  if (!r.u8(tag)) return false;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  switch (tag) {
+    case kTagNode: {
+      std::uint8_t has_label = 0;
+      if (!r.uvar(a) || a > 0xffff || !r.u8(has_label) || has_label > 1) {
+        return false;
+      }
+      NodeDesc n;
+      n.id = static_cast<GraphId>(a);
+      if (has_label != 0) {
+        std::uint8_t kind = 0;
+        Operation op;
+        if (!r.u8(kind) || kind > 1 || !r.u8(op.proc) || !r.u8(op.block) ||
+            !r.u8(op.value)) {
+          return false;
+        }
+        op.kind = static_cast<OpKind>(kind);
+        n.label = op;
+      }
+      sym = n;
+      return true;
+    }
+    case kTagEdge: {
+      std::uint8_t anno = 0;
+      if (!r.uvar(a) || a > 0xffff || !r.uvar(b) || b > 0xffff ||
+          !r.u8(anno)) {
+        return false;
+      }
+      sym = EdgeDesc{static_cast<GraphId>(a), static_cast<GraphId>(b), anno};
+      return true;
+    }
+    case kTagAddId: {
+      if (!r.uvar(a) || a > 0xffff || !r.uvar(b) || b > 0xffff) return false;
+      sym = AddId{static_cast<GraphId>(a), static_cast<GraphId>(b)};
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string to_string(RunVerdict v) {
+  switch (v) {
+    case RunVerdict::Accepted: return "Accepted";
+    case RunVerdict::Violation: return "Violation";
+    case RunVerdict::BandwidthExceeded: return "BandwidthExceeded";
+    case RunVerdict::TrackingInconsistent: return "TrackingInconsistent";
+  }
+  return "?";
+}
+
+std::size_t RunTrace::symbol_count() const noexcept {
+  std::size_t n = 0;
+  for (const RunStep& s : steps) n += s.symbols.size();
+  return n;
+}
+
+void serialize_run_trace(const RunTrace& trace, ByteWriter& w) {
+  w.bytes(kMagic);
+  w.u16(RunTrace::kVersion);
+  write_str(w, trace.protocol);
+  w.uvar(trace.checker.k);
+  w.u8(static_cast<std::uint8_t>(trace.checker.procs));
+  w.u8(static_cast<std::uint8_t>(trace.checker.blocks));
+  w.u8(static_cast<std::uint8_t>(trace.checker.values));
+  w.u8(trace.checker.coherence_po ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(trace.verdict));
+  write_str(w, trace.reason);
+  w.uvar(trace.steps.size());
+  for (const RunStep& step : trace.steps) {
+    write_str(w, step.action);
+    w.uvar(step.symbols.size());
+    for (const Symbol& sym : step.symbols) write_symbol(w, sym);
+  }
+}
+
+bool parse_run_trace(std::span<const std::uint8_t> bytes, RunTrace& trace,
+                     std::string& error) {
+  trace = RunTrace{};
+  TryReader r(bytes);
+  const auto fail = [&](const char* what) {
+    error = what;
+    return false;
+  };
+
+  std::uint8_t magic[4] = {};
+  for (std::uint8_t& m : magic) {
+    if (!r.u8(m)) return fail("truncated header");
+  }
+  if (!std::equal(std::begin(magic), std::end(magic), std::begin(kMagic))) {
+    return fail("bad magic: not a run-trace file");
+  }
+  std::uint16_t version = 0;
+  if (!r.u16(version)) return fail("truncated header");
+  if (version != RunTrace::kVersion) {
+    error = "unsupported run-trace version " + std::to_string(version) +
+            " (expected " + std::to_string(RunTrace::kVersion) + ")";
+    return false;
+  }
+
+  std::uint64_t k = 0;
+  std::uint8_t procs = 0;
+  std::uint8_t blocks = 0;
+  std::uint8_t values = 0;
+  std::uint8_t coherence = 0;
+  std::uint8_t verdict = 0;
+  if (!r.str(trace.protocol) || !r.uvar(k) || !r.u8(procs) ||
+      !r.u8(blocks) || !r.u8(values) || !r.u8(coherence) || !r.u8(verdict) ||
+      !r.str(trace.reason)) {
+    return fail("truncated header");
+  }
+  if (coherence > 1) return fail("bad coherence flag");
+  if (verdict > static_cast<std::uint8_t>(RunVerdict::TrackingInconsistent)) {
+    return fail("unknown verdict code");
+  }
+  trace.checker = ScCheckerConfig{static_cast<std::size_t>(k), procs, blocks,
+                                  values, coherence != 0};
+  trace.verdict = static_cast<RunVerdict>(verdict);
+
+  std::uint64_t nsteps = 0;
+  if (!r.uvar(nsteps)) return fail("truncated step count");
+  // A step costs at least 2 bytes on the wire; reject counts the buffer
+  // cannot possibly hold before reserving anything.
+  if (nsteps > r.remaining()) return fail("step count exceeds buffer");
+  trace.steps.reserve(static_cast<std::size_t>(nsteps));
+  for (std::uint64_t i = 0; i < nsteps; ++i) {
+    RunStep step;
+    std::uint64_t nsyms = 0;
+    if (!r.str(step.action) || !r.uvar(nsyms)) {
+      return fail("truncated step");
+    }
+    if (nsyms > r.remaining()) return fail("symbol count exceeds buffer");
+    step.symbols.reserve(static_cast<std::size_t>(nsyms));
+    for (std::uint64_t s = 0; s < nsyms; ++s) {
+      Symbol sym;
+      if (!read_symbol(r, sym)) return fail("malformed symbol");
+      step.symbols.push_back(sym);
+    }
+    trace.steps.push_back(std::move(step));
+  }
+  if (!r.done()) return fail("trailing bytes after the last step");
+  return true;
+}
+
+bool write_run_trace(const std::string& path, const RunTrace& trace,
+                     std::string& error) {
+  ByteWriter w;
+  serialize_run_trace(trace, w);
+  const std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (f == nullptr) {
+    error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  const auto& bytes = w.data();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool read_run_trace(const std::string& path, RunTrace& trace,
+                    std::string& error) {
+  const std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (f == nullptr) {
+    error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f.get());
+    bytes.insert(bytes.end(), buf, buf + n);
+    if (n < sizeof(buf)) break;
+  }
+  if (std::ferror(f.get()) != 0) {
+    error = "read error on '" + path + "'";
+    return false;
+  }
+  return parse_run_trace(bytes, trace, error);
+}
+
+}  // namespace scv

@@ -1,0 +1,95 @@
+// The run-trace artifact: a recorded observer run as a first-class file.
+//
+// A run trace captures one linear protocol run as the observer annotated it
+// — per step, the protocol action taken and the descriptor symbols emitted —
+// together with everything the protocol-independent checker of Theorem 3.1
+// needs to re-verify the stream offline (the ScCheckerConfig) and the
+// verdict the run was recorded under.  That makes the descriptor stream,
+// which previously existed only transiently inside a model-checking step, a
+// durable artifact:
+//
+//   * violation counterexamples export as replayable evidence files;
+//   * golden traces recorded once are re-checked after every checker change
+//     (differential regression without re-exploring any state space);
+//   * sequential and parallel engines can be compared recording-for-
+//     recording (byte-identical for the same protocol/config).
+//
+// Binary format (version 1, little-endian via byte_io, length-prefixed):
+//
+//   "SCVR" magic | u16 version | header | u-var step count | steps...
+//   header = str protocol | uvar k | u8 procs | u8 blocks | u8 values |
+//            u8 coherence | u8 verdict | str reason
+//   step   = str action | uvar symbol count | symbols...
+//   symbol = u8 tag (0 node / 1 edge / 2 add-ID) | payload
+//   str    = uvar length | bytes
+//
+// Parsing is total: a malformed or truncated buffer yields an error string,
+// never an abort — traces cross trust boundaries (files on disk, CI
+// artifacts), unlike the in-memory snapshots the model checker round-trips.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "checker/sc_checker.hpp"
+#include "descriptor/symbol.hpp"
+#include "util/byte_io.hpp"
+
+namespace scv {
+
+/// The verdict a run was recorded under.  Accepted covers both completed
+/// clean runs and prefixes of them; the three failure kinds mirror the
+/// model checker's (minus the exploration-only StateLimit/LintRejected).
+enum class RunVerdict : std::uint8_t {
+  Accepted,
+  Violation,
+  BandwidthExceeded,
+  TrackingInconsistent,
+};
+
+[[nodiscard]] std::string to_string(RunVerdict v);
+
+/// One recorded step: a protocol transition and the descriptor symbols the
+/// observer emitted for it.
+struct RunStep {
+  std::string action;           ///< human-readable protocol action
+  std::vector<Symbol> symbols;  ///< emitted descriptor symbols, in order
+
+  friend bool operator==(const RunStep&, const RunStep&) = default;
+};
+
+struct RunTrace {
+  static constexpr std::uint16_t kVersion = 1;
+
+  // --- Header: provenance and the offline checker's configuration.
+  std::string protocol;      ///< protocol name the run was recorded from
+  ScCheckerConfig checker{}; ///< k, p, b, v, coherence — feed ScChecker this
+  RunVerdict verdict = RunVerdict::Accepted;  ///< verdict at capture time
+  std::string reason;        ///< failure reason at capture ("" if accepted)
+
+  // --- Body.
+  std::vector<RunStep> steps;
+
+  [[nodiscard]] std::size_t symbol_count() const noexcept;
+
+  friend bool operator==(const RunTrace&, const RunTrace&) = default;
+};
+
+/// Serializes `trace` in the versioned binary format.
+void serialize_run_trace(const RunTrace& trace, ByteWriter& w);
+
+/// Parses a buffer produced by serialize_run_trace.  Returns false (and a
+/// diagnostic in `error`) on any structural problem: bad magic, unknown
+/// version, truncation, out-of-range tags or counts.
+[[nodiscard]] bool parse_run_trace(std::span<const std::uint8_t> bytes,
+                                   RunTrace& trace, std::string& error);
+
+/// File convenience wrappers around serialize/parse.
+[[nodiscard]] bool write_run_trace(const std::string& path,
+                                   const RunTrace& trace, std::string& error);
+[[nodiscard]] bool read_run_trace(const std::string& path, RunTrace& trace,
+                                  std::string& error);
+
+}  // namespace scv

@@ -6,10 +6,15 @@
 // Section 3.1 are actually load-bearing, not decorative.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "checker/sc_checker.hpp"
+#include "mc/model_checker.hpp"
 #include "observer/observer.hpp"
 #include "protocol/msi_bus.hpp"
+#include "protocol/registry.hpp"
 #include "protocol/serial_memory.hpp"
+#include "runlog/replay.hpp"
 #include "walker.hpp"
 
 namespace scv {
@@ -168,6 +173,54 @@ TEST(Mutation, RelabeledNodeOperationRejectsOrBreaksValueMatch) {
   // checker rightly accepts.  Demand that the detectable cases exist in
   // bulk and are caught.
   EXPECT_GT(caught, 10u) << caught << "/" << flipped;
+}
+
+// Counterexample parity on the buggy (mutation) protocols: the sequential
+// and parallel engines must report the *same* shortest-depth counterexample
+// on every registered sc-violating protocol, and the run traces both export
+// must replay to the recorded verdict through the offline checker.  This is
+// the end-to-end version of the stream-mutation tests above: a planted
+// protocol bug is caught identically no matter which engine runs.
+TEST(Mutation, SeqAndParCounterexamplesAgreeOnBuggyProtocols) {
+  std::size_t violating = 0;
+  for (const RegisteredProtocol& entry : protocol_registry()) {
+    if (!entry.sc_violating) continue;
+    ++violating;
+    const std::unique_ptr<Protocol> proto = entry.make();
+
+    McOptions seq;
+    seq.record_counterexample = true;
+    McOptions par = seq;
+    par.threads = 4;
+    const McResult rs = model_check(*proto, seq);
+    const McResult rp = model_check(*proto, par);
+
+    ASSERT_EQ(rs.verdict, McVerdict::Violation)
+        << entry.id << ": " << rs.summary();
+    ASSERT_EQ(rp.verdict, McVerdict::Violation)
+        << entry.id << ": " << rp.summary();
+    // BFS ⇒ shortest counterexamples; parity ⇒ identical ones.
+    EXPECT_EQ(rs.depth, rp.depth) << entry.id;
+    EXPECT_EQ(rs.counterexample.size(), rp.counterexample.size()) << entry.id;
+    EXPECT_EQ(rs.reason, rp.reason) << entry.id;
+
+    ASSERT_TRUE(rs.counterexample_trace.has_value()) << entry.id;
+    ASSERT_TRUE(rp.counterexample_trace.has_value()) << entry.id;
+    EXPECT_EQ(*rs.counterexample_trace, *rp.counterexample_trace) << entry.id;
+
+    for (const McResult* r : {&rs, &rp}) {
+      const RunTrace& trace = *r->counterexample_trace;
+      EXPECT_EQ(trace.verdict, RunVerdict::Violation) << entry.id;
+      const TraceCheckResult chk = check_trace(trace);
+      ASSERT_TRUE(chk.ok) << entry.id << ": " << chk.error;
+      EXPECT_FALSE(chk.accepted) << entry.id;
+      EXPECT_TRUE(chk.matches_recorded(trace.verdict)) << entry.id;
+      EXPECT_EQ(chk.reject_reason, trace.reason) << entry.id;
+    }
+  }
+  // The registry ships a family of planted-bug protocols; make sure the
+  // loop actually exercised them.
+  EXPECT_GE(violating, 4u);
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+// scv_check — offline run-trace checker CLI.
+//
+// Re-runs the protocol-independent checker of Theorem 3.1 over recorded
+// descriptor streams (run-trace files written by scv_record or by the model
+// checker's record_counterexample option).  No protocol code is loaded: the
+// trace header carries everything the checker needs, so this is the
+// differential-testing half of the run-trace format — golden traces
+// recorded once are re-verified here after every checker change, and an
+// exported counterexample re-rejects as independent evidence.
+//
+//   scv_check TRACE...             # verdict must match the recorded one
+//   scv_check --expect=accept T    # override: the stream must be clean
+//   scv_check --expect=reject T    # override: the checker must reject
+//   scv_check --stats TRACE        # also print per-symbol-kind statistics
+//   scv_check --quiet TRACE...     # one line per trace only on mismatch
+//
+// Exit status: 0 when every trace checks out against the expectation, 1 on
+// any verdict mismatch, 2 on unreadable/malformed files or usage errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runlog/replay.hpp"
+#include "runlog/run_trace.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: scv_check [--expect=accept|reject|recorded] [--stats] "
+               "[--quiet] trace-file...\n");
+  return 2;
+}
+
+enum class Expect { Recorded, Accept, Reject };
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Expect expect = Expect::Recorded;
+  bool stats = false;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--expect=accept") {
+      expect = Expect::Accept;
+    } else if (arg == "--expect=reject") {
+      expect = Expect::Reject;
+    } else if (arg == "--expect=recorded") {
+      expect = Expect::Recorded;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  int mismatches = 0;
+  for (const std::string& path : paths) {
+    scv::RunTrace trace;
+    std::string error;
+    if (!scv::read_run_trace(path, trace, error)) {
+      std::fprintf(stderr, "scv_check: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    const scv::TraceCheckResult r = scv::check_trace(trace);
+    if (!r.ok) {
+      std::fprintf(stderr, "scv_check: %s: %s\n", path.c_str(),
+                   r.error.c_str());
+      return 2;
+    }
+    const bool expect_reject =
+        expect == Expect::Reject ||
+        (expect == Expect::Recorded &&
+         scv::TraceCheckResult::verdict_expects_reject(trace.verdict));
+    const bool match = r.accepted != expect_reject;
+    mismatches += match ? 0 : 1;
+    if (!quiet || !match) {
+      std::printf("%s: %s — protocol %s, recorded %s, checker %s%s%s%s\n",
+                  path.c_str(), match ? "OK" : "MISMATCH",
+                  trace.protocol.c_str(),
+                  scv::to_string(trace.verdict).c_str(),
+                  r.accepted ? "accepted" : "rejected",
+                  r.accepted ? "" : " (",
+                  r.accepted ? "" : r.reject_reason.c_str(),
+                  r.accepted ? "" : ")");
+    }
+    if (stats) {
+      std::printf("  %llu steps, %llu symbols: %s\n",
+                  static_cast<unsigned long long>(r.steps_fed),
+                  static_cast<unsigned long long>(r.symbols_fed),
+                  r.stats.summary().c_str());
+    }
+  }
+  return mismatches == 0 ? 0 : 1;
+}

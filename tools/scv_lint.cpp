@@ -10,6 +10,13 @@
 //   scv_lint --strict         # warnings also fail
 //   scv_lint --list           # print registered protocol ids
 //   scv_lint --quiet          # summaries + findings only on failure
+//   scv_lint --json           # machine-readable: one JSON object per line
+//
+// --json emits JSON Lines: one object per finding
+//   {"protocol":...,"rule":...,"severity":...,"message":...}
+// followed by one summary object per protocol
+//   {"protocol":...,"errors":N,"warnings":N,"notes":N,"failed":bool}
+// so CI can annotate findings without scraping the human format.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -22,8 +29,50 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: scv_lint [--strict] [--quiet] [--list] [id...]\n");
+               "usage: scv_lint [--strict] [--quiet] [--json] [--list] "
+               "[id...]\n");
   return 2;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 continuation bytes pass through unescaped
+        }
+    }
+  }
+  return out;
+}
+
+void print_json_report(const scv::LintReport& report, bool failed) {
+  for (const scv::LintFinding& f : report.findings) {
+    std::printf(
+        "{\"protocol\":\"%s\",\"rule\":\"%s\",\"severity\":\"%s\","
+        "\"message\":\"%s\"}\n",
+        json_escape(report.protocol).c_str(),
+        json_escape(scv::to_string(f.rule)).c_str(),
+        json_escape(scv::to_string(f.severity)).c_str(),
+        json_escape(f.message).c_str());
+  }
+  std::printf(
+      "{\"protocol\":\"%s\",\"errors\":%zu,\"warnings\":%zu,\"notes\":%zu,"
+      "\"failed\":%s}\n",
+      json_escape(report.protocol).c_str(),
+      report.count(scv::LintSeverity::Error),
+      report.count(scv::LintSeverity::Warning),
+      report.count(scv::LintSeverity::Note), failed ? "true" : "false");
 }
 
 }  // namespace
@@ -31,6 +80,7 @@ int usage() {
 int main(int argc, char** argv) {
   bool strict = false;
   bool quiet = false;
+  bool json = false;
   std::vector<std::string> ids;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -38,6 +88,8 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--list") {
       for (const scv::RegisteredProtocol& e : scv::protocol_registry()) {
         std::printf("%-24s %s\n", e.id.c_str(), e.description.c_str());
@@ -73,7 +125,9 @@ int main(int argc, char** argv) {
         report.has_errors() ||
         (strict && report.count(scv::LintSeverity::Warning) > 0);
     failures += failed ? 1 : 0;
-    if (quiet && !failed) {
+    if (json) {
+      print_json_report(report, failed);
+    } else if (quiet && !failed) {
       std::printf("%s\n", report.summary().c_str());
     } else {
       std::fputs(report.format().c_str(), stdout);
