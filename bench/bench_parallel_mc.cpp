@@ -15,11 +15,17 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "core/verifier.hpp"
 #include "protocol/msi_bus.hpp"
+#include "protocol/serial_memory.hpp"
 
 namespace {
 
@@ -28,6 +34,22 @@ using namespace scv;
 constexpr std::size_t kMaxStates = 360'000;
 constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
 constexpr int kReps = 2;  // best-of-N to damp scheduler noise
+
+/// CPUs this process may actually run on.  hardware_concurrency() reports
+/// the machine; in a container pinned to a cgroup cpuset the affinity mask
+/// is the honest parallelism budget, and sweep points beyond it are
+/// oversubscribed (their "speedup" is algorithmic, not thread-level).
+std::size_t affinity_cpus() {
+#if defined(__linux__)
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+#endif
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
 
 struct SweepPoint {
   std::size_t threads = 0;
@@ -50,6 +72,7 @@ double states_per_sec(const McResult& r) {
 }
 
 std::vector<SweepPoint> sweep(const Protocol& proto, bool exact) {
+  const std::size_t cpus = affinity_cpus();
   std::vector<SweepPoint> points;
   for (const std::size_t threads : kThreadCounts) {
     McOptions opt;
@@ -59,12 +82,12 @@ std::vector<SweepPoint> sweep(const Protocol& proto, bool exact) {
     points.push_back({threads, best_of(proto, opt)});
     const McResult& r = points.back().result;
     const double base = points.front().result.seconds;
-    std::printf("  %-11s | %zu thread%s | %-10s | %8zu states | %6.2fs | "
+    std::printf("  %-11s | %zu thread%s%s | %-10s | %8zu states | %6.2fs | "
                 "%8.0f states/s | speedup x%.2f | frontier %zu B\n",
                 exact ? "exact" : "fingerprint", threads,
-                threads == 1 ? " " : "s", to_string(r.verdict).c_str(),
-                r.states, r.seconds, states_per_sec(r), base / r.seconds,
-                r.frontier_bytes);
+                threads == 1 ? " " : "s", threads > cpus ? " (oversub)" : "",
+                to_string(r.verdict).c_str(), r.states, r.seconds,
+                states_per_sec(r), base / r.seconds, r.frontier_bytes);
     std::fflush(stdout);
   }
   return points;
@@ -73,14 +96,21 @@ std::vector<SweepPoint> sweep(const Protocol& proto, bool exact) {
 void json_point(std::ofstream& out, const SweepPoint& p, double base_secs) {
   const McResult& r = p.result;
   const double speedup = r.seconds > 0 ? base_secs / r.seconds : 0;
-  out << "      {\"threads\": " << p.threads << ", \"verdict\": \""
-      << to_string(r.verdict) << "\", \"states\": " << r.states
+  out << "      {\"threads\": " << p.threads << ", \"oversubscribed\": "
+      << (p.threads > affinity_cpus() ? "true" : "false")
+      << ", \"verdict\": \"" << to_string(r.verdict)
+      << "\", \"states\": " << r.states
       << ", \"transitions\": " << r.transitions
       << ", \"seconds\": " << r.seconds
       << ", \"states_per_sec\": " << states_per_sec(r)
       << ", \"speedup\": " << speedup << ", \"efficiency\": "
       << speedup / static_cast<double>(p.threads)
       << ", \"frontier_bytes\": " << r.frontier_bytes << "}";
+}
+
+void json_phases(std::ofstream& out, const McPhaseTimes& pt) {
+  out << "{\"expand\": " << pt.expand << ", \"canonicalize\": "
+      << pt.canonicalize << ", \"materialize\": " << pt.materialize << "}";
 }
 
 void json_mode(std::ofstream& out, const char* name, const McResult& r) {
@@ -96,8 +126,10 @@ void json_mode(std::ofstream& out, const char* name, const McResult& r) {
       << "      \"state_bytes\": " << r.state_bytes << ",\n"
       << "      \"store_bytes\": " << r.store_bytes << ",\n"
       << "      \"bytes_per_state\": " << r.bytes_per_state() << ",\n"
-      << "      \"store_load_factor\": " << r.store_load_factor << "\n"
-      << "    }";
+      << "      \"store_load_factor\": " << r.store_load_factor << ",\n"
+      << "      \"phases\": ";
+  json_phases(out, r.phase_times);
+  out << "\n    }";
 }
 
 void json_sweep(std::ofstream& out, const char* name,
@@ -160,6 +192,68 @@ void json_recording(std::ofstream& out, std::size_t threads,
       << ", \"record_cex_overhead_pct\": " << r.overhead_pct(r.rec) << "}";
 }
 
+/// One symmetry-reduction comparison: identical exploration budget with
+/// orbit canonicalization on and off.  A depth bound (when nonzero) keeps
+/// the comparison honest on non-terminating products — the BFS is
+/// level-synchronized, so equal depth bounds mean equal concrete coverage
+/// and the stored-state counts are like for like.
+struct SymPoint {
+  std::string id;
+  std::string protocol;
+  std::size_t depth_bound = 0;  ///< 0 = run to full verification
+  McResult on;
+  McResult off;
+
+  [[nodiscard]] double state_reduction() const {
+    return on.states > 0 ? static_cast<double>(off.states) /
+                               static_cast<double>(on.states)
+                         : 0;
+  }
+  [[nodiscard]] double wall_speedup() const {
+    return on.seconds > 0 ? off.seconds / on.seconds : 0;
+  }
+};
+
+SymPoint sym_point(std::string id, const Protocol& proto,
+                   std::size_t depth_bound) {
+  McOptions opt;
+  if (depth_bound > 0) opt.max_depth = depth_bound;
+  McOptions off_opt = opt;
+  off_opt.symmetry_reduction = false;
+  SymPoint p;
+  p.id = std::move(id);
+  p.protocol = proto.name();
+  p.depth_bound = depth_bound;
+  p.on = best_of(proto, opt);
+  p.off = best_of(proto, off_opt);
+  std::printf("  %-22s | %-10s | on %7zu states %6.2fs | off %7zu states "
+              "%6.2fs | x%.2f states, x%.2f wall | orbit x%.2f\n",
+              p.id.c_str(), to_string(p.on.verdict).c_str(), p.on.states,
+              p.on.seconds, p.off.states, p.off.seconds, p.state_reduction(),
+              p.wall_speedup(), p.on.orbit_reduction);
+  const McPhaseTimes& pt = p.on.phase_times;
+  std::printf("  %22s | phases (on): expand %.2fs, canonicalize %.2fs, "
+              "materialize %.2fs\n",
+              "", pt.expand, pt.canonicalize, pt.materialize);
+  std::fflush(stdout);
+  return p;
+}
+
+void json_sym_point(std::ofstream& out, const SymPoint& p) {
+  out << "      {\"id\": \"" << p.id << "\", \"protocol\": \"" << p.protocol
+      << "\", \"depth_bound\": " << p.depth_bound << ", \"verdict\": \""
+      << to_string(p.on.verdict) << "\", \"on_states\": " << p.on.states
+      << ", \"off_states\": " << p.off.states
+      << ", \"state_reduction\": " << p.state_reduction()
+      << ", \"on_seconds\": " << p.on.seconds
+      << ", \"off_seconds\": " << p.off.seconds
+      << ", \"wall_clock_speedup\": " << p.wall_speedup()
+      << ", \"orbit_reduction\": " << p.on.orbit_reduction
+      << ", \"on_phases\": ";
+  json_phases(out, p.on.phase_times);
+  out << "}";
+}
+
 /// Thread-scaling sweep in both store modes plus the fingerprint-vs-exact
 /// memory comparison; emits BENCH_mc.json.
 void run_experiments() {
@@ -172,8 +266,9 @@ void run_experiments() {
   std::printf("== PAR: parallel model-checking scaling (MsiBus p2 b2 v1, "
               "max_states %zu) ==\n",
               kMaxStates);
-  std::printf("(hardware threads available: %u; best of %d reps)\n\n",
-              std::thread::hardware_concurrency(), kReps);
+  std::printf("(hardware threads: %u, affinity CPUs: %zu; best of %d "
+              "reps)\n\n",
+              std::thread::hardware_concurrency(), affinity_cpus(), kReps);
   const auto fp = sweep(proto, /*exact=*/false);
   const auto ex = sweep(proto, /*exact=*/true);
 
@@ -203,6 +298,15 @@ void run_experiments() {
               "==\n");
   const RecordingOverhead rec1 = recording_overhead(proto, 1);
   const RecordingOverhead rec4 = recording_overhead(proto, 4);
+
+  std::printf("\n== SYM: processor-symmetry orbit canonicalization "
+              "(reduction on vs off, best of %d reps) ==\n",
+              kReps);
+  std::vector<SymPoint> sym;
+  sym.push_back(sym_point("msi_bus_p2_full", MsiBus(2, 1, 1), 0));
+  sym.push_back(sym_point("msi_bus_p3_depth12", MsiBus(3, 1, 1), 12));
+  sym.push_back(
+      sym_point("serial_memory_p3_full", SerialMemory(3, 1, 1), 0));
   std::printf("\n");
 
   std::ofstream out("BENCH_mc.json");
@@ -212,6 +316,7 @@ void run_experiments() {
       << "  \"params\": \"p2 b2 v1 max_states " << kMaxStates << "\",\n"
       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ",\n"
+      << "  \"affinity_cpus\": " << affinity_cpus() << ",\n"
       << "  \"reps\": " << kReps << ",\n"
       << "  \"parity\": " << (parity ? "true" : "false") << ",\n"
       << "  \"fingerprint_ge_exact\": " << (fp_ge_exact ? "true" : "false")
@@ -227,6 +332,13 @@ void run_experiments() {
   out << ",\n";
   json_recording(out, 4, rec4);
   out << "\n  ],\n"
+      << "  \"symmetry\": {\n"
+      << "    \"points\": [\n";
+  for (std::size_t i = 0; i < sym.size(); ++i) {
+    json_sym_point(out, sym[i]);
+    out << (i + 1 < sym.size() ? ",\n" : "\n");
+  }
+  out << "    ]\n  },\n"
       << "  \"modes\": {\n";
   json_mode(out, "fingerprint", fp1);
   out << ",\n";

@@ -30,8 +30,8 @@ struct LintContext {
 
  private:
   std::unordered_set<std::string> seen_;
-  std::size_t per_rule_[5] = {};
-  bool capped_[5] = {};
+  std::size_t per_rule_[6] = {};
+  bool capped_[6] = {};
 };
 
 /// R1 + R5 + the R2 aggregates, in one sweep over the sampled states.
@@ -42,5 +42,8 @@ void check_location_liveness(LintContext& ctx);
 void check_bandwidth(LintContext& ctx);
 /// R4.
 void check_interference(LintContext& ctx);
+/// R6 (symmetry.cpp): declared processor symmetry must pass the
+/// check_processor_symmetry commutation sample.
+void check_symmetry(LintContext& ctx);
 
 }  // namespace scv::analysis

@@ -16,6 +16,7 @@ std::string to_string(LintRule r) {
     case LintRule::R3_Bandwidth: return "R3:bandwidth";
     case LintRule::R4_ObserverInterference: return "R4:non-interference";
     case LintRule::R5_DeadTransitions: return "R5:dead-transitions";
+    case LintRule::R6_ProcessorSymmetry: return "R6:processor-symmetry";
   }
   return "?";
 }
@@ -175,6 +176,10 @@ LintReport lint_protocol(const Protocol& protocol,
   analysis::check_transitions(ctx);
   analysis::check_location_liveness(ctx);
   analysis::check_bandwidth(ctx);
+  // R6 exercises the protocol's own permute hooks, which abort on
+  // structurally broken metadata just like the observer does; gate it the
+  // same way as R4.
+  if (!report.has_errors()) analysis::check_symmetry(ctx);
   // R4 drives a real Observer along prefixes, and the observer (rightly)
   // aborts on structurally broken metadata — dangling labels, bandwidth
   // over the representable maximum.  Differential walks therefore only run

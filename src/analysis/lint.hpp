@@ -30,7 +30,14 @@
 //                          enabled-transition set (and never rejects a run
 //                          the bare protocol can take);
 //   R5 dead-transitions  — duplicate or shadowed transitions and no-op
-//                          internal actions.
+//                          internal actions;
+//   R6 processor-symmetry— a protocol declaring processor_symmetric() must
+//                          actually commute with processor renaming
+//                          (π(apply(s,t)) == apply(π(s), π(t)), equivariant
+//                          signatures, bijective permute_loc); a failing
+//                          declaration is a warning — the model checker
+//                          falls back to identity canonicalization rather
+//                          than merging non-equivalent states.
 //
 // The analysis is *sound for errors on what it samples* and deliberately
 // incomplete: R1/R5 findings are definite for the sampled skeleton, R2/R4
@@ -57,6 +64,7 @@ enum class LintRule : std::uint8_t {
   R3_Bandwidth,
   R4_ObserverInterference,
   R5_DeadTransitions,
+  R6_ProcessorSymmetry,
 };
 
 enum class LintSeverity : std::uint8_t { Note, Warning, Error };
@@ -140,5 +148,36 @@ struct LintOptions {
 /// Runs all lint rules on `protocol` and returns the ranked report.
 [[nodiscard]] LintReport lint_protocol(const Protocol& protocol,
                                        const LintOptions& options = {});
+
+struct SymmetryCheckOptions {
+  /// Protocol states to examine along the deterministic sample walk.
+  std::size_t samples = 48;
+  /// Walk length bound (the walk restarts from the initial state when it
+  /// dead-ends).
+  std::size_t max_steps = 192;
+};
+
+struct SymmetryCheckResult {
+  bool declared = false;    ///< protocol declares processor_symmetric()
+  bool applicable = false;  ///< declared and 2 <= procs <= ProcPerm::kMax
+  bool ok = true;           ///< checks passed (vacuously when !applicable)
+  std::size_t states_checked = 0;
+  std::size_t transitions_checked = 0;
+  std::string detail;  ///< first violation, empty when ok
+};
+
+/// Protocol-level processor-symmetry commutation check (the engine behind
+/// lint rule R6 and the model checker's pre-reduction self-check).  On a
+/// deterministic sample walk it verifies, for each transposition τ
+/// (transpositions generate S_p):
+///   * the τ-image of each enabled transition is enabled in the τ-image of
+///     the state (multiset equality of serialized transitions);
+///   * stepping commutes: apply(τ(s), τ(t)) == τ(apply(s, t)) byte-for-byte;
+///   * proc_signature is equivariant: sig(τ(s), τ(p)) == sig(s, p);
+/// plus, once, that permute_loc is a bijection on the location alphabet.
+/// Sampling makes the check one-sided: a failure is definite, a pass is
+/// evidence (the product-level exploration self-check backs it up).
+[[nodiscard]] SymmetryCheckResult check_processor_symmetry(
+    const Protocol& protocol, const SymmetryCheckOptions& options = {});
 
 }  // namespace scv

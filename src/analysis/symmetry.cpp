@@ -1,0 +1,228 @@
+// R6: processor-symmetry commutation check.
+//
+// A protocol declaring processor_symmetric() promises that renaming
+// processors by any permutation π is an automorphism of its transition
+// system: π maps the initial state to itself (enforced structurally — the
+// initial state must canonicalize to itself; here we check it like any
+// sampled state), enabled transitions to enabled transitions, and commutes
+// with apply.  The model checker's orbit canonicalization is sound exactly
+// under that promise (DESIGN.md §12), so a wrong declaration would silently
+// merge non-equivalent states.  This pass samples the promise instead of
+// trusting it.
+//
+// Only transpositions are tested: they generate S_p, and permute_procs /
+// permute_transition act pointwise on processor indices, so a hook that is
+// correct on every transposition and built from per-processor moves is
+// correct on their compositions.  (The chunk-moving helpers protocols build
+// on apply arbitrary permutations uniformly; a hook special-casing specific
+// permutations would be pathological beyond what sampling can defend
+// against.)
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/internal.hpp"
+#include "analysis/lint.hpp"
+#include "protocol/protocol.hpp"
+#include "util/byte_io.hpp"
+
+namespace scv {
+
+namespace {
+
+/// Serializes a transition into a comparable byte string.  Copy entries are
+/// sorted first: they apply simultaneously, so enumeration order is not
+/// semantically meaningful and may legitimately differ between a state and
+/// its permuted image.
+std::string encode_transition(const Transition& t) {
+  std::string out;
+  out.push_back(static_cast<char>(t.action.kind));
+  out.push_back(static_cast<char>(t.action.op.kind));
+  out.push_back(static_cast<char>(t.action.op.proc));
+  out.push_back(static_cast<char>(t.action.op.block));
+  out.push_back(static_cast<char>(t.action.op.value));
+  out.push_back(static_cast<char>(t.action.internal_id));
+  out.push_back(static_cast<char>(t.action.arg0));
+  out.push_back(static_cast<char>(t.action.arg1));
+  out.push_back(static_cast<char>(t.loc));
+  out.push_back(static_cast<char>(t.serialize_loc & 0xff));
+  out.push_back(static_cast<char>((t.serialize_loc >> 8) & 0xff));
+  std::vector<std::pair<LocId, LocId>> copies;
+  for (const CopyEntry& c : t.copies) copies.emplace_back(c.dst, c.src);
+  std::sort(copies.begin(), copies.end());
+  for (const auto& [dst, src] : copies) {
+    out.push_back(static_cast<char>(dst));
+    out.push_back(static_cast<char>(src));
+  }
+  return out;
+}
+
+/// One transposition's worth of checks on one sampled state.  Returns an
+/// empty string or the first violation.
+std::string check_state_under(const Protocol& proto,
+                              const std::vector<std::uint8_t>& state,
+                              const std::vector<Transition>& enabled,
+                              const ProcPerm& tau,
+                              std::size_t* transitions_checked) {
+  std::vector<std::uint8_t> image(state);
+  proto.permute_procs(image, tau);
+
+  // Enabled-set equivariance: τ maps the enabled set of s onto the enabled
+  // set of τ(s), as multisets of serialized transitions.
+  std::vector<Transition> image_enabled;
+  proto.enumerate(image, image_enabled);
+  if (image_enabled.size() != enabled.size()) {
+    return "enabled-transition count changes under renaming (" +
+           std::to_string(enabled.size()) + " vs " +
+           std::to_string(image_enabled.size()) + ")";
+  }
+  std::vector<std::string> lhs;
+  std::vector<std::string> rhs;
+  lhs.reserve(enabled.size());
+  rhs.reserve(enabled.size());
+  for (const Transition& t : enabled) {
+    lhs.push_back(encode_transition(proto.permute_transition(t, tau)));
+  }
+  for (const Transition& t : image_enabled) {
+    rhs.push_back(encode_transition(t));
+  }
+  std::sort(lhs.begin(), lhs.end());
+  std::sort(rhs.begin(), rhs.end());
+  if (lhs != rhs) {
+    return "renamed enabled set does not match the renamed state's enabled "
+           "set";
+  }
+
+  // Step commutation: apply(τ(s), τ(t)) == τ(apply(s, t)).
+  std::vector<std::uint8_t> via_state;
+  std::vector<std::uint8_t> via_trans;
+  for (const Transition& t : enabled) {
+    via_state = state;
+    proto.apply(via_state, t);
+    proto.permute_procs(via_state, tau);
+    via_trans = image;
+    proto.apply(via_trans, proto.permute_transition(t, tau));
+    if (via_state != via_trans) {
+      return "apply does not commute with renaming on '" +
+             proto.action_name(t.action) + "'";
+    }
+    ++*transitions_checked;
+  }
+
+  // Signature equivariance: sig(τ(s), τ(p)) == sig(s, p).
+  ByteWriter sig_a;
+  ByteWriter sig_b;
+  for (std::size_t p = 0; p < proto.params().procs; ++p) {
+    sig_a.clear();
+    sig_b.clear();
+    proto.proc_signature(state, static_cast<ProcId>(p), sig_a);
+    proto.proc_signature(image, tau(static_cast<ProcId>(p)), sig_b);
+    const auto da = sig_a.data();
+    const auto db = sig_b.data();
+    if (da.size() != db.size() ||
+        !std::equal(da.begin(), da.end(), db.begin())) {
+      return "proc_signature is not renaming-equivariant for processor " +
+             std::to_string(p);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+SymmetryCheckResult check_processor_symmetry(
+    const Protocol& proto, const SymmetryCheckOptions& options) {
+  SymmetryCheckResult res;
+  res.declared = proto.processor_symmetric();
+  const std::size_t procs = proto.params().procs;
+  res.applicable = res.declared && procs >= 2 && procs <= ProcPerm::kMax;
+  if (!res.applicable) return res;
+
+  // permute_loc must be a bijection on the location alphabet under every
+  // transposition (checked once; it is state-independent).
+  const std::size_t locations = proto.params().locations;
+  for (std::size_t a = 0; a + 1 < procs; ++a) {
+    for (std::size_t b = a + 1; b < procs; ++b) {
+      const ProcPerm tau = ProcPerm::transposition(
+          procs, static_cast<ProcId>(a), static_cast<ProcId>(b));
+      std::vector<bool> hit(locations, false);
+      for (std::size_t l = 0; l < locations; ++l) {
+        const LocId img = proto.permute_loc(static_cast<LocId>(l), tau);
+        if (img >= locations || hit[img]) {
+          res.ok = false;
+          res.detail = "permute_loc is not a bijection under the (" +
+                       std::to_string(a) + " " + std::to_string(b) +
+                       ") transposition (location " + std::to_string(l) +
+                       " maps to " + std::to_string(img) + ")";
+          return res;
+        }
+        hit[img] = true;
+      }
+    }
+  }
+
+  // Deterministic sample walk over protocol states; restart on dead ends.
+  std::vector<std::uint8_t> cur(proto.state_size());
+  proto.initial_state(cur);
+  std::vector<Transition> enabled;
+  for (std::size_t step = 0;
+       step < options.max_steps && res.states_checked < options.samples;
+       ++step) {
+    enabled.clear();
+    proto.enumerate(cur, enabled);
+    ++res.states_checked;
+    for (std::size_t a = 0; a + 1 < procs; ++a) {
+      for (std::size_t b = a + 1; b < procs; ++b) {
+        const ProcPerm tau = ProcPerm::transposition(
+            procs, static_cast<ProcId>(a), static_cast<ProcId>(b));
+        std::string bad = check_state_under(proto, cur, enabled, tau,
+                                            &res.transitions_checked);
+        if (!bad.empty()) {
+          res.ok = false;
+          res.detail = bad + " [transposition (" + std::to_string(a) + " " +
+                       std::to_string(b) + "), sample state " +
+                       std::to_string(res.states_checked) + "]";
+          return res;
+        }
+      }
+    }
+    if (enabled.empty()) {
+      proto.initial_state(cur);
+      continue;
+    }
+    // Deterministic pseudo-random successor choice: diversify the walk
+    // without Date/rand so repeated runs check identical states.
+    proto.apply(cur, enabled[(step * 2654435761u + 7) % enabled.size()]);
+  }
+  return res;
+}
+
+namespace analysis {
+
+void check_symmetry(LintContext& ctx) {
+  const Protocol& proto = *ctx.protocol;
+  if (!proto.processor_symmetric()) return;
+  const std::size_t procs = proto.params().procs;
+  if (procs < 2) return;
+  if (procs > ProcPerm::kMax) {
+    ctx.add(LintRule::R6_ProcessorSymmetry, LintSeverity::Warning,
+            "protocol declares processor symmetry with " +
+                std::to_string(procs) + " processors, above ProcPerm::kMax=" +
+                std::to_string(ProcPerm::kMax) +
+                "; orbit canonicalization will not engage",
+            "procs-above-kmax");
+    return;
+  }
+  const SymmetryCheckResult res = check_processor_symmetry(proto);
+  if (!res.ok) {
+    ctx.add(LintRule::R6_ProcessorSymmetry, LintSeverity::Warning,
+            "declared processor symmetry fails the commutation check: " +
+                res.detail +
+                "; the model checker falls back to identity canonicalization",
+            "commutation");
+  }
+}
+
+}  // namespace analysis
+}  // namespace scv

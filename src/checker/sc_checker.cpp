@@ -653,4 +653,92 @@ void ScChecker::restore(ByteReader& r) {
   }
 }
 
+void ScChecker::permute_procs(const ProcPerm& perm) {
+  SCV_EXPECTS(perm.n == cfg_.procs);
+  if (perm.is_identity()) return;
+
+  // Program-order chain bookkeeping moves to the renamed processor.
+  std::int8_t last[kMaxChains];
+  bool live[kMaxChains];
+  bool pending[kMaxChains];
+  std::int8_t expected[kMaxChains];
+  for (std::size_t p = 0; p < cfg_.procs; ++p) {
+    const auto move = [&](std::size_t from, std::size_t to) {
+      last[to] = last_op_[from];
+      live[to] = last_op_live_[from];
+      pending[to] = po_pending_[from];
+      expected[to] = po_expected_from_[from];
+    };
+    if (cfg_.coherence_po) {
+      for (std::size_t b = 0; b < cfg_.blocks; ++b) {
+        move(p * cfg_.blocks + b, perm.to[p] * cfg_.blocks + b);
+      }
+    } else {
+      move(p, perm.to[p]);
+    }
+  }
+  for (std::size_t c = 0; c < chain_count(); ++c) {
+    last_op_[c] = last[c];
+    last_op_live_[c] = live[c];
+    po_pending_[c] = pending[c];
+    po_expected_from_[c] = expected[c];
+  }
+
+  for (std::size_t b = 0; b < cfg_.blocks; ++b) {
+    std::int8_t row[kMaxProcs];
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      row[perm.to[p]] = pending_bottom_[b][p];
+    }
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      pending_bottom_[b][p] = row[p];
+    }
+  }
+
+  for (Node& n : nodes_) {
+    if (!n.in_use) continue;
+    n.op.proc = perm(n.op.proc);
+    std::int8_t pl[kMaxProcs];
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      pl[perm.to[p]] = n.pending_ld[p];
+    }
+    for (std::size_t p = 0; p < cfg_.procs; ++p) n.pending_ld[p] = pl[p];
+  }
+}
+
+void ScChecker::proc_signature(ProcId p, ByteWriter& w) const {
+  const auto write_chain = [&](std::size_t c) {
+    const std::int8_t s = last_op_[c];
+    if (s == kNone) {
+      w.u8(0);
+      return;
+    }
+    std::uint8_t flags = 1;
+    if (last_op_live_[c]) flags |= 2;
+    if (po_pending_[c]) flags |= 4;
+    if (po_expected_from_[c] != kNone) flags |= 8;
+    w.u8(flags);
+    if (last_op_live_[c] && nodes_[static_cast<std::size_t>(s)].in_use) {
+      const Node& n = nodes_[static_cast<std::size_t>(s)];
+      w.u8(static_cast<std::uint8_t>(n.op.kind));
+      w.u8(n.op.block);
+      w.u8(n.op.value);
+    }
+  };
+  if (cfg_.coherence_po) {
+    for (std::size_t b = 0; b < cfg_.blocks; ++b) {
+      write_chain(p * cfg_.blocks + b);
+    }
+  } else {
+    write_chain(p);
+  }
+  for (std::size_t b = 0; b < cfg_.blocks; ++b) {
+    w.u8(pending_bottom_[b][p] != kNone ? 1 : 0);
+  }
+  std::uint32_t mine = 0;
+  for (const Node& n : nodes_) {
+    if (n.in_use && n.op.proc == p) ++mine;
+  }
+  w.uvar(mine);
+}
+
 }  // namespace scv

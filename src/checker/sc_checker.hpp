@@ -35,6 +35,7 @@
 #include <string>
 
 #include "descriptor/symbol.hpp"
+#include "protocol/protocol.hpp"  // ProcPerm (header-only; no protocol dep)
 #include "util/byte_io.hpp"
 
 namespace scv {
@@ -100,6 +101,17 @@ class ScChecker {
   /// inverse.  Only valid between two checkers built from the same config.
   void snapshot(ByteWriter& w) const { serialize(w); }
   void restore(ByteReader& r);
+
+  /// Renames processors consistently with Observer::permute_procs: node
+  /// operations take the renamed proc, and the per-processor bookkeeping
+  /// (program-order chains, pending ⊥-loads, forced-edge obligations keyed
+  /// by processor) moves with its owner.  Slots, ID bindings and adjacency
+  /// masks are untouched.
+  void permute_procs(const ProcPerm& perm);
+
+  /// Renaming-equivariant, naming-free signature of processor `p`'s share
+  /// of the checker state; see Observer::proc_signature.
+  void proc_signature(ProcId p, ByteWriter& w) const;
 
  private:
   static constexpr std::size_t kMaxSlots = kMaxBandwidth + 2;

@@ -275,6 +275,25 @@ struct ReplayOutput {
 /// collecting each step's action name and emitted observer symbols, the
 /// terminal failure reason, and — when `record` — the RunTrace step body
 /// via a recorder sink on the same pipeline.
+///
+/// Under symmetry reduction the path's transitions are relative to *orbit
+/// representatives*: exploration canonicalized every successor before
+/// storing it, so t_i is enabled in the canonical state s_{i-1}, not in the
+/// concrete state the un-permuted run reaches.  The replay therefore drives
+/// two products:
+///
+///   * the concrete product c, stepped with u_i = σ_{i-1}⁻¹(t_i), which is
+///     a genuine run of the protocol from its true initial state (this is
+///     what gets recorded — the trace re-checks offline like any other);
+///   * a shadow product s that repeats exploration's exact sequence —
+///     step with t_i, canonicalize obtaining π_i — purely to track the
+///     cumulative renaming σ_i = σ_{i-1}·π_i with s_i = σ_i(c_i).
+///
+/// σ exists because processor permutations are bisimulations: t enabled in
+/// σ(c) implies σ⁻¹(t) enabled in c with step(c, σ⁻¹(t)) = σ⁻¹(step(σ(c),
+/// t)).  The shadow is byte-faithful to exploration (same deterministic
+/// construction, steps and canonicalizer), so the π_i match the ones
+/// exploration chose.  The final failing step needs no shadow work.
 ReplayOutput replay(const Protocol& proto, const McOptions& opt,
                     const std::vector<Transition>& path, bool record) {
   ReplayOutput out;
@@ -282,13 +301,30 @@ ReplayOutput replay(const Protocol& proto, const McOptions& opt,
   RunRecorder recorder;
   if (record) p.add_sink(&recorder);
   std::vector<Symbol> symbols;
-  for (const Transition& t : path) {
-    const std::string action = proto.action_name(t.action);
-    const StepOutcome outcome = p.step(t, symbols, action);
+
+  ProcCanonicalizer canon(proto, opt.symmetry_reduction);
+  Product shadow(proto, opt.observer, !opt.protocol_only);
+  std::vector<Symbol> shadow_symbols;
+  KeyScratch shadow_key;
+  ProcPerm sigma = ProcPerm::identity(proto.params().procs);
+  if (canon.active()) canon.canonicalize_key(shadow, shadow_key, &sigma);
+
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const Transition u =
+        canon.active() ? proto.permute_transition(path[i], sigma.inverse())
+                       : path[i];
+    const std::string action = proto.action_name(u.action);
+    const StepOutcome outcome = p.step(u, symbols, action);
     out.steps.push_back({action, symbols});
     if (outcome != StepOutcome::Ok) {
       out.reason = p.failure_reason(outcome);
       break;
+    }
+    if (canon.active() && i + 1 < path.size()) {
+      shadow.step(path[i], shadow_symbols);
+      ProcPerm pi;
+      canon.canonicalize_key(shadow, shadow_key, &pi);
+      sigma = sigma.then(pi);
     }
   }
   if (record) out.recorded = recorder.take();
@@ -370,6 +406,91 @@ McResult finish_failure(const Protocol& proto, const McOptions& opt,
   return result;
 }
 
+/// Product-level symmetry self-check: on a deterministic sample walk,
+/// verifies for every transposition τ (transpositions generate S_p) that
+///   * a state and its τ-image canonicalize to the same key (same orbit,
+///     same representative), and
+///   * permute-then-step equals step-then-permute up to canonicalization:
+///     canon(step(τ(s), τ(t))) == canon(step(s, t)) for every enabled t.
+/// This exercises the *whole* product — protocol state, observer chains and
+/// tracker, checker bookkeeping — so a permute hook that forgets one
+/// component's per-processor state is caught here before the reduction can
+/// merge non-equivalent states.  `detail` receives the first violation.
+bool product_symmetry_ok(const Protocol& proto, const McOptions& opt,
+                         std::string& detail) {
+  const std::size_t procs = proto.params().procs;
+  const bool with_obs = !opt.protocol_only;
+  Product cur(proto, opt.observer, with_obs);
+  Product perm_cur(proto, opt.observer, with_obs);
+  Product succ(proto, opt.observer, with_obs);
+  Product perm_succ(proto, opt.observer, with_obs);
+  ProcCanonicalizer canon(proto, true);
+  KeyScratch ka;
+  KeyScratch kb;
+  std::vector<Transition> trans;
+  std::vector<Symbol> symbols;
+
+  const auto canon_keys_equal = [&](Product& x, Product& y) {
+    canon.canonicalize_key(x, ka);
+    canon.canonicalize_key(y, kb);
+    const auto xa = ka.w.data();
+    const auto yb = kb.w.data();
+    return xa.size() == yb.size() &&
+           std::equal(xa.begin(), xa.end(), yb.begin());
+  };
+
+  constexpr std::size_t kSamples = 24;
+  constexpr std::size_t kMaxSteps = 96;
+  std::size_t sampled = 0;
+  for (std::size_t step = 0; step < kMaxSteps && sampled < kSamples; ++step) {
+    trans.clear();
+    cur.enumerate(trans);
+    ++sampled;
+    for (std::size_t a = 0; a + 1 < procs; ++a) {
+      for (std::size_t b = a + 1; b < procs; ++b) {
+        const ProcPerm tau =
+            ProcPerm::transposition(procs, static_cast<ProcId>(a),
+                                    static_cast<ProcId>(b));
+        perm_cur.assign_from(cur);
+        perm_cur.permute_procs(tau);
+        succ.assign_from(cur);
+        perm_succ.assign_from(perm_cur);
+        if (!canon_keys_equal(succ, perm_succ)) {
+          detail = "state and its (" + std::to_string(a) + " " +
+                   std::to_string(b) +
+                   ") image canonicalize to different keys at sample " +
+                   std::to_string(sampled);
+          return false;
+        }
+        for (const Transition& t : trans) {
+          succ.assign_from(cur);
+          if (succ.step(t, symbols) != StepOutcome::Ok) continue;
+          perm_succ.assign_from(perm_cur);
+          const Transition tp = proto.permute_transition(t, tau);
+          if (perm_succ.step(tp, symbols) != StepOutcome::Ok) {
+            detail = "permuted transition '" + proto.action_name(tp.action) +
+                     "' not cleanly steppable in the (" + std::to_string(a) +
+                     " " + std::to_string(b) + ") image at sample " +
+                     std::to_string(sampled);
+            return false;
+          }
+          if (!canon_keys_equal(succ, perm_succ)) {
+            detail = "permute-then-step diverges from step-then-permute on '" +
+                     proto.action_name(t.action) + "' under (" +
+                     std::to_string(a) + " " + std::to_string(b) +
+                     ") at sample " + std::to_string(sampled);
+            return false;
+          }
+        }
+      }
+    }
+    if (trans.empty()) break;
+    const Transition& t = trans[(step * 13 + 7) % trans.size()];
+    if (cur.step(t, symbols) != StepOutcome::Ok) break;
+  }
+  return true;
+}
+
 // The exploration engine — one level-synchronized BFS for every thread
 // count, driving the uniform Product through the compact frontier:
 //
@@ -427,9 +548,16 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
   Transition failure_via{};
 
   Product init(proto, opt.observer, product);
+  ProcCanonicalizer init_canon(proto, opt.symmetry_reduction);
+  const bool symmetry = init_canon.active();
+  // Sum of orbit sizes over stored states: how many concrete states the
+  // canonical representatives cover.  orbit_sum / states is the reduction.
+  std::atomic<std::uint64_t> orbit_sum{0};
   {
     KeyScratch ks;
-    const auto key = init.key(ks);
+    orbit_sum.fetch_add(init_canon.canonicalize_key(init, ks),
+                        std::memory_order_relaxed);
+    const auto key = ks.w.data();
     result.state_bytes = key.size();
     visited.insert(key, fingerprint128(key));
   }
@@ -439,8 +567,8 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
 
   struct Worker {
     Worker(const Protocol& p, const ObserverConfig& c, bool prod,
-           GraphId null_id)
-        : cur(p, c, prod), succ(p, c, prod), stats(null_id) {}
+           GraphId null_id, bool sym)
+        : cur(p, c, prod), succ(p, c, prod), stats(null_id), canon(p, sym) {}
     Product cur;   ///< entry being expanded (restored from the frontier)
     Product succ;  ///< successor scratch, reused across transitions
     std::uint32_t cur_idx = 0;
@@ -448,15 +576,19 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
     std::vector<Transition> transitions;
     std::vector<Symbol> symbols;
     SymbolStatsSink stats;       ///< attached to succ when symbol_stats
+    ProcCanonicalizer canon;     ///< per-worker (it carries scratch)
     FrontierBatch out;           ///< next-level entries this worker found
     std::size_t next_entry = 0;  ///< resume cursor into the global frontier
     std::size_t peak_live = 0;
+    double t_expand = 0.0;       ///< phase accounting (McPhaseTimes)
+    double t_canon = 0.0;
+    double t_mat = 0.0;
   };
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(nworkers);
   for (std::size_t w = 0; w < nworkers; ++w) {
     workers.push_back(std::make_unique<Worker>(proto, opt.observer, product,
-                                               stats_null_id));
+                                               stats_null_id, symmetry));
     if (opt.symbol_stats && product) {
       workers.back()->succ.add_sink(&workers.back()->stats);
     }
@@ -466,7 +598,16 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
     for (const auto& ws : workers) {
       result.peak_live_nodes = std::max(result.peak_live_nodes, ws->peak_live);
       if (opt.symbol_stats) result.symbol_stats.merge(ws->stats.stats());
+      result.phase_times.expand += ws->t_expand;
+      result.phase_times.canonicalize += ws->t_canon;
+      result.phase_times.materialize += ws->t_mat;
     }
+    result.symmetry_active = symmetry;
+    const std::size_t n = states.load();
+    result.orbit_reduction =
+        n == 0 ? 1.0
+               : static_cast<double>(orbit_sum.load()) /
+                     static_cast<double>(n);
   };
 
   const auto finish = [&](McVerdict v) {
@@ -518,6 +659,16 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
     const auto expand_worker = [&](std::size_t w) {
       Worker& ws = *workers[w];
       std::size_t batch = 0;
+      // Phase boundary cursor: everything between two clock reads is charged
+      // to the phase that just ran (restore/enumerate/step -> expand,
+      // canonicalize/fingerprint/dedup -> canonicalize, meta/serialize ->
+      // materialize).  Early returns are cold paths and skip accounting.
+      auto mark = std::chrono::steady_clock::now();
+      const auto charge = [&mark](double& acc) {
+        const auto now = std::chrono::steady_clock::now();
+        acc += std::chrono::duration<double>(now - mark).count();
+        mark = now;
+      };
       while (ws.next_entry < total) {
         if (failed.load(std::memory_order_relaxed) ||
             limit_hit.load(std::memory_order_relaxed) ||
@@ -551,9 +702,13 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
                 ws.peak_live,
                 static_cast<std::size_t>(ws.succ.observer().peak_live_nodes()));
           }
-          const auto key = ws.succ.key(ws.key);
+          charge(ws.t_expand);
+          const std::uint64_t orbit =
+              ws.canon.canonicalize_key(ws.succ, ws.key);
+          const auto key = ws.key.w.data();
           const Fingerprint fp = fingerprint128(key);
           const auto ins = visited.insert(key, fp);
+          charge(ws.t_canon);
           if (ins == ConcurrentStateStore::Insert::TableFull) {
             // Abort at entry granularity *without* committing this entry's
             // transition count: after the grow barrier the whole entry is
@@ -564,12 +719,14 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
             return;
           }
           if (ins == ConcurrentStateStore::Insert::Fresh) {
+            orbit_sum.fetch_add(orbit, std::memory_order_relaxed);
             const std::size_t idx =
                 states.fetch_add(1, std::memory_order_relaxed);
             Meta& m = meta.slot(idx);
             m.parent = ws.cur_idx;
             m.via = t;
             append_entry(static_cast<std::uint32_t>(idx), ws.succ, ws.out);
+            charge(ws.t_mat);
             if (idx + 1 >= opt.max_states) {
               limit_hit.store(true, std::memory_order_relaxed);
               transitions.fetch_add(expanded, std::memory_order_relaxed);
@@ -667,7 +824,35 @@ McResult model_check(const Protocol& protocol, const McOptions& options) {
       return result;
     }
   }
-  return run_bfs(protocol, options);
+
+  // Symmetry self-check: a declared symmetry is trusted only after the
+  // protocol-level commutation check (the lint R6 rule's engine) and the
+  // product-level one both pass; otherwise fall back to identity
+  // canonicalization — a slower but sound exploration — and say why.
+  McOptions opt = options;
+  std::string symmetry_note;
+  const auto& pr = protocol.params();
+  if (opt.symmetry_reduction && opt.symmetry_self_check &&
+      protocol.processor_symmetric() && pr.procs >= 2 &&
+      pr.procs <= ProcPerm::kMax) {
+    const SymmetryCheckResult sym = check_processor_symmetry(protocol);
+    std::string detail;
+    if (!sym.ok) {
+      detail = sym.detail;
+    } else {
+      product_symmetry_ok(protocol, opt, detail);
+    }
+    if (!detail.empty()) {
+      opt.symmetry_reduction = false;
+      symmetry_note =
+          "declared processor symmetry failed the commutation self-check (" +
+          detail + "); exploring without orbit canonicalization";
+    }
+  }
+
+  McResult result = run_bfs(protocol, opt);
+  result.symmetry_note = std::move(symmetry_note);
+  return result;
 }
 
 }  // namespace scv

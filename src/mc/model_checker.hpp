@@ -89,6 +89,20 @@ struct McOptions {
   /// exploration stream (see SymbolStats).  Adds one statistics sink per
   /// worker to the symbol pipeline.
   bool symbol_stats = false;
+  /// Orbit canonicalization under processor permutation (DESIGN.md §12):
+  /// the visited set stores one representative per S_p orbit, cutting the
+  /// explored state count by up to p! on processor-symmetric protocols.
+  /// Engages only when the protocol declares processor_symmetric() and
+  /// procs >= 2; on asymmetric protocols it is a no-op.  Sound because
+  /// processor permutations are bisimulations of the product — opt out to
+  /// compare against full exploration (the differential tests do).
+  bool symmetry_reduction = true;
+  /// Before engaging symmetry reduction, sample-check that permuting the
+  /// product actually commutes with stepping it (check_processor_symmetry).
+  /// A protocol whose declaration fails the check falls back to identity
+  /// canonicalization — with McResult::symmetry_note explaining why —
+  /// instead of unsoundly merging non-equivalent states.
+  bool symmetry_self_check = true;
 };
 
 struct CounterexampleStep {
@@ -101,6 +115,17 @@ struct McLevelStat {
   std::size_t frontier = 0;  ///< states expanded at this level
   std::size_t fresh = 0;     ///< new states discovered at this level
   double seconds = 0.0;
+};
+
+/// Where exploration time goes, summed across workers (CPU-seconds, so the
+/// phases can add up to more than McResult::seconds on multi-thread runs).
+/// The split answers the perf question symmetry reduction raises: how much
+/// of the per-transition budget the canonicalizer costs versus how much
+/// successor generation and frontier serialization it saves.
+struct McPhaseTimes {
+  double expand = 0.0;        ///< restore + enumerate + copy + step
+  double canonicalize = 0.0;  ///< orbit canonicalization + fingerprint + dedup
+  double materialize = 0.0;   ///< meta + frontier serialization (fresh only)
 };
 
 struct McResult {
@@ -136,6 +161,18 @@ struct McResult {
   std::optional<RunTrace> counterexample_trace;
   /// Aggregated symbol-kind counts when McOptions::symbol_stats was set.
   SymbolStats symbol_stats;
+  /// Whether orbit canonicalization actually engaged for this run (options
+  /// asked for it, the protocol declared symmetry with procs >= 2, and the
+  /// self-check did not veto it).
+  bool symmetry_active = false;
+  /// Mean orbit size over stored states: concrete states covered per state
+  /// explored.  1.0 without symmetry reduction; up to p! with it.
+  double orbit_reduction = 1.0;
+  /// Set when the symmetry self-check vetoed a declared symmetry and the
+  /// run fell back to identity canonicalization.
+  std::string symmetry_note;
+  /// Per-phase exploration timing (see McPhaseTimes).
+  McPhaseTimes phase_times;
 
   /// Visited-store resident bytes per distinct state — the headline memory
   /// metric tracked by bench_parallel_mc (BENCH_mc.json).

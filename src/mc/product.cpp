@@ -1,5 +1,7 @@
 #include "mc/product.hpp"
 
+#include <cstring>
+
 #include "util/assert.hpp"
 
 namespace scv {
@@ -82,6 +84,19 @@ void Product::assign_from(const Product& other) {
   }
 }
 
+void Product::permute_procs(const ProcPerm& perm) {
+  if (perm.is_identity()) return;
+  for (std::size_t c = 0; c < ncomponents_; ++c) {
+    components_[c]->permute_procs(perm);
+  }
+}
+
+void Product::proc_signature(ProcId p, ByteWriter& w) const {
+  for (std::size_t c = 0; c < ncomponents_; ++c) {
+    components_[c]->proc_signature(p, w);
+  }
+}
+
 std::string Product::failure_reason(StepOutcome outcome) const {
   switch (outcome) {
     case StepOutcome::Reject:
@@ -93,6 +108,142 @@ std::string Product::failure_reason(StepOutcome outcome) const {
       break;
   }
   return {};
+}
+
+ProcCanonicalizer::ProcCanonicalizer(const Protocol& protocol, bool enable)
+    : procs_(protocol.params().procs) {
+  active_ = enable && protocol.processor_symmetric() && procs_ >= 2 &&
+            procs_ <= ProcPerm::kMax;
+  if (active_) {
+    for (std::size_t i = 2; i <= procs_; ++i) factorial_ *= i;
+  }
+}
+
+std::uint64_t ProcCanonicalizer::canonicalize_key(Product& p, KeyScratch& ks,
+                                                  ProcPerm* applied) {
+  if (applied != nullptr) {
+    *applied = ProcPerm::identity(std::min(procs_, ProcPerm::kMax));
+  }
+  if (!active_) {
+    p.key(ks);
+    return 1;
+  }
+
+  // Per-processor signatures, concatenated; sig_off_[q]..sig_off_[q+1] is
+  // processor q's slice.
+  sig_.clear();
+  sig_off_[0] = 0;
+  for (std::size_t q = 0; q < procs_; ++q) {
+    p.proc_signature(static_cast<ProcId>(q), sig_);
+    sig_off_[q + 1] = static_cast<std::uint32_t>(sig_.data().size());
+  }
+  const std::span<const std::uint8_t> sig = sig_.data();
+  const auto sig_of = [&](std::size_t q) {
+    return sig.subspan(sig_off_[q], sig_off_[q + 1] - sig_off_[q]);
+  };
+  const auto sig_cmp = [&](std::size_t a, std::size_t b) {
+    const auto sa = sig_of(a);
+    const auto sb = sig_of(b);
+    const std::size_t n = std::min(sa.size(), sb.size());
+    const int c = n == 0 ? 0 : std::memcmp(sa.data(), sb.data(), n);
+    if (c != 0) return c;
+    return sa.size() < sb.size() ? -1 : (sa.size() > sb.size() ? 1 : 0);
+  };
+
+  // pos[i] = the processor whose state lands in slot i of the sorted order.
+  // stable_sort keeps tied processors in ascending index, which is exactly
+  // the first arrangement next_permutation's odometer expects.
+  std::array<std::uint8_t, ProcPerm::kMax> pos{};
+  for (std::size_t i = 0; i < procs_; ++i) {
+    pos[i] = static_cast<std::uint8_t>(i);
+  }
+  std::stable_sort(pos.begin(), pos.begin() + procs_,
+                   [&](std::uint8_t a, std::uint8_t b) {
+                     return sig_cmp(a, b) < 0;
+                   });
+  const auto perm_from_pos = [&]() {
+    ProcPerm pi = ProcPerm::identity(procs_);
+    for (std::size_t i = 0; i < procs_; ++i) {
+      pi.to[pos[i]] = static_cast<std::uint8_t>(i);
+    }
+    return pi;
+  };
+
+  // Tie groups: maximal runs of equal signatures in the sorted order.
+  std::array<std::uint8_t, ProcPerm::kMax> gstart{};
+  std::array<std::uint8_t, ProcPerm::kMax> gend{};
+  std::size_t ngroups = 0;
+  bool has_tie = false;
+  for (std::size_t i = 0; i < procs_;) {
+    std::size_t j = i + 1;
+    while (j < procs_ && sig_cmp(pos[i], pos[j]) == 0) ++j;
+    gstart[ngroups] = static_cast<std::uint8_t>(i);
+    gend[ngroups] = static_cast<std::uint8_t>(j);
+    ++ngroups;
+    if (j - i > 1) has_tie = true;
+    i = j;
+  }
+
+  if (!has_tie) {
+    // Distinct signatures: the sorting permutation is the only candidate,
+    // and the stabilizer is trivial (a stabilizing permutation would have
+    // to map equal signatures onto each other), so the orbit is full.
+    const ProcPerm pi = perm_from_pos();
+    p.permute_procs(pi);
+    if (applied != nullptr) *applied = pi;
+    p.key(ks);
+    return factorial_;
+  }
+
+  // Tied signatures: enumerate every sorting permutation (each tie group's
+  // slots filled by any arrangement of its members) and take the least
+  // serialized key.  `sigma` tracks the permutation currently applied to
+  // `p`, so each candidate costs one delta-permutation and one key.
+  ProcPerm sigma = ProcPerm::identity(procs_);
+  ProcPerm best_perm = sigma;
+  best_.clear();
+  std::uint64_t hits = 0;
+  for (bool done = false; !done;) {
+    const ProcPerm pi = perm_from_pos();
+    p.permute_procs(sigma.inverse().then(pi));
+    sigma = pi;
+    const auto key = p.key(trial_);
+    const std::size_t n = std::min(best_.size(), key.size());
+    const int c =
+        best_.empty() ? -1 : std::memcmp(key.data(), best_.data(), n);
+    const bool less =
+        !best_.empty() &&
+        (c < 0 || (c == 0 && key.size() < best_.size()));
+    if (best_.empty() || less) {
+      best_.assign(key.begin(), key.end());
+      best_perm = pi;
+      hits = 1;
+    } else if (c == 0 && key.size() == best_.size()) {
+      ++hits;
+    }
+    // Odometer over the tie groups, rightmost fastest; next_permutation
+    // wraps a group back to ascending order when it carries.
+    std::size_t g = ngroups;
+    for (;;) {
+      if (g == 0) {
+        done = true;
+        break;
+      }
+      --g;
+      if (std::next_permutation(pos.begin() + gstart[g],
+                                pos.begin() + gend[g])) {
+        break;
+      }
+    }
+  }
+
+  p.permute_procs(sigma.inverse().then(best_perm));
+  if (applied != nullptr) *applied = best_perm;
+  ks.w.clear();
+  ks.w.bytes(best_);
+  // Minimum-achieving candidates form a coset of the stabilizer, so `hits`
+  // is the stabilizer order and the orbit size is exact.
+  return factorial_ / hits;
 }
 
 }  // namespace scv

@@ -77,6 +77,17 @@ class ProductComponent {
   /// Copies state from a same-shape component (same protocol and config).
   virtual void assign_from(const ProductComponent& other) = 0;
 
+  /// Renames processors by `perm`, consistently across all components (the
+  /// protocol moves per-processor state, the observer moves its chains and
+  /// tracker entries through permute_loc, the checker its per-processor
+  /// bookkeeping).  The group action behind orbit canonicalization.
+  virtual void permute_procs(const ProcPerm& perm) = 0;
+
+  /// Appends a renaming-equivariant, naming-free signature of processor
+  /// `p`'s share of this component's state; the canonicalizer concatenates
+  /// the components' contributions to prune its permutation search.
+  virtual void proc_signature(ProcId p, ByteWriter& w) const = 0;
+
  protected:
   ProductComponent() = default;
   ProductComponent(const ProductComponent&) = default;
@@ -112,6 +123,12 @@ class ProtocolComponent final : public ProductComponent {
   void assign_from(const ProductComponent& other) override {
     state_ = static_cast<const ProtocolComponent&>(other).state_;
   }
+  void permute_procs(const ProcPerm& perm) override {
+    protocol_->permute_procs(state_, perm);
+  }
+  void proc_signature(ProcId p, ByteWriter& w) const override {
+    protocol_->proc_signature(state_, p, w);
+  }
 
  private:
   const Protocol* protocol_;
@@ -135,6 +152,12 @@ class ObserverComponent final : public ProductComponent {
   void assign_from(const ProductComponent& other) override {
     obs_ = static_cast<const ObserverComponent&>(other).obs_;
   }
+  void permute_procs(const ProcPerm& perm) override {
+    obs_.permute_procs(perm);
+  }
+  void proc_signature(ProcId p, ByteWriter& w) const override {
+    obs_.proc_signature(p, w);
+  }
 
  private:
   Observer obs_;
@@ -156,6 +179,12 @@ class CheckerComponent final : public ProductComponent {
   void restore(ByteReader& r) override { chk_.restore(r); }
   void assign_from(const ProductComponent& other) override {
     chk_ = static_cast<const CheckerComponent&>(other).chk_;
+  }
+  void permute_procs(const ProcPerm& perm) override {
+    chk_.permute_procs(perm);
+  }
+  void proc_signature(ProcId p, ByteWriter& w) const override {
+    chk_.proc_signature(p, w);
   }
 
  private:
@@ -232,6 +261,16 @@ class Product {
   /// Failure diagnostics after a non-Ok step.
   [[nodiscard]] std::string failure_reason(StepOutcome outcome) const;
 
+  /// Renames processors across every component (the S_p group action the
+  /// orbit canonicalizer minimizes over).  Handles, pool IDs and slots are
+  /// deliberately untouched, so a permuted product emits the same descriptor
+  /// IDs when stepped — permute-then-step equals step-then-permute.
+  void permute_procs(const ProcPerm& perm);
+
+  /// Concatenates every component's renaming-equivariant signature of
+  /// processor `p` into `w` (the canonicalizer's search-pruning key).
+  void proc_signature(ProcId p, ByteWriter& w) const;
+
  private:
   const Protocol* protocol_;
   ProtocolComponent proto_;
@@ -242,6 +281,53 @@ class Product {
   std::array<ProductComponent*, 3> components_{};
   std::size_t ncomponents_ = 0;
   std::vector<SymbolSink*> sinks_;
+};
+
+/// Orbit canonicalization under processor permutation (the scalarset-style
+/// symmetry reduction of Ip & Dill, applied to the whole product).  For a
+/// processor-symmetric protocol every π in S_p is a bisimulation of the
+/// product, so the model checker need only explore one representative per
+/// orbit: the state whose serialized key is lexicographically least over all
+/// permutations.
+///
+/// The p! search is pruned by per-processor signatures: only permutations
+/// that sort the signature vector can yield the least key (the product key
+/// serializes per-processor state in processor-index order, and the
+/// signature is a prefix-determining summary of that state), so with all
+/// signatures distinct a single sort finds the canonical form with zero
+/// extra key computations.  Tied signatures fall back to enumerating the
+/// permutations within each tie group.
+///
+/// The hit count of the minimum doubles as the stabilizer order, giving the
+/// exact orbit size |S_p|/|Stab| — reported as McResult::orbit_reduction.
+class ProcCanonicalizer {
+ public:
+  ProcCanonicalizer() = default;
+
+  /// Inactive unless `enable`, the protocol declares processor symmetry and
+  /// 2 <= procs <= ProcPerm::kMax; inactive canonicalization is the
+  /// identity (key() pass-through, orbit size 1).
+  ProcCanonicalizer(const Protocol& protocol, bool enable);
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Permutes `p` into its orbit representative (in place), writes the
+  /// canonical key into `ks`, and returns the exact orbit size.  If
+  /// `applied` is non-null it receives the permutation that was applied
+  /// (identity when inactive) — the replayer uses it to keep a concrete
+  /// run aligned with the canonical exploration.
+  std::uint64_t canonicalize_key(Product& p, KeyScratch& ks,
+                                 ProcPerm* applied = nullptr);
+
+ private:
+  bool active_ = false;
+  std::size_t procs_ = 1;
+  std::uint64_t factorial_ = 1;
+  // Scratch, reused across calls to keep the hot loop allocation-free.
+  ByteWriter sig_;
+  std::array<std::uint32_t, ProcPerm::kMax + 1> sig_off_{};
+  KeyScratch trial_;
+  std::vector<std::uint8_t> best_;
 };
 
 }  // namespace scv

@@ -473,6 +473,91 @@ void Observer::snapshot(ByteWriter& w) const {
   }
 }
 
+void Observer::permute_procs(const ProcPerm& perm) {
+  const auto& pr = protocol_->params();
+  SCV_EXPECTS(perm.n == pr.procs);
+  if (perm.is_identity()) return;
+
+  // Tracker entries relocate with their storage location.
+  permute_scratch_.assign(tracker_.locations(), StIndexTracker::kNoStore);
+  for (std::size_t l = 0; l < tracker_.locations(); ++l) {
+    const LocId dst = protocol_->permute_loc(static_cast<LocId>(l), perm);
+    permute_scratch_[dst] = tracker_.at(static_cast<LocId>(l));
+  }
+  tracker_.assign(permute_scratch_);
+  permute_scratch_.clear();
+
+  // Program-order chain anchors move to their renamed processor.
+  NodeHandle chains[kMaxObsProcs * kMaxObsBlocks] = {};
+  for (std::size_t p = 0; p < pr.procs; ++p) {
+    if (cfg_.coherence_only) {
+      for (std::size_t b = 0; b < pr.blocks; ++b) {
+        chains[perm.to[p] * pr.blocks + b] = last_op_[p * pr.blocks + b];
+      }
+    } else {
+      chains[perm.to[p]] = last_op_[p];
+    }
+  }
+  for (std::size_t c = 0; c < chain_count(); ++c) last_op_[c] = chains[c];
+
+  // Pending ⊥-load anchors are indexed by processor per block.
+  for (std::size_t b = 0; b < pr.blocks; ++b) {
+    NodeHandle row[kMaxObsProcs] = {};
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      row[perm.to[p]] = pending_bottom_[b][p];
+    }
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      pending_bottom_[b][p] = row[p];
+    }
+  }
+
+  // Node operations take the renamed processor; handles, pool IDs and the
+  // free mask stay put so the descriptor-ID assignment is unchanged.
+  for (Node& n : nodes_) {
+    if (!n.in_use) continue;
+    n.op.proc = perm(n.op.proc);
+    NodeHandle pl[kMaxObsProcs] = {};
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      pl[perm.to[p]] = n.pending_ld[p];
+    }
+    for (std::size_t p = 0; p < pr.procs; ++p) n.pending_ld[p] = pl[p];
+  }
+}
+
+void Observer::proc_signature(ProcId p, ByteWriter& w) const {
+  const auto& pr = protocol_->params();
+  const auto write_chain = [&](std::size_t c) {
+    const NodeHandle h = last_op_[c];
+    if (h == kNone) {
+      w.u8(0);
+      return;
+    }
+    const Node& n = node(h);
+    w.u8(1);
+    w.u8(static_cast<std::uint8_t>(n.op.kind));
+    w.u8(n.op.block);
+    w.u8(n.op.value);
+    w.u8(n.serialized ? 1 : 0);
+    w.u8(n.bottom_pending ? 1 : 0);
+    w.uvar(n.copies);
+  };
+  if (cfg_.coherence_only) {
+    for (std::size_t b = 0; b < pr.blocks; ++b) {
+      write_chain(p * pr.blocks + b);
+    }
+  } else {
+    write_chain(p);
+  }
+  for (std::size_t b = 0; b < pr.blocks; ++b) {
+    w.u8(pending_bottom_[b][p] != kNone ? 1 : 0);
+  }
+  std::uint32_t mine = 0;
+  for (const Node& n : nodes_) {
+    if (n.in_use && n.op.proc == p) ++mine;
+  }
+  w.uvar(mine);
+}
+
 void Observer::restore(ByteReader& r) {
   const auto& pr = protocol_->params();
   tracker_.restore(r);

@@ -124,6 +124,22 @@ class Observer {
   void snapshot(ByteWriter& w) const;
   void restore(ByteReader& r);
 
+  /// Renames processors consistently with Protocol::permute_procs: tracker
+  /// entries relocate through permute_loc, program-order chains and pending
+  /// ⊥-load anchors move to their renamed processor, and node operations
+  /// take the renamed proc.  Node handles, pool IDs and the free mask are
+  /// untouched, so a permuted observer emits the *same* descriptor IDs for
+  /// corresponding nodes — the step-equivariance the orbit canonicalizer
+  /// relies on.
+  void permute_procs(const ProcPerm& perm);
+
+  /// Renaming-equivariant, naming-free signature of processor `p`'s share
+  /// of the observer state (program-order chain heads, pending ⊥-loads,
+  /// live-node count); used by the canonicalizer to prune the permutation
+  /// search.  Must not write handles or pool IDs (they are naming-
+  /// dependent) nor processor indices (they are not equivariant).
+  void proc_signature(ProcId p, ByteWriter& w) const;
+
  private:
   static constexpr NodeHandle kNone = 0;
   /// sto_succ sentinel: the successor existed but has been retired.
@@ -210,6 +226,9 @@ class Observer {
 
   std::size_t peak_live_ = 0;
   std::string error_;
+  /// Scratch for permute_procs' tracker relocation (kept to reuse capacity;
+  /// always empty outside that call, so copies stay cheap).
+  std::vector<std::uint32_t> permute_scratch_;
 };
 
 }  // namespace scv

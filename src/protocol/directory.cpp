@@ -215,6 +215,64 @@ bool DirectoryProtocol::could_load_bottom(std::span<const std::uint8_t> state,
   return false;
 }
 
+void DirectoryProtocol::permute_procs(std::span<std::uint8_t> state,
+                                      const ProcPerm& perm) const {
+  // Cache rows and reply-buffer rows are contiguous per-processor chunks;
+  // memory is shared.  The directory byte holds processor *values* (an
+  // owner id or a sharer bitmap), which must be renamed, not moved.
+  permute_proc_chunks(state, 0, 2 * params_.blocks, perm);
+  permute_proc_chunks(state, 2 * params_.procs * params_.blocks,
+                      2 * params_.blocks, perm);
+  for (std::size_t b = 0; b < params_.blocks; ++b) {
+    const std::uint8_t d = state[d_off(b)];
+    if ((d & 0x80) != 0) {
+      state[d_off(b)] = static_cast<std::uint8_t>(0x80 | perm.to[d & 0x7f]);
+    } else {
+      std::uint8_t bits = 0;
+      for (std::size_t q = 0; q < params_.procs; ++q) {
+        if ((d & (1u << q)) != 0) bits |= static_cast<std::uint8_t>(1u << perm.to[q]);
+      }
+      state[d_off(b)] = bits;
+    }
+  }
+}
+
+LocId DirectoryProtocol::permute_loc(LocId loc, const ProcPerm& perm) const {
+  const std::size_t pb = params_.procs * params_.blocks;
+  if (loc < 2 * pb) {  // cache or reply-buffer location (P,B)
+    const std::size_t base = loc < pb ? 0 : pb;
+    const std::size_t rel = loc - base;
+    return static_cast<LocId>(base + perm.to[rel / params_.blocks] *
+                                         params_.blocks + rel % params_.blocks);
+  }
+  return loc;  // memory word
+}
+
+Action DirectoryProtocol::permute_action(const Action& a,
+                                         const ProcPerm& perm) const {
+  Action out = Protocol::permute_action(a, perm);
+  if (!a.is_memory_op()) out.arg0 = perm(a.arg0);  // all internals carry P,B
+  return out;
+}
+
+void DirectoryProtocol::proc_signature(std::span<const std::uint8_t> state,
+                                       ProcId p, ByteWriter& w) const {
+  w.bytes(state.subspan(c_off(p, 0), 2 * params_.blocks));
+  w.bytes(state.subspan(r_off(p, 0), 2 * params_.blocks));
+  // Directory membership relative to this processor (owner/sharer bits are
+  // processor-valued, so the raw byte is not renaming-invariant).
+  for (std::size_t b = 0; b < params_.blocks; ++b) {
+    const std::uint8_t d = state[d_off(b)];
+    std::uint8_t rel = 0;
+    if ((d & 0x80) != 0) {
+      if ((d & 0x7f) == p) rel = 1;  // owner
+    } else if ((d & (1u << p)) != 0) {
+      rel = 2;  // sharer
+    }
+    w.u8(rel);
+  }
+}
+
 std::string DirectoryProtocol::action_name(const Action& a) const {
   if (a.is_memory_op()) return Protocol::action_name(a);
   std::ostringstream os;

@@ -35,6 +35,19 @@ class DirectoryProtocol final : public Protocol {
                                        BlockId b) const override;
   [[nodiscard]] std::string action_name(const Action& a) const override;
 
+  /// Requests, directory processing and invalidation broadcasts treat
+  /// processors uniformly; the proc-valued directory byte (owner id /
+  /// sharer bitmap) is renamed explicitly in permute_procs.
+  [[nodiscard]] bool processor_symmetric() const override { return true; }
+  void permute_procs(std::span<std::uint8_t> state,
+                     const ProcPerm& perm) const override;
+  [[nodiscard]] LocId permute_loc(LocId loc,
+                                  const ProcPerm& perm) const override;
+  [[nodiscard]] Action permute_action(const Action& a,
+                                      const ProcPerm& perm) const override;
+  void proc_signature(std::span<const std::uint8_t> state, ProcId p,
+                      ByteWriter& w) const override;
+
   enum CacheState : std::uint8_t {
     kInvalid = 0,
     kShared = 1,

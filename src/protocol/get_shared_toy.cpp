@@ -99,6 +99,28 @@ bool GetSharedToy::could_load_bottom(std::span<const std::uint8_t>,
   return false;
 }
 
+void GetSharedToy::permute_procs(std::span<std::uint8_t> state,
+                                 const ProcPerm& perm) const {
+  // The whole state is per-processor slot views, 2 bytes per slot.
+  permute_proc_chunks(state, 0, 2 * slots_, perm);
+}
+
+LocId GetSharedToy::permute_loc(LocId loc, const ProcPerm& perm) const {
+  return static_cast<LocId>(perm.to[loc / slots_] * slots_ + loc % slots_);
+}
+
+Action GetSharedToy::permute_action(const Action& a,
+                                    const ProcPerm& perm) const {
+  Action out = Protocol::permute_action(a, perm);
+  if (!a.is_memory_op()) out.arg0 = perm(a.arg0);  // Get-Shared dest proc
+  return out;
+}
+
+void GetSharedToy::proc_signature(std::span<const std::uint8_t> state,
+                                  ProcId p, ByteWriter& w) const {
+  w.bytes(state.subspan(2 * p * slots_, 2 * slots_));
+}
+
 std::string GetSharedToy::action_name(const Action& a) const {
   if (a.is_memory_op()) return Protocol::action_name(a);
   std::ostringstream os;

@@ -215,6 +215,50 @@ bool LazyCaching::could_load_bottom(std::span<const std::uint8_t> state,
   return false;
 }
 
+void LazyCaching::permute_procs(std::span<std::uint8_t> state,
+                                const ProcPerm& perm) const {
+  // Three contiguous per-processor regions move as wholes: the cache rows,
+  // the out-queues, and the in-queues.  Memory words are shared.  In-queue
+  // star bits are relative to the queue's owner ("this entry is my own
+  // write"), a relation preserved by renaming both sides consistently.
+  permute_proc_chunks(state, 0, params_.blocks, perm);
+  permute_proc_chunks(state, oq_off(0), 1 + 2 * out_depth_, perm);
+  permute_proc_chunks(state, iq_off(0), 1 + 3 * in_depth_, perm);
+}
+
+LocId LazyCaching::permute_loc(LocId loc, const ProcPerm& perm) const {
+  const std::size_t pb = params_.procs * params_.blocks;
+  if (loc < pb) {  // cache entry (P,B)
+    return static_cast<LocId>(perm.to[loc / params_.blocks] * params_.blocks +
+                              loc % params_.blocks);
+  }
+  if (loc < pb + params_.blocks) return loc;  // memory word
+  const std::size_t out_base = pb + params_.blocks;
+  const std::size_t in_base = out_base + params_.procs * out_depth_;
+  if (loc < in_base) {  // out-queue slot (P,d)
+    const std::size_t rel = loc - out_base;
+    return static_cast<LocId>(out_base + perm.to[rel / out_depth_] *
+                                             out_depth_ + rel % out_depth_);
+  }
+  const std::size_t rel = loc - in_base;  // in-queue slot (P,d)
+  return static_cast<LocId>(in_base + perm.to[rel / in_depth_] * in_depth_ +
+                            rel % in_depth_);
+}
+
+Action LazyCaching::permute_action(const Action& a,
+                                   const ProcPerm& perm) const {
+  Action out = Protocol::permute_action(a, perm);
+  if (!a.is_memory_op()) out.arg0 = perm(a.arg0);  // MW/MR/CU all carry P
+  return out;
+}
+
+void LazyCaching::proc_signature(std::span<const std::uint8_t> state,
+                                 ProcId p, ByteWriter& w) const {
+  w.bytes(state.subspan(p * params_.blocks, params_.blocks));
+  w.bytes(state.subspan(oq_off(p), 1 + 2 * out_depth_));
+  w.bytes(state.subspan(iq_off(p), 1 + 3 * in_depth_));
+}
+
 std::string LazyCaching::action_name(const Action& a) const {
   if (a.is_memory_op()) return Protocol::action_name(a);
   std::ostringstream os;

@@ -49,6 +49,18 @@ class LazyCaching final : public Protocol {
                                        BlockId b) const override;
   [[nodiscard]] std::string action_name(const Action& a) const override;
 
+  /// Caches, queues and the MW broadcast treat processors uniformly; the
+  /// star bit is relative to the queue's owner, so it moves with the queue.
+  [[nodiscard]] bool processor_symmetric() const override { return true; }
+  void permute_procs(std::span<std::uint8_t> state,
+                     const ProcPerm& perm) const override;
+  [[nodiscard]] LocId permute_loc(LocId loc,
+                                  const ProcPerm& perm) const override;
+  [[nodiscard]] Action permute_action(const Action& a,
+                                      const ProcPerm& perm) const override;
+  void proc_signature(std::span<const std::uint8_t> state, ProcId p,
+                      ByteWriter& w) const override;
+
   static constexpr std::uint8_t kMemWrite = 1;
   static constexpr std::uint8_t kCacheUpdate = 2;
   static constexpr std::uint8_t kMemRead = 3;

@@ -172,6 +172,31 @@ bool MsiBus::could_load_bottom(std::span<const std::uint8_t> state,
   return false;
 }
 
+void MsiBus::permute_procs(std::span<std::uint8_t> state,
+                           const ProcPerm& perm) const {
+  // A processor's share of the state is its 2-byte cache rows for every
+  // block; the memory words at the tail are shared (fixed points).
+  permute_proc_chunks(state, 0, 2 * params_.blocks, perm);
+}
+
+LocId MsiBus::permute_loc(LocId loc, const ProcPerm& perm) const {
+  const std::size_t pb = params_.procs * params_.blocks;
+  if (loc >= pb) return loc;  // memory word
+  return static_cast<LocId>(perm.to[loc / params_.blocks] * params_.blocks +
+                            loc % params_.blocks);
+}
+
+Action MsiBus::permute_action(const Action& a, const ProcPerm& perm) const {
+  Action out = Protocol::permute_action(a, perm);
+  if (!a.is_memory_op()) out.arg0 = perm(a.arg0);  // arg0 = processor
+  return out;
+}
+
+void MsiBus::proc_signature(std::span<const std::uint8_t> state, ProcId p,
+                            ByteWriter& w) const {
+  w.bytes(state.subspan(2 * p * params_.blocks, 2 * params_.blocks));
+}
+
 std::string MsiBus::action_name(const Action& a) const {
   if (a.is_memory_op()) return Protocol::action_name(a);
   std::ostringstream os;

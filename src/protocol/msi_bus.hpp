@@ -46,6 +46,19 @@ class MsiBus final : public Protocol {
                                        BlockId b) const override;
   [[nodiscard]] std::string action_name(const Action& a) const override;
 
+  /// Correct MSI treats processors interchangeably; the lost-invalidation
+  /// bug singles out the *highest-numbered* remote sharer, which breaks the
+  /// commutation property, so the buggy variant must not be reduced.
+  [[nodiscard]] bool processor_symmetric() const override { return !buggy_; }
+  void permute_procs(std::span<std::uint8_t> state,
+                     const ProcPerm& perm) const override;
+  [[nodiscard]] LocId permute_loc(LocId loc,
+                                  const ProcPerm& perm) const override;
+  [[nodiscard]] Action permute_action(const Action& a,
+                                      const ProcPerm& perm) const override;
+  void proc_signature(std::span<const std::uint8_t> state, ProcId p,
+                      ByteWriter& w) const override;
+
   enum CacheState : std::uint8_t { kInvalid = 0, kShared = 1, kModified = 2 };
   static constexpr std::uint8_t kBusGetS = 1;
   static constexpr std::uint8_t kBusGetX = 2;

@@ -1,5 +1,6 @@
 #include "protocol/protocol.hpp"
 
+#include <cstring>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -18,6 +19,77 @@ std::string Protocol::action_name(const Action& a) const {
   os << "Internal(" << static_cast<int>(a.internal_id) << ","
      << static_cast<int>(a.arg0) << "," << static_cast<int>(a.arg1) << ")";
   return os.str();
+}
+
+void Protocol::permute_procs(std::span<std::uint8_t> /*state*/,
+                             const ProcPerm& /*perm*/) const {
+  // Benign default (state treated as processor-invariant).  Correct only
+  // for protocols whose state holds no per-processor data; a protocol that
+  // declares symmetry but forgets this override fails the R6 commutation
+  // check and the model checker's self-check, which fall back gracefully
+  // instead of crashing here.
+}
+
+LocId Protocol::permute_loc(LocId loc, const ProcPerm& /*perm*/) const {
+  return loc;
+}
+
+Action Protocol::permute_action(const Action& a, const ProcPerm& perm) const {
+  Action out = a;
+  if (a.is_memory_op()) out.op.proc = perm(a.op.proc);
+  return out;
+}
+
+void Protocol::proc_signature(std::span<const std::uint8_t> /*state*/,
+                              ProcId /*p*/, ByteWriter& /*w*/) const {}
+
+Transition Protocol::permute_transition(const Transition& t,
+                                        const ProcPerm& perm) const {
+  Transition out;
+  out.action = permute_action(t.action, perm);
+  out.loc = t.action.is_memory_op() ? permute_loc(t.loc, perm) : t.loc;
+  for (const CopyEntry& c : t.copies) {
+    out.copies.push_back(CopyEntry{
+        permute_loc(c.dst, perm),
+        c.src == kClearSrc ? kClearSrc : permute_loc(c.src, perm)});
+  }
+  if (t.serialize_loc >= 0) {
+    out.serialize_loc = static_cast<std::int16_t>(
+        permute_loc(static_cast<LocId>(t.serialize_loc), perm));
+  }
+  return out;
+}
+
+void Protocol::permute_proc_chunks(std::span<std::uint8_t> state,
+                                   std::size_t offset,
+                                   std::size_t chunk_bytes,
+                                   const ProcPerm& perm) {
+  constexpr std::size_t kMaxChunk = 64;
+  SCV_EXPECTS(chunk_bytes <= kMaxChunk);
+  if (chunk_bytes == 0) return;
+  const ProcPerm inv = perm.inverse();
+  auto chunk = [&](std::uint8_t p) {
+    return state.subspan(offset + p * chunk_bytes, chunk_bytes);
+  };
+  bool done[ProcPerm::kMax] = {};
+  std::uint8_t saved[kMaxChunk];
+  for (std::uint8_t start = 0; start < perm.n; ++start) {
+    if (done[start] || perm.to[start] == start) continue;
+    // Rotate the cycle through `start`: new[i] = old[perm⁻¹(i)], walking the
+    // cycle backwards so each old chunk is read before it is overwritten.
+    std::memcpy(saved, chunk(start).data(), chunk_bytes);
+    std::uint8_t i = start;
+    for (;;) {
+      const std::uint8_t j = inv.to[i];
+      done[i] = true;
+      if (j == start) {
+        std::memcpy(chunk(i).data(), saved, chunk_bytes);
+        break;
+      }
+      std::memcpy(chunk(i).data(), chunk(j).data(), chunk_bytes);
+      i = j;
+    }
+  }
 }
 
 }  // namespace scv

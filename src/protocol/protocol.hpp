@@ -26,9 +26,70 @@
 #include <vector>
 
 #include "trace/operation.hpp"
+#include "util/byte_io.hpp"
 #include "util/inline_vec.hpp"
 
 namespace scv {
+
+/// A permutation of processor indices 0..n-1, the group action behind the
+/// model checker's orbit canonicalization: fully interchangeable processors
+/// (a Murphi-style scalarset) make states that differ only by renaming
+/// processors bisimilar, so one representative per orbit suffices.
+struct ProcPerm {
+  static constexpr std::size_t kMax = 8;
+
+  std::uint8_t to[kMax] = {0, 1, 2, 3, 4, 5, 6, 7};  ///< image of each proc
+  std::uint8_t n = 0;                                ///< processor count
+
+  [[nodiscard]] static ProcPerm identity(std::size_t procs) {
+    ProcPerm perm;
+    perm.n = static_cast<std::uint8_t>(procs);
+    return perm;
+  }
+
+  [[nodiscard]] ProcId operator()(ProcId p) const { return to[p]; }
+
+  [[nodiscard]] bool is_identity() const {
+    for (std::uint8_t p = 0; p < n; ++p) {
+      if (to[p] != p) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] ProcPerm inverse() const {
+    ProcPerm inv;
+    inv.n = n;
+    for (std::uint8_t p = 0; p < n; ++p) inv.to[to[p]] = p;
+    return inv;
+  }
+
+  /// Composition "apply *this first, then `next`": result(p) = next(this(p)).
+  [[nodiscard]] ProcPerm then(const ProcPerm& next) const {
+    ProcPerm out;
+    out.n = n;
+    for (std::uint8_t p = 0; p < n; ++p) out.to[p] = next.to[to[p]];
+    return out;
+  }
+
+  /// The transposition swapping processors `a` and `b`.  Transpositions
+  /// generate the symmetric group, so commutation checks over them extend
+  /// to every permutation.
+  [[nodiscard]] static ProcPerm transposition(std::size_t procs, ProcId a,
+                                              ProcId b) {
+    ProcPerm perm = identity(procs);
+    perm.to[a] = b;
+    perm.to[b] = a;
+    return perm;
+  }
+
+  friend bool operator==(const ProcPerm& x, const ProcPerm& y) {
+    if (x.n != y.n) return false;
+    for (std::uint8_t p = 0; p < x.n; ++p) {
+      if (x.to[p] != y.to[p]) return false;
+    }
+    return true;
+  }
+};
 
 /// Storage location index.  L locations are numbered 0..L-1.
 using LocId = std::uint8_t;
@@ -137,7 +198,62 @@ class Protocol {
   /// Human-readable action name ("ST(P1,B2,1)", "Drain(P2)", ...).
   [[nodiscard]] virtual std::string action_name(const Action& a) const;
 
+  // ----------------------------------------------------------------------
+  // Processor symmetry (orbit canonicalization support).
+  //
+  // A protocol declares processor symmetry when renaming processors by any
+  // permutation π maps reachable states to reachable states and enabled
+  // transitions to enabled transitions (the commutation property
+  // π(apply(s,t)) == apply(π(s), π(t)); checked on sampled states by the
+  // analysis-layer self-check, lint rule R6).  Declaring protocols must
+  // override the four hooks below consistently.
+
+  /// Are processors fully interchangeable?  Default: no (reduction off).
+  [[nodiscard]] virtual bool processor_symmetric() const { return false; }
+
+  /// Renames processors in `state` in place: the new state holds, for each
+  /// processor p, what the old state held for perm⁻¹(p) — i.e. processor
+  /// p's private data moves to perm(p).
+  virtual void permute_procs(std::span<std::uint8_t> state,
+                             const ProcPerm& perm) const;
+
+  /// Image of a storage location under the processor renaming (per-processor
+  /// locations move with their owner; shared locations are fixed points).
+  /// Must be a bijection on 0..locations-1.
+  [[nodiscard]] virtual LocId permute_loc(LocId loc,
+                                          const ProcPerm& perm) const;
+
+  /// Image of an action: LD/ST rename op.proc; internal actions rename every
+  /// processor-valued argument.  The default handles memory operations only —
+  /// protocols whose internal actions carry processor arguments override it.
+  [[nodiscard]] virtual Action permute_action(const Action& a,
+                                              const ProcPerm& perm) const;
+
+  /// Appends a renaming-equivariant signature of processor `p`'s share of
+  /// the state: equal signatures are a *necessary* condition for a
+  /// permutation mapping one processor onto the other to fix the state, so
+  /// the canonicalizer only searches permutations among equal-signature
+  /// processors.  Must satisfy sig(π(s), π(p)) == sig(s, p) and must not
+  /// depend on processor indices (write per-processor content, not ids).
+  /// Default: empty (every processor ties; sound, but prunes nothing).
+  virtual void proc_signature(std::span<const std::uint8_t> state, ProcId p,
+                              ByteWriter& w) const;
+
+  /// Image of a whole transition under the renaming: permuted action,
+  /// tracking label, copy entries and serialize_loc hint.  Built on the
+  /// virtual hooks, so it needs no override.
+  [[nodiscard]] Transition permute_transition(const Transition& t,
+                                              const ProcPerm& perm) const;
+
  protected:
+  /// Helper for permute_procs implementations: permutes `procs` equal-sized
+  /// per-processor chunks laid out contiguously at state[offset +
+  /// p*chunk_bytes], moving chunk p to position perm(p) (in-place cycle
+  /// rotation, no heap).
+  static void permute_proc_chunks(std::span<std::uint8_t> state,
+                                  std::size_t offset, std::size_t chunk_bytes,
+                                  const ProcPerm& perm);
+
   /// Common Params contract, called by every concrete protocol constructor
   /// once params_ is final: all dimensions nonzero and the location count
   /// within the LocId alphabet (kMaxLocations keeps kClearSrc distinct).

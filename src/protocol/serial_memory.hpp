@@ -26,6 +26,17 @@ class SerialMemory final : public Protocol {
   [[nodiscard]] bool could_load_bottom(std::span<const std::uint8_t> state,
                                        BlockId b) const override;
 
+  /// The shared memory array carries no per-processor state, so every
+  /// processor renaming fixes the state; only LD/ST actions carry procs
+  /// (handled by the base permute_action) and all locations are shared.
+  [[nodiscard]] bool processor_symmetric() const override { return true; }
+  void permute_procs(std::span<std::uint8_t> /*state*/,
+                     const ProcPerm& /*perm*/) const override {}
+  [[nodiscard]] LocId permute_loc(LocId loc,
+                                  const ProcPerm& /*perm*/) const override {
+    return loc;
+  }
+
  private:
   Params params_;
 };

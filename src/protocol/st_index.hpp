@@ -12,6 +12,7 @@
 // while the observer instantiates it with its internal node handles.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -65,6 +66,14 @@ class StIndexTracker {
     std::size_t n = 0;
     for (std::uint32_t h : index_) n += (h == handle) ? 1 : 0;
     return n;
+  }
+
+  /// Wholesale replacement of the index array (same location count); used
+  /// by the observer's processor-permutation hook, which relocates entries
+  /// through the protocol's permute_loc map.
+  void assign(std::span<const std::uint32_t> index) {
+    SCV_EXPECTS(index.size() == index_.size());
+    std::copy(index.begin(), index.end(), index_.begin());
   }
 
   void serialize(ByteWriter& w) const {

@@ -121,6 +121,32 @@ bool WriteBuffer::could_load_bottom(std::span<const std::uint8_t> state,
   return state[b] == kBottom;
 }
 
+void WriteBuffer::permute_procs(std::span<std::uint8_t> state,
+                                const ProcPerm& perm) const {
+  // Per-processor chunk: the buffer count plus depth*(block,value) slots;
+  // the leading memory words are shared.
+  permute_proc_chunks(state, params_.blocks, 1 + 2 * depth_, perm);
+}
+
+LocId WriteBuffer::permute_loc(LocId loc, const ProcPerm& perm) const {
+  if (loc < params_.blocks) return loc;  // memory word
+  const std::size_t rel = loc - params_.blocks;
+  return static_cast<LocId>(params_.blocks +
+                            perm.to[rel / depth_] * depth_ + rel % depth_);
+}
+
+Action WriteBuffer::permute_action(const Action& a,
+                                   const ProcPerm& perm) const {
+  Action out = Protocol::permute_action(a, perm);
+  if (!a.is_memory_op()) out.arg0 = perm(a.arg0);  // Drain(P)
+  return out;
+}
+
+void WriteBuffer::proc_signature(std::span<const std::uint8_t> state,
+                                 ProcId p, ByteWriter& w) const {
+  w.bytes(state.subspan(proc_base(p), 1 + 2 * depth_));
+}
+
 std::string WriteBuffer::action_name(const Action& a) const {
   if (a.is_memory_op()) return Protocol::action_name(a);
   std::ostringstream os;

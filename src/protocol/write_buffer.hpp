@@ -44,6 +44,16 @@ class WriteBuffer : public Protocol {
                                        BlockId b) const override;
   [[nodiscard]] std::string action_name(const Action& a) const override;
 
+  [[nodiscard]] bool processor_symmetric() const override { return true; }
+  void permute_procs(std::span<std::uint8_t> state,
+                     const ProcPerm& perm) const override;
+  [[nodiscard]] LocId permute_loc(LocId loc,
+                                  const ProcPerm& perm) const override;
+  [[nodiscard]] Action permute_action(const Action& a,
+                                      const ProcPerm& perm) const override;
+  void proc_signature(std::span<const std::uint8_t> state, ProcId p,
+                      ByteWriter& w) const override;
+
   static constexpr std::uint8_t kDrain = 1;  ///< internal action id
 
  private:
