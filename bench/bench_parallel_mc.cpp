@@ -13,6 +13,7 @@
 // on real multi-core hardware thread-level parallelism stacks on top.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -33,7 +34,12 @@ using namespace scv;
 
 constexpr std::size_t kMaxStates = 360'000;
 constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
-constexpr int kReps = 2;  // best-of-N to damp scheduler noise
+// One discarded warmup rep pages the binary in and warms the allocator,
+// then the median of kReps measured runs is reported.  Best-of-N biased
+// every point toward its luckiest scheduler draw, which made derived
+// ratios (recording overhead, scaling) land below zero on noisy hosts;
+// the median is a consistent, outlier-resistant estimator for all of them.
+constexpr int kReps = 3;
 
 /// CPUs this process may actually run on.  hardware_concurrency() reports
 /// the machine; in a container pinned to a cgroup cpuset the affinity mask
@@ -51,20 +57,54 @@ std::size_t affinity_cpus() {
   return hc > 0 ? hc : 1;
 }
 
+/// Human-readable affinity mask ("0-3,6"), recorded in BENCH_mc.json so a
+/// scaling row can always be traced back to the CPU budget it ran under.
+std::string affinity_mask_string() {
+#if defined(__linux__)
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    std::string s;
+    int run_start = -1;
+    int prev = -2;
+    const auto flush = [&](int last) {
+      if (run_start < 0) return;
+      if (!s.empty()) s += ",";
+      s += std::to_string(run_start);
+      if (last > run_start) s += "-" + std::to_string(last);
+    };
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (!CPU_ISSET(cpu, &set)) continue;
+      if (cpu != prev + 1) {
+        flush(prev);
+        run_start = cpu;
+      }
+      prev = cpu;
+    }
+    flush(prev);
+    return s;
+  }
+#endif
+  return "unknown";
+}
+
 struct SweepPoint {
   std::size_t threads = 0;
   McResult result;
 };
 
-/// Runs one configuration kReps times and keeps the fastest run (verdict
-/// and state counts are identical across reps by construction).
-McResult best_of(const Protocol& proto, const McOptions& opt) {
-  McResult best;
-  for (int rep = 0; rep < kReps; ++rep) {
-    McResult r = model_check(proto, opt);
-    if (rep == 0 || r.seconds < best.seconds) best = std::move(r);
-  }
-  return best;
+/// Runs one configuration once as a discarded warmup, then kReps times
+/// measured, and returns the run with the median wall time (verdict and
+/// state counts are identical across reps by construction).
+McResult measured(const Protocol& proto, const McOptions& opt) {
+  (void)model_check(proto, opt);
+  std::vector<McResult> runs;
+  runs.reserve(kReps);
+  for (int rep = 0; rep < kReps; ++rep) runs.push_back(model_check(proto, opt));
+  std::nth_element(runs.begin(), runs.begin() + kReps / 2, runs.end(),
+                   [](const McResult& a, const McResult& b) {
+                     return a.seconds < b.seconds;
+                   });
+  return std::move(runs[kReps / 2]);
 }
 
 double states_per_sec(const McResult& r) {
@@ -79,7 +119,12 @@ std::vector<SweepPoint> sweep(const Protocol& proto, bool exact) {
     opt.threads = threads;
     opt.max_states = kMaxStates;
     opt.exact_states = exact;
-    points.push_back({threads, best_of(proto, opt)});
+    // Pin workers to distinct CPUs when the affinity budget covers them:
+    // keeps each worker's canonicalizer caches and dup-cache core-local
+    // across level barriers.  Oversubscribed rows stay unpinned (two
+    // workers nailed to one CPU would serialize).
+    opt.pin_threads = threads <= cpus;
+    points.push_back({threads, measured(proto, opt)});
     const McResult& r = points.back().result;
     const double base = points.front().result.seconds;
     std::printf("  %-11s | %zu thread%s%s | %-10s | %8zu states | %6.2fs | "
@@ -96,8 +141,10 @@ std::vector<SweepPoint> sweep(const Protocol& proto, bool exact) {
 void json_point(std::ofstream& out, const SweepPoint& p, double base_secs) {
   const McResult& r = p.result;
   const double speedup = r.seconds > 0 ? base_secs / r.seconds : 0;
+  const bool oversub = p.threads > affinity_cpus();
   out << "      {\"threads\": " << p.threads << ", \"oversubscribed\": "
-      << (p.threads > affinity_cpus() ? "true" : "false")
+      << (oversub ? "true" : "false")
+      << ", \"gating\": " << (oversub ? "false" : "true")
       << ", \"verdict\": \"" << to_string(r.verdict)
       << "\", \"states\": " << r.states
       << ", \"transitions\": " << r.transitions
@@ -108,9 +155,17 @@ void json_point(std::ofstream& out, const SweepPoint& p, double base_secs) {
       << ", \"frontier_bytes\": " << r.frontier_bytes << "}";
 }
 
+double canonicalize_share(const McPhaseTimes& pt) {
+  const double total =
+      pt.expand + pt.canonicalize + pt.dedup + pt.materialize;
+  return total > 0 ? pt.canonicalize / total : 0;
+}
+
 void json_phases(std::ofstream& out, const McPhaseTimes& pt) {
   out << "{\"expand\": " << pt.expand << ", \"canonicalize\": "
-      << pt.canonicalize << ", \"materialize\": " << pt.materialize << "}";
+      << pt.canonicalize << ", \"dedup\": " << pt.dedup
+      << ", \"materialize\": " << pt.materialize
+      << ", \"canonicalize_share\": " << canonicalize_share(pt) << "}";
 }
 
 void json_mode(std::ofstream& out, const char* name, const McResult& r) {
@@ -166,13 +221,13 @@ RecordingOverhead recording_overhead(const Protocol& proto,
   opt.threads = threads;
   opt.max_states = kMaxStates;
   RecordingOverhead r;
-  r.off = best_of(proto, opt);
+  r.off = measured(proto, opt);
   McOptions with_stats = opt;
   with_stats.symbol_stats = true;
-  r.stats = best_of(proto, with_stats);
+  r.stats = measured(proto, with_stats);
   McOptions with_rec = opt;
   with_rec.record_counterexample = true;
-  r.rec = best_of(proto, with_rec);
+  r.rec = measured(proto, with_rec);
   std::printf("  %zu thread%s | off %8.0f st/s | +stats sink %8.0f st/s "
               "(%+.1f%%) | +record-cex %8.0f st/s (%+.1f%%)\n",
               threads, threads == 1 ? " " : "s", states_per_sec(r.off),
@@ -224,17 +279,18 @@ SymPoint sym_point(std::string id, const Protocol& proto,
   p.id = std::move(id);
   p.protocol = proto.name();
   p.depth_bound = depth_bound;
-  p.on = best_of(proto, opt);
-  p.off = best_of(proto, off_opt);
+  p.on = measured(proto, opt);
+  p.off = measured(proto, off_opt);
   std::printf("  %-22s | %-10s | on %7zu states %6.2fs | off %7zu states "
               "%6.2fs | x%.2f states, x%.2f wall | orbit x%.2f\n",
               p.id.c_str(), to_string(p.on.verdict).c_str(), p.on.states,
               p.on.seconds, p.off.states, p.off.seconds, p.state_reduction(),
               p.wall_speedup(), p.on.orbit_reduction);
   const McPhaseTimes& pt = p.on.phase_times;
-  std::printf("  %22s | phases (on): expand %.2fs, canonicalize %.2fs, "
-              "materialize %.2fs\n",
-              "", pt.expand, pt.canonicalize, pt.materialize);
+  std::printf("  %22s | phases (on): expand %.2fs, canonicalize %.2fs "
+              "(share %.0f%%), dedup %.2fs, materialize %.2fs\n",
+              "", pt.expand, pt.canonicalize, 100 * canonicalize_share(pt),
+              pt.dedup, pt.materialize);
   std::fflush(stdout);
   return p;
 }
@@ -266,9 +322,10 @@ void run_experiments() {
   std::printf("== PAR: parallel model-checking scaling (MsiBus p2 b2 v1, "
               "max_states %zu) ==\n",
               kMaxStates);
-  std::printf("(hardware threads: %u, affinity CPUs: %zu; best of %d "
-              "reps)\n\n",
-              std::thread::hardware_concurrency(), affinity_cpus(), kReps);
+  std::printf("(hardware threads: %u, affinity CPUs: %zu [%s]; median of "
+              "%d reps after warmup)\n\n",
+              std::thread::hardware_concurrency(), affinity_cpus(),
+              affinity_mask_string().c_str(), kReps);
   const auto fp = sweep(proto, /*exact=*/false);
   const auto ex = sweep(proto, /*exact=*/true);
 
@@ -300,7 +357,7 @@ void run_experiments() {
   const RecordingOverhead rec4 = recording_overhead(proto, 4);
 
   std::printf("\n== SYM: processor-symmetry orbit canonicalization "
-              "(reduction on vs off, best of %d reps) ==\n",
+              "(reduction on vs off, median of %d reps) ==\n",
               kReps);
   std::vector<SymPoint> sym;
   sym.push_back(sym_point("msi_bus_p2_full", MsiBus(2, 1, 1), 0));
@@ -317,6 +374,7 @@ void run_experiments() {
       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ",\n"
       << "  \"affinity_cpus\": " << affinity_cpus() << ",\n"
+      << "  \"affinity_mask\": \"" << affinity_mask_string() << "\",\n"
       << "  \"reps\": " << kReps << ",\n"
       << "  \"parity\": " << (parity ? "true" : "false") << ",\n"
       << "  \"fingerprint_ge_exact\": " << (fp_ge_exact ? "true" : "false")

@@ -60,9 +60,7 @@ ScChecker::ScChecker(const ScCheckerConfig& config) : cfg_(config) {
 }
 
 std::size_t ScChecker::active_nodes() const noexcept {
-  std::size_t n = 0;
-  for (const Node& node : nodes_) n += node.in_use ? 1 : 0;
-  return n;
+  return static_cast<std::size_t>(std::popcount(used_mask_));
 }
 
 ScChecker::Status ScChecker::reject(std::string reason) {
@@ -75,19 +73,19 @@ ScChecker::Status ScChecker::reject(std::string reason) {
 
 int ScChecker::slot_of(GraphId id) const {
   const std::uint64_t bit = 1ULL << id;
-  for (std::size_t s = 0; s < kMaxSlots; ++s) {
-    if (nodes_[s].in_use && (nodes_[s].id_set & bit)) {
-      return static_cast<int>(s);
-    }
+  std::uint64_t m = used_mask_;
+  while (m != 0) {
+    const int s = std::countr_zero(m);
+    m &= m - 1;
+    if (nodes_[s].id_set & bit) return s;
   }
   return -1;
 }
 
 int ScChecker::alloc_slot() {
-  for (std::size_t s = 0; s < kMaxSlots; ++s) {
-    if (!nodes_[s].in_use) return static_cast<int>(s);
-  }
-  return -1;
+  // Lowest free slot, same order the linear scan produced.
+  const int s = std::countr_zero(~used_mask_);
+  return s < static_cast<int>(kMaxSlots) ? s : -1;
 }
 
 bool ScChecker::path_exists(std::size_t from, std::size_t to) const {
@@ -107,6 +105,7 @@ bool ScChecker::path_exists(std::size_t from, std::size_t to) const {
 ScChecker::Status ScChecker::retire(std::size_t s) {
   Node& n = nodes_[s];
   const auto slot = static_cast<std::int8_t>(s);
+  mark_touched(n.op.proc);  // node count drops; chain liveness may flip
 
   // --- Obligation checks on the departing node.
   if (n.op.is_load()) {
@@ -175,8 +174,10 @@ ScChecker::Status ScChecker::retire(std::size_t s) {
 
   // --- Scrub references to this slot from the remaining nodes.
   const std::uint64_t self = 1ULL << s;
-  for (std::size_t h = 0; h < kMaxSlots; ++h) {
-    if (!nodes_[h].in_use || h == s) continue;
+  std::uint64_t others = used_mask_ & ~self;
+  while (others != 0) {
+    const auto h = static_cast<std::size_t>(std::countr_zero(others));
+    others &= others - 1;
     Node& m = nodes_[h];
     if (m.sto_succ == slot) m.sto_succ = kGone;
     if (m.inh_src == slot) m.inh_src = kNone;
@@ -195,6 +196,7 @@ ScChecker::Status ScChecker::retire(std::size_t s) {
     }
   }
 
+  used_mask_ &= ~self;
   n = Node{};
   return Status::Ok;
 }
@@ -229,8 +231,10 @@ ScChecker::Status ScChecker::on_node(const NodeDesc& nd) {
   Node& n = nodes_[s];
   n = Node{};
   n.in_use = true;
+  used_mask_ |= 1ULL << static_cast<std::size_t>(s);
   n.op = op;
   n.id_set = 1ULL << nd.id;
+  mark_touched(op.proc);  // new chain head + node count
 
   const std::size_t c = chain_of(op);
   if (po_pending_[c]) {
@@ -285,6 +289,7 @@ ScChecker::Status ScChecker::check_po_edge(std::size_t from, std::size_t to) {
   nodes_[to].po_in = true;
   po_pending_[c] = false;
   po_expected_from_[c] = kNone;
+  mark_touched(nodes_[to].op.proc);  // chain flags discharged
   return Status::Ok;
 }
 
@@ -406,6 +411,7 @@ ScChecker::Status ScChecker::check_forced_edge(std::size_t from,
     }
     if (pending_bottom_[b][j.op.proc] == static_cast<std::int8_t>(from)) {
       pending_bottom_[b][j.op.proc] = kNone;
+      mark_touched(j.op.proc);  // pending-⊥ anchor discharged
     }
     j.bottom_pending = false;
   }
@@ -483,7 +489,30 @@ ScChecker::Status ScChecker::feed(const Symbol& sym) {
 }
 
 void ScChecker::serialize_canonical(ByteWriter& w,
-                                    std::span<const GraphId> id_canon) const {
+                                    std::span<const GraphId> id_canon,
+                                    const ProcPerm* perm) const {
+  // Permutation-aware indirection (see Observer::serialize): permute_procs
+  // only relocates the per-processor bookkeeping — chains, pending-⊥ rows,
+  // pending_ld columns — and renames op.proc, which this encoding never
+  // writes.  Reading those arrays through the inverse renaming therefore
+  // reproduces the permuted checker's serialization byte for byte without
+  // mutating anything.
+  const bool permuted = perm != nullptr && !perm->is_identity();
+  ProcPerm inv;
+  if (permuted) {
+    SCV_EXPECTS(perm->n == cfg_.procs);
+    inv = perm->inverse();
+  }
+  const auto src_proc = [&](std::size_t p) -> std::size_t {
+    return permuted ? inv.to[p] : p;
+  };
+  const auto src_chain = [&](std::size_t c) -> std::size_t {
+    if (!permuted) return c;
+    if (!cfg_.coherence_po) return inv.to[c];
+    return static_cast<std::size_t>(inv.to[c / cfg_.blocks]) * cfg_.blocks +
+           c % cfg_.blocks;
+  };
+
   // Map each active slot to the canonical number of the observer node whose
   // IDs it holds, then emit everything in canonical order with renamed
   // references.
@@ -494,8 +523,10 @@ void ScChecker::serialize_canonical(ByteWriter& w,
   Pair order[kMaxSlots];
   std::size_t count = 0;
   std::uint8_t slot_canon[kMaxSlots] = {};  // slot -> 1-based canonical pos
-  for (std::size_t s = 0; s < kMaxSlots; ++s) {
-    if (!nodes_[s].in_use) continue;
+  std::uint64_t um = used_mask_;
+  while (um != 0) {
+    const auto s = static_cast<std::size_t>(std::countr_zero(um));
+    um &= um - 1;
     SCV_ASSERT(nodes_[s].id_set != 0);
     const auto id =
         static_cast<std::size_t>(std::countr_zero(nodes_[s].id_set));
@@ -514,50 +545,64 @@ void ScChecker::serialize_canonical(ByteWriter& w,
     return slot_canon[static_cast<std::uint8_t>(slot)];
   };
 
-  w.u8(rejected_ ? 1 : 0);
+  // Encoded into stack scratch and bulk-appended (see Observer::serialize
+  // phase 2): one per-field vector round-trip per write is measurable at
+  // one call per explored transition.  Bound: chains + block rows + node
+  // records at <= 25 + 2*kMaxProcs bytes each.
+  std::uint8_t scratch[1 + kMaxChains * 5 +
+                       kMaxBlocks * (3 + 2 * kMaxProcs) + 2 +
+                       kMaxSlots * (25 + 2 * kMaxProcs)];
+  ScratchWriter sw(scratch, sizeof scratch);
+  sw.u8(rejected_ ? 1 : 0);
   for (std::size_t c = 0; c < chain_count(); ++c) {
-    w.uvar(enc(last_op_[c]));
-    w.u8(static_cast<std::uint8_t>((last_op_live_[c] ? 1 : 0) |
-                                   (po_pending_[c] ? 2 : 0)));
-    w.uvar(enc(po_expected_from_[c]));
+    const std::size_t sc = src_chain(c);
+    sw.uvar(enc(last_op_[sc]));
+    sw.u8(static_cast<std::uint8_t>((last_op_live_[sc] ? 1 : 0) |
+                                    (po_pending_[sc] ? 2 : 0)));
+    sw.uvar(enc(po_expected_from_[sc]));
   }
   for (std::size_t b = 0; b < cfg_.blocks; ++b) {
-    w.uvar(enc(root_ref_[b]));
-    w.u8(static_cast<std::uint8_t>((root_retired_[b] ? 1 : 0) |
-                                   (retired_no_in_[b] << 1) |
-                                   (retired_no_out_[b] << 3)));
+    sw.uvar(enc(root_ref_[b]));
+    sw.u8(static_cast<std::uint8_t>((root_retired_[b] ? 1 : 0) |
+                                    (retired_no_in_[b] << 1) |
+                                    (retired_no_out_[b] << 3)));
     for (std::size_t p = 0; p < cfg_.procs; ++p) {
-      w.uvar(enc(pending_bottom_[b][p]));
+      sw.uvar(enc(pending_bottom_[b][src_proc(p)]));
     }
   }
-  w.uvar(count);
+  sw.uvar(count);
   for (std::size_t i = 0; i < count; ++i) {
     const Node& n = nodes_[order[i].slot];
     // Operation labels and ID bindings are redundant with the observer's
     // canonical record; the structural adjacency and obligation fields are
     // the checker-specific state.
-    w.u8(static_cast<std::uint8_t>((n.po_in ? 1 : 0) | (n.po_out ? 2 : 0) |
-                                   (n.sto_in ? 4 : 0) | (n.sto_out ? 8 : 0) |
-                                   (n.inh_in ? 16 : 0) |
-                                   (n.bottom_pending ? 32 : 0)));
-    w.uvar(enc(n.sto_succ));
-    w.uvar(enc(n.inh_src));
-    w.uvar(enc(n.forced_target));
-    w.uvar(enc(n.pending_for));
+    sw.u8(static_cast<std::uint8_t>((n.po_in ? 1 : 0) | (n.po_out ? 2 : 0) |
+                                    (n.sto_in ? 4 : 0) | (n.sto_out ? 8 : 0) |
+                                    (n.inh_in ? 16 : 0) |
+                                    (n.bottom_pending ? 32 : 0)));
+    sw.uvar(enc(n.sto_succ));
+    sw.uvar(enc(n.inh_src));
+    sw.uvar(enc(n.forced_target));
+    sw.uvar(enc(n.pending_for));
     for (std::size_t p = 0; p < cfg_.procs; ++p) {
-      w.uvar(enc(n.pending_ld[p]));
+      sw.uvar(enc(n.pending_ld[src_proc(p)]));
     }
-    std::uint64_t out_canon = 0;
-    std::uint64_t forced_canon = 0;
-    for (std::size_t s = 0; s < kMaxSlots; ++s) {
-      if (n.out & (1ULL << s)) out_canon |= 1ULL << (slot_canon[s] - 1);
-      if (n.forced_out & (1ULL << s)) {
-        forced_canon |= 1ULL << (slot_canon[s] - 1);
+    // Set-bit iteration: adjacency masks are sparse (a handful of edges
+    // over up to 64 slots), so walking the set bits beats testing every
+    // slot by an order of magnitude on the serialization hot path.
+    const auto remap = [&](std::uint64_t mask) {
+      std::uint64_t canon = 0;
+      while (mask != 0) {
+        const int s = std::countr_zero(mask);
+        mask &= mask - 1;
+        canon |= 1ULL << (slot_canon[s] - 1);
       }
-    }
-    w.u64(out_canon);
-    w.u64(forced_canon);
+      return canon;
+    };
+    sw.u64(remap(n.out));
+    sw.u64(remap(n.forced_out));
   }
+  sw.flush(w);
 }
 
 void ScChecker::serialize(ByteWriter& w) const {
@@ -627,10 +672,13 @@ void ScChecker::restore(ByteReader& r) {
       pending_bottom_[b][p] = i8();
     }
   }
-  for (Node& n : nodes_) {
+  used_mask_ = 0;
+  for (std::size_t s = 0; s < kMaxSlots; ++s) {
+    Node& n = nodes_[s];
     n = Node{};
     n.in_use = r.u8() != 0;
     if (!n.in_use) continue;
+    used_mask_ |= 1ULL << s;
     n.op.kind = static_cast<OpKind>(r.u8());
     n.op.proc = r.u8();
     n.op.block = r.u8();
@@ -651,11 +699,13 @@ void ScChecker::restore(ByteReader& r) {
     for (std::size_t p = 0; p < cfg_.procs; ++p) n.pending_ld[p] = i8();
     n.forced_out = r.u64();
   }
+  touched_ = ~0u;  // arbitrary new state: no step to be relative to
 }
 
 void ScChecker::permute_procs(const ProcPerm& perm) {
   SCV_EXPECTS(perm.n == cfg_.procs);
   if (perm.is_identity()) return;
+  touched_ = ~0u;  // signatures relocate wholesale; the step mask is void
 
   // Program-order chain bookkeeping moves to the renamed processor.
   std::int8_t last[kMaxChains];
@@ -694,8 +744,10 @@ void ScChecker::permute_procs(const ProcPerm& perm) {
     }
   }
 
-  for (Node& n : nodes_) {
-    if (!n.in_use) continue;
+  std::uint64_t pm = used_mask_;
+  while (pm != 0) {
+    Node& n = nodes_[static_cast<std::size_t>(std::countr_zero(pm))];
+    pm &= pm - 1;
     n.op.proc = perm(n.op.proc);
     std::int8_t pl[kMaxProcs];
     for (std::size_t p = 0; p < cfg_.procs; ++p) {
@@ -735,8 +787,11 @@ void ScChecker::proc_signature(ProcId p, ByteWriter& w) const {
     w.u8(pending_bottom_[b][p] != kNone ? 1 : 0);
   }
   std::uint32_t mine = 0;
-  for (const Node& n : nodes_) {
-    if (n.in_use && n.op.proc == p) ++mine;
+  std::uint64_t cm = used_mask_;
+  while (cm != 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(std::countr_zero(cm))];
+    cm &= cm - 1;
+    if (n.op.proc == p) ++mine;
   }
   w.uvar(mine);
 }

@@ -93,8 +93,15 @@ class ScChecker {
   /// identically.  Requires every active node to hold at least one mapped
   /// ID — guaranteed when driven by the observer, whose retirements are
   /// announced eagerly via the null ID.
-  void serialize_canonical(ByteWriter& w,
-                           std::span<const GraphId> id_canon) const;
+  ///
+  /// If `perm` is non-null the output is byte-identical to serializing a
+  /// copy of this checker after permute_procs(*perm) (with `id_canon`
+  /// produced by the matching Observer::serialize under the same `perm`),
+  /// without mutating anything — per-processor bookkeeping is read through
+  /// the inverse renaming.  Slots and adjacency masks are unaffected by
+  /// permute_procs, so everything else serializes as-is (DESIGN.md §13).
+  void serialize_canonical(ByteWriter& w, std::span<const GraphId> id_canon,
+                           const ProcPerm* perm = nullptr) const;
 
   /// serialize() is already a raw, faithful dump of every mutable field, so
   /// the compact-frontier snapshot is the same encoding; restore() is its
@@ -112,6 +119,16 @@ class ScChecker {
   /// Renaming-equivariant, naming-free signature of processor `p`'s share
   /// of the checker state; see Observer::proc_signature.
   void proc_signature(ProcId p, ByteWriter& w) const;
+
+  /// Bitmask (bit p set) of processors whose proc_signature may have
+  /// changed since the last reset_touched().  The product steps the checker
+  /// through a *stream* of symbols per transition, so the product (not
+  /// feed) owns the reset; restore() and permute_procs() poison the mask to
+  /// all-ones.  Conservative supersets are sound (DESIGN.md §13).
+  [[nodiscard]] std::uint32_t touched_procs() const noexcept {
+    return touched_;
+  }
+  void reset_touched() noexcept { touched_ = 0; }
 
  private:
   static constexpr std::size_t kMaxSlots = kMaxBandwidth + 2;
@@ -161,6 +178,11 @@ class ScChecker {
 
   ScCheckerConfig cfg_;
   Node nodes_[kMaxSlots];
+  /// Bit s set <=> nodes_[s].in_use.  The graph holds a handful of live
+  /// nodes out of up to 64 slots, so the hot scans (canonical
+  /// serialization, slot_of, per-processor signatures) walk this mask's
+  /// set bits instead of touching all kMaxSlots Node records.
+  std::uint64_t used_mask_ = 0;
 
   // Program order bookkeeping, one chain per processor — or per
   // (processor, block) in coherence mode.
@@ -186,7 +208,13 @@ class ScChecker {
   std::uint8_t retired_no_out_[kMaxBlocks];
   std::int8_t pending_bottom_[kMaxBlocks][kMaxProcs];
 
+  /// See touched_procs().  Mutation sites: node arrival/retirement (chain
+  /// records and per-processor node counts), program-order edge discharge,
+  /// and pending-⊥ anchor updates.
+  void mark_touched(std::size_t p) noexcept { touched_ |= 1u << p; }
+
   bool rejected_ = false;
+  std::uint32_t touched_ = ~0u;
   std::string reason_;
 };
 

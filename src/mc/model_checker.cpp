@@ -302,7 +302,8 @@ ReplayOutput replay(const Protocol& proto, const McOptions& opt,
   if (record) p.add_sink(&recorder);
   std::vector<Symbol> symbols;
 
-  ProcCanonicalizer canon(proto, opt.symmetry_reduction);
+  ProcCanonicalizer canon(proto, opt.symmetry_reduction,
+                          opt.incremental_canonicalization);
   Product shadow(proto, opt.observer, !opt.protocol_only);
   std::vector<Symbol> shadow_symbols;
   KeyScratch shadow_key;
@@ -424,7 +425,7 @@ bool product_symmetry_ok(const Protocol& proto, const McOptions& opt,
   Product perm_cur(proto, opt.observer, with_obs);
   Product succ(proto, opt.observer, with_obs);
   Product perm_succ(proto, opt.observer, with_obs);
-  ProcCanonicalizer canon(proto, true);
+  ProcCanonicalizer canon(proto, true, opt.incremental_canonicalization);
   KeyScratch ka;
   KeyScratch kb;
   std::vector<Transition> trans;
@@ -530,7 +531,7 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
   McResult result;
   const auto t0 = std::chrono::steady_clock::now();
   // One worker needs no OS threads: the pool runs the task inline.
-  ThreadPool pool(nworkers == 1 ? 0 : nworkers);
+  ThreadPool pool(nworkers == 1 ? 0 : nworkers, opt.pin_threads);
   const bool product = !opt.protocol_only;
 
   ConcurrentStateStore visited(opt.exact_states, presize_expected(opt));
@@ -548,7 +549,8 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
   Transition failure_via{};
 
   Product init(proto, opt.observer, product);
-  ProcCanonicalizer init_canon(proto, opt.symmetry_reduction);
+  ProcCanonicalizer init_canon(proto, opt.symmetry_reduction,
+                               opt.incremental_canonicalization);
   const bool symmetry = init_canon.active();
   // Sum of orbit sizes over stored states: how many concrete states the
   // canonical representatives cover.  orbit_sum / states is the reduction.
@@ -567,28 +569,44 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
 
   struct Worker {
     Worker(const Protocol& p, const ObserverConfig& c, bool prod,
-           GraphId null_id, bool sym)
-        : cur(p, c, prod), succ(p, c, prod), stats(null_id), canon(p, sym) {}
+           GraphId null_id, bool sym, bool incr)
+        : cur(p, c, prod),
+          succ(p, c, prod),
+          stats(null_id),
+          canon(p, sym, incr) {}
     Product cur;   ///< entry being expanded (restored from the frontier)
     Product succ;  ///< successor scratch, reused across transitions
     std::uint32_t cur_idx = 0;
     KeyScratch key;
     std::vector<Transition> transitions;
     std::vector<Symbol> symbols;
-    SymbolStatsSink stats;       ///< attached to succ when symbol_stats
-    ProcCanonicalizer canon;     ///< per-worker (it carries scratch)
-    FrontierBatch out;           ///< next-level entries this worker found
-    std::size_t next_entry = 0;  ///< resume cursor into the global frontier
+    SymbolStatsSink stats;    ///< attached to succ when symbol_stats
+    ProcCanonicalizer canon;  ///< per-worker (it carries scratch)
+    // Direct-mapped positive-membership cache in front of the shared
+    // visited store (fingerprint mode only).  A hit certifies the
+    // fingerprint was already inserted — duplicates short-circuit without
+    // probing the (much larger, cache-missing) global table; membership is
+    // monotone, so entries never invalidate, even across grow().  Sized to
+    // stay L2-resident: 8Ki entries * 16 B = 128 KiB per worker.
+    std::vector<Fingerprint> dup_cache = std::vector<Fingerprint>(8192);
+    FrontierBatch out;        ///< next-level entries this worker found
+    // Resume cursors into the worker's claimed chunk of the global
+    // frontier; chunk_next stays on the unfinished entry across grow
+    // barriers, the shared claim cursor hands out fresh chunks.
+    std::size_t chunk_next = 0;
+    std::size_t chunk_end = 0;
     std::size_t peak_live = 0;
-    double t_expand = 0.0;       ///< phase accounting (McPhaseTimes)
+    double t_expand = 0.0;  ///< phase accounting (McPhaseTimes)
     double t_canon = 0.0;
+    double t_dedup = 0.0;
     double t_mat = 0.0;
   };
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(nworkers);
   for (std::size_t w = 0; w < nworkers; ++w) {
-    workers.push_back(std::make_unique<Worker>(proto, opt.observer, product,
-                                               stats_null_id, symmetry));
+    workers.push_back(std::make_unique<Worker>(
+        proto, opt.observer, product, stats_null_id, symmetry,
+        opt.incremental_canonicalization));
     if (opt.symbol_stats && product) {
       workers.back()->succ.add_sink(&workers.back()->stats);
     }
@@ -600,6 +618,7 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
       if (opt.symbol_stats) result.symbol_stats.merge(ws->stats.stats());
       result.phase_times.expand += ws->t_expand;
       result.phase_times.canonicalize += ws->t_canon;
+      result.phase_times.dedup += ws->t_dedup;
       result.phase_times.materialize += ws->t_mat;
     }
     result.symmetry_active = symmetry;
@@ -653,32 +672,57 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
 
     for (std::size_t w = 0; w < nworkers; ++w) {
       workers[w]->out.clear();
-      workers[w]->next_entry = w;
+      workers[w]->chunk_next = 0;
+      workers[w]->chunk_end = 0;
     }
+
+    // Chunked work claiming: workers grab contiguous runs of frontier
+    // entries from a shared cursor instead of a fixed stride, so a worker
+    // stuck on expensive entries does not leave its whole stride stranded
+    // while others idle at the level barrier.  Chunks are contiguous for
+    // batch locality, sized so each worker sees ~8 claims per level (caps
+    // tail imbalance at ~1/8 of a worker's share) but at most 64 entries
+    // (bounds the tail chunk's latency).  The cursor outlives the grow
+    // barrier on purpose: resumed workers finish their claimed chunk first,
+    // then claim fresh ones.  With one worker chunks are claimed in order,
+    // so expansion order — and thus counterexample choice — is exactly the
+    // sequential engine's.
+    std::atomic<std::size_t> claim{0};
+    const std::size_t chunk_sz =
+        std::clamp<std::size_t>(total / (nworkers * 8), 1, 64);
 
     const auto expand_worker = [&](std::size_t w) {
       Worker& ws = *workers[w];
       std::size_t batch = 0;
       // Phase boundary cursor: everything between two clock reads is charged
       // to the phase that just ran (restore/enumerate/step -> expand,
-      // canonicalize/fingerprint/dedup -> canonicalize, meta/serialize ->
-      // materialize).  Early returns are cold paths and skip accounting.
+      // signature/canonical-key work -> canonicalize, fingerprint/visited
+      // insert -> dedup, meta/serialize -> materialize).  Early returns are
+      // cold paths and skip accounting.
       auto mark = std::chrono::steady_clock::now();
       const auto charge = [&mark](double& acc) {
         const auto now = std::chrono::steady_clock::now();
         acc += std::chrono::duration<double>(now - mark).count();
         mark = now;
       };
-      while (ws.next_entry < total) {
+      for (;;) {
+        if (ws.chunk_next >= ws.chunk_end) {
+          ws.chunk_next = claim.fetch_add(chunk_sz, std::memory_order_relaxed);
+          if (ws.chunk_next >= total) return;
+          ws.chunk_end = std::min(ws.chunk_next + chunk_sz, total);
+        }
         if (failed.load(std::memory_order_relaxed) ||
             limit_hit.load(std::memory_order_relaxed) ||
             table_full.load(std::memory_order_relaxed)) {
           return;  // entry boundary: nothing partial to roll back
         }
-        const std::size_t gi = ws.next_entry;
+        const std::size_t gi = ws.chunk_next;
         while (prefix[batch + 1] <= gi) ++batch;
         ws.cur_idx =
             restore_entry(frontier[batch].entry(gi - prefix[batch]), ws.cur);
+        // New base state for the canonicalizer's per-processor signature
+        // cache; successor dirty masks below are relative to ws.cur.
+        ws.canon.begin_base();
         ws.transitions.clear();
         ws.cur.enumerate(ws.transitions);
         std::uint64_t expanded = 0;
@@ -703,12 +747,37 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
                 static_cast<std::size_t>(ws.succ.observer().peak_live_nodes()));
           }
           charge(ws.t_expand);
-          const std::uint64_t orbit =
-              ws.canon.canonicalize_key(ws.succ, ws.key);
+          // succ = step(cur, t), so the step's touched mask doubles as the
+          // dirty mask relative to the begin_base() state.
+          const std::uint64_t orbit = ws.canon.canonicalize_key(
+              ws.succ, ws.key, nullptr, ws.succ.touched_procs());
+          charge(ws.t_canon);
           const auto key = ws.key.w.data();
           const Fingerprint fp = fingerprint128(key);
-          const auto ins = visited.insert(key, fp);
-          charge(ws.t_canon);
+          // In fingerprint mode dedup is by fingerprint identity, so a hit
+          // in the worker-local cache IS a Duplicate verdict — same result
+          // the global probe would return, minus the cache miss.  Exact
+          // mode dedups by full key and must always consult the store (two
+          // distinct keys may share a fingerprint).
+          ConcurrentStateStore::Insert ins;
+          Fingerprint* cached = nullptr;
+          if (!opt.exact_states) {
+            cached = &ws.dup_cache[fp.lo & (ws.dup_cache.size() - 1)];
+            if (*cached == fp) {
+              ins = ConcurrentStateStore::Insert::Duplicate;
+              cached = nullptr;
+            }
+          }
+          if (cached != nullptr || opt.exact_states) {
+            ins = visited.insert(key, fp);
+            // Only fingerprints the store accepted are cached (a TableFull
+            // attempt inserted nothing).
+            if (cached != nullptr &&
+                ins != ConcurrentStateStore::Insert::TableFull) {
+              *cached = fp;
+            }
+          }
+          charge(ws.t_dedup);
           if (ins == ConcurrentStateStore::Insert::TableFull) {
             // Abort at entry granularity *without* committing this entry's
             // transition count: after the grow barrier the whole entry is
@@ -735,7 +804,7 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
           }
         }
         transitions.fetch_add(expanded, std::memory_order_relaxed);
-        ws.next_entry = gi + nworkers;
+        ws.chunk_next = gi + 1;
       }
     };
 

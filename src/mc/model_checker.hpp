@@ -103,6 +103,18 @@ struct McOptions {
   /// canonicalization — with McResult::symmetry_note explaining why —
   /// instead of unsoundly merging non-equivalent states.
   bool symmetry_self_check = true;
+  /// Incremental canonicalization (DESIGN.md §13): cache per-processor
+  /// signatures across the successors of one frontier entry, invalidated by
+  /// the stepped transition's touched-processor mask, and build tie-group
+  /// candidate keys by delta re-keying instead of permuting and
+  /// re-serializing the whole product.  Byte-identical keys and orbit
+  /// counts to the reference path; opt out to run the original
+  /// permute-and-reserialize canonicalizer (the differential tests do).
+  bool incremental_canonicalization = true;
+  /// Pin worker threads to distinct CPUs of the process affinity mask
+  /// (Linux only; no-op elsewhere or when threads exceed the mask).  Keeps
+  /// the level-synchronized BFS's per-thread caches warm across levels.
+  bool pin_threads = false;
 };
 
 struct CounterexampleStep {
@@ -124,7 +136,8 @@ struct McLevelStat {
 /// successor generation and frontier serialization it saves.
 struct McPhaseTimes {
   double expand = 0.0;        ///< restore + enumerate + copy + step
-  double canonicalize = 0.0;  ///< orbit canonicalization + fingerprint + dedup
+  double canonicalize = 0.0;  ///< orbit canonicalization (signatures + key)
+  double dedup = 0.0;         ///< fingerprint + visited-store insert
   double materialize = 0.0;   ///< meta + frontier serialization (fresh only)
 };
 

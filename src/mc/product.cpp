@@ -40,6 +40,9 @@ void Product::add_sink(SymbolSink* sink) {
 
 StepOutcome Product::step(const Transition& t, std::vector<Symbol>& symbols,
                           std::string_view action) {
+  for (std::size_t c = 0; c < ncomponents_; ++c) {
+    components_[c]->begin_step();
+  }
   proto_.apply(t);
   if (obs_ == nullptr) return StepOutcome::Ok;
   symbols.clear();
@@ -97,6 +100,14 @@ void Product::proc_signature(ProcId p, ByteWriter& w) const {
   }
 }
 
+std::uint32_t Product::touched_procs() const {
+  std::uint32_t mask = 0;
+  for (std::size_t c = 0; c < ncomponents_; ++c) {
+    mask |= components_[c]->touched_procs();
+  }
+  return mask;
+}
+
 std::string Product::failure_reason(StepOutcome outcome) const {
   switch (outcome) {
     case StepOutcome::Reject:
@@ -110,8 +121,9 @@ std::string Product::failure_reason(StepOutcome outcome) const {
   return {};
 }
 
-ProcCanonicalizer::ProcCanonicalizer(const Protocol& protocol, bool enable)
-    : procs_(protocol.params().procs) {
+ProcCanonicalizer::ProcCanonicalizer(const Protocol& protocol, bool enable,
+                                     bool incremental)
+    : incremental_(incremental), procs_(protocol.params().procs) {
   active_ = enable && protocol.processor_symmetric() && procs_ >= 2 &&
             procs_ <= ProcPerm::kMax;
   if (active_) {
@@ -120,7 +132,8 @@ ProcCanonicalizer::ProcCanonicalizer(const Protocol& protocol, bool enable)
 }
 
 std::uint64_t ProcCanonicalizer::canonicalize_key(Product& p, KeyScratch& ks,
-                                                  ProcPerm* applied) {
+                                                  ProcPerm* applied,
+                                                  std::uint32_t dirty_mask) {
   if (applied != nullptr) {
     *applied = ProcPerm::identity(std::min(procs_, ProcPerm::kMax));
   }
@@ -129,38 +142,100 @@ std::uint64_t ProcCanonicalizer::canonicalize_key(Product& p, KeyScratch& ks,
     return 1;
   }
 
-  // Per-processor signatures, concatenated; sig_off_[q]..sig_off_[q+1] is
-  // processor q's slice.
-  sig_.clear();
-  sig_off_[0] = 0;
-  for (std::size_t q = 0; q < procs_; ++q) {
-    p.proc_signature(static_cast<ProcId>(q), sig_);
-    sig_off_[q + 1] = static_cast<std::uint32_t>(sig_.data().size());
-  }
-  const std::span<const std::uint8_t> sig = sig_.data();
-  const auto sig_of = [&](std::size_t q) {
-    return sig.subspan(sig_off_[q], sig_off_[q + 1] - sig_off_[q]);
-  };
-  const auto sig_cmp = [&](std::size_t a, std::size_t b) {
-    const auto sa = sig_of(a);
-    const auto sb = sig_of(b);
-    const std::size_t n = std::min(sa.size(), sb.size());
-    const int c = n == 0 ? 0 : std::memcmp(sa.data(), sb.data(), n);
-    if (c != 0) return c;
-    return sa.size() < sb.size() ? -1 : (sa.size() > sb.size() ? 1 : 0);
-  };
+  // An all-clean successor (empty dirty mask) has byte-identical signatures
+  // to the base state, hence the same sorted order and tie groups as any
+  // other all-clean successor in this epoch; once one has been sorted, the
+  // rest skip the signature fill, sort, and group scan entirely.
+  const bool all_clean =
+      incremental_ && (dirty_mask & ((1u << procs_) - 1)) == 0;
 
-  // pos[i] = the processor whose state lands in slot i of the sorted order.
-  // stable_sort keeps tied processors in ascending index, which is exactly
-  // the first arrangement next_permutation's odometer expects.
   std::array<std::uint8_t, ProcPerm::kMax> pos{};
-  for (std::size_t i = 0; i < procs_; ++i) {
-    pos[i] = static_cast<std::uint8_t>(i);
+  std::array<std::uint8_t, ProcPerm::kMax> gstart{};
+  std::array<std::uint8_t, ProcPerm::kMax> gend{};
+  std::size_t ngroups = 0;
+  bool has_tie = false;
+  if (all_clean && order_valid_) {
+    pos = cached_pos_;
+    gstart = cached_gstart_;
+    gend = cached_gend_;
+    ngroups = cached_ngroups_;
+    has_tie = cached_has_tie_;
+  } else {
+    // Per-processor signatures, concatenated; sig_off_[q]..sig_off_[q+1] is
+    // processor q's slice.  A clean dirty bit certifies the signature equals
+    // its value in the base state of the current begin_base() epoch, so the
+    // cached bytes stand in for a recompute; the first clean sighting in an
+    // epoch fills the cache.  Dirty processors always recompute and never
+    // touch the cache (their bytes are not the base's).
+    sig_.clear();
+    sig_off_[0] = 0;
+    for (std::size_t q = 0; q < procs_; ++q) {
+      const std::uint32_t bit = 1u << q;
+      const bool clean = incremental_ && (dirty_mask & bit) == 0;
+      if (clean && (base_valid_ & bit) != 0) {
+        sig_.bytes(base_sig_[q]);
+      } else {
+        const std::size_t before = sig_.data().size();
+        p.proc_signature(static_cast<ProcId>(q), sig_);
+        if (clean) {
+          const auto& buf = sig_.data();
+          base_sig_[q].assign(buf.begin() + static_cast<std::ptrdiff_t>(before),
+                              buf.end());
+          base_valid_ |= bit;
+        }
+      }
+      sig_off_[q + 1] = static_cast<std::uint32_t>(sig_.data().size());
+    }
+    const std::span<const std::uint8_t> sig = sig_.data();
+    const auto sig_of = [&](std::size_t q) {
+      return sig.subspan(sig_off_[q], sig_off_[q + 1] - sig_off_[q]);
+    };
+    const auto sig_cmp = [&](std::size_t a, std::size_t b) {
+      const auto sa = sig_of(a);
+      const auto sb = sig_of(b);
+      const std::size_t n = std::min(sa.size(), sb.size());
+      const int c = n == 0 ? 0 : std::memcmp(sa.data(), sb.data(), n);
+      if (c != 0) return c;
+      return sa.size() < sb.size() ? -1 : (sa.size() > sb.size() ? 1 : 0);
+    };
+
+    // pos[i] = the processor whose state lands in slot i of the sorted
+    // order.  Stable insertion sort (strict-< shifts only) keeps tied
+    // processors in ascending index, which is exactly the first arrangement
+    // next_permutation's odometer expects; at <= kMax elements it beats
+    // std::stable_sort's dispatch overhead in the hot loop.
+    for (std::size_t i = 0; i < procs_; ++i) {
+      pos[i] = static_cast<std::uint8_t>(i);
+    }
+    for (std::size_t i = 1; i < procs_; ++i) {
+      const std::uint8_t v = pos[i];
+      std::size_t j = i;
+      while (j > 0 && sig_cmp(v, pos[j - 1]) < 0) {
+        pos[j] = pos[j - 1];
+        --j;
+      }
+      pos[j] = v;
+    }
+
+    // Tie groups: maximal runs of equal signatures in the sorted order.
+    for (std::size_t i = 0; i < procs_;) {
+      std::size_t j = i + 1;
+      while (j < procs_ && sig_cmp(pos[i], pos[j]) == 0) ++j;
+      gstart[ngroups] = static_cast<std::uint8_t>(i);
+      gend[ngroups] = static_cast<std::uint8_t>(j);
+      ++ngroups;
+      if (j - i > 1) has_tie = true;
+      i = j;
+    }
+    if (all_clean) {
+      cached_pos_ = pos;
+      cached_gstart_ = gstart;
+      cached_gend_ = gend;
+      cached_ngroups_ = static_cast<std::uint8_t>(ngroups);
+      cached_has_tie_ = has_tie;
+      order_valid_ = true;
+    }
   }
-  std::stable_sort(pos.begin(), pos.begin() + procs_,
-                   [&](std::uint8_t a, std::uint8_t b) {
-                     return sig_cmp(a, b) < 0;
-                   });
   const auto perm_from_pos = [&]() {
     ProcPerm pi = ProcPerm::identity(procs_);
     for (std::size_t i = 0; i < procs_; ++i) {
@@ -168,21 +243,6 @@ std::uint64_t ProcCanonicalizer::canonicalize_key(Product& p, KeyScratch& ks,
     }
     return pi;
   };
-
-  // Tie groups: maximal runs of equal signatures in the sorted order.
-  std::array<std::uint8_t, ProcPerm::kMax> gstart{};
-  std::array<std::uint8_t, ProcPerm::kMax> gend{};
-  std::size_t ngroups = 0;
-  bool has_tie = false;
-  for (std::size_t i = 0; i < procs_;) {
-    std::size_t j = i + 1;
-    while (j < procs_ && sig_cmp(pos[i], pos[j]) == 0) ++j;
-    gstart[ngroups] = static_cast<std::uint8_t>(i);
-    gend[ngroups] = static_cast<std::uint8_t>(j);
-    ++ngroups;
-    if (j - i > 1) has_tie = true;
-    i = j;
-  }
 
   if (!has_tie) {
     // Distinct signatures: the sorting permutation is the only candidate,
@@ -197,47 +257,83 @@ std::uint64_t ProcCanonicalizer::canonicalize_key(Product& p, KeyScratch& ks,
 
   // Tied signatures: enumerate every sorting permutation (each tie group's
   // slots filled by any arrangement of its members) and take the least
-  // serialized key.  `sigma` tracks the permutation currently applied to
-  // `p`, so each candidate costs one delta-permutation and one key.
-  ProcPerm sigma = ProcPerm::identity(procs_);
-  ProcPerm best_perm = sigma;
+  // serialized key.
+  //
+  // `first` (not best_.empty()) marks the first candidate: a product can
+  // legitimately serialize to zero bytes (e.g. a protocol-only product over
+  // an empty state vector), and treating the empty key as "no best yet"
+  // would re-enter the hits=1 branch every iteration, corrupting the
+  // stabilizer count and thus the reported orbit size.
+  ProcPerm best_perm = ProcPerm::identity(procs_);
   best_.clear();
   std::uint64_t hits = 0;
-  for (bool done = false; !done;) {
-    const ProcPerm pi = perm_from_pos();
-    p.permute_procs(sigma.inverse().then(pi));
-    sigma = pi;
-    const auto key = p.key(trial_);
+  bool first = true;
+  const auto consider = [&](std::span<const std::uint8_t> key,
+                            const ProcPerm& pi) {
     const std::size_t n = std::min(best_.size(), key.size());
-    const int c =
-        best_.empty() ? -1 : std::memcmp(key.data(), best_.data(), n);
-    const bool less =
-        !best_.empty() &&
-        (c < 0 || (c == 0 && key.size() < best_.size()));
-    if (best_.empty() || less) {
+    const int c = first ? -1 : std::memcmp(key.data(), best_.data(), n);
+    const bool less = c < 0 || (c == 0 && key.size() < best_.size());
+    if (less) {
       best_.assign(key.begin(), key.end());
       best_perm = pi;
       hits = 1;
+      first = false;
     } else if (c == 0 && key.size() == best_.size()) {
       ++hits;
     }
-    // Odometer over the tie groups, rightmost fastest; next_permutation
-    // wraps a group back to ascending order when it carries.
+  };
+  // Odometer over the tie groups, rightmost fastest; next_permutation
+  // wraps a group back to ascending order when it carries.  Returns false
+  // when every group has carried (enumeration complete).
+  const auto advance = [&]() {
     std::size_t g = ngroups;
-    for (;;) {
-      if (g == 0) {
-        done = true;
-        break;
-      }
+    while (g > 0) {
       --g;
       if (std::next_permutation(pos.begin() + gstart[g],
                                 pos.begin() + gend[g])) {
-        break;
+        return true;
       }
     }
+    return false;
+  };
+
+  if (!incremental_) {
+    // Reference path: physically permute `p` to each candidate and
+    // re-serialize the whole product.  `sigma` tracks the permutation
+    // currently applied, so each candidate costs one delta-permutation.
+    ProcPerm sigma = ProcPerm::identity(procs_);
+    do {
+      const ProcPerm pi = perm_from_pos();
+      p.permute_procs(sigma.inverse().then(pi));
+      sigma = pi;
+      consider(p.key(trial_), pi);
+    } while (advance());
+    p.permute_procs(sigma.inverse().then(best_perm));
+  } else {
+    // Delta re-keying path (DESIGN.md §13): `p` is never mutated inside the
+    // loop.  The protocol slice — the only part whose permuted form is not
+    // cheap to read in place — is kept in a scratch copy and re-permuted by
+    // the delta between consecutive candidates; the observer and checker
+    // serialize *under* the candidate permutation, reading their anchors
+    // through its inverse, which is byte-identical to permute-then-
+    // serialize because permute_procs leaves handles and slots untouched.
+    perm_state_.assign(p.protocol_state().begin(), p.protocol_state().end());
+    ProcPerm prev = ProcPerm::identity(procs_);
+    do {
+      const ProcPerm pi = perm_from_pos();
+      p.protocol().permute_procs(perm_state_, prev.inverse().then(pi));
+      prev = pi;
+      trial_.w.clear();
+      trial_.w.bytes(perm_state_);
+      if (p.with_observer()) {
+        p.observer().serialize(trial_.w, &trial_.ctx.id_canon, &pi);
+        p.checker().serialize_canonical(trial_.w, trial_.ctx.id_canon, &pi);
+      }
+      consider(trial_.w.data(), pi);
+    } while (advance());
+    p.permute_procs(best_perm);
   }
 
-  p.permute_procs(sigma.inverse().then(best_perm));
   if (applied != nullptr) *applied = best_perm;
   ks.w.clear();
   ks.w.bytes(best_);

@@ -88,6 +88,17 @@ class ProductComponent {
   /// the components' contributions to prune its permutation search.
   virtual void proc_signature(ProcId p, ByteWriter& w) const = 0;
 
+  /// Called by Product::step before the transition is applied: resets the
+  /// component's touched-processor tracking for the new step.
+  virtual void begin_step() {}
+
+  /// Bitmask (bit p set) of processors whose proc_signature may differ
+  /// from its value before the most recent Product::step.  Only meaningful
+  /// immediately after a step (assign_from + step is the canonical usage);
+  /// conservative supersets are sound, and the default claims every
+  /// processor (DESIGN.md §13).
+  [[nodiscard]] virtual std::uint32_t touched_procs() const { return ~0u; }
+
  protected:
   ProductComponent() = default;
   ProductComponent(const ProductComponent&) = default;
@@ -110,7 +121,10 @@ class ProtocolComponent final : public ProductComponent {
   void enumerate(std::vector<Transition>& out) const {
     protocol_->enumerate(state_, out);
   }
-  void apply(const Transition& t) { protocol_->apply(state_, t); }
+  void apply(const Transition& t) {
+    touched_ = protocol_->touched_procs(state_, t);  // mask of the pre-state
+    protocol_->apply(state_, t);
+  }
 
   void key(ByteWriter& w, KeyContext& /*ctx*/) const override {
     w.bytes(state_);
@@ -119,20 +133,28 @@ class ProtocolComponent final : public ProductComponent {
   void restore(ByteReader& r) override {
     const auto v = r.view(state_.size());
     std::copy(v.begin(), v.end(), state_.begin());
+    touched_ = ~0u;
   }
   void assign_from(const ProductComponent& other) override {
     state_ = static_cast<const ProtocolComponent&>(other).state_;
+    touched_ = ~0u;
   }
   void permute_procs(const ProcPerm& perm) override {
     protocol_->permute_procs(state_, perm);
+    touched_ = ~0u;
   }
   void proc_signature(ProcId p, ByteWriter& w) const override {
     protocol_->proc_signature(state_, p, w);
+  }
+  void begin_step() override { touched_ = ~0u; }
+  [[nodiscard]] std::uint32_t touched_procs() const override {
+    return touched_;
   }
 
  private:
   const Protocol* protocol_;
   std::vector<std::uint8_t> state_;
+  std::uint32_t touched_ = ~0u;
 };
 
 /// The Theorem 4.1 witness observer as a component.
@@ -157,6 +179,10 @@ class ObserverComponent final : public ProductComponent {
   }
   void proc_signature(ProcId p, ByteWriter& w) const override {
     obs_.proc_signature(p, w);
+  }
+  // Observer::step resets its own mask, so begin_step needs no override.
+  [[nodiscard]] std::uint32_t touched_procs() const override {
+    return obs_.touched_procs();
   }
 
  private:
@@ -185,6 +211,12 @@ class CheckerComponent final : public ProductComponent {
   }
   void proc_signature(ProcId p, ByteWriter& w) const override {
     chk_.proc_signature(p, w);
+  }
+  // The checker is fed a stream of symbols per product step, so the product
+  // owns the reset (ScChecker::feed cannot know where a step begins).
+  void begin_step() override { chk_.reset_touched(); }
+  [[nodiscard]] std::uint32_t touched_procs() const override {
+    return chk_.touched_procs();
   }
 
  private:
@@ -271,6 +303,11 @@ class Product {
   /// processor `p` into `w` (the canonicalizer's search-pruning key).
   void proc_signature(ProcId p, ByteWriter& w) const;
 
+  /// OR of every component's touched mask: processors whose proc_signature
+  /// may differ from before the most recent step().  Conservative supersets
+  /// are sound; restore/assign_from/permute poison it to all-ones.
+  [[nodiscard]] std::uint32_t touched_procs() const;
+
  private:
   const Protocol* protocol_;
   ProtocolComponent proto_;
@@ -302,12 +339,20 @@ class Product {
 /// exact orbit size |S_p|/|Stab| — reported as McResult::orbit_reduction.
 class ProcCanonicalizer {
  public:
+  /// Dirty mask meaning "assume every processor's signature changed".
+  static constexpr std::uint32_t kAllDirty = ~0u;
+
   ProcCanonicalizer() = default;
 
   /// Inactive unless `enable`, the protocol declares processor symmetry and
   /// 2 <= procs <= ProcPerm::kMax; inactive canonicalization is the
-  /// identity (key() pass-through, orbit size 1).
-  ProcCanonicalizer(const Protocol& protocol, bool enable);
+  /// identity (key() pass-through, orbit size 1).  `incremental` selects the
+  /// DESIGN.md §13 fast path (per-processor signature caching keyed by the
+  /// caller's dirty masks, plus delta re-keying of tie-group candidates);
+  /// `incremental == false` keeps the original permute-and-reserialize
+  /// reference path, retained for differential testing.
+  ProcCanonicalizer(const Protocol& protocol, bool enable,
+                    bool incremental = true);
 
   [[nodiscard]] bool active() const noexcept { return active_; }
 
@@ -316,11 +361,30 @@ class ProcCanonicalizer {
   /// `applied` is non-null it receives the permutation that was applied
   /// (identity when inactive) — the replayer uses it to keep a concrete
   /// run aligned with the canonical exploration.
+  ///
+  /// `dirty_mask` (bit q set = processor q's signature may differ from the
+  /// *base state* of the current begin_base() epoch) lets the incremental
+  /// path reuse cached signature bytes for clean processors.  Pass
+  /// Product::touched_procs() when `p` was produced by assign_from(base) +
+  /// step; pass kAllDirty (the default) whenever in doubt — it degrades to
+  /// a full recompute and is always sound.
   std::uint64_t canonicalize_key(Product& p, KeyScratch& ks,
-                                 ProcPerm* applied = nullptr);
+                                 ProcPerm* applied = nullptr,
+                                 std::uint32_t dirty_mask = kAllDirty);
+
+  /// Starts a new base epoch: the next canonicalize_key call with a clean
+  /// bit in its dirty mask (re)fills that processor's cached signature, and
+  /// later calls in the same epoch reuse it.  Call whenever the base state
+  /// that dirty masks are measured against changes (the worker calls it
+  /// after restoring each frontier entry).
+  void begin_base() noexcept {
+    base_valid_ = 0;
+    order_valid_ = false;
+  }
 
  private:
   bool active_ = false;
+  bool incremental_ = true;
   std::size_t procs_ = 1;
   std::uint64_t factorial_ = 1;
   // Scratch, reused across calls to keep the hot loop allocation-free.
@@ -328,6 +392,26 @@ class ProcCanonicalizer {
   std::array<std::uint32_t, ProcPerm::kMax + 1> sig_off_{};
   KeyScratch trial_;
   std::vector<std::uint8_t> best_;
+  // Per-processor signature cache for the current begin_base() epoch (bit q
+  // of base_valid_ set = base_sig_[q] holds q's signature in the base
+  // state).  A clean dirty bit certifies the successor's signature equals
+  // the base's, so the cached bytes can stand in for a recompute.
+  std::uint32_t base_valid_ = 0;
+  std::array<std::vector<std::uint8_t>, ProcPerm::kMax> base_sig_{};
+  // Sorted-order cache for the all-clean fast path: a successor whose dirty
+  // mask is empty has byte-identical signatures to the base, hence the same
+  // sorted order and tie-group structure as any other all-clean successor
+  // in the epoch — the sort and group scan can be skipped outright.
+  bool order_valid_ = false;
+  bool cached_has_tie_ = false;
+  std::uint8_t cached_ngroups_ = 0;
+  std::array<std::uint8_t, ProcPerm::kMax> cached_pos_{};
+  std::array<std::uint8_t, ProcPerm::kMax> cached_gstart_{};
+  std::array<std::uint8_t, ProcPerm::kMax> cached_gend_{};
+  // Delta re-keying scratch: the protocol slice of the candidate product
+  // under the tie-loop's current permutation (repermuted in place between
+  // candidates instead of restored from the original).
+  std::vector<std::uint8_t> perm_state_;
 };
 
 }  // namespace scv

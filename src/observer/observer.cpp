@@ -88,6 +88,7 @@ NodeHandle Observer::emit_op_node(const Operation& op,
   n.in_use = true;
   n.op = op;
   n.pool_id = id;
+  mark_touched(op.proc);  // new chain head + live-node count
   out.push_back(NodeDesc{id, op});
 
   const std::size_t chain = chain_of(op);
@@ -104,6 +105,7 @@ void Observer::on_serialized(NodeHandle h, std::vector<Symbol>& out) {
   Node& n = node(h);
   SCV_ASSERT(n.op.is_store() && !n.serialized);
   n.serialized = true;
+  mark_touched(n.op.proc);  // the flag is visible via n's chain head record
   const BlockId b = n.op.block;
   const NodeHandle tail = sto_tail_[b];
   if (tail != kNone) {
@@ -132,6 +134,7 @@ void Observer::on_serialized(NodeHandle h, std::vector<Symbol>& out) {
         out.push_back(EdgeDesc{node(j).pool_id, n.pool_id, kAnnoForced});
         node(j).bottom_pending = false;
         pending_bottom_[b][p] = kNone;
+        mark_touched(p);  // pending-⊥ anchor discharged
       }
     }
   }
@@ -142,9 +145,13 @@ void Observer::apply_tracking(const Transition& t, NodeHandle store_node,
                               std::vector<Symbol>& out) {
   if (store_node != kNone) {
     const NodeHandle old = tracker_.at(t.loc);
-    if (old != kNone) --node(old).copies;
+    if (old != kNone) {
+      --node(old).copies;
+      mark_touched(node(old).op.proc);
+    }
     tracker_.on_store(t.loc, store_node);
     ++node(store_node).copies;
+    mark_touched(node(store_node).op.proc);
     if (cfg_.location_mirrored) {
       out.push_back(AddId{node(store_node).pool_id, loc_id(t.loc)});
     }
@@ -162,8 +169,14 @@ void Observer::apply_tracking(const Transition& t, NodeHandle store_node,
   }
   for (std::size_t i = 0; i < t.copies.size(); ++i) {
     const NodeHandle old = tracker_.at(t.copies[i].dst);
-    if (old != kNone) --node(old).copies;
-    if (staged[i] != kNone) ++node(staged[i]).copies;
+    if (old != kNone) {
+      --node(old).copies;
+      mark_touched(node(old).op.proc);
+    }
+    if (staged[i] != kNone) {
+      ++node(staged[i]).copies;
+      mark_touched(node(staged[i]).op.proc);
+    }
   }
   tracker_.on_copies({t.copies.begin(), t.copies.size()});
   if (cfg_.location_mirrored) {
@@ -183,6 +196,7 @@ void Observer::apply_tracking(const Transition& t, NodeHandle store_node,
 ObserverStatus Observer::step(const Transition& t,
                               std::span<const std::uint8_t> post_state,
                               std::vector<Symbol>& out) {
+  touched_ = 0;
   const Action& a = t.action;
 
   if (a.kind == Action::Kind::Store) {
@@ -253,6 +267,7 @@ ObserverStatus Observer::step(const Transition& t,
         if (old != kNone) node(old).bottom_pending = false;
         pending_bottom_[b][p] = h;
         node(h).bottom_pending = true;
+        mark_touched(p);  // pending-⊥ anchor moved
       }
     }
     apply_tracking(t, kNone, out);
@@ -294,6 +309,7 @@ bool Observer::must_hold(NodeHandle h, const bool* bottom_loadable) const {
 
 void Observer::retire(NodeHandle h, std::vector<Symbol>& out) {
   Node& n = node(h);
+  mark_touched(n.op.proc);  // live-node count drops
   // Announce the retirement: rebinding the node's ID to the null ID unbinds
   // it, retiring the node in the checker with edge contraction.  (In
   // location-mirrored mode the pool ID is the node's only remaining alias:
@@ -342,9 +358,43 @@ void Observer::retire_pass(std::span<const std::uint8_t> post_state,
   }
 }
 
-void Observer::serialize(ByteWriter& w,
-                         std::vector<GraphId>* id_canon) const {
+void Observer::serialize(ByteWriter& w, std::vector<GraphId>* id_canon,
+                         const ProcPerm* perm) const {
   const auto& pr = protocol_->params();
+
+  // Permutation-aware indirection.  The serialization of the π-permuted
+  // observer differs from ours only in *where* the anchor arrays are read
+  // (the permuted observer's chain c holds our chain π⁻¹(c), its location l
+  // holds our location permute_loc⁻¹(l)) and in the node records' written
+  // op.proc (π of ours).  Handles are untouched by permute_procs, so the
+  // discovery order — and therefore every canonical number — matches a
+  // permute-then-serialize byte for byte.
+  const bool permuted = perm != nullptr && !perm->is_identity();
+  ProcPerm inv;
+  LocId inv_loc[kMaxLocations + 1];
+  if (permuted) {
+    SCV_EXPECTS(perm->n == pr.procs);
+    inv = perm->inverse();
+    for (std::size_t m = 0; m < tracker_.locations(); ++m) {
+      inv_loc[protocol_->permute_loc(static_cast<LocId>(m), *perm)] =
+          static_cast<LocId>(m);
+    }
+  }
+  const auto src_loc = [&](std::size_t l) -> std::size_t {
+    return permuted ? inv_loc[l] : l;
+  };
+  const auto src_proc = [&](std::size_t p) -> std::size_t {
+    return permuted ? inv.to[p] : p;
+  };
+  const auto src_chain = [&](std::size_t c) -> std::size_t {
+    if (!permuted) return c;
+    if (!cfg_.coherence_only) return inv.to[c];
+    return static_cast<std::size_t>(inv.to[c / pr.blocks]) * pr.blocks +
+           c % pr.blocks;
+  };
+  const auto out_proc = [&](ProcId p) -> std::uint8_t {
+    return permuted ? perm->to[p] : p;
+  };
 
   // --- Phase 1: canonical discovery order over live nodes.  Every live
   // node is reachable from a fixed-order anchor scan (tracker locations,
@@ -352,81 +402,105 @@ void Observer::serialize(ByteWriter& w,
   // followed by a reference closure; naming nodes by discovery position
   // erases the incidental handle/ID permutation a particular history
   // produced — a symmetry reduction on the product state space.
-  std::vector<std::uint16_t> canon(nodes_.size() + 1, 0);  // handle -> 1-based
-  std::vector<NodeHandle> order;
+  // Handles range over 1..pool_count_ <= kMaxBandwidth, so fixed stack
+  // arrays keep this per-successor hot path allocation-free.
+  std::uint16_t canon[kMaxBandwidth + 1] = {};  // handle -> 1-based
+  NodeHandle order[kMaxBandwidth];
+  std::size_t order_n = 0;
   const auto visit = [&](NodeHandle h) {
     if (h == kNone || h == kGoneSucc) return;
     if (canon[h] != 0) return;
-    canon[h] = static_cast<std::uint16_t>(order.size() + 1);
-    order.push_back(h);
+    canon[h] = static_cast<std::uint16_t>(order_n + 1);
+    order[order_n++] = h;
   };
   for (std::size_t l = 0; l < tracker_.locations(); ++l) {
-    visit(tracker_.at(static_cast<LocId>(l)));
+    visit(tracker_.at(static_cast<LocId>(src_loc(l))));
   }
-  for (std::size_t c = 0; c < chain_count(); ++c) visit(last_op_[c]);
+  for (std::size_t c = 0; c < chain_count(); ++c) {
+    visit(last_op_[src_chain(c)]);
+  }
   for (std::size_t b = 0; b < pr.blocks; ++b) {
     visit(sto_tail_[b]);
     visit(root_[b]);
   }
   for (std::size_t b = 0; b < pr.blocks; ++b) {
     for (std::size_t p = 0; p < pr.procs; ++p) {
-      visit(pending_bottom_[b][p]);
+      visit(pending_bottom_[b][src_proc(p)]);
     }
   }
-  for (std::size_t i = 0; i < order.size(); ++i) {  // closure (order grows)
+  for (std::size_t i = 0; i < order_n; ++i) {  // closure (order grows)
     const Node& n = node(order[i]);
     visit(n.sto_succ);
     visit(n.sto_pred);
-    for (std::size_t p = 0; p < pr.procs; ++p) visit(n.pending_ld[p]);
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      visit(n.pending_ld[src_proc(p)]);
+    }
     visit(n.pending_for);
   }
-  SCV_ASSERT(order.size() == live_nodes());  // liveness implies reachability
+  SCV_ASSERT(order_n == live_nodes());  // liveness implies reachability
 
   const auto enc = [&](NodeHandle h) -> std::uint64_t {
     if (h == kNone) return 0;
-    if (h == kGoneSucc) return order.size() + 1;
+    if (h == kGoneSucc) return order_n + 1;
     return canon[h];
   };
 
   // --- Phase 2: serialize in canonical order.  Raw handles, pool IDs and
   // the free mask are naming details and are deliberately excluded.
+  // Encoded into stack scratch and bulk-appended: this runs once per
+  // explored transition, where ByteWriter's per-field vector bookkeeping
+  // is measurable.  Bound: locations (<= 2 B uvar each) + chains + block
+  // anchors + nodes at <= 11 + 2*kMaxObsProcs bytes each.
+  std::uint8_t scratch[2 * (kMaxLocations + 1) +
+                       2 * kMaxObsProcs * kMaxObsBlocks +
+                       kMaxObsBlocks * (5 + 2 * kMaxObsProcs) + 2 +
+                       kMaxBandwidth * (16 + 2 * kMaxObsProcs)];
+  ScratchWriter sw(scratch, sizeof scratch);
   for (std::size_t l = 0; l < tracker_.locations(); ++l) {
-    w.uvar(enc(tracker_.at(static_cast<LocId>(l))));
+    sw.uvar(enc(tracker_.at(static_cast<LocId>(src_loc(l)))));
   }
-  for (std::size_t c = 0; c < chain_count(); ++c) w.uvar(enc(last_op_[c]));
+  for (std::size_t c = 0; c < chain_count(); ++c) {
+    sw.uvar(enc(last_op_[src_chain(c)]));
+  }
   for (std::size_t b = 0; b < pr.blocks; ++b) {
-    w.uvar(enc(sto_tail_[b]));
-    w.uvar(enc(root_[b]));
-    w.u8(root_gone_[b] ? 1 : 0);
+    sw.uvar(enc(sto_tail_[b]));
+    sw.uvar(enc(root_[b]));
+    sw.u8(root_gone_[b] ? 1 : 0);
     for (std::size_t p = 0; p < pr.procs; ++p) {
-      w.uvar(enc(pending_bottom_[b][p]));
+      sw.uvar(enc(pending_bottom_[b][src_proc(p)]));
     }
   }
-  w.uvar(order.size());
-  for (const NodeHandle h : order) {
-    const Node& n = node(h);
-    w.u8(static_cast<std::uint8_t>(n.op.kind));
-    w.u8(n.op.proc);
-    w.u8(n.op.block);
-    w.u8(n.op.value);
-    w.uvar(n.copies);
-    w.u8(n.serialized ? 1 : 0);
-    w.uvar(enc(n.sto_succ));
-    w.uvar(enc(n.sto_pred));
-    for (std::size_t p = 0; p < pr.procs; ++p) w.uvar(enc(n.pending_ld[p]));
-    w.uvar(enc(n.pending_for));
-    w.u8(n.bottom_pending ? 1 : 0);
+  sw.uvar(order_n);
+  for (std::size_t i = 0; i < order_n; ++i) {
+    const Node& n = node(order[i]);
+    sw.u8(static_cast<std::uint8_t>(n.op.kind));
+    sw.u8(out_proc(n.op.proc));
+    sw.u8(n.op.block);
+    sw.u8(n.op.value);
+    sw.uvar(n.copies);
+    sw.u8(n.serialized ? 1 : 0);
+    sw.uvar(enc(n.sto_succ));
+    sw.uvar(enc(n.sto_pred));
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      sw.uvar(enc(n.pending_ld[src_proc(p)]));
+    }
+    sw.uvar(enc(n.pending_for));
+    sw.u8(n.bottom_pending ? 1 : 0);
   }
+  sw.flush(w);
 
   if (id_canon != nullptr) {
     id_canon->assign(k_ + 2, 0);
-    for (const NodeHandle h : order) {
-      (*id_canon)[node(h).pool_id] = static_cast<GraphId>(canon[h]);
+    for (std::size_t i = 0; i < order_n; ++i) {
+      (*id_canon)[node(order[i]).pool_id] =
+          static_cast<GraphId>(canon[order[i]]);
     }
     if (cfg_.location_mirrored) {
       // Location-alias IDs canonicalize to their node's number as well.
+      // (ID l+1 of the permuted observer aliases its location l, which
+      // holds our entry at permute_loc⁻¹(l).)
       for (std::size_t l = 0; l < tracker_.locations(); ++l) {
-        const NodeHandle h = tracker_.at(static_cast<LocId>(l));
+        const NodeHandle h = tracker_.at(static_cast<LocId>(src_loc(l)));
         if (h != kNone) {
           (*id_canon)[l + 1] = static_cast<GraphId>(canon[h]);
         }
@@ -477,6 +551,7 @@ void Observer::permute_procs(const ProcPerm& perm) {
   const auto& pr = protocol_->params();
   SCV_EXPECTS(perm.n == pr.procs);
   if (perm.is_identity()) return;
+  touched_ = ~0u;  // signatures relocate wholesale; the step mask is void
 
   // Tracker entries relocate with their storage location.
   permute_scratch_.assign(tracker_.locations(), StIndexTracker::kNoStore);
@@ -593,6 +668,7 @@ void Observer::restore(ByteReader& r) {
     n.pending_for = static_cast<NodeHandle>(r.uvar());
     n.bottom_pending = r.u8() != 0;
   }
+  touched_ = ~0u;  // arbitrary new state: no step to be relative to
   error_.clear();
 }
 

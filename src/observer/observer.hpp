@@ -109,8 +109,15 @@ class Observer {
   /// If `id_canon` is non-null it receives the map from descriptor ID to
   /// canonical node number (1-based; 0 = unmapped), sized k()+2.  The
   /// checker's canonical serialization must use the same map.
-  void serialize(ByteWriter& w,
-                 std::vector<GraphId>* id_canon = nullptr) const;
+  ///
+  /// If `perm` is non-null the output is byte-identical to serializing a
+  /// copy of this observer after permute_procs(*perm), without mutating
+  /// anything: anchor scans read through the inverse renaming and node
+  /// processors are written through the forward renaming.  This is the
+  /// canonicalizer's delta re-keying path — one candidate key per tie-group
+  /// permutation with zero permute traffic (DESIGN.md §13).
+  void serialize(ByteWriter& w, std::vector<GraphId>* id_canon = nullptr,
+                 const ProcPerm* perm = nullptr) const;
 
   /// Size in bytes of the serialized extra state (Section 4.4 comparison).
   [[nodiscard]] std::size_t state_bytes() const;
@@ -139,6 +146,15 @@ class Observer {
   /// search.  Must not write handles or pool IDs (they are naming-
   /// dependent) nor processor indices (they are not equivariant).
   void proc_signature(ProcId p, ByteWriter& w) const;
+
+  /// Bitmask (bit p set) of processors whose proc_signature may have
+  /// changed since the last step().  step() resets it and re-accumulates;
+  /// restore() and permute_procs() poison it to all-ones because the mask
+  /// is only meaningful immediately after a step.  Conservative supersets
+  /// are sound (DESIGN.md §13).
+  [[nodiscard]] std::uint32_t touched_procs() const noexcept {
+    return touched_;
+  }
 
  private:
   static constexpr NodeHandle kNone = 0;
@@ -224,7 +240,14 @@ class Observer {
   bool root_gone_[kMaxObsBlocks] = {};
   NodeHandle pending_bottom_[kMaxObsBlocks][kMaxObsProcs] = {};
 
+  /// Marks processor `p`'s signature as possibly changed (see
+  /// touched_procs).  Mutation sites: node creation/retirement (the
+  /// live-node count and chain heads), serialization and copy-count changes
+  /// on chain-head candidates, and pending-⊥ anchor updates.
+  void mark_touched(std::size_t p) noexcept { touched_ |= 1u << p; }
+
   std::size_t peak_live_ = 0;
+  std::uint32_t touched_ = ~0u;
   std::string error_;
   /// Scratch for permute_procs' tracker relocation (kept to reuse capacity;
   /// always empty outside that call, so copies stay cheap).

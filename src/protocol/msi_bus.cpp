@@ -197,6 +197,40 @@ void MsiBus::proc_signature(std::span<const std::uint8_t> state, ProcId p,
   w.bytes(state.subspan(2 * p * params_.blocks, 2 * params_.blocks));
 }
 
+std::uint32_t MsiBus::touched_procs(std::span<const std::uint8_t> state,
+                                    const Transition& t) const {
+  // The per-processor signature is the 2-byte cache row (state, data) per
+  // block, so only transitions that rewrite cache rows touch processors.
+  // The buggy variant is not processor_symmetric (masks are never consulted)
+  // but gets the conservative answer anyway.
+  if (buggy_) return ~0u;
+  const Action& a = t.action;
+  if (a.kind == Action::Kind::Load) return 0;  // reads leave every row as-is
+  if (a.kind == Action::Kind::Store) return 1u << a.op.proc;
+  const std::size_t p = a.arg0;
+  const std::size_t b = a.arg1;
+  switch (a.internal_id) {
+    case kEvict:
+      return 1u << p;  // the writeback lands in shared memory
+    case kBusGetS: {
+      std::uint32_t mask = 1u << p;
+      for (std::size_t q = 0; q < params_.procs; ++q) {
+        if (q != p && cache_state(state, q, b) == kModified) mask |= 1u << q;
+      }
+      return mask;  // the Modified owner (if any) is downgraded to Shared
+    }
+    case kBusGetX: {
+      std::uint32_t mask = 1u << p;
+      for (std::size_t q = 0; q < params_.procs; ++q) {
+        if (q != p && cache_state(state, q, b) != kInvalid) mask |= 1u << q;
+      }
+      return mask;  // every remote copy is invalidated
+    }
+    default:
+      return ~0u;
+  }
+}
+
 std::string MsiBus::action_name(const Action& a) const {
   if (a.is_memory_op()) return Protocol::action_name(a);
   std::ostringstream os;

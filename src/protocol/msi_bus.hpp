@@ -58,6 +58,8 @@ class MsiBus final : public Protocol {
                                       const ProcPerm& perm) const override;
   void proc_signature(std::span<const std::uint8_t> state, ProcId p,
                       ByteWriter& w) const override;
+  [[nodiscard]] std::uint32_t touched_procs(
+      std::span<const std::uint8_t> state, const Transition& t) const override;
 
   enum CacheState : std::uint8_t { kInvalid = 0, kShared = 1, kModified = 2 };
   static constexpr std::uint8_t kBusGetS = 1;

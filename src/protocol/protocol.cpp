@@ -43,6 +43,11 @@ Action Protocol::permute_action(const Action& a, const ProcPerm& perm) const {
 void Protocol::proc_signature(std::span<const std::uint8_t> /*state*/,
                               ProcId /*p*/, ByteWriter& /*w*/) const {}
 
+std::uint32_t Protocol::touched_procs(std::span<const std::uint8_t> /*state*/,
+                                      const Transition& /*t*/) const {
+  return ~0u;
+}
+
 Transition Protocol::permute_transition(const Transition& t,
                                         const ProcPerm& perm) const {
   Transition out;

@@ -239,6 +239,15 @@ class Protocol {
   virtual void proc_signature(std::span<const std::uint8_t> state, ProcId p,
                               ByteWriter& w) const;
 
+  /// Bitmask (bit p set) of processors whose proc_signature may change when
+  /// `t` is applied to `state` (the pre-state).  Conservative supersets are
+  /// sound — the canonicalizer merely recomputes more signatures — so the
+  /// default claims every processor.  Protocols whose transitions touch few
+  /// processors override this to unlock incremental canonicalization
+  /// (DESIGN.md §13).
+  [[nodiscard]] virtual std::uint32_t touched_procs(
+      std::span<const std::uint8_t> state, const Transition& t) const;
+
   /// Image of a whole transition under the renaming: permuted action,
   /// tracking label, copy entries and serialize_loc hint.  Built on the
   /// virtual hooks, so it needs no override.

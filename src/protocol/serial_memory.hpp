@@ -36,6 +36,13 @@ class SerialMemory final : public Protocol {
                                   const ProcPerm& /*perm*/) const override {
     return loc;
   }
+  /// No per-processor state means the (empty) per-processor signatures can
+  /// never change.
+  [[nodiscard]] std::uint32_t touched_procs(
+      std::span<const std::uint8_t> /*state*/,
+      const Transition& /*t*/) const override {
+    return 0;
+  }
 
  private:
   Params params_;

@@ -21,20 +21,12 @@ class ByteWriter {
 
   void u8(std::uint8_t v) { buf().push_back(v); }
 
-  void u16(std::uint16_t v) {
-    buf().push_back(static_cast<std::uint8_t>(v));
-    buf().push_back(static_cast<std::uint8_t>(v >> 8));
-  }
-
-  void u32(std::uint32_t v) {
-    u16(static_cast<std::uint16_t>(v));
-    u16(static_cast<std::uint16_t>(v >> 16));
-  }
-
-  void u64(std::uint64_t v) {
-    u32(static_cast<std::uint32_t>(v));
-    u32(static_cast<std::uint32_t>(v >> 32));
-  }
+  // Fixed-width little-endian stores grow the buffer once and write the
+  // bytes directly — one capacity check instead of one per byte, which
+  // matters because state serialization is the model checker's hot path.
+  void u16(std::uint16_t v) { store(v, 2); }
+  void u32(std::uint32_t v) { store(v, 4); }
+  void u64(std::uint64_t v) { store(v, 8); }
 
   /// Variable-length unsigned (LEB128-style); compact for small counts.
   void uvar(std::uint64_t v) {
@@ -62,8 +54,63 @@ class ByteWriter {
  private:
   std::vector<std::uint8_t>& buf() { return out_ ? *out_ : own_; }
 
+  void store(std::uint64_t v, std::size_t n) {
+    auto& b = buf();
+    const std::size_t at = b.size();
+    b.resize(at + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      b[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
   std::vector<std::uint8_t> own_;
   std::vector<std::uint8_t>* out_ = nullptr;
+};
+
+/// Bump-pointer encoder over caller-provided (typically stack) storage,
+/// with byte-identical encodings to ByteWriter.  The serialization hot
+/// paths (observer/checker canonical keys, ~250 field writes per product
+/// state) pay ByteWriter's per-call indirection and vector capacity check
+/// on every byte; writing into a fixed scratch and bulk-appending once
+/// turns that into a single memcpy.  Overflow is a contract violation
+/// (callers size the scratch from their compile-time state bounds).
+class ScratchWriter {
+ public:
+  ScratchWriter(std::uint8_t* buf, std::size_t cap)
+      : base_(buf), p_(buf), end_(buf + cap) {}
+
+  void u8(std::uint8_t v) {
+    SCV_EXPECTS(p_ < end_);
+    *p_++ = v;
+  }
+
+  void u64(std::uint64_t v) {
+    SCV_EXPECTS(p_ + 8 <= end_);
+    for (int i = 0; i < 8; ++i) {
+      *p_++ = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+  /// Same LEB128 encoding as ByteWriter::uvar.
+  void uvar(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> data() const {
+    return {base_, static_cast<std::size_t>(p_ - base_)};
+  }
+
+  /// Appends everything written so far to `w` in one call.
+  void flush(ByteWriter& w) const { w.bytes(data()); }
+
+ private:
+  std::uint8_t* base_;
+  std::uint8_t* p_;
+  std::uint8_t* end_;
 };
 
 class ByteReader {

@@ -11,6 +11,11 @@
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "util/assert.hpp"
 
 namespace scv {
@@ -20,10 +25,39 @@ class ThreadPool {
   /// Creates a pool with `workers` threads.  `workers == 0` means "run
   /// everything inline on the calling thread" (useful for deterministic
   /// debugging and for single-core hosts).
-  explicit ThreadPool(std::size_t workers) {
+  ///
+  /// With `pin`, each worker is pinned to the i-th CPU of the process
+  /// affinity mask (Linux only; elsewhere, or when the mask has fewer CPUs
+  /// than workers, pinning is skipped).  Pinning keeps a worker's cache-
+  /// resident scratch (product copies, canonicalizer signature caches) on
+  /// one core across fork-join barriers; it is wrong for oversubscribed
+  /// runs, where two workers pinned to one CPU would serialize, so callers
+  /// opt in only when they know workers <= available CPUs.
+  explicit ThreadPool(std::size_t workers, bool pin = false) {
     threads_.reserve(workers);
+#if defined(__linux__)
+    cpu_set_t mask;
+    std::vector<int> cpus;
+    if (pin && sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+      for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+        if (CPU_ISSET(cpu, &mask)) cpus.push_back(cpu);
+      }
+    }
+    const bool do_pin = pin && cpus.size() >= workers && workers > 0;
+#endif
     for (std::size_t i = 0; i < workers; ++i) {
       threads_.emplace_back([this, i] { worker_loop(i); });
+#if defined(__linux__)
+      if (do_pin) {
+        cpu_set_t one;
+        CPU_ZERO(&one);
+        CPU_SET(cpus[i], &one);
+        // Best-effort: a failed setaffinity (cgroup change mid-flight)
+        // degrades to an unpinned worker, never an error.
+        (void)pthread_setaffinity_np(threads_.back().native_handle(),
+                                     sizeof(one), &one);
+      }
+#endif
     }
   }
 
