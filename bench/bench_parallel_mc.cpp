@@ -25,6 +25,7 @@
 #endif
 
 #include "core/verifier.hpp"
+#include "protocol/directory.hpp"
 #include "protocol/msi_bus.hpp"
 #include "protocol/serial_memory.hpp"
 
@@ -119,6 +120,10 @@ std::vector<SweepPoint> sweep(const Protocol& proto, bool exact) {
     opt.threads = threads;
     opt.max_states = kMaxStates;
     opt.exact_states = exact;
+    // The scaling rows measure the canonicalizer and store, so POR stays
+    // off: the numbers (and the canonicalize-share gate in check_bench.py)
+    // remain comparable with pre-POR baselines.  POR has its own section.
+    opt.partial_order_reduction = false;
     // Pin workers to distinct CPUs when the affinity budget covers them:
     // keeps each worker's canonicalizer caches and dup-cache core-local
     // across level barriers.  Oversubscribed rows stay unpinned (two
@@ -295,6 +300,87 @@ SymPoint sym_point(std::string id, const Protocol& proto,
   return p;
 }
 
+/// One partial-order-reduction comparison point: stored-state counts at an
+/// identical depth budget under the four POR × symmetry combinations.  The
+/// two reductions the gate tracks: por_reduction (POR alone vs nothing) and
+/// composed_reduction (POR + symmetry vs nothing) — the §14 claim is that
+/// the two reductions multiply, because ample selection runs on canonical
+/// orbit representatives.  Deterministic state counts, so each combination
+/// runs once (no median-of-reps).
+struct PorPoint {
+  std::string id;
+  std::string protocol;
+  std::size_t depth_bound = 0;
+  McResult both;      ///< POR + symmetry
+  McResult por_only;
+  McResult sym_only;
+  McResult neither;
+
+  [[nodiscard]] double por_reduction() const {
+    return por_only.states > 0 ? static_cast<double>(neither.states) /
+                                     static_cast<double>(por_only.states)
+                               : 0;
+  }
+  [[nodiscard]] double composed_reduction() const {
+    return both.states > 0 ? static_cast<double>(neither.states) /
+                                 static_cast<double>(both.states)
+                           : 0;
+  }
+  [[nodiscard]] bool verdict_parity() const {
+    return both.verdict == neither.verdict &&
+           por_only.verdict == neither.verdict &&
+           sym_only.verdict == neither.verdict;
+  }
+};
+
+PorPoint por_point(std::string id, const Protocol& proto,
+                   std::size_t depth_bound) {
+  PorPoint p;
+  p.id = std::move(id);
+  p.protocol = proto.name();
+  p.depth_bound = depth_bound;
+  const auto run = [&](bool por, bool sym) {
+    McOptions opt;
+    if (depth_bound > 0) opt.max_depth = depth_bound;
+    opt.partial_order_reduction = por;
+    opt.symmetry_reduction = sym;
+    return model_check(proto, opt);
+  };
+  p.both = run(true, true);
+  p.por_only = run(true, false);
+  p.sym_only = run(false, true);
+  p.neither = run(false, false);
+  std::printf("  %-22s | %-10s | neither %7zu | por %7zu (x%.2f) | sym %7zu "
+              "| both %7zu (x%.2f) | ample %llu, proviso %llu%s%s\n",
+              p.id.c_str(), to_string(p.both.verdict).c_str(),
+              p.neither.states, p.por_only.states, p.por_reduction(),
+              p.sym_only.states, p.both.states, p.composed_reduction(),
+              static_cast<unsigned long long>(p.both.por_ample_states),
+              static_cast<unsigned long long>(p.both.por_proviso_fallbacks),
+              p.both.por_note.empty() ? "" : " | NOTE: ",
+              p.both.por_note.c_str());
+  std::fflush(stdout);
+  return p;
+}
+
+void json_por_point(std::ofstream& out, const PorPoint& p) {
+  out << "      {\"id\": \"" << p.id << "\", \"protocol\": \"" << p.protocol
+      << "\", \"depth_bound\": " << p.depth_bound << ", \"verdict\": \""
+      << to_string(p.both.verdict) << "\", \"verdict_parity\": "
+      << (p.verdict_parity() ? "true" : "false") << ", \"por_active\": "
+      << (p.both.por_active ? "true" : "false")
+      << ", \"neither_states\": " << p.neither.states
+      << ", \"por_states\": " << p.por_only.states
+      << ", \"sym_states\": " << p.sym_only.states
+      << ", \"both_states\": " << p.both.states
+      << ", \"por_reduction\": " << p.por_reduction()
+      << ", \"composed_reduction\": " << p.composed_reduction()
+      << ", \"ample_states\": " << p.both.por_ample_states
+      << ", \"proviso_fallbacks\": " << p.both.por_proviso_fallbacks
+      << ", \"deferred_transitions\": " << p.both.por_deferred_transitions
+      << ", \"por_note\": \"" << p.both.por_note << "\"}";
+}
+
 void json_sym_point(std::ofstream& out, const SymPoint& p) {
   out << "      {\"id\": \"" << p.id << "\", \"protocol\": \"" << p.protocol
       << "\", \"depth_bound\": " << p.depth_bound << ", \"verdict\": \""
@@ -366,6 +452,14 @@ void run_experiments() {
       sym_point("serial_memory_p3_full", SerialMemory(3, 1, 1), 0));
   std::printf("\n");
 
+  std::printf("== POR: ample-set partial-order reduction × symmetry "
+              "(stored states, single run each) ==\n");
+  std::vector<PorPoint> por;
+  por.push_back(
+      por_point("directory_p3_depth12", DirectoryProtocol(3, 1, 1), 12));
+  por.push_back(por_point("msi_bus_p3_depth12", MsiBus(3, 1, 1), 12));
+  std::printf("\n");
+
   std::ofstream out("BENCH_mc.json");
   out << "{\n"
       << "  \"bench\": \"bench_parallel_mc\",\n"
@@ -395,6 +489,13 @@ void run_experiments() {
   for (std::size_t i = 0; i < sym.size(); ++i) {
     json_sym_point(out, sym[i]);
     out << (i + 1 < sym.size() ? ",\n" : "\n");
+  }
+  out << "    ]\n  },\n"
+      << "  \"por\": {\n"
+      << "    \"points\": [\n";
+  for (std::size_t i = 0; i < por.size(); ++i) {
+    json_por_point(out, por[i]);
+    out << (i + 1 < por.size() ? ",\n" : "\n");
   }
   out << "    ]\n  },\n"
       << "  \"modes\": {\n";

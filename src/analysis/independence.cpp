@@ -1,0 +1,163 @@
+// R7: declared-independence commutation check.
+//
+// A protocol opting into partial-order reduction (por_enabled()) declares
+// an independence relation via independent(t, u).  The ample-set engine
+// (DESIGN.md §14) relies on exactly the diamond property for co-enabled
+// independent pairs: neither transition disables the other, and the two
+// execution orders reach the same protocol state.  A false declaration
+// would let an ample set skip a transition whose interleaving matters —
+// the classical way POR goes unsound.  This pass samples the promise on a
+// deterministic walk instead of trusting it, mirroring the R6 symmetry
+// check; the model checker additionally runs its own product-level self
+// check (observer symbols included) before enabling POR, so a wrong
+// declaration is caught twice, at lint time and at verification time.
+//
+// Transitions are matched across states by their full serialized identity
+// (action, location labels, sorted copy entries): two transitions with the
+// same action but different copy plumbing move tracked values differently
+// and must not be conflated.
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/internal.hpp"
+#include "analysis/lint.hpp"
+#include "protocol/protocol.hpp"
+
+namespace scv {
+
+namespace {
+
+using analysis::encode_transition;
+
+bool contains_transition(const std::vector<Transition>& set,
+                         const std::string& key) {
+  for (const Transition& t : set) {
+    if (encode_transition(t) == key) return true;
+  }
+  return false;
+}
+
+/// Checks one declared-independent ordered pair (t, u) co-enabled in
+/// `state`.  Returns an empty string or the first violation.
+std::string check_pair(const Protocol& proto,
+                       const std::vector<std::uint8_t>& state,
+                       const Transition& t, const Transition& u) {
+  const std::string key_t = encode_transition(t);
+  const std::string key_u = encode_transition(u);
+
+  if (!proto.independent(u, t)) {
+    return "declared independence is asymmetric: independent('" +
+           proto.action_name(t.action) + "', '" + proto.action_name(u.action) +
+           "') holds but the swapped pair does not";
+  }
+
+  std::vector<std::uint8_t> via_t(state);
+  proto.apply(via_t, t);
+  std::vector<Transition> enabled;
+  proto.enumerate(via_t, enabled);
+  if (!contains_transition(enabled, key_u)) {
+    return "'" + proto.action_name(t.action) + "' disables co-enabled '" +
+           proto.action_name(u.action) + "' declared independent of it";
+  }
+  proto.apply(via_t, u);
+
+  std::vector<std::uint8_t> via_u(state);
+  proto.apply(via_u, u);
+  enabled.clear();
+  proto.enumerate(via_u, enabled);
+  if (!contains_transition(enabled, key_t)) {
+    return "'" + proto.action_name(u.action) + "' disables co-enabled '" +
+           proto.action_name(t.action) + "' declared independent of it";
+  }
+  proto.apply(via_u, t);
+
+  if (via_t != via_u) {
+    return "declared-independent pair '" + proto.action_name(t.action) +
+           "' / '" + proto.action_name(u.action) +
+           "' does not commute: the two execution orders reach different "
+           "protocol states";
+  }
+  return {};
+}
+
+}  // namespace
+
+IndependenceCheckResult check_independence(
+    const Protocol& proto, const IndependenceCheckOptions& options) {
+  IndependenceCheckResult res;
+  res.declared = proto.por_enabled();
+  res.applicable = res.declared;
+  if (!res.applicable) return res;
+
+  // Bounded BFS sample of the protocol's own state space (same shape as
+  // the lint driver's control-skeleton sample): breadth-first order reaches
+  // the multi-processor-pending states where independent pairs are actually
+  // co-enabled, which a single sample walk serializes past.
+  std::unordered_set<std::string> visited;
+  std::vector<std::vector<std::uint8_t>> states;
+  std::vector<std::uint8_t> init(proto.state_size());
+  proto.initial_state(init);
+  visited.emplace(reinterpret_cast<const char*>(init.data()), init.size());
+  states.push_back(std::move(init));
+
+  std::vector<Transition> enabled;
+  std::size_t cursor = 0;
+  std::size_t depth_end = 1;
+  std::size_t depth = 0;
+  while (cursor < states.size()) {
+    if (cursor == depth_end) {
+      depth_end = states.size();
+      if (++depth >= options.max_depth) break;
+    }
+    // Copy, not reference: `states` may reallocate as successors append.
+    const std::vector<std::uint8_t> cur = states[cursor++];
+    enabled.clear();
+    proto.enumerate(cur, enabled);
+    ++res.states_checked;
+    for (std::size_t i = 0; i < enabled.size(); ++i) {
+      for (std::size_t j = i + 1; j < enabled.size(); ++j) {
+        if (!proto.independent(enabled[i], enabled[j])) continue;
+        ++res.pairs_checked;
+        std::string bad = check_pair(proto, cur, enabled[i], enabled[j]);
+        if (!bad.empty()) {
+          res.ok = false;
+          res.detail = bad + " [sample state " +
+                       std::to_string(res.states_checked) + "]";
+          return res;
+        }
+      }
+    }
+    for (const Transition& t : enabled) {
+      if (states.size() >= options.max_states) break;
+      std::vector<std::uint8_t> succ = cur;
+      proto.apply(succ, t);
+      if (visited
+              .emplace(reinterpret_cast<const char*>(succ.data()), succ.size())
+              .second) {
+        states.push_back(std::move(succ));
+      }
+    }
+  }
+  return res;
+}
+
+namespace analysis {
+
+void check_por_independence(LintContext& ctx) {
+  const Protocol& proto = *ctx.protocol;
+  if (!proto.por_enabled()) return;
+  const IndependenceCheckResult res = check_independence(proto);
+  if (!res.ok) {
+    ctx.add(LintRule::R7_Independence, LintSeverity::Warning,
+            "declared independence fails the commutation check: " +
+                res.detail +
+                "; the model checker's pre-run self-check will veto "
+                "partial-order reduction and fall back to full expansion",
+            "commutation");
+  }
+}
+
+}  // namespace analysis
+}  // namespace scv

@@ -30,9 +30,13 @@ struct LintContext {
 
  private:
   std::unordered_set<std::string> seen_;
-  std::size_t per_rule_[6] = {};
-  bool capped_[6] = {};
+  std::size_t per_rule_[7] = {};
+  bool capped_[7] = {};
 };
+
+/// Serializes a transition into a comparable byte string (copy entries
+/// sorted; see symmetry.cpp).  Shared by the R6 and R7 sample checks.
+[[nodiscard]] std::string encode_transition(const Transition& t);
 
 /// R1 + R5 + the R2 aggregates, in one sweep over the sampled states.
 void check_transitions(LintContext& ctx);
@@ -45,5 +49,8 @@ void check_interference(LintContext& ctx);
 /// R6 (symmetry.cpp): declared processor symmetry must pass the
 /// check_processor_symmetry commutation sample.
 void check_symmetry(LintContext& ctx);
+/// R7 (independence.cpp): a POR-enabled protocol's declared independence
+/// relation must pass the check_independence commutation sample.
+void check_por_independence(LintContext& ctx);
 
 }  // namespace scv::analysis

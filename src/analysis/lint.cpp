@@ -17,6 +17,7 @@ std::string to_string(LintRule r) {
     case LintRule::R4_ObserverInterference: return "R4:non-interference";
     case LintRule::R5_DeadTransitions: return "R5:dead-transitions";
     case LintRule::R6_ProcessorSymmetry: return "R6:processor-symmetry";
+    case LintRule::R7_Independence: return "R7:independence";
   }
   return "?";
 }
@@ -76,6 +77,7 @@ void LintContext::add(LintRule rule, LintSeverity severity,
   if (per_rule_[idx] >= kMaxFindingsPerRule) {
     if (!capped_[idx]) {
       capped_[idx] = true;
+      report->suppressed_rules.push_back(rule);
       report->findings.push_back(
           {rule, LintSeverity::Note,
            "further findings for this rule suppressed (cap " +
@@ -180,6 +182,8 @@ LintReport lint_protocol(const Protocol& protocol,
   // structurally broken metadata just like the observer does; gate it the
   // same way as R4.
   if (!report.has_errors()) analysis::check_symmetry(ctx);
+  // R7 likewise steps the protocol through its own hooks; same gating.
+  if (!report.has_errors()) analysis::check_por_independence(ctx);
   // R4 drives a real Observer along prefixes, and the observer (rightly)
   // aborts on structurally broken metadata — dangling labels, bandwidth
   // over the representable maximum.  Differential walks therefore only run

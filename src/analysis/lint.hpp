@@ -37,7 +37,16 @@
 //                          signatures, bijective permute_loc); a failing
 //                          declaration is a warning — the model checker
 //                          falls back to identity canonicalization rather
-//                          than merging non-equivalent states.
+//                          than merging non-equivalent states;
+//   R7 independence      — a protocol opting into partial-order reduction
+//                          (por_enabled()) declares an independence relation
+//                          over transitions; every pair declared independent
+//                          on a sampled co-enabled state must be symmetric,
+//                          mutually non-disabling, and commute to the same
+//                          protocol state (the diamond of DESIGN.md §14);
+//                          a failing declaration is a warning — the model
+//                          checker's own pre-run self-check vetoes POR and
+//                          falls back to full expansion.
 //
 // The analysis is *sound for errors on what it samples* and deliberately
 // incomplete: R1/R5 findings are definite for the sampled skeleton, R2/R4
@@ -65,6 +74,7 @@ enum class LintRule : std::uint8_t {
   R4_ObserverInterference,
   R5_DeadTransitions,
   R6_ProcessorSymmetry,
+  R7_Independence,
 };
 
 enum class LintSeverity : std::uint8_t { Note, Warning, Error };
@@ -93,6 +103,10 @@ struct LintReport {
   std::string protocol;
   /// Sorted most severe first, then by rule.
   std::vector<LintFinding> findings;
+  /// Rules whose findings hit the per-rule cap: `findings` holds only the
+  /// first few plus a suppression note, so consumers (scv_lint --json)
+  /// report these rule IDs rather than pretending the list is complete.
+  std::vector<LintRule> suppressed_rules;
   LintStats stats;
 
   [[nodiscard]] std::size_t count(LintSeverity s) const;
@@ -179,5 +193,39 @@ struct SymmetryCheckResult {
 /// evidence (the product-level exploration self-check backs it up).
 [[nodiscard]] SymmetryCheckResult check_processor_symmetry(
     const Protocol& protocol, const SymmetryCheckOptions& options = {});
+
+struct IndependenceCheckOptions {
+  /// Protocol states to examine, collected breadth-first from the initial
+  /// state.  BFS rather than a sample walk: co-enabled independent pairs
+  /// live exactly where several processors have concurrent steps pending,
+  /// and a single walk path serializes them — systematically missing the
+  /// states the check exists for.
+  std::size_t max_states = 512;
+  std::size_t max_depth = 64;
+};
+
+struct IndependenceCheckResult {
+  bool declared = false;    ///< protocol opts into POR (por_enabled())
+  bool applicable = false;  ///< declared (the check needs nothing else)
+  bool ok = true;           ///< checks passed (vacuously when !applicable)
+  std::size_t states_checked = 0;
+  std::size_t pairs_checked = 0;  ///< declared-independent co-enabled pairs
+  std::string detail;  ///< first violation, empty when ok
+};
+
+/// Protocol-level independence commutation check (the engine behind lint
+/// rule R7).  On a bounded BFS sample it verifies, for every pair
+/// (t, u) of distinct co-enabled transitions the protocol declares
+/// independent:
+///   * the declaration is symmetric: independent(u, t) holds too;
+///   * neither disables the other: u stays enabled after t and vice versa;
+///   * the diamond commutes: apply(apply(s,t),u) == apply(apply(s,u),t)
+///     byte-for-byte.
+/// This is the protocol-state half of the soundness obligation; descriptor
+/// visibility (the observer half) is checked separately by the model
+/// checker's pre-run and in-run ample self-checks (DESIGN.md §14).  A
+/// failure is definite; a pass is bounded evidence.
+[[nodiscard]] IndependenceCheckResult check_independence(
+    const Protocol& protocol, const IndependenceCheckOptions& options = {});
 
 }  // namespace scv

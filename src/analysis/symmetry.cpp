@@ -29,13 +29,11 @@
 
 namespace scv {
 
-namespace {
-
 /// Serializes a transition into a comparable byte string.  Copy entries are
 /// sorted first: they apply simultaneously, so enumeration order is not
 /// semantically meaningful and may legitimately differ between a state and
 /// its permuted image.
-std::string encode_transition(const Transition& t) {
+std::string analysis::encode_transition(const Transition& t) {
   std::string out;
   out.push_back(static_cast<char>(t.action.kind));
   out.push_back(static_cast<char>(t.action.op.kind));
@@ -57,6 +55,10 @@ std::string encode_transition(const Transition& t) {
   }
   return out;
 }
+
+namespace {
+
+using analysis::encode_transition;
 
 /// One transposition's worth of checks on one sampled state.  Returns an
 /// empty string or the first violation.

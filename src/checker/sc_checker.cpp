@@ -796,4 +796,31 @@ void ScChecker::proc_signature(ProcId p, ByteWriter& w) const {
   w.uvar(mine);
 }
 
+std::uint32_t ScChecker::obligation_procs() const noexcept {
+  std::uint32_t mask = 0;
+  for (std::size_t c = 0; c < chain_count(); ++c) {
+    if (po_pending_[c]) {
+      mask |= 1u << (cfg_.coherence_po ? c / cfg_.blocks : c);
+    }
+  }
+  for (std::size_t b = 0; b < cfg_.blocks; ++b) {
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      if (pending_bottom_[b][p] != kNone) mask |= 1u << p;
+    }
+  }
+  for (std::uint64_t m = used_mask_; m != 0; m &= m - 1) {
+    const Node& n = nodes_[static_cast<std::size_t>(std::countr_zero(m))];
+    // A load owing a forced edge shows up on both ends: the load's own
+    // forced_target / pending_for fields and the store's pending list.
+    if (n.forced_target != kNone || n.pending_for != kNone ||
+        n.bottom_pending) {
+      mask |= 1u << n.op.proc;
+    }
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      if (n.pending_ld[p] != kNone) mask |= 1u << p;
+    }
+  }
+  return mask;
+}
+
 }  // namespace scv

@@ -130,6 +130,19 @@ class ScChecker {
   }
   void reset_touched() noexcept { touched_ = 0; }
 
+  /// Bitmask (bit p set) of processors that currently carry an open
+  /// constraint-graph obligation: an undischarged program-order edge, a
+  /// load owing a forced edge (constraint 5(a), from either end of the
+  /// store's pending list), or a pending ⊥-load anchor (constraint 5(b)).
+  /// This is the POR conflict-visibility query (DESIGN.md §14): a processor
+  /// with no obligations has nothing in flight that a deferred transition
+  /// of another processor could discharge differently, which the engine's
+  /// ample self-check cross-validates against full expansion.
+  [[nodiscard]] std::uint32_t obligation_procs() const noexcept;
+  [[nodiscard]] bool has_obligations(ProcId p) const noexcept {
+    return (obligation_procs() >> p) & 1u;
+  }
+
  private:
   static constexpr std::size_t kMaxSlots = kMaxBandwidth + 2;
   static constexpr std::int8_t kNone = -1;

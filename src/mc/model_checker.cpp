@@ -3,16 +3,20 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "analysis/lint.hpp"
 #include "checker/sc_checker.hpp"
 #include "descriptor/descriptor.hpp"
+#include "mc/por.hpp"
 #include "mc/product.hpp"
 #include "util/assert.hpp"
 #include "util/concurrent_fp_set.hpp"
@@ -76,36 +80,66 @@ std::size_t malloc_chunk(std::size_t payload) noexcept {
 }
 
 /// Exact mode charges each state one hash node (bucket chain pointer +
-/// cached hash + std::string header) plus the key's heap buffer when it
-/// escapes the small-string optimization, plus the bucket array.
+/// cached hash + std::string key + slot index) plus the key's heap buffer
+/// when it escapes the small-string optimization, plus the bucket array and
+/// the slot directory's pointer.
 std::size_t exact_store_bytes(std::size_t keys, std::size_t buckets,
                               std::size_t state_bytes) noexcept {
-  const std::size_t node = malloc_chunk(2 * sizeof(void*) + sizeof(std::string));
+  const std::size_t node = malloc_chunk(2 * sizeof(void*) +
+                                        sizeof(std::string) +
+                                        sizeof(std::uint32_t));
   const std::size_t heap = state_bytes > 15 ? malloc_chunk(state_bytes + 1) : 0;
-  return keys * (node + heap) + buckets * sizeof(void*);
+  return keys * (node + heap + sizeof(void*)) + buckets * sizeof(void*);
 }
 
 /// Thread-safe visited-state store: a CAS-based ConcurrentFingerprintSet by
-/// default, or mutex-striped exact key sets behind McOptions::exact_states
+/// default, or mutex-striped exact key maps behind McOptions::exact_states
 /// (the differential escape hatch values correctness over scalability;
 /// stripes keep contention tolerable).  The single-worker run uses the same
 /// store — uncontended CAS is cheap, and one store means one growth policy
 /// and bit-identical dedup across thread counts.
+///
+/// Exact mode additionally hands out a (shard, slot) reference for every
+/// inserted key: the shard is implied by the fingerprint, the slot indexes
+/// a per-shard directory of node-stable key pointers.  Worker-local
+/// duplicate caches remember {fingerprint, slot} of confirmed members and
+/// later validate a cache hit with one byte-compare (confirm()) instead of
+/// a full hash-map probe — the exact-mode analogue of the fingerprint
+/// cache's membership-is-identity shortcut.
 class ConcurrentStateStore {
  public:
   using Insert = ConcurrentFingerprintSet::Insert;
+  struct InsertResult {
+    Insert verdict = Insert::Fresh;
+    std::uint32_t slot = 0;  ///< exact mode: shard-local slot of the key
+  };
 
   ConcurrentStateStore(bool exact, std::size_t expected)
       : exact_(exact), fps_(exact ? 0 : expected) {}
 
-  Insert insert(std::span<const std::uint8_t> key, Fingerprint fp) {
-    if (!exact_) return fps_.insert(fp);
+  InsertResult insert(std::span<const std::uint8_t> key, Fingerprint fp) {
+    if (!exact_) return {fps_.insert(fp), 0};
     Stripe& s = stripes_[fp.lo % kStripes];
     std::lock_guard lock(s.mu);
-    const bool fresh =
-        s.keys.emplace(reinterpret_cast<const char*>(key.data()), key.size())
-            .second;
-    return fresh ? Insert::Fresh : Insert::Duplicate;
+    const auto [it, fresh] = s.keys.emplace(
+        std::string(reinterpret_cast<const char*>(key.data()), key.size()),
+        static_cast<std::uint32_t>(s.slots.size()));
+    if (fresh) s.slots.push_back(&it->first);
+    return {fresh ? Insert::Fresh : Insert::Duplicate, it->second};
+  }
+
+  /// Exact-mode cache validation: true iff `slot` of `fp`'s shard holds
+  /// exactly `key`.  True certifies membership (the caller may report
+  /// Duplicate without re-probing the map); false only means the cache
+  /// entry was a fingerprint alias — fall back to a full insert().
+  [[nodiscard]] bool confirm(std::span<const std::uint8_t> key,
+                             Fingerprint fp, std::uint32_t slot) {
+    Stripe& s = stripes_[fp.lo % kStripes];
+    std::lock_guard lock(s.mu);
+    if (slot >= s.slots.size()) return false;
+    const std::string& k = *s.slots[slot];
+    return k.size() == key.size() &&
+           std::memcmp(k.data(), key.data(), k.size()) == 0;
   }
 
   [[nodiscard]] bool should_grow() const noexcept {
@@ -138,7 +172,10 @@ class ConcurrentStateStore {
  private:
   struct Stripe {
     std::mutex mu;
-    std::unordered_set<std::string> keys;
+    /// Key -> shard-local slot; map nodes are stable, so the slot
+    /// directory can hold pointers straight into the keys.
+    std::unordered_map<std::string, std::uint32_t> keys;
+    std::vector<const std::string*> slots;
   };
   static constexpr std::size_t kStripes = 64;
 
@@ -492,6 +529,175 @@ bool product_symmetry_ok(const Protocol& proto, const McOptions& opt,
   return true;
 }
 
+/// Full-identity transition comparison.  Action classes are not enough:
+/// protocols emit distinct transitions with identical actions that differ
+/// only in their copy labels (GetSharedToy's Get-Shared picks both a source
+/// and a destination slot), so independence checks must match transitions
+/// by every observable field.
+bool same_transition(const Transition& a, const Transition& b) {
+  if (a.loc != b.loc || a.serialize_loc != b.serialize_loc) return false;
+  if (a.copies.size() != b.copies.size()) return false;
+  for (std::size_t i = 0; i < a.copies.size(); ++i) {
+    if (a.copies[i].dst != b.copies[i].dst ||
+        a.copies[i].src != b.copies[i].src) {
+      return false;
+    }
+  }
+  const Action& x = a.action;
+  const Action& y = b.action;
+  if (x.kind != y.kind) return false;
+  if (x.is_memory_op()) {
+    return x.op.proc == y.op.proc && x.op.block == y.op.block &&
+           x.op.value == y.op.value;
+  }
+  return x.internal_id == y.internal_id && x.arg0 == y.arg0 &&
+         x.arg1 == y.arg1;
+}
+
+const Transition* find_transition(const std::vector<Transition>& trans,
+                                  const Transition& t) {
+  for (const Transition& c : trans) {
+    if (same_transition(c, t)) return &c;
+  }
+  return nullptr;
+}
+
+/// Verifies the independence contract for the pair (t, u), both enabled in
+/// `cur`: t must leave u enabled with the same step outcome u has from
+/// `cur`, u must leave t enabled, and when every step is clean the two
+/// interleavings must reach the same canonical product state.  Outcome
+/// preservation is what keeps reject states reachable in the reduced
+/// graph; key equality is the diamond the reordering argument commutes
+/// through.  sa/sb/ka/kb/etrans/sym are caller scratch.
+bool independence_commutes(const Protocol& proto, ProcCanonicalizer& canon,
+                           const Product& cur, const Transition& t,
+                           const Transition& u, Product& sa, Product& sb,
+                           KeyScratch& ka, KeyScratch& kb,
+                           std::vector<Transition>& etrans,
+                           std::vector<Symbol>& sym, std::string& detail) {
+  const auto pair_name = [&] {
+    return "('" + proto.action_name(t.action) + "', '" +
+           proto.action_name(u.action) + "')";
+  };
+  sa.assign_from(cur);
+  if (sa.step(t, sym) != StepOutcome::Ok) return true;  // dead end: vacuous
+  etrans.clear();
+  sa.enumerate(etrans);
+  const Transition* u_after = find_transition(etrans, u);
+  if (u_after == nullptr) {
+    detail = "declared-independent pair " + pair_name() +
+             ": the first disables the second";
+    return false;
+  }
+  sb.assign_from(sa);
+  const StepOutcome o_tu = sb.step(*u_after, sym);
+  if (o_tu == StepOutcome::Ok) canon.canonicalize_key(sb, ka);
+  sb.assign_from(cur);
+  const StepOutcome o_u = sb.step(u, sym);
+  if (o_u != o_tu) {
+    detail = "declared-independent pair " + pair_name() +
+             ": step outcome differs between orders";
+    return false;
+  }
+  if (o_u != StepOutcome::Ok) return true;  // both orders fail identically
+  etrans.clear();
+  sb.enumerate(etrans);
+  const Transition* t_after = find_transition(etrans, t);
+  if (t_after == nullptr) {
+    detail = "declared-independent pair " + pair_name() +
+             ": the second disables the first";
+    return false;
+  }
+  if (sb.step(*t_after, sym) != StepOutcome::Ok) {
+    detail = "declared-independent pair " + pair_name() +
+             ": outcome differs on the deferred first transition";
+    return false;
+  }
+  canon.canonicalize_key(sb, kb);
+  const auto xa = ka.w.data();
+  const auto xb = kb.w.data();
+  if (xa.size() != xb.size() || !std::equal(xa.begin(), xa.end(), xb.begin())) {
+    detail = "declared-independent pair " + pair_name() +
+             ": the two orders reach different product states";
+    return false;
+  }
+  return true;
+}
+
+/// Product-level independence self-check (the POR analogue of
+/// product_symmetry_ok): on a deterministic sample walk, verifies that the
+/// declared relation is symmetric, that every declared-independent
+/// co-enabled pair commutes through the whole product (protocol state,
+/// observer tracking, checker bookkeeping — independence_commutes), and
+/// that every ample candidate (invisible singleton-processor footprint) is
+/// a stutter: stepping it emits no descriptor symbols.  `detail` receives
+/// the first violation.
+bool product_por_ok(const Protocol& proto, const McOptions& opt,
+                    std::string& detail) {
+  const bool with_obs = !opt.protocol_only;
+  Product cur(proto, opt.observer, with_obs);
+  Product sa(proto, opt.observer, with_obs);
+  Product sb(proto, opt.observer, with_obs);
+  ProcCanonicalizer canon(proto, opt.symmetry_reduction,
+                          opt.incremental_canonicalization);
+  KeyScratch ka;
+  KeyScratch kb;
+  std::vector<Transition> trans;
+  std::vector<Transition> etrans;
+  std::vector<Symbol> symbols;
+
+  constexpr std::size_t kSamples = 24;
+  constexpr std::size_t kMaxSteps = 96;
+  std::size_t sampled = 0;
+  for (std::size_t step = 0; step < kMaxSteps && sampled < kSamples; ++step) {
+    trans.clear();
+    cur.enumerate(trans);
+    ++sampled;
+    for (std::size_t i = 0; i < trans.size(); ++i) {
+      const PorFootprint fp = proto.por_footprint(trans[i]);
+      if (!fp.visible && std::has_single_bit(fp.procs) &&
+          !cur.transition_visible(trans[i])) {
+        sa.assign_from(cur);
+        if (sa.step(trans[i], symbols) == StepOutcome::Ok &&
+            !symbols.empty()) {
+          detail = "invisible-footprint transition '" +
+                   proto.action_name(trans[i].action) +
+                   "' emits descriptor symbols at sample " +
+                   std::to_string(sampled);
+          return false;
+        }
+      }
+      for (std::size_t j = i + 1; j < trans.size(); ++j) {
+        const bool ij = proto.independent(trans[i], trans[j]);
+        const bool ji = proto.independent(trans[j], trans[i]);
+        if (ij != ji) {
+          detail = "independence relation is asymmetric on ('" +
+                   proto.action_name(trans[i].action) + "', '" +
+                   proto.action_name(trans[j].action) + "') at sample " +
+                   std::to_string(sampled);
+          return false;
+        }
+        if (!ij) continue;
+        if (!independence_commutes(proto, canon, cur, trans[i], trans[j],
+                                   sa, sb, ka, kb, etrans, symbols,
+                                   detail)) {
+          detail += " at sample " + std::to_string(sampled);
+          return false;
+        }
+      }
+    }
+    if (trans.empty()) break;
+    const Transition& t = trans[(step * 13 + 7) % trans.size()];
+    if (cur.step(t, symbols) != StepOutcome::Ok) break;
+  }
+  return true;
+}
+
+/// In-engine ample cross-validation cadence: one sampled state per this
+/// many reduced expansions per worker.  Each sample costs ~|ample| * |T|
+/// product steps, so the cadence keeps the overhead in the low percent.
+constexpr std::uint64_t kPorSampleEvery = 4096;
+
 // The exploration engine — one level-synchronized BFS for every thread
 // count, driving the uniform Product through the compact frontier:
 //
@@ -533,6 +739,10 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
   // One worker needs no OS threads: the pool runs the task inline.
   ThreadPool pool(nworkers == 1 ? 0 : nworkers, opt.pin_threads);
   const bool product = !opt.protocol_only;
+  // POR engages only against the full product: invisibility (C2) is defined
+  // relative to the observer/checker pipeline, which protocol_only drops.
+  const bool por = opt.partial_order_reduction && product &&
+                   AmpleSelector(proto, true).active();
 
   ConcurrentStateStore visited(opt.exact_states, presize_expected(opt));
   MetaArena meta;
@@ -547,6 +757,15 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
   StepOutcome failure_outcome = StepOutcome::Ok;
   std::uint32_t failure_parent = 0;
   Transition failure_via{};
+
+  // POR runtime-violation capture (sampled ample cross-validation) and the
+  // deterministic post-barrier proviso bookkeeping (see the C3 resolution
+  // block below).
+  std::atomic<bool> por_violation{false};
+  std::mutex por_mu;
+  std::string por_violation_detail;
+  AmpleStats por_post;
+  std::vector<std::uint32_t> retries;
 
   Product init(proto, opt.observer, product);
   ProcCanonicalizer init_canon(proto, opt.symmetry_reduction,
@@ -569,11 +788,12 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
 
   struct Worker {
     Worker(const Protocol& p, const ObserverConfig& c, bool prod,
-           GraphId null_id, bool sym, bool incr)
+           GraphId null_id, bool sym, bool incr, bool por_on)
         : cur(p, c, prod),
           succ(p, c, prod),
           stats(null_id),
-          canon(p, sym, incr) {}
+          canon(p, sym, incr),
+          ample(p, por_on) {}
     Product cur;   ///< entry being expanded (restored from the frontier)
     Product succ;  ///< successor scratch, reused across transitions
     std::uint32_t cur_idx = 0;
@@ -583,12 +803,47 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
     SymbolStatsSink stats;    ///< attached to succ when symbol_stats
     ProcCanonicalizer canon;  ///< per-worker (it carries scratch)
     // Direct-mapped positive-membership cache in front of the shared
-    // visited store (fingerprint mode only).  A hit certifies the
-    // fingerprint was already inserted — duplicates short-circuit without
-    // probing the (much larger, cache-missing) global table; membership is
-    // monotone, so entries never invalidate, even across grow().  Sized to
-    // stay L2-resident: 8Ki entries * 16 B = 128 KiB per worker.
-    std::vector<Fingerprint> dup_cache = std::vector<Fingerprint>(8192);
+    // visited store.  In fingerprint mode a hit certifies the fingerprint
+    // was already inserted — duplicates short-circuit without probing the
+    // (much larger, cache-missing) global table.  Exact mode dedups by full
+    // key, so a hit is only a candidate: it is validated against the cached
+    // shard slot with one byte-compare (ConcurrentStateStore::confirm)
+    // instead of a full hash-map probe.  Membership is monotone, so entries
+    // never invalidate, even across grow().  Sized to stay L2-resident:
+    // 8Ki entries * 24 B ≈ 192 KiB per worker.
+    struct CacheEntry {
+      Fingerprint fp;
+      std::uint32_t slot = 0;
+    };
+    std::vector<CacheEntry> dup_cache = std::vector<CacheEntry>(8192);
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_lookups = 0;
+    // Ample-set POR state: the per-worker selector (carries scratch), the
+    // current entry's ample member indices, local stats, the set of
+    // fingerprints this worker discovered fresh at the current level
+    // (presence is reliable; absence says nothing about other workers —
+    // hence proviso_retry), the entries whose C3 status needs the
+    // post-barrier resolution, and scratch products for the sampled ample
+    // cross-validation (allocated only when the self-check is on).
+    AmpleSelector ample;
+    std::vector<std::uint32_t> ample_idx;
+    AmpleStats por_stats;
+    struct FpHash {
+      std::size_t operator()(const Fingerprint& f) const noexcept {
+        return static_cast<std::size_t>(
+            f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+      }
+    };
+    std::unordered_set<Fingerprint, FpHash> level_fresh_set;
+    /// Worker 0 only: fallback-discovered fresh states of the current
+    /// level, for the post-barrier proviso resolution.
+    std::unordered_set<Fingerprint, FpHash> level_fresh_overflow;
+    std::vector<std::uint32_t> proviso_retry;
+    std::uint64_t reduced_seen = 0;
+    std::unique_ptr<Product> chk_a;
+    std::unique_ptr<Product> chk_b;
+    KeyScratch chk_key;
+    std::vector<Transition> chk_trans;
     FrontierBatch out;        ///< next-level entries this worker found
     // Resume cursors into the worker's claimed chunk of the global
     // frontier; chunk_next stays on the unfinished entry across grow
@@ -606,13 +861,57 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
   for (std::size_t w = 0; w < nworkers; ++w) {
     workers.push_back(std::make_unique<Worker>(
         proto, opt.observer, product, stats_null_id, symmetry,
-        opt.incremental_canonicalization));
+        opt.incremental_canonicalization, por));
     if (opt.symbol_stats && product) {
       workers.back()->succ.add_sink(&workers.back()->stats);
     }
+    if (por && opt.por_self_check) {
+      workers.back()->chk_a =
+          std::make_unique<Product>(proto, opt.observer, product);
+      workers.back()->chk_b =
+          std::make_unique<Product>(proto, opt.observer, product);
+    }
   }
 
+  // In-engine ample cross-validation: re-establishes on live reachable
+  // states what product_por_ok sampled from its walk.  Every ample member
+  // must be a stutter (no descriptor symbols) and must commute with every
+  // deferred transition through the whole product.  Runs before the
+  // worker's begin_base(), so the canonicalizer's epoch cache is clean for
+  // the real successors afterwards.
+  const auto ample_check_ok = [&proto](Worker& ws, std::string& detail) {
+    for (const std::uint32_t i : ws.ample_idx) {
+      ws.chk_a->assign_from(ws.cur);
+      if (ws.chk_a->step(ws.transitions[i], ws.symbols) == StepOutcome::Ok &&
+          !ws.symbols.empty()) {
+        detail = "ample member '" +
+                 proto.action_name(ws.transitions[i].action) +
+                 "' emits descriptor symbols";
+        return false;
+      }
+      std::size_t m = 0;
+      for (std::size_t j = 0; j < ws.transitions.size(); ++j) {
+        if (m < ws.ample_idx.size() && ws.ample_idx[m] == j) {
+          ++m;  // member-member pairs need no commutation argument
+          continue;
+        }
+        if (!independence_commutes(proto, ws.canon, ws.cur,
+                                   ws.transitions[i], ws.transitions[j],
+                                   *ws.chk_a, *ws.chk_b, ws.key, ws.chk_key,
+                                   ws.chk_trans, ws.symbols, detail)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
   const auto merge_worker_stats = [&] {
+    result.por_active = por;
+    result.por_ample_states = por_post.ample_states;
+    result.por_full_states = por_post.full_states;
+    result.por_proviso_fallbacks = por_post.proviso_fallbacks;
+    result.por_deferred_transitions = por_post.deferred_transitions;
     for (const auto& ws : workers) {
       result.peak_live_nodes = std::max(result.peak_live_nodes, ws->peak_live);
       if (opt.symbol_stats) result.symbol_stats.merge(ws->stats.stats());
@@ -620,6 +919,12 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
       result.phase_times.canonicalize += ws->t_canon;
       result.phase_times.dedup += ws->t_dedup;
       result.phase_times.materialize += ws->t_mat;
+      result.por_ample_states += ws->por_stats.ample_states;
+      result.por_full_states += ws->por_stats.full_states;
+      result.por_proviso_fallbacks += ws->por_stats.proviso_fallbacks;
+      result.por_deferred_transitions += ws->por_stats.deferred_transitions;
+      result.dup_cache_hits += ws->cache_hits;
+      result.dup_cache_lookups += ws->cache_lookups;
     }
     result.symmetry_active = symmetry;
     const std::size_t n = states.load();
@@ -674,6 +979,8 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
       workers[w]->out.clear();
       workers[w]->chunk_next = 0;
       workers[w]->chunk_end = 0;
+      workers[w]->level_fresh_set.clear();
+      workers[w]->proviso_retry.clear();
     }
 
     // Chunked work claiming: workers grab contiguous runs of frontier
@@ -713,20 +1020,41 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
         }
         if (failed.load(std::memory_order_relaxed) ||
             limit_hit.load(std::memory_order_relaxed) ||
-            table_full.load(std::memory_order_relaxed)) {
+            table_full.load(std::memory_order_relaxed) ||
+            por_violation.load(std::memory_order_relaxed)) {
           return;  // entry boundary: nothing partial to roll back
         }
         const std::size_t gi = ws.chunk_next;
         while (prefix[batch + 1] <= gi) ++batch;
         ws.cur_idx =
             restore_entry(frontier[batch].entry(gi - prefix[batch]), ws.cur);
-        // New base state for the canonicalizer's per-processor signature
-        // cache; successor dirty masks below are relative to ws.cur.
-        ws.canon.begin_base();
         ws.transitions.clear();
         ws.cur.enumerate(ws.transitions);
+        const bool reduced =
+            por && ws.ample.select(ws.cur, ws.transitions, ws.ample_idx);
+        if (reduced && opt.por_self_check &&
+            (ws.reduced_seen++ % kPorSampleEvery) == 0) {
+          std::string detail;
+          if (!ample_check_ok(ws, detail)) {
+            std::lock_guard lock(por_mu);
+            if (!por_violation.exchange(true)) {
+              por_violation_detail = std::move(detail);
+            }
+            return;
+          }
+        }
+        // New base state for the canonicalizer's per-processor signature
+        // cache; successor dirty masks below are relative to ws.cur.  After
+        // the self-check on purpose: the check canonicalizes unrelated
+        // states with a full dirty mask, which would poison the epoch.
+        ws.canon.begin_base();
         std::uint64_t expanded = 0;
-        for (const Transition& t : ws.transitions) {
+        bool ample_dup_unproven = false;
+        const std::size_t ntrans =
+            reduced ? ws.ample_idx.size() : ws.transitions.size();
+        for (std::size_t ti = 0; ti < ntrans; ++ti) {
+          const Transition& t =
+              ws.transitions[reduced ? ws.ample_idx[ti] : ti];
           ++expanded;
           ws.succ.assign_from(ws.cur);
           const StepOutcome outcome = ws.succ.step(t, ws.symbols);
@@ -757,24 +1085,25 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
           // In fingerprint mode dedup is by fingerprint identity, so a hit
           // in the worker-local cache IS a Duplicate verdict — same result
           // the global probe would return, minus the cache miss.  Exact
-          // mode dedups by full key and must always consult the store (two
-          // distinct keys may share a fingerprint).
+          // mode dedups by full key (two distinct keys may share a
+          // fingerprint), so a cache hit only nominates a shard slot; one
+          // byte-compare against it (confirm) certifies membership, and an
+          // alias falls back to the full probe.
           ConcurrentStateStore::Insert ins;
-          Fingerprint* cached = nullptr;
-          if (!opt.exact_states) {
-            cached = &ws.dup_cache[fp.lo & (ws.dup_cache.size() - 1)];
-            if (*cached == fp) {
-              ins = ConcurrentStateStore::Insert::Duplicate;
-              cached = nullptr;
-            }
-          }
-          if (cached != nullptr || opt.exact_states) {
-            ins = visited.insert(key, fp);
-            // Only fingerprints the store accepted are cached (a TableFull
+          Worker::CacheEntry& entry =
+              ws.dup_cache[fp.lo & (ws.dup_cache.size() - 1)];
+          ++ws.cache_lookups;
+          if (entry.fp == fp &&
+              (!opt.exact_states || visited.confirm(key, fp, entry.slot))) {
+            ++ws.cache_hits;
+            ins = ConcurrentStateStore::Insert::Duplicate;
+          } else {
+            const auto r = visited.insert(key, fp);
+            ins = r.verdict;
+            // Only states the store accepted are cached (a TableFull
             // attempt inserted nothing).
-            if (cached != nullptr &&
-                ins != ConcurrentStateStore::Insert::TableFull) {
-              *cached = fp;
+            if (ins != ConcurrentStateStore::Insert::TableFull) {
+              entry = {fp, r.slot};
             }
           }
           charge(ws.t_dedup);
@@ -788,6 +1117,7 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
             return;
           }
           if (ins == ConcurrentStateStore::Insert::Fresh) {
+            if (por) ws.level_fresh_set.insert(fp);
             orbit_sum.fetch_add(orbit, std::memory_order_relaxed);
             const std::size_t idx =
                 states.fetch_add(1, std::memory_order_relaxed);
@@ -801,9 +1131,27 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
               transitions.fetch_add(expanded, std::memory_order_relaxed);
               return;
             }
+          } else if (reduced && !ws.level_fresh_set.contains(fp)) {
+            // Possible non-depth-increasing ample edge (C3): the duplicate
+            // may predate this level, closing a cycle inside the reduced
+            // graph.  The worker only knows its *own* fresh finds reliably,
+            // so it defers the decision to the deterministic post-barrier
+            // resolution instead of guessing across racy peers.
+            ample_dup_unproven = true;
           }
         }
         transitions.fetch_add(expanded, std::memory_order_relaxed);
+        if (reduced) {
+          if (ample_dup_unproven) {
+            ws.proviso_retry.push_back(static_cast<std::uint32_t>(gi));
+          } else {
+            ++ws.por_stats.ample_states;
+            ws.por_stats.deferred_transitions +=
+                ws.transitions.size() - ws.ample_idx.size();
+          }
+        } else if (por) {
+          ++ws.por_stats.full_states;
+        }
         ws.chunk_next = gi + 1;
       }
     };
@@ -816,6 +1164,140 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
         continue;
       }
       break;
+    }
+
+    if (por_violation.load()) {
+      // A live ample set failed cross-validation: some independence or
+      // footprint declaration is wrong, so nothing explored under it can be
+      // trusted.  Redo the whole run with POR off — sound, just slower —
+      // and say why.
+      McOptions full = opt;
+      full.partial_order_reduction = false;
+      McResult redo = run_bfs(proto, full);
+      redo.por_note = "ample self-check failed at runtime (" +
+                      por_violation_detail +
+                      "); explored without partial-order reduction";
+      return redo;
+    }
+
+    if (por && !failed.load() && !limit_hit.load()) {
+      // Deterministic cycle-proviso (C3) resolution.  BFS assigns minimal
+      // depths, so any cycle in the reduced graph has an edge whose target
+      // is no deeper than its source; that edge shows up as an ample
+      // successor deduplicating against a state NOT discovered fresh at
+      // this level.  Workers recorded every such unproven entry; with the
+      // pool quiescent, the union of their fresh sets is the exact
+      // level-fresh set, so re-deciding each entry against it here is
+      // independent of thread count and scheduling.  (Freshness is judged
+      // by fingerprint in both store modes — exact mode accepts the 2^-128
+      // aliasing risk to keep its decisions identical to fingerprint
+      // mode's.)  The union is never materialized: a membership query just
+      // probes every worker's own set, plus the overflow set of states the
+      // fallback expansions below discover late.
+      retries.clear();
+      for (const auto& ws : workers) {
+        retries.insert(retries.end(), ws->proviso_retry.begin(),
+                       ws->proviso_retry.end());
+      }
+      std::sort(retries.begin(), retries.end());
+      Worker& ws = *workers[0];
+      auto& late_fresh = ws.level_fresh_overflow;
+      late_fresh.clear();
+      const auto fresh_this_level = [&](const Fingerprint& f) {
+        for (const auto& wp : workers) {
+          if (wp->level_fresh_set.contains(f)) return true;
+        }
+        return late_fresh.contains(f);
+      };
+      for (const std::uint32_t gi : retries) {
+        std::size_t batch = 0;
+        while (prefix[batch + 1] <= gi) ++batch;
+        ws.cur_idx =
+            restore_entry(frontier[batch].entry(gi - prefix[batch]), ws.cur);
+        ws.transitions.clear();
+        ws.cur.enumerate(ws.transitions);
+        const bool re =
+            ws.ample.select(ws.cur, ws.transitions, ws.ample_idx);
+        SCV_ASSERT(re);  // selection is deterministic in the state bytes
+        ws.canon.begin_base();
+        bool all_fresh = true;
+        for (const std::uint32_t i : ws.ample_idx) {
+          ws.succ.assign_from(ws.cur);
+          const StepOutcome o = ws.succ.step(ws.transitions[i], ws.symbols);
+          SCV_ASSERT(o == StepOutcome::Ok);
+          ws.canon.canonicalize_key(ws.succ, ws.key, nullptr,
+                                    ws.succ.touched_procs());
+          if (!fresh_this_level(fingerprint128(ws.key.w.data()))) {
+            all_fresh = false;
+            break;
+          }
+        }
+        if (all_fresh) {
+          // Depth strictly increases along every ample edge of this entry,
+          // so no reduced cycle closes through it: the reduction stands.
+          ++por_post.ample_states;
+          por_post.deferred_transitions +=
+              ws.transitions.size() - ws.ample_idx.size();
+          continue;
+        }
+        // Proviso fallback: expand the deferred complement too.  The ample
+        // members already ran in the parallel phase, so only the remainder
+        // is stepped; dedup absorbs any overlap, exactly like TableFull
+        // re-expansion.
+        ++por_post.proviso_fallbacks;
+        ++por_post.full_states;
+        std::uint64_t extra = 0;
+        std::size_t m = 0;
+        bool aborted = false;
+        for (std::size_t j = 0; j < ws.transitions.size(); ++j) {
+          if (m < ws.ample_idx.size() && ws.ample_idx[m] == j) {
+            ++m;
+            continue;
+          }
+          ++extra;
+          ws.succ.assign_from(ws.cur);
+          const StepOutcome outcome =
+              ws.succ.step(ws.transitions[j], ws.symbols);
+          if (outcome != StepOutcome::Ok) {
+            std::lock_guard lock(failure_mu);
+            if (!failed.exchange(true)) {
+              failure_outcome = outcome;
+              failure_parent = ws.cur_idx;
+              failure_via = ws.transitions[j];
+            }
+            aborted = true;
+            break;
+          }
+          const std::uint64_t orbit = ws.canon.canonicalize_key(
+              ws.succ, ws.key, nullptr, ws.succ.touched_procs());
+          const auto key = ws.key.w.data();
+          const Fingerprint fp = fingerprint128(key);
+          auto r = visited.insert(key, fp);
+          if (r.verdict == ConcurrentStateStore::Insert::TableFull) {
+            visited.grow();  // single-threaded here: growing inline is safe
+            r = visited.insert(key, fp);
+          }
+          if (r.verdict == ConcurrentStateStore::Insert::Fresh) {
+            orbit_sum.fetch_add(orbit, std::memory_order_relaxed);
+            const std::size_t idx =
+                states.fetch_add(1, std::memory_order_relaxed);
+            Meta& mm = meta.slot(idx);
+            mm.parent = ws.cur_idx;
+            mm.via = ws.transitions[j];
+            append_entry(static_cast<std::uint32_t>(idx), ws.succ, ws.out);
+            // Late fresh states join the level-fresh set: a later retry's
+            // ample successor may legitimately hit one of them.
+            late_fresh.insert(fp);
+            if (idx + 1 >= opt.max_states) {
+              limit_hit.store(true, std::memory_order_relaxed);
+              aborted = true;
+              break;
+            }
+          }
+        }
+        transitions.fetch_add(extra, std::memory_order_relaxed);
+        if (aborted) break;
+      }
     }
 
     // Failure wins over the state limit: within a level the choice is
@@ -919,8 +1401,26 @@ McResult model_check(const Protocol& protocol, const McOptions& options) {
     }
   }
 
+  // POR self-check: the declared independence relation is trusted only
+  // after the product-level commutation walk passes; otherwise fall back to
+  // full expansion — slower but sound — and say why.  (The engine keeps
+  // cross-validating ample sets on sampled reachable states during the
+  // run; see run_bfs.)
+  std::string por_note;
+  if (opt.partial_order_reduction && opt.por_self_check &&
+      !opt.protocol_only && protocol.por_enabled()) {
+    std::string detail;
+    if (!product_por_ok(protocol, opt, detail)) {
+      opt.partial_order_reduction = false;
+      por_note =
+          "declared independence failed the commutation self-check (" +
+          detail + "); exploring without partial-order reduction";
+    }
+  }
+
   McResult result = run_bfs(protocol, opt);
   result.symmetry_note = std::move(symmetry_note);
+  if (result.por_note.empty()) result.por_note = std::move(por_note);
   return result;
 }
 

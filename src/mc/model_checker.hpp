@@ -111,6 +111,23 @@ struct McOptions {
   /// counts to the reference path; opt out to run the original
   /// permute-and-reserialize canonicalizer (the differential tests do).
   bool incremental_canonicalization = true;
+  /// Ample-set partial-order reduction (DESIGN.md §14): expand only a
+  /// sound subset of each state's enabled transitions, built from the
+  /// protocol's declared independence relation (Protocol::por_enabled /
+  /// por_footprint / independent).  Composes with symmetry reduction —
+  /// ample selection runs on canonical orbit representatives, so it is
+  /// invariant under processor renaming.  Engages only when the protocol
+  /// opts in; inert in protocol_only mode (visibility is defined against
+  /// the observer/checker pipeline).  Opt out to compare against full
+  /// expansion (the differential tests do).
+  bool partial_order_reduction = true;
+  /// Before engaging POR, sample-check that declared-independent pairs
+  /// really commute at the product level, and keep cross-validating ample
+  /// sets against full expansion on sampled states during the run.  A
+  /// protocol whose declarations fail either check falls back to full
+  /// expansion — with McResult::por_note explaining why — instead of
+  /// unsoundly pruning interleavings.
+  bool por_self_check = true;
   /// Pin worker threads to distinct CPUs of the process affinity mask
   /// (Linux only; no-op elsewhere or when threads exceed the mask).  Keeps
   /// the level-synchronized BFS's per-thread caches warm across levels.
@@ -186,6 +203,27 @@ struct McResult {
   std::string symmetry_note;
   /// Per-phase exploration timing (see McPhaseTimes).
   McPhaseTimes phase_times;
+  /// Whether ample-set partial-order reduction actually engaged (options
+  /// asked for it, the protocol opted in, and the self-check did not veto).
+  bool por_active = false;
+  /// Set when the POR self-check vetoed the declared independence relation
+  /// (pre-run walk or in-engine cross-validation) and the run fell back to
+  /// full expansion.
+  std::string por_note;
+  /// POR accounting: states expanded through a proper ample set vs in full,
+  /// full expansions forced by the cycle proviso, and enabled transitions
+  /// pruned outright.  All zero when POR is inactive.
+  std::uint64_t por_ample_states = 0;
+  std::uint64_t por_full_states = 0;
+  std::uint64_t por_proviso_fallbacks = 0;
+  std::uint64_t por_deferred_transitions = 0;
+  /// Per-worker duplicate-cache effectiveness: successor dedup probes that
+  /// were answered by the worker-local cache without touching the shared
+  /// visited store, over all probes.  The cache serves both store modes —
+  /// fingerprint identity in fingerprint mode, byte-validated shard/slot
+  /// references in exact mode.
+  std::uint64_t dup_cache_hits = 0;
+  std::uint64_t dup_cache_lookups = 0;
 
   /// Visited-store resident bytes per distinct state — the headline memory
   /// metric tracked by bench_parallel_mc (BENCH_mc.json).

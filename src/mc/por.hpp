@@ -1,0 +1,92 @@
+// Ample-set partial-order reduction over the product automaton
+// (DESIGN.md §14).
+//
+// Peled-style ample sets specialized to the BFS engine: in each state the
+// selector looks for a nonempty subset A of the enabled transitions such
+// that exploring only A preserves every reachable checker verdict.  The
+// classic conditions, instantiated here:
+//
+//   C0 (nonemptiness)  A != ∅ — trivially, or we fall back to full
+//      expansion.
+//   C1 (dependence)    Every transition dependent on a member of A that can
+//      fire before a member of A is itself in A.  Statically approximated:
+//      every *co-enabled* non-member must be declared independent of every
+//      member (checked in-state, both directions), and the protocol's
+//      declarations must guarantee that currently-disabled dependent
+//      transitions stay disabled until a member fires — the per-protocol
+//      argument lives with each Protocol::independent override and is
+//      cross-validated by the R7 lint and the engine's ample self-check.
+//   C2 (invisibility)  Members of A are invisible: their footprint says so
+//      AND Product::transition_visible agrees (no node/edge/add-ID symbols,
+//      no serialization), so deferring the rest stutters the property
+//      automaton.
+//   C3 (cycle proviso) Handled by the engine, not the selector: BFS assigns
+//      minimal depths, so any cycle in the reduced graph contains an edge
+//      whose target depth is <= its source depth; the engine detects that
+//      edge (an ample successor already visited at the current or a
+//      shallower level) and re-expands its source in full.  See
+//      run_bfs's level-freshness set.
+//
+// Candidate sets are the (processor, block-mask) groups of invisible
+// singleton-processor footprints — e.g. the directory protocol's local
+// request/receive steps of one cache entry.  Selection is deterministic in
+// the state bytes (lexicographic min over (|A|, proc, blocks)); frontier
+// entries are canonical orbit representatives, so the choice is invariant
+// under processor renaming and composes soundly with symmetry reduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/protocol.hpp"
+
+namespace scv {
+
+class Product;
+
+/// Counters for McResult reporting; merged across workers by the engine.
+struct AmpleStats {
+  std::uint64_t ample_states = 0;   ///< states expanded via a proper ample set
+  std::uint64_t full_states = 0;    ///< states expanded in full
+  std::uint64_t proviso_fallbacks = 0;  ///< full expansions forced by C3
+  std::uint64_t deferred_transitions = 0;  ///< enabled transitions pruned
+};
+
+class AmpleSelector {
+ public:
+  /// Inactive selector: select() always reports full expansion.
+  AmpleSelector() = default;
+
+  /// Active iff `enable`, the protocol opts in (por_enabled) and the
+  /// processor count fits the footprint masks.
+  AmpleSelector(const Protocol& protocol, bool enable);
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Chooses an ample set for the state `product` is in, whose enabled
+  /// transitions are `trans`.  On success fills `out` with the ascending
+  /// indices of the members (a strict subset of 0..trans.size()-1) and
+  /// returns true; returns false when selection degenerates to full
+  /// expansion (no candidate group, no valid group, or no group smaller
+  /// than the whole set).  Deterministic in (protocol declarations, trans).
+  bool select(const Product& product, const std::vector<Transition>& trans,
+              std::vector<std::uint32_t>& out);
+
+ private:
+  const Protocol* protocol_ = nullptr;
+  bool active_ = false;
+
+  struct Group {
+    std::uint8_t proc = 0;
+    std::uint32_t blocks = 0;
+    std::vector<std::uint32_t> members;
+  };
+
+  // Scratch, reused across calls to keep the hot loop allocation-free.
+  std::vector<PorFootprint> fps_;
+  std::vector<std::uint8_t> candidate_;
+  std::vector<Group> groups_;
+  std::size_t ngroups_ = 0;  ///< live prefix of groups_ (vectors reused)
+};
+
+}  // namespace scv

@@ -38,6 +38,16 @@ void Product::add_sink(SymbolSink* sink) {
   sinks_.push_back(sink);
 }
 
+bool Product::transition_visible(const Transition& t) const {
+  if (t.action.is_memory_op()) return true;
+  if (t.serialize_loc >= 0) return true;
+  if (obs_ != nullptr && obs_->observer().config().location_mirrored &&
+      !t.copies.empty()) {
+    return true;
+  }
+  return false;
+}
+
 StepOutcome Product::step(const Transition& t, std::vector<Symbol>& symbols,
                           std::string_view action) {
   for (std::size_t c = 0; c < ncomponents_; ++c) {

@@ -266,6 +266,16 @@ class Product {
     proto_.enumerate(out);
   }
 
+  /// True when stepping `t` can feed the observer/checker pipeline: memory
+  /// ops emit node and program-order descriptors, serialize hints fire STo
+  /// and forced edges, and in location-mirrored mode copy labels emit
+  /// add-ID symbols.  The ample rule (DESIGN.md §14) only ever defers
+  /// transitions that are invisible by this test *and* by the protocol's
+  /// own footprint flag — visible steps always expand in full.  State-
+  /// independent by design, so ample selection on the canonical orbit
+  /// representative answers for the whole orbit.
+  [[nodiscard]] bool transition_visible(const Transition& t) const;
+
   /// Steps every component through transition `t`: protocol apply, observer
   /// annotation, symbol broadcast to the sinks, checker verdict poll.
   /// `symbols` is caller-provided scratch that receives the emitted symbols

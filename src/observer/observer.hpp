@@ -85,6 +85,11 @@ class Observer {
   /// range over 1..k+1).  Feed the same k to the checker.
   [[nodiscard]] std::size_t bandwidth() const noexcept { return k_; }
 
+  /// The configuration this observer was built with.  POR visibility
+  /// gating reads location_mirrored: in mirrored mode copy labels emit
+  /// add-ID symbols, so copy-carrying transitions stop being stutters.
+  [[nodiscard]] const ObserverConfig& config() const noexcept { return cfg_; }
+
   /// Processes one protocol transition.  `post_state` is the protocol state
   /// *after* the transition (used for the could_load_bottom hook).  Appends
   /// the emitted descriptor symbols to `out`.

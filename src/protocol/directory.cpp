@@ -273,6 +273,125 @@ void DirectoryProtocol::proc_signature(std::span<const std::uint8_t> state,
   }
 }
 
+std::uint32_t DirectoryProtocol::touched_procs(
+    std::span<const std::uint8_t> state, const Transition& t) const {
+  const Action& a = t.action;
+  if (a.kind == Action::Kind::Load) return 0;
+  if (a.kind == Action::Kind::Store) return 1u << a.op.proc;
+  const std::size_t p = a.arg0;
+  const std::size_t b = a.arg1;
+  switch (a.internal_id) {
+    case kReqS:
+    case kReqX:
+    case kRecv:
+    case kWriteBack:
+      // WriteBack clears the directory entry, but a Modified block's entry
+      // is 0x80|p — only the writer's own membership bit changes.
+      return 1u << p;
+    case kHomeS: {
+      const std::uint8_t d = dir(state, b);
+      return (1u << p) | ((d & 0x80) != 0 ? 1u << (d & 0x7f) : 0u);
+    }
+    case kHomeX: {
+      const std::uint8_t d = dir(state, b);
+      // Requester, plus the owner or every invalidated sharer (their cache
+      // bytes and directory membership both change).
+      return (1u << p) | ((d & 0x80) != 0 ? 1u << (d & 0x7f)
+                                          : static_cast<std::uint32_t>(d));
+    }
+    default:
+      return ~0u;
+  }
+}
+
+namespace {
+/// The purely local, observer-invisible steps POR can defer.
+bool is_local_step(const Action& a) {
+  return a.kind == Action::Kind::Internal &&
+         (a.internal_id == DirectoryProtocol::kReqS ||
+          a.internal_id == DirectoryProtocol::kReqX ||
+          a.internal_id == DirectoryProtocol::kRecv);
+}
+std::uint8_t proc_of(const Action& a) {
+  return a.is_memory_op() ? a.op.proc : a.arg0;
+}
+std::uint8_t block_of(const Action& a) {
+  return a.is_memory_op() ? a.op.block : a.arg1;
+}
+}  // namespace
+
+PorFootprint DirectoryProtocol::por_footprint(const Transition& t) const {
+  const Action& a = t.action;
+  PorFootprint fp;
+  if (a.is_memory_op()) {
+    fp.procs = 1u << a.op.proc;
+    fp.blocks = 1u << a.op.block;
+    fp.serializes =
+        a.kind == Action::Kind::Store ? 1u << a.op.block : 0u;
+    return fp;
+  }
+  switch (a.internal_id) {
+    case kReqS:
+    case kReqX:
+      // Requester-private: flips the requester's own cache-state byte and
+      // nothing else (requests fire only from Invalid, so the requester is
+      // neither a sharer nor the owner, its directory bit is clear and its
+      // reply buffer is empty).  No tracked location moves and no
+      // ⊥-loadability changes, so the observer's retire pass stays silent:
+      // these are the protocol's true stutter steps.
+      fp.visible = false;
+      fp.procs = 1u << a.arg0;
+      fp.blocks = 1u << a.arg1;
+      fp.serializes = 0;
+      return fp;
+    case kRecv:
+      // Also requester-private in its byte footprint (own reply -> own
+      // cache), but NOT invisible: overwriting the cache byte and draining
+      // the reply can retire observer nodes, which emits rebind symbols.
+      // Kept out of ample sets; still declared for the independence
+      // refinement below.
+      fp.procs = 1u << a.arg0;
+      fp.blocks = 1u << a.arg1;
+      fp.serializes = 0;
+      return fp;
+    case kWriteBack:
+      // Owner's cache + the block's memory word and directory entry; the
+      // data copy into memory can retire the overwritten value's node.
+      fp.procs = 1u << a.arg0;
+      fp.blocks = 1u << a.arg1;
+      fp.serializes = 0;
+      return fp;
+    case kHomeS:
+    case kHomeX:
+      // Touches the directory entry, memory word, the requester's reply
+      // buffer and an arbitrary owner's (or every sharer's) cache; the
+      // owner-downgrade writeback can retire nodes.
+      fp.procs = ~0u;
+      fp.blocks = 1u << a.arg1;
+      fp.serializes = 0;
+      return fp;
+    default:
+      return PorFootprint{};  // conservative
+  }
+}
+
+bool DirectoryProtocol::independent(const Transition& t,
+                                    const Transition& u) const {
+  if (!por_conflict(por_footprint(t), por_footprint(u))) return true;
+  // Refinement beyond footprint disjointness: a local request/receive step
+  // of (P,B) commutes with every co-enabled transition touching a
+  // different processor or a different block.  Home transitions never
+  // touch a processor whose request is still un-served (an Invalid or
+  // Waiting processor is neither owner nor — before its HomeS — a sharer),
+  // and while Recv's reply is in flight the block is busy, so no
+  // same-block directory action is co-enabled with it (vacuous cases are
+  // sound: the relation is only consulted on co-enabled pairs).
+  const Action& a = t.action;
+  const Action& b = u.action;
+  if (!is_local_step(a) && !is_local_step(b)) return false;
+  return proc_of(a) != proc_of(b) || block_of(a) != block_of(b);
+}
+
 std::string DirectoryProtocol::action_name(const Action& a) const {
   if (a.is_memory_op()) return Protocol::action_name(a);
   std::ostringstream os;

@@ -47,6 +47,23 @@ class DirectoryProtocol final : public Protocol {
                                       const ProcPerm& perm) const override;
   void proc_signature(std::span<const std::uint8_t> state, ProcId p,
                       ByteWriter& w) const override;
+  [[nodiscard]] std::uint32_t touched_procs(
+      std::span<const std::uint8_t> state, const Transition& t) const override;
+
+  /// Independence declarations (DESIGN.md §14).  The ample candidates are
+  /// the request steps: ReqS/ReqX fire only from Invalid, write only the
+  /// requester's own cache-state byte, and emit no observer symbols — the
+  /// protocol's true stutter steps.  Recv is equally local in its byte
+  /// footprint (own reply -> own cache; while the reply is in flight the
+  /// block is "busy", so no same-block directory action is co-enabled) but
+  /// overwriting the cache byte can retire observer nodes, so it is
+  /// declared visible and only participates in the independence relation,
+  /// not in ample sets.  Local steps commute with every co-enabled
+  /// transition of a different processor.
+  [[nodiscard]] bool por_enabled() const override { return true; }
+  [[nodiscard]] PorFootprint por_footprint(const Transition& t) const override;
+  [[nodiscard]] bool independent(const Transition& t,
+                                 const Transition& u) const override;
 
   enum CacheState : std::uint8_t {
     kInvalid = 0,

@@ -46,6 +46,14 @@ class GetSharedToy final : public Protocol {
   void proc_signature(std::span<const std::uint8_t> state, ProcId p,
                       ByteWriter& w) const override;
 
+  /// Enabled with the conservative base-class declarations: LD/ST carry
+  /// copies or overwrite shared slots, and Get-Shared reads a remote slot,
+  /// so every transition keeps the everything-conflicts default footprint
+  /// and ample sets degenerate to full expansion.  That is intentional —
+  /// the protocol violates SC, and reducing it with a sloppy relation would
+  /// risk losing the Figure 4 counterexample the tests pin down.
+  [[nodiscard]] bool por_enabled() const override { return true; }
+
   static constexpr std::uint8_t kGetShared = 1;
 
   [[nodiscard]] LocId slot_loc(std::size_t p, std::size_t s) const {

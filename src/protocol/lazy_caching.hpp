@@ -61,6 +61,13 @@ class LazyCaching final : public Protocol {
   void proc_signature(std::span<const std::uint8_t> state, ProcId p,
                       ByteWriter& w) const override;
 
+  /// POR stays off: MW broadcasts into every processor's in-queue and CU/MR
+  /// chain through shared FIFO slots, so the honest independence relation is
+  /// nearly empty, and the protocol's deferred ST order makes visibility
+  /// subtle (loads gate on queue emptiness).  Declarations are deferred
+  /// until the queue protocols get a slot-indexed footprint scheme (ROADMAP).
+  [[nodiscard]] bool por_enabled() const override { return false; }
+
   static constexpr std::uint8_t kMemWrite = 1;
   static constexpr std::uint8_t kCacheUpdate = 2;
   static constexpr std::uint8_t kMemRead = 3;

@@ -231,6 +231,46 @@ std::uint32_t MsiBus::touched_procs(std::span<const std::uint8_t> state,
   }
 }
 
+PorFootprint MsiBus::por_footprint(const Transition& t) const {
+  const Action& a = t.action;
+  PorFootprint fp;
+  if (a.is_memory_op()) {
+    // Cache hits touch only the local cache row; the store's trace position
+    // is its ST-order slot (real-time ordering), so stores also claim the
+    // block's serialization resource.
+    fp.procs = 1u << a.op.proc;
+    fp.blocks = 0;
+    fp.serializes =
+        a.kind == Action::Kind::Store ? 1u << a.op.block : 0u;
+    return fp;
+  }
+  switch (a.internal_id) {
+    case kEvict:
+      // Local cache row, plus the memory word on a Modified writeback.
+      // Visible: dropping (or writing back) a tracked copy can retire
+      // observer nodes, which emits rebind symbols — so Evict never anchors
+      // an ample set.  On an atomic bus nothing else is processor-local
+      // either, and POR on this protocol honestly degenerates to full
+      // expansion (DESIGN.md §14); it is registered anyway to exercise the
+      // unreduced path of the machinery.
+      fp.procs = 1u << a.arg0;
+      fp.blocks = 1u << a.arg1;
+      fp.serializes = 0;
+      return fp;
+    case kBusGetS:
+    case kBusGetX:
+      // Snoops every cache on the bus: reads the owner, invalidates or
+      // downgrades remote copies — and which processor that is depends on
+      // the state, so the footprint claims them all.
+      fp.procs = ~0u;
+      fp.blocks = 1u << a.arg1;
+      fp.serializes = 0;
+      return fp;
+    default:
+      return PorFootprint{};
+  }
+}
+
 std::string MsiBus::action_name(const Action& a) const {
   if (a.is_memory_op()) return Protocol::action_name(a);
   std::ostringstream os;

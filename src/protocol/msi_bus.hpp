@@ -61,6 +61,17 @@ class MsiBus final : public Protocol {
   [[nodiscard]] std::uint32_t touched_procs(
       std::span<const std::uint8_t> state, const Transition& t) const override;
 
+  /// Honest independence declarations (DESIGN.md §14) — which on an atomic
+  /// snooping bus buy essentially nothing: every bus action conflicts with
+  /// every same-block transition (it reads or invalidates remote caches),
+  /// and a cache hit or evict always co-exists with a dependent same-cache
+  /// transition, so ample sets degenerate to full expansion.  Declaring
+  /// the footprints anyway keeps the relation uniform across the registry
+  /// and lets R7 verify the bus really is this entangled.  The buggy
+  /// variant stays unreduced so its recorded counterexample is canonical.
+  [[nodiscard]] bool por_enabled() const override { return !buggy_; }
+  [[nodiscard]] PorFootprint por_footprint(const Transition& t) const override;
+
   enum CacheState : std::uint8_t { kInvalid = 0, kShared = 1, kModified = 2 };
   static constexpr std::uint8_t kBusGetS = 1;
   static constexpr std::uint8_t kBusGetX = 2;

@@ -65,6 +65,31 @@ Transition Protocol::permute_transition(const Transition& t,
   return out;
 }
 
+PorFootprint Protocol::por_footprint(const Transition& t) const {
+  PorFootprint fp;  // everything-conflicts default
+  if (!t.action.is_memory_op() || t.serialize_loc >= 0 ||
+      !t.copies.empty()) {
+    return fp;
+  }
+  // A plain LD/ST with no copies and no serialization hint touches its
+  // processor's view of its block; under real-time ST order a store also
+  // claims the block's serialization resource (its trace position *is* the
+  // ST order slot).  This is honest for every bundled protocol: transitions
+  // whose effects reach further (bus snoops, drains) carry copies or are
+  // internal, so they keep the everything-conflicts default.
+  fp.procs = 1u << t.action.op.proc;
+  fp.blocks = 1u << t.action.op.block;
+  fp.serializes =
+      (t.action.kind == Action::Kind::Store && real_time_st_order())
+          ? 1u << t.action.op.block
+          : 0u;
+  return fp;
+}
+
+bool Protocol::independent(const Transition& t, const Transition& u) const {
+  return !por_conflict(por_footprint(t), por_footprint(u));
+}
+
 void Protocol::permute_proc_chunks(std::span<std::uint8_t> state,
                                    std::size_t offset,
                                    std::size_t chunk_bytes,

@@ -154,6 +154,43 @@ struct Transition {
   std::int16_t serialize_loc = -1;
 };
 
+/// Conservative conflict footprint of one transition, the raw material of
+/// the declared independence relation (DESIGN.md §14).  A footprint is an
+/// over-approximation valid in every reachable state where the transition
+/// is enabled: any state the transition reads or writes — including state
+/// that gates its own enabledness — must be covered by one of the masks.
+/// Granularity is deliberately coarse (per processor and per block, not per
+/// location): the bundled protocols' conflicts all factor through "same
+/// processor's private state" or "same block's shared state", and two u32
+/// masks keep the disjointness test two ANDs.
+struct PorFootprint {
+  /// Processors whose private state (caches, buffers, request/reply slots)
+  /// the transition reads or writes, bit p set.
+  std::uint32_t procs = ~0u;
+  /// Blocks whose shared state (memory word, directory entry, bus line)
+  /// the transition reads or writes, bit b set.
+  std::uint32_t blocks = ~0u;
+  /// Blocks whose ST order this transition can extend — the serialization
+  /// resource.  Two transitions serializing the same block never commute
+  /// observably even when their state effects would (the ST order is a
+  /// total order per block).
+  std::uint32_t serializes = ~0u;
+  /// May the transition emit observer symbols (LD/ST nodes, serialization
+  /// events, tracking-pool add-IDs)?  Visible transitions never enter an
+  /// ample set (condition C2): deferring one would reorder the constraint
+  /// graph the checker sees.
+  bool visible = true;
+};
+
+/// Footprint disjointness — the default (sound, conservative) independence
+/// test: transitions touching disjoint processors, disjoint blocks and
+/// disjoint serialization resources commute in every state.
+[[nodiscard]] constexpr bool por_conflict(const PorFootprint& a,
+                                          const PorFootprint& b) noexcept {
+  return (a.procs & b.procs) != 0 || (a.blocks & b.blocks) != 0 ||
+         (a.serializes & b.serializes) != 0;
+}
+
 class Protocol {
  public:
   struct Params {
@@ -253,6 +290,56 @@ class Protocol {
   /// virtual hooks, so it needs no override.
   [[nodiscard]] Transition permute_transition(const Transition& t,
                                               const ProcPerm& perm) const;
+
+  // ----------------------------------------------------------------------
+  // Independence declarations (ample-set partial-order reduction support,
+  // DESIGN.md §14).
+  //
+  // A protocol opting into POR (por_enabled()) declares, per transition, a
+  // conservative *conflict footprint* — which processors' private state,
+  // which blocks' shared state, and which serialization resources the
+  // transition can read or write — and an independence relation built on
+  // it.  independent(t, u) == true promises, for every reachable state s
+  // where both t and u are enabled:
+  //
+  //   * firing t leaves u enabled with the same effect (and vice versa):
+  //     both orders exist and reach the same state — at the *product*
+  //     level, so observer emissions and checker verdicts commute too
+  //     (up to canonical key; retiring an obligation-free tracked node
+  //     earlier or later is confluent);
+  //   * neither order can reject, exceed bandwidth, or trip tracking
+  //     checks unless the other does.
+  //
+  // The relation is consulted only on co-enabled pairs, so pairs that are
+  // never simultaneously enabled may be declared independent vacuously.
+  // Declarations must be renaming-equivariant on symmetric protocols:
+  // independent(π(t), π(u)) == independent(t, u) for every ProcPerm π —
+  // ample selection runs on canonical orbit representatives and relies on
+  // it.  Lint rule R7 samples both promises (commutation on a bounded BFS
+  // sample, equivariance under transpositions); the model checker
+  // additionally cross-validates ample sets against full expansion and
+  // falls back to full exploration if a declaration lies.
+
+  /// Does the protocol vouch for its footprint/independence declarations?
+  /// Default: no — the engine expands every enabled transition.  Protocols
+  /// with deliberately planted bugs should leave this off so recorded
+  /// counterexamples stay canonical across the on/off differential tests.
+  [[nodiscard]] virtual bool por_enabled() const { return false; }
+
+  /// Conservative conflict footprint of `t`; see PorFootprint.  The
+  /// default claims the op's processor and block for memory operations
+  /// (plus the block's serialization resource for stores under real-time
+  /// ST order) and everything for internal actions or transitions carrying
+  /// serialize_loc/copies — sound for any protocol, reducing for none.
+  [[nodiscard]] virtual PorFootprint por_footprint(const Transition& t) const;
+
+  /// Declared independence of two transition instances; see the contract
+  /// above.  Default: footprint disjointness.  Protocols refine this where
+  /// the coarse footprints are too conservative (e.g. purely local
+  /// request/receive steps that commute with every co-enabled transition
+  /// of another processor).  Must be symmetric in its arguments.
+  [[nodiscard]] virtual bool independent(const Transition& t,
+                                         const Transition& u) const;
 
  protected:
   /// Helper for permute_procs implementations: permutes `procs` equal-sized

@@ -44,6 +44,13 @@ class SerialMemory final : public Protocol {
     return 0;
   }
 
+  /// The base-class footprints are exact here: a LD touches only its
+  /// processor/block; a ST additionally claims the block's serialization
+  /// slot.  Every transition is a visible memory op, though, so the ample
+  /// rule (which reduces only invisible steps) never prunes anything —
+  /// serial memory exercises the POR pipeline at zero reduction.
+  [[nodiscard]] bool por_enabled() const override { return true; }
+
  private:
   Params params_;
 };

@@ -54,6 +54,14 @@ class WriteBuffer : public Protocol {
   void proc_signature(std::span<const std::uint8_t> state, ProcId p,
                       ByteWriter& w) const override;
 
+  /// POR stays off for the write-buffer family.  All three variants are SC
+  /// violators (or coherence-only), and their recorded counterexamples are
+  /// byte-pinned by the trace tests; leaving them unreduced keeps those
+  /// runs canonical.  Independence declarations for the drain pipeline are
+  /// deferred (ROADMAP) — buffered STs and Drains chain through the same
+  /// FIFO slots, so the honest relation is nearly empty anyway.
+  [[nodiscard]] bool por_enabled() const override { return false; }
+
   static constexpr std::uint8_t kDrain = 1;  ///< internal action id
 
  private:

@@ -8,6 +8,9 @@ regresses past its floor:
     exact store parity);
   * symmetry reduction: per-point state-reduction floors and a wall-clock
     speedup > 1 (reduction must not decay into pure overhead);
+  * partial-order reduction: per-point floors on the POR-alone and the
+    POR-composed-with-symmetry state reductions (DESIGN.md §14), plus a
+    parity check that every POR configuration reports the same verdict;
   * canonicalization cost: the canonicalize phase share of the fingerprint
     baseline run must stay at or below --max-canon-share (the DESIGN.md §13
     incremental canonicalizer's acceptance threshold);
@@ -34,6 +37,16 @@ STATE_REDUCTION_FLOORS = {
     "msi_bus_p2_full": 1.8,
     "msi_bus_p3_depth12": 3.0,
     "serial_memory_p3_full": 3.0,
+}
+
+# Per-point floors for the POR experiments: (por_alone, composed_with_sym).
+# DirectoryMsi has genuinely local request steps, so POR alone must carry a
+# reduction (measured x2.5 at this point); MsiBus's atomic bus makes every
+# step global, so its POR-alone floor is the honest 1.0 (POR must at least
+# not blow the space up) and the composed floor is carried by symmetry.
+POR_REDUCTION_FLOORS = {
+    "directory_p3_depth12": (1.5, 3.0),
+    "msi_bus_p3_depth12": (1.0, 3.0),
 }
 
 # Speedup floors per thread count for gating scaling rows.  Deliberately
@@ -92,6 +105,32 @@ def main() -> int:
             p["wall_clock_speedup"] > 1.0,
             "%s: wall-clock speedup x%.2f > x1.0"
             % (p["id"], p["wall_clock_speedup"]),
+        )
+
+    # --- partial-order reduction -----------------------------------------
+    por_points = d.get("por", {}).get("points", [])
+    check(bool(por_points), "POR points recorded")
+    for p in por_points:
+        por_floor, comp_floor = POR_REDUCTION_FLOORS.get(p["id"], (1.0, 1.8))
+        check(
+            p.get("por_note", "") == "",
+            "%s: no POR self-check veto (note: %r)"
+            % (p["id"], p.get("por_note", "")),
+        )
+        check(
+            p.get("verdict_parity") is True,
+            "%s: verdict identical across all four POR x symmetry "
+            "configurations" % p["id"],
+        )
+        check(
+            p["por_reduction"] >= por_floor,
+            "%s: POR-alone state reduction x%.2f >= x%.2f"
+            % (p["id"], p["por_reduction"], por_floor),
+        )
+        check(
+            p["composed_reduction"] >= comp_floor,
+            "%s: POR+symmetry state reduction x%.2f >= x%.2f"
+            % (p["id"], p["composed_reduction"], comp_floor),
         )
 
     # --- canonicalization phase share ------------------------------------

@@ -8,21 +8,26 @@
 //   scv_lint                  # lint every registered protocol
 //   scv_lint msi_bus directory
 //   scv_lint --strict         # warnings also fail
-//   scv_lint --list           # print registered protocol ids
+//   scv_lint --list           # print ids with their registered p/b/v and
+//                             # the descriptor bandwidth k each runs under
 //   scv_lint --quiet          # summaries + findings only on failure
 //   scv_lint --json           # machine-readable: one JSON object per line
 //
 // --json emits JSON Lines: one object per finding
 //   {"protocol":...,"rule":...,"severity":...,"message":...}
 // followed by one summary object per protocol
-//   {"protocol":...,"errors":N,"warnings":N,"notes":N,"failed":bool}
-// so CI can annotate findings without scraping the human format.
+//   {"protocol":...,"errors":N,"warnings":N,"notes":N,
+//    "suppressed_rules":[...],"failed":bool}
+// where suppressed_rules lists the rule IDs whose findings overflowed the
+// per-rule cap — CI can tell "this rule fired 16+ times" apart from "this
+// is the complete finding list" without scraping the suppression note.
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/lint.hpp"
+#include "observer/observer.hpp"
 #include "protocol/registry.hpp"
 
 namespace {
@@ -66,13 +71,33 @@ void print_json_report(const scv::LintReport& report, bool failed) {
         json_escape(scv::to_string(f.severity)).c_str(),
         json_escape(f.message).c_str());
   }
+  std::string suppressed;
+  for (const scv::LintRule r : report.suppressed_rules) {
+    if (!suppressed.empty()) suppressed += ",";
+    suppressed += "\"" + json_escape(scv::to_string(r)) + "\"";
+  }
   std::printf(
       "{\"protocol\":\"%s\",\"errors\":%zu,\"warnings\":%zu,\"notes\":%zu,"
-      "\"failed\":%s}\n",
+      "\"suppressed_rules\":[%s],\"failed\":%s}\n",
       json_escape(report.protocol).c_str(),
       report.count(scv::LintSeverity::Error),
       report.count(scv::LintSeverity::Warning),
-      report.count(scv::LintSeverity::Note), failed ? "true" : "false");
+      report.count(scv::LintSeverity::Note), suppressed.c_str(),
+      failed ? "true" : "false");
+}
+
+/// --list: each registry entry with the parameterization it is registered
+/// at (p/b/v from Params) and the descriptor bandwidth k an Observer under
+/// the default configuration would run with — the "p" and "k" a reader of
+/// the paper's O(p·k) bounds wants next to each protocol id.
+void print_list() {
+  for (const scv::RegisteredProtocol& e : scv::protocol_registry()) {
+    const std::unique_ptr<scv::Protocol> proto = e.make();
+    const scv::Protocol::Params& pr = proto->params();
+    const scv::Observer obs(*proto, scv::ObserverConfig{});
+    std::printf("%-24s p=%zu b=%zu v=%zu k=%zu  %s\n", e.id.c_str(), pr.procs,
+                pr.blocks, pr.values, obs.bandwidth(), e.description.c_str());
+  }
 }
 
 }  // namespace
@@ -91,9 +116,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--list") {
-      for (const scv::RegisteredProtocol& e : scv::protocol_registry()) {
-        std::printf("%-24s %s\n", e.id.c_str(), e.description.c_str());
-      }
+      print_list();
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
