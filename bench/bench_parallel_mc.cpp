@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -24,9 +25,11 @@
 #include <sched.h>
 #endif
 
+#include "analysis/lint.hpp"
 #include "core/verifier.hpp"
 #include "protocol/directory.hpp"
 #include "protocol/msi_bus.hpp"
+#include "protocol/registry.hpp"
 #include "protocol/serial_memory.hpp"
 
 namespace {
@@ -34,6 +37,12 @@ namespace {
 using namespace scv;
 
 constexpr std::size_t kMaxStates = 360'000;
+/// State cap for the lint section's reference MC run (directory p2, the
+/// registry protocol with the most expensive skeleton).  The bounded run
+/// strictly underestimates the full p2 verification, so gating analysis
+/// cost against it is conservative: under the ceiling here implies under
+/// the ceiling against the real (much longer) run a fortiori.
+constexpr std::size_t kLintReferenceStates = 2'000'000;
 constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
 // One discarded warmup rep pages the binary in and warms the allocator,
 // then the median of kReps measured runs is reported.  Best-of-N biased
@@ -396,6 +405,60 @@ void json_sym_point(std::ofstream& out, const SymPoint& p) {
   out << "}";
 }
 
+/// Cost of one exhaustive static-analysis pass (`lint_protocol`, skeleton
+/// build + dataflow fixpoints + footprint inference + all eight rules) on a
+/// registry protocol.  The PR 8 claim this section tracks: the analysis is
+/// cheap enough to run unconditionally before every verification, so its
+/// wall time must stay a small fraction of a p2 model-checking run.
+struct LintPoint {
+  std::string id;
+  double seconds = 0;
+  std::size_t states = 0;       ///< skeleton states enumerated
+  std::size_t transitions = 0;  ///< skeleton edges enumerated
+  bool truncated = false;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+};
+
+std::vector<LintPoint> lint_sweep() {
+  std::vector<LintPoint> points;
+  for (const RegisteredProtocol& entry : protocol_registry()) {
+    const auto proto = entry.make();
+    LintPoint p;
+    p.id = entry.id;
+    // Median of kReps, same estimator as measured(): the analysis is
+    // deterministic, only the wall time varies.
+    std::vector<double> secs;
+    LintReport rep;
+    for (int r = 0; r < kReps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      rep = lint_protocol(*proto);
+      secs.push_back(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+    }
+    std::nth_element(secs.begin(), secs.begin() + kReps / 2, secs.end());
+    p.seconds = secs[kReps / 2];
+    p.states = rep.stats.states_sampled;
+    p.transitions = rep.stats.transitions_checked;
+    p.truncated = rep.stats.truncated;
+    p.errors = rep.count(LintSeverity::Error);
+    p.warnings = rep.count(LintSeverity::Warning);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+void json_lint_point(std::ofstream& out, const LintPoint& p,
+                     double ref_seconds) {
+  out << "      {\"id\": \"" << p.id << "\", \"seconds\": " << p.seconds
+      << ", \"states\": " << p.states
+      << ", \"transitions\": " << p.transitions << ", \"truncated\": "
+      << (p.truncated ? "true" : "false") << ", \"errors\": " << p.errors
+      << ", \"warnings\": " << p.warnings << ", \"share_of_reference_mc\": "
+      << (ref_seconds > 0 ? p.seconds / ref_seconds : 0) << "}";
+}
+
 /// Thread-scaling sweep in both store modes plus the fingerprint-vs-exact
 /// memory comparison; emits BENCH_mc.json.
 void run_experiments() {
@@ -460,6 +523,34 @@ void run_experiments() {
   por.push_back(por_point("msi_bus_p3_depth12", MsiBus(3, 1, 1), 12));
   std::printf("\n");
 
+  std::printf("== LINT: exhaustive static analysis cost per registry "
+              "protocol (median of %d reps) ==\n",
+              kReps);
+  const std::vector<LintPoint> lint = lint_sweep();
+  // Reference: a sequential directory p2 MC run bounded at
+  // kLintReferenceStates stored states — same single-threaded engine the
+  // lint pass runs on, so the share is machine-independent to first order.
+  const auto ref_proto = make_registered_protocol("directory");
+  McOptions ref_opt;
+  ref_opt.threads = 1;
+  ref_opt.max_states = kLintReferenceStates;
+  const McResult lint_ref = model_check(*ref_proto, ref_opt);
+  double lint_max_share = 0;
+  for (const LintPoint& p : lint) {
+    const double share =
+        lint_ref.seconds > 0 ? p.seconds / lint_ref.seconds : 0;
+    lint_max_share = std::max(lint_max_share, share);
+    std::printf("  %-22s | %8.4fs | %7zu states %8zu edges | %s | "
+                "%zu err %zu warn | %.2f%% of reference MC\n",
+                p.id.c_str(), p.seconds, p.states, p.transitions,
+                p.truncated ? "TRUNCATED" : "exhaustive", p.errors,
+                p.warnings, 100 * share);
+  }
+  std::printf("  reference: directory p2, 1 thread, %zu states in %.2fs "
+              "(bounded underestimate of the full run)\n\n",
+              lint_ref.states, lint_ref.seconds);
+  std::fflush(stdout);
+
   std::ofstream out("BENCH_mc.json");
   out << "{\n"
       << "  \"bench\": \"bench_parallel_mc\",\n"
@@ -496,6 +587,19 @@ void run_experiments() {
   for (std::size_t i = 0; i < por.size(); ++i) {
     json_por_point(out, por[i]);
     out << (i + 1 < por.size() ? ",\n" : "\n");
+  }
+  out << "    ]\n  },\n"
+      << "  \"lint\": {\n"
+      << "    \"mode\": \"exhaustive\",\n"
+      << "    \"reference\": {\"id\": \"directory_p2\", \"threads\": 1, "
+      << "\"max_states\": " << kLintReferenceStates
+      << ", \"states\": " << lint_ref.states
+      << ", \"seconds\": " << lint_ref.seconds << "},\n"
+      << "    \"max_share_of_reference_mc\": " << lint_max_share << ",\n"
+      << "    \"points\": [\n";
+  for (std::size_t i = 0; i < lint.size(); ++i) {
+    json_lint_point(out, lint[i], lint_ref.seconds);
+    out << (i + 1 < lint.size() ? ",\n" : "\n");
   }
   out << "    ]\n  },\n"
       << "  \"modes\": {\n";

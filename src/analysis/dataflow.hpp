@@ -1,0 +1,80 @@
+// Worklist dataflow solvers over the protocol skeleton (DESIGN.md §15).
+//
+// The lattice is LocSet (powerset of the location alphabet, ordered by
+// inclusion, join = union); transfer functions are the classical gen/kill
+// form f(X) = gen ∪ (X − kill).  Both solvers iterate to the least
+// fixpoint with a FIFO worklist — monotone transfer over a finite lattice,
+// so termination and soundness are the textbook argument.  The graphs the
+// lint rules feed in are skeleton-shaped (node = reachable protocol state,
+// edge = transition with effect sets read off its shape), but the solvers
+// only see the abstract problem, which is what the hand-built-graph unit
+// tests exercise.
+//
+// Two instantiations carry the rules:
+//
+//   * forward may "occupancy" — which locations can hold a tracked store
+//     when control sits at a node.  gen = writes(t), kill = clears(t); a
+//     location stays occupied across a plain overwrite (still holds *a*
+//     store) and empties only on an explicit clear.  The maximum popcount
+//     over all nodes is the live active-node bound rule R3 uses in place
+//     of the static location count.
+//
+//   * backward may "liveness" — which locations' current content can still
+//     be consulted on some path from a node.  gen = reads(t),
+//     kill = writes(t) ∪ clears(t) (both replace the content before any
+//     later read sees it); a location written at an edge whose source node
+//     never has it live afterwards is a dead write.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/skeleton.hpp"
+
+namespace scv::analysis {
+
+/// One gen/kill transfer function f(X) = gen ∪ (X − kill).  Transfers are
+/// stored once and referenced by id: skeleton graphs have millions of edges
+/// but only dozens of distinct transition shapes, so sharing them shrinks
+/// the problem ~6× and keeps the solver's inner loop in cache.
+struct Transfer {
+  LocSet gen;
+  LocSet kill;
+};
+
+/// One flow edge, its transfer given by id into DataflowProblem::transfers.
+struct FlowEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t transfer = 0;
+};
+
+struct DataflowProblem {
+  std::size_t num_nodes = 0;
+  std::vector<Transfer> transfers;
+  std::vector<FlowEdge> edges;
+  /// Seed facts per node (empty vector = bottom everywhere).  Forward
+  /// solving reads entry[n] into the initial fact of n; backward solving
+  /// reads it as the fact holding *at* n regardless of successors.
+  std::vector<LocSet> entry;
+};
+
+/// Least fixpoint of   fact[to] ⊇ gen ∪ (fact[from] − kill)   over all
+/// edges, fact[n] ⊇ entry[n].  Returns one LocSet per node.
+[[nodiscard]] std::vector<LocSet> solve_forward_may(const DataflowProblem& p);
+
+/// Least fixpoint of   fact[from] ⊇ gen ∪ (fact[to] − kill)   over all
+/// edges, fact[n] ⊇ entry[n].
+[[nodiscard]] std::vector<LocSet> solve_backward_may(const DataflowProblem& p);
+
+/// Builds the forward occupancy problem from a skeleton (gen = writes,
+/// kill = clears; the initial state starts empty — no location tracks a
+/// store before the first ST).  Edges with unexplored targets (truncated
+/// skeletons) are skipped; callers gate definiteness on sk.complete.
+[[nodiscard]] DataflowProblem occupancy_problem(const ProtocolSkeleton& sk);
+
+/// Builds the backward liveness problem (gen = reads,
+/// kill = writes ∪ clears).
+[[nodiscard]] DataflowProblem liveness_problem(const ProtocolSkeleton& sk);
+
+}  // namespace scv::analysis

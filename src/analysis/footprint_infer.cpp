@@ -1,0 +1,272 @@
+#include "analysis/footprint_infer.hpp"
+
+#include <bit>
+
+#include "analysis/internal.hpp"
+#include "util/byte_io.hpp"
+#include "util/hash.hpp"
+
+namespace scv::analysis {
+namespace {
+
+/// Union-find over shape ids for the dependence components that become the
+/// ample selector's grouping key.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+InferredPor infer_por(const ProtocolSkeleton& sk) {
+  InferredPor inf;
+  inf.skeleton = &sk;
+  const Protocol& proto = *sk.protocol;
+  const std::size_t n = sk.shapes.size();
+  const std::size_t procs = proto.params().procs;
+  const std::size_t blocks = proto.params().blocks;
+
+  inf.invisible.assign(n, false);
+  inf.proc_support.assign(n, 0);
+  inf.footprints.assign(n, PorFootprint{});  // everything-conflicts default
+
+  if (n > kMaxInferenceShapes) {
+    inf.note = "protocol has " + std::to_string(n) +
+               " transition shapes, above the inference cap of " +
+               std::to_string(kMaxInferenceShapes);
+    return inf;
+  }
+
+  // ---- pairwise diamond sweep -----------------------------------------
+  // One PairInfo per unordered shape pair (upper triangle, i <= j).  The
+  // diamond at a co-enabled state is three table lookups: both one-step
+  // successors are skeleton states, so "u stays enabled after t" is an
+  // edge-row scan and "the orders commute" is comparing the two 4th-corner
+  // state indices.  No enumerate/apply calls at all.
+  inf.pair_matrix.assign(n * (n + 1) / 2, PairInfo{});
+  const auto pair_at = [&](std::uint32_t i, std::uint32_t j) -> PairInfo& {
+    if (i > j) std::swap(i, j);
+    return inf.pair_matrix[static_cast<std::size_t>(i) * n -
+                           static_cast<std::size_t>(i) * (i + 1) / 2 + j];
+  };
+
+  bool swept_truncated = !sk.complete;
+  const std::size_t states = sk.num_states();
+  for (std::size_t s = 0; s < states; ++s) {
+    const std::span<const SkeletonEdge> es = sk.out_edges(s);
+    for (std::size_t a = 0; a + 1 < es.size(); ++a) {
+      for (std::size_t b = a + 1; b < es.size(); ++b) {
+        std::uint32_t lo = es[a].shape;
+        std::uint32_t hi = es[b].shape;
+        std::uint32_t lo_to = es[a].to;
+        std::uint32_t hi_to = es[b].to;
+        if (lo == hi) continue;  // duplicate enumeration, not a pair (R5b)
+        if (lo > hi) {
+          std::swap(lo, hi);
+          std::swap(lo_to, hi_to);
+        }
+        PairInfo& pi = pair_at(lo, hi);
+        if (pi.verdict == PairVerdict::Dependent) continue;
+        ++pi.co_enabled;
+        ++inf.pair_occurrences;
+        if (lo_to == ProtocolSkeleton::npos ||
+            hi_to == ProtocolSkeleton::npos) {
+          swept_truncated = true;
+          continue;
+        }
+        const SkeletonEdge* e1 = sk.edge_with_shape(lo_to, hi);
+        if (e1 == nullptr) {
+          pi.verdict = PairVerdict::Dependent;
+          pi.failure = PairFailure::FirstDisablesSecond;
+          pi.witness_state = static_cast<std::uint32_t>(s);
+          continue;
+        }
+        const SkeletonEdge* e2 = sk.edge_with_shape(hi_to, lo);
+        if (e2 == nullptr) {
+          pi.verdict = PairVerdict::Dependent;
+          pi.failure = PairFailure::SecondDisablesFirst;
+          pi.witness_state = static_cast<std::uint32_t>(s);
+          continue;
+        }
+        if (e1->to == ProtocolSkeleton::npos ||
+            e2->to == ProtocolSkeleton::npos) {
+          swept_truncated = true;
+          continue;
+        }
+        if (e1->to != e2->to) {
+          pi.verdict = PairVerdict::Dependent;
+          pi.failure = PairFailure::Divergence;
+          pi.witness_state = static_cast<std::uint32_t>(s);
+          continue;
+        }
+        pi.verdict = PairVerdict::Independent;
+      }
+    }
+  }
+  inf.relation_definite = !swept_truncated;
+
+  // ---- invisibility ----------------------------------------------------
+  // The per-block could_load_bottom mask fits one word for every realistic
+  // parameterization (the selector itself requires blocks <= 32).
+  bool any_candidate = false;
+  for (const TransitionShape& sh : sk.shapes) {
+    any_candidate |= !sh.statically_visible;
+  }
+  if (!any_candidate) {
+    inf.invisibility_definite = inf.relation_definite;
+  } else if (blocks <= 64 && sk.complete) {
+    std::vector<std::uint64_t> clb(states, 0);
+    for (std::size_t s = 0; s < states; ++s) {
+      std::uint64_t mask = 0;
+      for (std::size_t b = 0; b < blocks; ++b) {
+        if (proto.could_load_bottom(sk.state(s), static_cast<BlockId>(b))) {
+          mask |= 1ULL << b;
+        }
+      }
+      clb[s] = mask;
+    }
+    std::vector<bool> stable(n, true);
+    for (std::size_t s = 0; s < states; ++s) {
+      for (const SkeletonEdge& e : sk.out_edges(s)) {
+        if (sk.shapes[e.shape].statically_visible) continue;
+        if (e.to == ProtocolSkeleton::npos || clb[s] != clb[e.to]) {
+          stable[e.shape] = false;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      inf.invisible[i] = !sk.shapes[i].statically_visible && stable[i];
+    }
+    inf.invisibility_definite = inf.relation_definite;
+  }
+
+  // ---- processor support + footprints ----------------------------------
+  if (!sk.complete) {
+    inf.note = "skeleton enumeration was truncated before exhausting the "
+               "reachable control skeleton";
+    return inf;
+  }
+  if (procs > 32) {
+    inf.note = "processor count " + std::to_string(procs) +
+               " exceeds the 32-bit footprint mask";
+    return inf;
+  }
+  if (!inf.invisibility_definite) {
+    inf.note = "invisibility could not be verified exhaustively";
+    return inf;
+  }
+
+  // Write-support of the invisible candidates: p is in support(t) iff
+  // firing t changes processor p's proc_signature on some reachable edge.
+  // (Transposition probing cannot express this — at procs == 2 the single
+  // swap moves every processor-naming shape, so every support would come
+  // out as "both".)  Guard dependence on *other* processors needs no bit
+  // here: it surfaces as Dependent pairs, which ample validation consults
+  // directly.  A protocol with the default empty signature yields empty
+  // supports, which simply disqualifies its shapes from ample candidacy.
+  bool any_invisible = false;
+  for (std::size_t i = 0; i < n; ++i) any_invisible |= inf.invisible[i];
+  if (any_invisible) {
+    // Signatures hashed once per (state, processor) — candidate shapes
+    // cover most edges (that is the point of deferring them), so caching
+    // beats rebuilding two signatures per edge endpoint.
+    std::vector<std::uint64_t> sig_hash(states * procs);
+    ByteWriter sig;
+    for (std::size_t s = 0; s < states; ++s) {
+      for (std::size_t p = 0; p < procs; ++p) {
+        sig.clear();
+        proto.proc_signature(sk.state(s), static_cast<ProcId>(p), sig);
+        sig_hash[s * procs + p] =
+            fnv1a64({sig.data().data(), sig.data().size()});
+      }
+    }
+    for (std::size_t s = 0; s < states; ++s) {
+      for (const SkeletonEdge& e : sk.out_edges(s)) {
+        if (!inf.invisible[e.shape] ||
+            e.to == static_cast<std::uint32_t>(s)) {
+          continue;
+        }
+        std::uint32_t& support = inf.proc_support[e.shape];
+        for (std::size_t p = 0; p < procs; ++p) {
+          if (sig_hash[s * procs + p] != sig_hash[e.to * procs + p]) {
+            support |= 1u << p;
+          }
+        }
+      }
+    }
+  }
+
+  // Ample candidates: exhaustively invisible, one processor's private step.
+  // Their grouping key is the dependence component — mutually dependent
+  // candidates must enter an ample set together, so they share a component
+  // id in the footprint's blocks field (the selector only compares it for
+  // equality and deterministic tie-breaks).
+  UnionFind components(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!inf.invisible[i]) continue;
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (!inf.invisible[j]) continue;
+      if (pair_at(i, j).verdict == PairVerdict::Dependent) {
+        components.unite(i, j);
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!inf.invisible[i] || !std::has_single_bit(inf.proc_support[i])) {
+      continue;
+    }
+    inf.footprints[i] = PorFootprint{inf.proc_support[i],
+                                     /*blocks=*/components.find(i),
+                                     /*serializes=*/0, /*visible=*/false};
+  }
+
+  inf.usable = true;
+  return inf;
+}
+
+std::string describe_pair_failure(const ProtocolSkeleton& sk,
+                                  const InferredPor& inf, std::uint32_t i,
+                                  std::uint32_t j) {
+  if (i > j) std::swap(i, j);
+  const PairInfo& pi = inf.pair(i, j);
+  const Protocol& proto = *sk.protocol;
+  const std::string an_i = proto.action_name(sk.shapes[i].rep.action);
+  const std::string an_j = proto.action_name(sk.shapes[j].rep.action);
+  switch (pi.failure) {
+    case PairFailure::FirstDisablesSecond:
+      return "'" + an_i + "' disables co-enabled '" + an_j +
+             "' declared independent of it";
+    case PairFailure::SecondDisablesFirst:
+      return "'" + an_j + "' disables co-enabled '" + an_i +
+             "' declared independent of it";
+    case PairFailure::Divergence:
+      return "declared-independent pair '" + an_i + "' / '" + an_j +
+             "' does not commute: the two execution orders reach different "
+             "protocol states";
+    case PairFailure::Truncated:
+      return "pair '" + an_i + "' / '" + an_j +
+             "' could not be verified: a diamond corner fell outside the "
+             "truncated skeleton";
+    case PairFailure::None: break;
+  }
+  return {};
+}
+
+}  // namespace scv::analysis

@@ -1,0 +1,133 @@
+// Static POR-footprint inference over the protocol skeleton (DESIGN.md §15).
+//
+// Partial-order reduction rests on two per-transition promises (DESIGN.md
+// §14): an *independence* relation (co-enabled independent pairs commute —
+// the diamond) and an *invisibility* bit (the transition emits no observer
+// symbols and changes nothing the observer can later distinguish).  PR 7
+// took both on trust from hand-written declarations, checked by sampling.
+// This pass computes both from the skeleton, exhaustively:
+//
+//   * pairwise relation — for every unordered pair of transition shapes,
+//     sweep every reachable state where both are enabled and check the
+//     diamond by pure table lookups (the two one-step successors are
+//     skeleton states; commutation is "the same 4th corner").  A pair is
+//     Independent only when the diamond holds at EVERY co-enabled state;
+//     one failure anywhere makes it Dependent with a concrete witness.
+//     Pairs never co-enabled stay vacuous (the relation is only ever
+//     consulted on co-enabled pairs).
+//
+//   * invisibility — a shape with no memory op, no serialize_loc and no
+//     copy entries emits no observer symbol and moves no mirrored tracking
+//     state (Product::transition_visible is static in exactly these
+//     labels).  The remaining channel is could_load_bottom: the observer
+//     keeps ⊥-load obligations alive while it holds, so a transition
+//     flipping it changes observable behavior.  The pass verifies
+//     could_load_bottom(pre, b) == could_load_bottom(post, b) for every
+//     block on EVERY edge of the shape.
+//
+//   * processor support — the processors whose private state a shape
+//     writes, read off the skeleton semantically: p ∈ support(t) iff
+//     firing t changes proc_signature(·, p) on some reachable edge.  Ample
+//     candidacy needs a singleton support (the transition is one
+//     processor's private step); guard dependence on other processors
+//     needs no support bit because it surfaces as Dependent pairs, which
+//     ample validation consults directly.
+//
+// The verified artifacts feed two consumers: lint rules R7/R8 compare the
+// declared relation/footprints against the inferred truth (a declared
+// independence the sweep falsified is a definite R7; a declared dependence
+// or visibility the sweep refuted, where the precision would actually buy
+// reduction, is an R8 imprecision note), and McOptions::inferred_footprints
+// lets the model checker run ample-set POR from the inferred relation with
+// no hand declarations at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/skeleton.hpp"
+
+namespace scv::analysis {
+
+/// Exhaustive verdict for one unordered shape pair.
+enum class PairVerdict : std::uint8_t {
+  NeverCoEnabled,  ///< vacuous — no reachable state enables both
+  Independent,     ///< co-enabled somewhere, diamond holds everywhere
+  Dependent,       ///< diamond falsified at `witness_state`
+};
+
+/// How a Dependent pair failed (for diagnostics).
+enum class PairFailure : std::uint8_t {
+  None,
+  FirstDisablesSecond,  ///< firing i removes j from the enabled set
+  SecondDisablesFirst,
+  Divergence,           ///< both orders exist but reach different states
+  Truncated,            ///< a diamond corner fell outside a capped skeleton
+};
+
+struct PairInfo {
+  PairVerdict verdict = PairVerdict::NeverCoEnabled;
+  PairFailure failure = PairFailure::None;
+  std::uint32_t witness_state = 0;  ///< falsifying (Dependent) state index
+  std::uint32_t co_enabled = 0;     ///< states enabling both shapes
+};
+
+struct InferredPor {
+  const ProtocolSkeleton* skeleton = nullptr;
+
+  /// Pair relation valid (skeleton complete, shape count within cap):
+  /// Independent/Dependent verdicts are then exhaustive truths.
+  bool relation_definite = false;
+  /// Invisibility verified (needs relation_definite and procs*blocks small
+  /// enough for the per-state could_load_bottom mask).
+  bool invisibility_definite = false;
+  /// Footprints usable for ample selection (needs the two above plus a
+  /// processor count that fits the footprint masks).
+  bool usable = false;
+  std::string note;  ///< why not usable; empty when usable
+
+  /// Per shape: exhaustively verified observer-invisible.
+  std::vector<bool> invisible;
+  /// Per shape: signature write-support mask (computed for invisible
+  /// shapes; zero elsewhere).
+  std::vector<std::uint32_t> proc_support;
+  /// Per shape: footprint for the ample selector.  Invisible singleton-
+  /// support shapes carry {1<<p, dependence-component id, 0, false};
+  /// everything else conflicts with everything (sound, reducing nothing).
+  std::vector<PorFootprint> footprints;
+
+  /// Upper-triangle pair matrix (i <= j), indexed via pair().
+  std::vector<PairInfo> pair_matrix;
+  std::uint64_t pair_occurrences = 0;  ///< co-enabled instances swept
+
+  [[nodiscard]] const PairInfo& pair(std::uint32_t i, std::uint32_t j) const {
+    const std::size_t n = skeleton->shapes.size();
+    if (i > j) std::swap(i, j);
+    return pair_matrix[i * n - i * (i + 1) / 2 + j];
+  }
+  /// The relation the oracle consults: never-falsified (vacuous pairs are
+  /// independent by the declared-relation contract, which this mirrors).
+  [[nodiscard]] bool independent(std::uint32_t i, std::uint32_t j) const {
+    return pair(i, j).verdict != PairVerdict::Dependent;
+  }
+};
+
+/// Shape-count cap for the quadratic pair matrix; far above every bundled
+/// protocol, and a protocol past it simply reports inference as unusable.
+inline constexpr std::size_t kMaxInferenceShapes = 4096;
+
+/// Runs the exhaustive sweep.  Always fills the pair matrix and
+/// invisibility (with definiteness flags reflecting skeleton completeness);
+/// fills proc support and footprints only on complete skeletons.
+[[nodiscard]] InferredPor infer_por(const ProtocolSkeleton& skeleton);
+
+/// Human-readable description of a Dependent pair's failure, phrased like
+/// the legacy R7 sampler's messages ("'A' disables co-enabled 'B' …").
+[[nodiscard]] std::string describe_pair_failure(const ProtocolSkeleton& sk,
+                                                const InferredPor& inf,
+                                                std::uint32_t i,
+                                                std::uint32_t j);
+
+}  // namespace scv::analysis

@@ -1,4 +1,5 @@
-// R7: declared-independence commutation check.
+// R7 (declared-independence vs the inferred conflict relation) and R8
+// (declared-footprint imprecision).
 //
 // A protocol opting into partial-order reduction (por_enabled()) declares
 // an independence relation via independent(t, u).  The ample-set engine
@@ -6,81 +7,75 @@
 // independent pairs: neither transition disables the other, and the two
 // execution orders reach the same protocol state.  A false declaration
 // would let an ample set skip a transition whose interleaving matters —
-// the classical way POR goes unsound.  This pass samples the promise on a
-// deterministic walk instead of trusting it, mirroring the R6 symmetry
-// check; the model checker additionally runs its own product-level self
-// check (observer symbols included) before enabling POR, so a wrong
+// the classical way POR goes unsound.  PR 7 sampled the promise on a
+// bounded walk; over the exhaustive skeleton the inferred relation of
+// DESIGN.md §15 *decides* it — every reachable co-enabled pair is swept,
+// so a clean R7 is a theorem about the protocol half of the obligation,
+// not evidence.  The model checker additionally runs its own product-level
+// self-check (observer symbols included) before enabling POR, so a wrong
 // declaration is caught twice, at lint time and at verification time.
+//
+// R8 is the dual direction: a declaration may be sound but needlessly
+// coarse.  A shape the inference proves observer-invisible and private to
+// one processor on every reachable edge, yet declared visible (the
+// everything-conflicts default), can never enter an ample set — the
+// protocol pays full-interleaving cost for no soundness gain.  That is a
+// note, not a warning: coarseness costs states, never correctness.
 //
 // Transitions are matched across states by their full serialized identity
 // (action, location labels, sorted copy entries): two transitions with the
 // same action but different copy plumbing move tracked values differently
 // and must not be conflated.
+#include <bit>
 #include <cstdint>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "analysis/footprint_infer.hpp"
 #include "analysis/internal.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/skeleton.hpp"
 #include "protocol/protocol.hpp"
 
 namespace scv {
 
 namespace {
 
-using analysis::encode_transition;
+using analysis::InferredPor;
+using analysis::PairInfo;
+using analysis::PairVerdict;
+using analysis::ProtocolSkeleton;
 
-bool contains_transition(const std::vector<Transition>& set,
-                         const std::string& key) {
-  for (const Transition& t : set) {
-    if (encode_transition(t) == key) return true;
+/// Declared independence memoized per unordered shape pair (the relation
+/// is a function of the two transitions' full identities, which is what a
+/// shape is).  Values: each direction queried once.
+struct DeclaredRelation {
+  std::size_t n = 0;
+  std::vector<std::uint8_t> fwd;  ///< independent(rep_i, rep_j), i<=j
+  std::vector<std::uint8_t> rev;  ///< independent(rep_j, rep_i), i<=j
+
+  DeclaredRelation(const Protocol& proto, const ProtocolSkeleton& sk)
+      : n(sk.shapes.size()),
+        fwd(n * (n + 1) / 2, 0),
+        rev(n * (n + 1) / 2, 0) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = i; j < n; ++j) {
+        const std::size_t at = idx(i, j);
+        fwd[at] = proto.independent(sk.shapes[i].rep, sk.shapes[j].rep);
+        rev[at] = proto.independent(sk.shapes[j].rep, sk.shapes[i].rep);
+      }
+    }
   }
-  return false;
-}
-
-/// Checks one declared-independent ordered pair (t, u) co-enabled in
-/// `state`.  Returns an empty string or the first violation.
-std::string check_pair(const Protocol& proto,
-                       const std::vector<std::uint8_t>& state,
-                       const Transition& t, const Transition& u) {
-  const std::string key_t = encode_transition(t);
-  const std::string key_u = encode_transition(u);
-
-  if (!proto.independent(u, t)) {
-    return "declared independence is asymmetric: independent('" +
-           proto.action_name(t.action) + "', '" + proto.action_name(u.action) +
-           "') holds but the swapped pair does not";
+  [[nodiscard]] std::size_t idx(std::uint32_t i, std::uint32_t j) const {
+    if (i > j) std::swap(i, j);
+    return static_cast<std::size_t>(i) * n -
+           static_cast<std::size_t>(i) * (i + 1) / 2 + j;
   }
-
-  std::vector<std::uint8_t> via_t(state);
-  proto.apply(via_t, t);
-  std::vector<Transition> enabled;
-  proto.enumerate(via_t, enabled);
-  if (!contains_transition(enabled, key_u)) {
-    return "'" + proto.action_name(t.action) + "' disables co-enabled '" +
-           proto.action_name(u.action) + "' declared independent of it";
+  /// independent(rep_i, rep_j) in argument order.
+  [[nodiscard]] bool forward(std::uint32_t i, std::uint32_t j) const {
+    return i <= j ? fwd[idx(i, j)] : rev[idx(j, i)];
   }
-  proto.apply(via_t, u);
-
-  std::vector<std::uint8_t> via_u(state);
-  proto.apply(via_u, u);
-  enabled.clear();
-  proto.enumerate(via_u, enabled);
-  if (!contains_transition(enabled, key_t)) {
-    return "'" + proto.action_name(u.action) + "' disables co-enabled '" +
-           proto.action_name(t.action) + "' declared independent of it";
-  }
-  proto.apply(via_u, t);
-
-  if (via_t != via_u) {
-    return "declared-independent pair '" + proto.action_name(t.action) +
-           "' / '" + proto.action_name(u.action) +
-           "' does not commute: the two execution orders reach different "
-           "protocol states";
-  }
-  return {};
-}
+};
 
 }  // namespace
 
@@ -91,71 +86,182 @@ IndependenceCheckResult check_independence(
   res.applicable = res.declared;
   if (!res.applicable) return res;
 
-  // Bounded BFS sample of the protocol's own state space (same shape as
-  // the lint driver's control-skeleton sample): breadth-first order reaches
-  // the multi-processor-pending states where independent pairs are actually
-  // co-enabled, which a single sample walk serializes past.
-  std::unordered_set<std::string> visited;
-  std::vector<std::vector<std::uint8_t>> states;
-  std::vector<std::uint8_t> init(proto.state_size());
-  proto.initial_state(init);
-  visited.emplace(reinterpret_cast<const char*>(init.data()), init.size());
-  states.push_back(std::move(init));
+  // One skeleton enumeration decides the relation for every reachable
+  // co-enabled pair (with the default exhaustive caps): the diamond at
+  // each state is pure table lookups, exactly like infer_por's sweep, but
+  // restricted to pairs the protocol actually declares independent.
+  analysis::SkeletonBuildOptions sopt;
+  sopt.max_states = options.max_states;
+  sopt.max_depth = options.max_depth;
+  const ProtocolSkeleton sk = analysis::build_skeleton(proto, sopt);
+  res.states_checked = sk.num_states();
+  bool truncation_skips = !sk.complete;
 
-  std::vector<Transition> enabled;
-  std::size_t cursor = 0;
-  std::size_t depth_end = 1;
-  std::size_t depth = 0;
-  while (cursor < states.size()) {
-    if (cursor == depth_end) {
-      depth_end = states.size();
-      if (++depth >= options.max_depth) break;
-    }
-    // Copy, not reference: `states` may reallocate as successors append.
-    const std::vector<std::uint8_t> cur = states[cursor++];
-    enabled.clear();
-    proto.enumerate(cur, enabled);
-    ++res.states_checked;
-    for (std::size_t i = 0; i < enabled.size(); ++i) {
-      for (std::size_t j = i + 1; j < enabled.size(); ++j) {
-        if (!proto.independent(enabled[i], enabled[j])) continue;
+  const DeclaredRelation declared(proto, sk);
+
+  for (std::size_t s = 0; s < sk.num_states(); ++s) {
+    const std::span<const analysis::SkeletonEdge> row = sk.out_edges(s);
+    for (std::size_t a = 0; a < row.size(); ++a) {
+      for (std::size_t b = a + 1; b < row.size(); ++b) {
+        const std::uint32_t i = row[a].shape;
+        const std::uint32_t j = row[b].shape;
+        if (i == j) continue;  // duplicate enumeration (R5b), not a pair
+        const bool ij = declared.forward(i, j);
+        const bool ji = declared.forward(j, i);
+        if (!ij && !ji) continue;
         ++res.pairs_checked;
-        std::string bad = check_pair(proto, cur, enabled[i], enabled[j]);
-        if (!bad.empty()) {
+        const std::string an_i = proto.action_name(sk.shapes[i].rep.action);
+        const std::string an_j = proto.action_name(sk.shapes[j].rep.action);
+        if (ij != ji) {
+          const std::string& an_t = ij ? an_i : an_j;
+          const std::string& an_u = ij ? an_j : an_i;
           res.ok = false;
-          res.detail = bad + " [sample state " +
-                       std::to_string(res.states_checked) + "]";
+          res.detail = "declared independence is asymmetric: independent('" +
+                       an_t + "', '" + an_u +
+                       "') holds but the swapped pair does not [reachable "
+                       "state " +
+                       std::to_string(s) + "]";
+          return res;
+        }
+        // Diamond by table lookups; corners outside a truncated skeleton
+        // degrade the pass to bounded evidence instead of failing it.
+        if (row[a].to == ProtocolSkeleton::npos ||
+            row[b].to == ProtocolSkeleton::npos) {
+          truncation_skips = true;
+          continue;
+        }
+        const analysis::SkeletonEdge* e1 = sk.edge_with_shape(row[a].to, j);
+        if (e1 == nullptr) {
+          res.ok = false;
+          res.detail = "'" + an_i + "' disables co-enabled '" + an_j +
+                       "' declared independent of it [reachable state " +
+                       std::to_string(s) + "]";
+          return res;
+        }
+        const analysis::SkeletonEdge* e2 = sk.edge_with_shape(row[b].to, i);
+        if (e2 == nullptr) {
+          res.ok = false;
+          res.detail = "'" + an_j + "' disables co-enabled '" + an_i +
+                       "' declared independent of it [reachable state " +
+                       std::to_string(s) + "]";
+          return res;
+        }
+        if (e1->to == ProtocolSkeleton::npos ||
+            e2->to == ProtocolSkeleton::npos) {
+          truncation_skips = true;
+          continue;
+        }
+        if (e1->to != e2->to) {
+          res.ok = false;
+          res.detail = "declared-independent pair '" + an_i + "' / '" +
+                       an_j +
+                       "' does not commute: the two execution orders reach "
+                       "different protocol states [reachable state " +
+                       std::to_string(s) + "]";
           return res;
         }
       }
     }
-    for (const Transition& t : enabled) {
-      if (states.size() >= options.max_states) break;
-      std::vector<std::uint8_t> succ = cur;
-      proto.apply(succ, t);
-      if (visited
-              .emplace(reinterpret_cast<const char*>(succ.data()), succ.size())
-              .second) {
-        states.push_back(std::move(succ));
-      }
-    }
   }
+  res.definite = !truncation_skips;
   return res;
 }
 
 namespace analysis {
 
 void check_por_independence(LintContext& ctx) {
+  if (!ctx.rule_selected(LintRule::R7_Independence)) return;
   const Protocol& proto = *ctx.protocol;
-  if (!proto.por_enabled()) return;
-  const IndependenceCheckResult res = check_independence(proto);
-  if (!res.ok) {
-    ctx.add(LintRule::R7_Independence, LintSeverity::Warning,
-            "declared independence fails the commutation check: " +
-                res.detail +
-                "; the model checker's pre-run self-check will veto "
-                "partial-order reduction and fall back to full expansion",
-            "commutation");
+  RuleCoverage& cov = ctx.coverage(LintRule::R7_Independence);
+  cov.ran = true;
+  if (!proto.por_enabled()) {
+    cov.definite = true;  // vacuous: no relation declared
+    return;
+  }
+  const ProtocolSkeleton& sk = *ctx.skeleton;
+  const InferredPor& inf = *ctx.inferred;
+  cov.definite = inf.relation_definite;
+  cov.states = sk.num_states();
+
+  const DeclaredRelation declared(proto, sk);
+  const std::size_t n = sk.shapes.size();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      const PairInfo& pi = inf.pair(i, j);
+      if (pi.co_enabled == 0) continue;
+      const bool ij = declared.forward(i, j);
+      const bool ji = declared.forward(j, i);
+      if (!ij && !ji) continue;
+      ++cov.checked;
+      const std::string an_i = proto.action_name(sk.shapes[i].rep.action);
+      const std::string an_j = proto.action_name(sk.shapes[j].rep.action);
+      if (ij != ji) {
+        const std::string& an_t = ij ? an_i : an_j;
+        const std::string& an_u = ij ? an_j : an_i;
+        ctx.add(LintRule::R7_Independence, LintSeverity::Warning,
+                "declared independence is asymmetric: independent('" + an_t +
+                    "', '" + an_u +
+                    "') holds but the swapped pair does not; the model "
+                    "checker's pre-run self-check will veto partial-order "
+                    "reduction and fall back to full expansion",
+                "asym:" + an_i + "/" + an_j);
+        continue;
+      }
+      if (pi.verdict == PairVerdict::Dependent) {
+        ctx.add(LintRule::R7_Independence, LintSeverity::Warning,
+                "declared independence fails the commutation check: " +
+                    describe_pair_failure(sk, inf, i, j) +
+                    " [reachable state " +
+                    std::to_string(pi.witness_state) +
+                    "]; the model checker's pre-run self-check will veto "
+                    "partial-order reduction and fall back to full "
+                    "expansion",
+                "commutation:" + an_i + "/" + an_j);
+      }
+    }
+  }
+}
+
+void check_footprint_precision(LintContext& ctx) {
+  if (!ctx.rule_selected(LintRule::R8_FootprintImprecision)) return;
+  const Protocol& proto = *ctx.protocol;
+  RuleCoverage& cov = ctx.coverage(LintRule::R8_FootprintImprecision);
+  cov.ran = true;
+  if (!proto.por_enabled()) {
+    cov.definite = true;  // no POR, so coarseness costs nothing
+    return;
+  }
+  const ProtocolSkeleton& sk = *ctx.skeleton;
+  const InferredPor& inf = *ctx.inferred;
+  if (!inf.usable) {
+    // Imprecision claims need the exhaustive inference; without it the
+    // pass stays silent rather than guessing.
+    cov.definite = false;
+    return;
+  }
+  cov.definite = true;
+  cov.states = sk.num_states();
+
+  const std::size_t n = sk.shapes.size();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!inf.invisible[i] || !std::has_single_bit(inf.proc_support[i])) {
+      continue;
+    }
+    ++cov.checked;
+    const PorFootprint fp = proto.por_footprint(sk.shapes[i].rep);
+    if (!fp.visible) continue;
+    const std::string an = proto.action_name(sk.shapes[i].rep.action);
+    const auto p = std::countr_zero(inf.proc_support[i]);
+    ctx.add(LintRule::R8_FootprintImprecision, LintSeverity::Note,
+            "'" + an +
+                "' is declared observer-visible (the everything-conflicts "
+                "default) but is provably invisible and private to "
+                "processor " +
+                std::to_string(p) +
+                " on every reachable edge; a tighter por_footprint() — or "
+                "running with McOptions::inferred_footprints — would let "
+                "it enter ample sets",
+            "coarse:" + an);
   }
 }
 

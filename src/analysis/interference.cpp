@@ -81,8 +81,14 @@ bool same_enabled(const std::vector<Transition>& a,
 }  // namespace
 
 void check_interference(LintContext& ctx) {
+  if (!ctx.rule_selected(LintRule::R4_ObserverInterference)) return;
   const Protocol& proto = *ctx.protocol;
   const LintOptions& opt = *ctx.options;
+  RuleCoverage& cov = ctx.coverage(LintRule::R4_ObserverInterference);
+  cov.ran = true;
+  // Differential walks are inherently sampled: the obligation quantifies
+  // over all augmented runs, which no skeleton enumeration covers.
+  cov.definite = false;
 
   // Constructing a real Observer aborts beyond its capacity limits; report
   // instead of crashing the linter (verification would be impossible too).
@@ -115,6 +121,7 @@ void check_interference(LintContext& ctx) {
     std::vector<Transition> aug_enabled;
     std::vector<Transition> ops;
     ++ctx.report->stats.prefixes_walked;
+    ++cov.checked;
 
     for (std::size_t step = 0; step < opt.walk_steps; ++step) {
       bare_enabled.clear();
@@ -153,10 +160,21 @@ void check_interference(LintContext& ctx) {
           // Not interference: the configured bandwidth ran out on a legal
           // prefix.  R3's static bound already warns about this shape; the
           // model checker reports it precisely (BandwidthExceeded), so a
-          // warning with the dynamic evidence is the honest verdict.
+          // warning with the dynamic evidence is the honest verdict.  The
+          // finding names the configured bandwidth k — the number the user
+          // must raise — not just the step it died at.
+          const std::size_t pool =
+              opt.observer.pool_size != 0
+                  ? opt.observer.pool_size
+                  : Observer::default_pool_size(proto);
+          const std::size_t k = opt.observer.location_mirrored
+                                    ? proto.params().locations + pool
+                                    : pool;
           ctx.add(LintRule::R3_Bandwidth, LintSeverity::Warning,
                   augmentation->name() +
-                      " exhausted its capacity on a sampled prefix (" +
+                      " exhausted its configured bandwidth k=" +
+                      std::to_string(k) + " (ID pool " +
+                      std::to_string(pool) + ") on a sampled prefix (" +
                       augmentation->error() + " at step " +
                       std::to_string(step) + " of prefix " +
                       std::to_string(walk) +

@@ -1,8 +1,8 @@
 #include "analysis/lint.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
-#include <unordered_set>
 
 #include "analysis/internal.hpp"
 #include "util/assert.hpp"
@@ -18,6 +18,7 @@ std::string to_string(LintRule r) {
     case LintRule::R5_DeadTransitions: return "R5:dead-transitions";
     case LintRule::R6_ProcessorSymmetry: return "R6:processor-symmetry";
     case LintRule::R7_Independence: return "R7:independence";
+    case LintRule::R8_FootprintImprecision: return "R8:footprint-imprecision";
   }
   return "?";
 }
@@ -29,6 +30,15 @@ std::string to_string(LintSeverity s) {
     case LintSeverity::Error: return "error";
   }
   return "?";
+}
+
+bool parse_lint_rule(const std::string& text, LintRule& out) {
+  if (text.size() < 2 || (text[0] != 'R' && text[0] != 'r')) return false;
+  if (text[1] < '1' || text[1] > '8') return false;
+  if (text.size() > 2 && text[2] != ':') return false;
+  out = static_cast<LintRule>(text[1] - '1');
+  // A full id like "R2:location-liveness" must match the canonical name.
+  return text.size() <= 2 || to_string(out) == text;
 }
 
 std::size_t LintReport::count(LintSeverity s) const {
@@ -48,7 +58,8 @@ std::string LintReport::summary() const {
   os << protocol << ": " << count(LintSeverity::Error) << " error(s), "
      << count(LintSeverity::Warning) << " warning(s) (" << stats.states_sampled
      << " states, " << stats.transitions_checked << " transitions, "
-     << stats.prefixes_walked << " prefixes"
+     << stats.prefixes_walked << " prefixes, "
+     << (stats.exhaustive ? "exhaustive" : "sampled")
      << (stats.truncated ? ", truncated sample" : "") << ")";
   return os.str();
 }
@@ -91,54 +102,6 @@ void LintContext::add(LintRule rule, LintSeverity severity,
 
 namespace {
 
-/// Bounded breadth-first sample of the protocol's own state space (no
-/// observer, no checker): the canonical control skeleton the structural
-/// rules enumerate transitions from.  Deliberately capped — the linter's
-/// job is to look at every *shape* of transition, not every state.
-void sample_states(LintContext& ctx) {
-  const Protocol& proto = *ctx.protocol;
-  const LintOptions& opt = *ctx.options;
-  std::unordered_set<std::string> visited;
-
-  std::vector<std::uint8_t> init(proto.state_size());
-  proto.initial_state(init);
-  visited.emplace(reinterpret_cast<const char*>(init.data()), init.size());
-  ctx.states.push_back(std::move(init));
-
-  std::vector<Transition> enabled;
-  std::size_t cursor = 0;   // BFS via index into ctx.states
-  std::size_t depth_end = 1;  // first index beyond the current BFS level
-  std::size_t depth = 0;
-  while (cursor < ctx.states.size()) {
-    if (cursor == depth_end) {
-      depth_end = ctx.states.size();
-      if (++depth >= opt.max_depth) {
-        ctx.report->stats.truncated = true;
-        break;
-      }
-    }
-    // Copy, not reference: ctx.states may reallocate as successors append.
-    const std::vector<std::uint8_t> state = ctx.states[cursor++];
-    enabled.clear();
-    proto.enumerate(state, enabled);
-    for (const Transition& t : enabled) {
-      if (ctx.states.size() >= opt.max_states) {
-        ctx.report->stats.truncated = true;
-        break;
-      }
-      std::vector<std::uint8_t> succ = state;
-      proto.apply(succ, t);
-      if (visited
-              .emplace(reinterpret_cast<const char*>(succ.data()), succ.size())
-              .second) {
-        ctx.states.push_back(std::move(succ));
-      }
-    }
-    if (ctx.states.size() >= opt.max_states) break;
-  }
-  ctx.report->stats.states_sampled = ctx.states.size();
-}
-
 /// R1 checks that do not need any state: the Params contract itself.
 void check_params(LintContext& ctx) {
   const auto& pr = ctx.protocol->params();
@@ -165,6 +128,7 @@ LintReport lint_protocol(const Protocol& protocol,
                          const LintOptions& options) {
   LintReport report;
   report.protocol = protocol.name();
+  report.stats.exhaustive = options.mode == LintOptions::Mode::Exhaustive;
 
   analysis::LintContext ctx;
   ctx.protocol = &protocol;
@@ -173,8 +137,35 @@ LintReport lint_protocol(const Protocol& protocol,
   ctx.loc_written.assign(protocol.params().locations, false);
   ctx.loc_read.assign(protocol.params().locations, false);
 
-  analysis::check_params(ctx);
-  analysis::sample_states(ctx);
+  if (ctx.rule_selected(LintRule::R1_TrackingLabels)) {
+    analysis::check_params(ctx);
+  }
+
+  // One exhaustive enumeration of the protocol's control skeleton feeds
+  // every rule pass (DESIGN.md §15); Sampled mode honors the deprecated
+  // bounded-BFS knobs for use as a cheap precheck.
+  analysis::SkeletonBuildOptions sopt;
+  if (options.mode == LintOptions::Mode::Sampled) {
+    sopt.max_states = options.max_states;
+    sopt.max_depth = options.max_depth;
+  } else {
+    sopt.max_states = options.state_cap;
+    if (options.max_states != LintOptions{}.max_states ||
+        options.max_depth != LintOptions{}.max_depth) {
+      report.findings.push_back(
+          {LintRule::R1_TrackingLabels, LintSeverity::Note,
+           "LintOptions::max_states/max_depth are deprecated sampling caps; "
+           "exhaustive mode ignores them (use state_cap, or Mode::Sampled "
+           "to keep the bounded precheck behavior)"});
+    }
+  }
+  const analysis::ProtocolSkeleton skeleton =
+      analysis::build_skeleton(protocol, sopt);
+  ctx.skeleton = &skeleton;
+  report.stats.states_sampled = skeleton.num_states();
+  report.stats.transitions_checked = skeleton.edges.size();
+  report.stats.truncated = !skeleton.complete;
+
   analysis::check_transitions(ctx);
   analysis::check_location_liveness(ctx);
   analysis::check_bandwidth(ctx);
@@ -182,8 +173,18 @@ LintReport lint_protocol(const Protocol& protocol,
   // structurally broken metadata just like the observer does; gate it the
   // same way as R4.
   if (!report.has_errors()) analysis::check_symmetry(ctx);
-  // R7 likewise steps the protocol through its own hooks; same gating.
+  // R7/R8 share the inferred conflict relation over the skeleton; both
+  // step the protocol through its own hooks, so same gating.
+  std::optional<analysis::InferredPor> inferred;
+  const bool want_por_rules =
+      ctx.rule_selected(LintRule::R7_Independence) ||
+      ctx.rule_selected(LintRule::R8_FootprintImprecision);
+  if (!report.has_errors() && want_por_rules && protocol.por_enabled()) {
+    inferred.emplace(analysis::infer_por(skeleton));
+    ctx.inferred = &*inferred;
+  }
   if (!report.has_errors()) analysis::check_por_independence(ctx);
+  if (!report.has_errors()) analysis::check_footprint_precision(ctx);
   // R4 drives a real Observer along prefixes, and the observer (rightly)
   // aborts on structurally broken metadata — dangling labels, bandwidth
   // over the representable maximum.  Differential walks therefore only run

@@ -11,26 +11,34 @@
 // inside a model-checking run.
 //
 // lint_protocol() analyzes a protocol's per-transition metadata over its
-// control skeleton — transitions enumerated from a bounded canonical sample
-// of states (breadth-first from the initial state, capped) plus bounded
-// differential prefix walks — never the full reachable product space.  It
-// emits a severity-ranked LintReport over five rule families:
+// control skeleton — the ProtocolSkeleton IR of DESIGN.md §15, built by
+// exhaustively enumerating the protocol-only state graph (which is tiny
+// next to the product space the model checker explores).  In the default
+// Exhaustive mode the skeleton covers every reachable protocol state, so
+// R2/R5/R7 verdicts are definite rather than bounded evidence; Sampled
+// mode caps the build for use as a cheap precheck.  It emits a
+// severity-ranked LintReport over eight rule families:
 //
 //   R1 tracking-labels   — LD/ST labels in range, copy entries reference
 //                          real locations, no double-written destination,
 //                          kClearSrc only as a source, serialize_loc sane,
 //                          location count within the LocId alphabet;
 //   R2 location-liveness — locations written but never read (dead tracking
-//                          state inflating the hashed key) and locations
-//                          read but never writable;
+//                          state inflating the hashed key), locations read
+//                          but never writable, and (exhaustive mode) writes
+//                          whose value is dead along every outgoing path of
+//                          the liveness fixpoint;
 //   R3 bandwidth         — the static Section 4.4 node bound vs the
-//                          configured descriptor bandwidth k;
+//                          configured descriptor bandwidth k, tightened in
+//                          exhaustive mode by the occupancy fixpoint's
+//                          maximal simultaneously-written location count;
 //   R4 non-interference  — differential check that augmenting sampled
 //                          prefixes with the Observer never changes the
 //                          enabled-transition set (and never rejects a run
 //                          the bare protocol can take);
 //   R5 dead-transitions  — duplicate or shadowed transitions and no-op
-//                          internal actions;
+//                          internal actions, decided over the full CSR edge
+//                          list in exhaustive mode;
 //   R6 processor-symmetry— a protocol declaring processor_symmetric() must
 //                          actually commute with processor renaming
 //                          (π(apply(s,t)) == apply(π(s), π(t)), equivariant
@@ -41,18 +49,31 @@
 //   R7 independence      — a protocol opting into partial-order reduction
 //                          (por_enabled()) declares an independence relation
 //                          over transitions; every pair declared independent
-//                          on a sampled co-enabled state must be symmetric,
-//                          mutually non-disabling, and commute to the same
-//                          protocol state (the diamond of DESIGN.md §14);
-//                          a failing declaration is a warning — the model
-//                          checker's own pre-run self-check vetoes POR and
-//                          falls back to full expansion.
+//                          on a reachable co-enabled state must be
+//                          symmetric, mutually non-disabling, and commute to
+//                          the same protocol state (the diamond of DESIGN.md
+//                          §14); exhaustive mode decides this for *every*
+//                          reachable co-enabled pair via the inferred
+//                          conflict relation of §15; a failing declaration
+//                          is a warning — the model checker's own pre-run
+//                          self-check vetoes POR and falls back to full
+//                          expansion;
+//   R8 footprint-imprecision — the declared POR footprints are sound but
+//                          over-coarse: a transition shape proven invisible
+//                          and single-processor by the exhaustive inference
+//                          is declared visible (or everything-conflicts),
+//                          needlessly disqualifying it from ample sets; a
+//                          note, since coarseness costs states, not
+//                          soundness.
 //
-// The analysis is *sound for errors on what it samples* and deliberately
-// incomplete: R1/R5 findings are definite for the sampled skeleton, R2/R4
-// are bounded evidence (hence mostly warnings/errors only on definite
-// contradictions).  See DESIGN.md §10 for the soundness argument relative
-// to Theorem 3.1.
+// Exhaustive mode is sound *and complete* over the protocol-state half of
+// each obligation whenever stats.truncated is false; Sampled mode (and a
+// truncated exhaustive run) degrades to "sound for errors on what it
+// sampled".  R4/R6 remain walk/sample-based in both modes — their
+// obligations quantify over augmented runs and permutations, not skeleton
+// states — and the product-level self-checks back them up.  See DESIGN.md
+// §10 for the soundness argument relative to Theorem 3.1 and §15 for the
+// skeleton IR and fixpoint engines.
 #pragma once
 
 #include <cstdint>
@@ -75,12 +96,25 @@ enum class LintRule : std::uint8_t {
   R5_DeadTransitions,
   R6_ProcessorSymmetry,
   R7_Independence,
+  R8_FootprintImprecision,
 };
+
+inline constexpr std::size_t kNumLintRules = 8;
+
+/// Bit for `r` in a LintOptions::rules mask.
+[[nodiscard]] constexpr std::uint32_t lint_rule_bit(LintRule r) {
+  return 1u << static_cast<std::uint8_t>(r);
+}
+inline constexpr std::uint32_t kAllLintRules =
+    (1u << kNumLintRules) - 1;
 
 enum class LintSeverity : std::uint8_t { Note, Warning, Error };
 
 [[nodiscard]] std::string to_string(LintRule r);
 [[nodiscard]] std::string to_string(LintSeverity s);
+/// Parses "R1".."R8" (or a full id like "R2:location-liveness"); returns
+/// false on anything else.  The seam behind scv_lint --rule.
+[[nodiscard]] bool parse_lint_rule(const std::string& text, LintRule& out);
 
 struct LintFinding {
   LintRule rule = LintRule::R1_TrackingLabels;
@@ -88,15 +122,34 @@ struct LintFinding {
   std::string message;
 };
 
+/// Per-rule coverage: what one rule pass actually examined, so a "clean"
+/// report is never silently partial.
+struct RuleCoverage {
+  bool ran = false;       ///< pass executed (selected and applicable)
+  bool definite = false;  ///< verdict is exhaustive, not bounded evidence
+  std::size_t states = 0;       ///< skeleton states the pass consulted
+  std::size_t checked = 0;      ///< rule-specific units (transitions, pairs,
+                                ///< locations, prefixes — see scv_lint)
+};
+
 /// How much of the protocol the linter actually looked at — reported so a
 /// clean bill of health can be weighed against its coverage.
 struct LintStats {
-  std::size_t states_sampled = 0;       ///< canonical states enumerated
-  std::size_t transitions_checked = 0;  ///< transitions structurally checked
+  std::size_t states_sampled = 0;       ///< skeleton states enumerated
+  std::size_t transitions_checked = 0;  ///< skeleton edges enumerated
   std::size_t prefixes_walked = 0;      ///< R4 differential prefixes
-  /// True when the canonical-state sample hit its cap before exhausting the
-  /// protocol's reachable control skeleton.
+  /// True when the skeleton build hit a cap before exhausting the
+  /// protocol's reachable control skeleton.  In exhaustive mode this means
+  /// the report's "definite" claims silently degraded to bounded evidence —
+  /// scv_lint --exhaustive treats it as a failure.
   bool truncated = false;
+  /// Report produced in exhaustive mode (LintOptions::Mode::Exhaustive).
+  bool exhaustive = false;
+  RuleCoverage coverage[kNumLintRules];
+
+  [[nodiscard]] const RuleCoverage& rule(LintRule r) const {
+    return coverage[static_cast<std::uint8_t>(r)];
+  }
 };
 
 struct LintReport {
@@ -116,7 +169,8 @@ struct LintReport {
   }
   [[nodiscard]] bool clean() const { return findings.empty(); }
 
-  /// One line: "MsiBus: 0 errors, 1 warning (412 states, 3310 transitions)".
+  /// One line: "MsiBus: 0 errors, 1 warning (412 states, 3310 transitions,
+  /// exhaustive)".
   [[nodiscard]] std::string summary() const;
   /// Full multi-line report (summary + one line per finding).
   [[nodiscard]] std::string format() const;
@@ -144,9 +198,31 @@ class Augmentation {
 };
 
 struct LintOptions {
-  /// Canonical-state sample cap (bounded BFS from the initial state).
+  enum class Mode : std::uint8_t {
+    /// Build the full reachable control skeleton (up to state_cap) and give
+    /// definite verdicts.  The default: protocol-only graphs are small.
+    Exhaustive,
+    /// Cap the skeleton at max_states/max_depth for a cheap bounded
+    /// precheck (the model checker's lint-first gate uses this).
+    Sampled,
+  };
+  Mode mode = Mode::Exhaustive;
+
+  /// Safety cap on the exhaustive skeleton build.  Hitting it marks the
+  /// report truncated — exhaustive analysis that isn't exhaustive is
+  /// reported, never silent.
+  std::size_t state_cap = 1u << 21;
+
+  /// Bitmask of rules to run (lint_rule_bit).  Unselected rules are marked
+  /// coverage[].ran == false, not silently clean.
+  std::uint32_t rules = kAllLintRules;
+
+  /// Deprecated: pre-exhaustive sampling caps, honored only in Sampled
+  /// mode.  Setting them away from their defaults in Exhaustive mode draws
+  /// a deprecation note in the report (the exhaustive build ignores them).
   std::size_t max_states = 2048;
   std::size_t max_depth = 64;
+
   /// R4 differential prefixes: count and length.
   std::size_t walks = 8;
   std::size_t walk_steps = 64;
@@ -159,7 +235,7 @@ struct LintOptions {
   std::function<std::unique_ptr<Augmentation>(const Protocol&)> augmentation;
 };
 
-/// Runs all lint rules on `protocol` and returns the ranked report.
+/// Runs the selected lint rules on `protocol` and returns the ranked report.
 [[nodiscard]] LintReport lint_protocol(const Protocol& protocol,
                                        const LintOptions& options = {});
 
@@ -195,36 +271,37 @@ struct SymmetryCheckResult {
     const Protocol& protocol, const SymmetryCheckOptions& options = {});
 
 struct IndependenceCheckOptions {
-  /// Protocol states to examine, collected breadth-first from the initial
-  /// state.  BFS rather than a sample walk: co-enabled independent pairs
-  /// live exactly where several processors have concurrent steps pending,
-  /// and a single walk path serializes them — systematically missing the
-  /// states the check exists for.
-  std::size_t max_states = 512;
-  std::size_t max_depth = 64;
+  /// Skeleton-build state cap.  The default is the exhaustive safety cap:
+  /// the check enumerates the full reachable control skeleton and decides
+  /// the relation for every reachable co-enabled pair.  Lower it for a
+  /// bounded sample (the result is then marked !definite).
+  std::size_t max_states = 1u << 21;
+  std::size_t max_depth = SIZE_MAX;
 };
 
 struct IndependenceCheckResult {
   bool declared = false;    ///< protocol opts into POR (por_enabled())
   bool applicable = false;  ///< declared (the check needs nothing else)
   bool ok = true;           ///< checks passed (vacuously when !applicable)
+  bool definite = false;    ///< skeleton complete: a pass is a proof
   std::size_t states_checked = 0;
   std::size_t pairs_checked = 0;  ///< declared-independent co-enabled pairs
   std::string detail;  ///< first violation, empty when ok
 };
 
 /// Protocol-level independence commutation check (the engine behind lint
-/// rule R7).  On a bounded BFS sample it verifies, for every pair
-/// (t, u) of distinct co-enabled transitions the protocol declares
+/// rule R7).  Over the protocol's control skeleton it verifies, for every
+/// pair (t, u) of distinct co-enabled transitions the protocol declares
 /// independent:
 ///   * the declaration is symmetric: independent(u, t) holds too;
 ///   * neither disables the other: u stays enabled after t and vice versa;
 ///   * the diamond commutes: apply(apply(s,t),u) == apply(apply(s,u),t)
-///     byte-for-byte.
+///     reaches the same skeleton state.
 /// This is the protocol-state half of the soundness obligation; descriptor
 /// visibility (the observer half) is checked separately by the model
 /// checker's pre-run and in-run ample self-checks (DESIGN.md §14).  A
-/// failure is definite; a pass is bounded evidence.
+/// failure is always definite; a pass is a proof when the skeleton build
+/// completed (result.definite) and bounded evidence otherwise.
 [[nodiscard]] IndependenceCheckResult check_independence(
     const Protocol& protocol, const IndependenceCheckOptions& options = {});
 

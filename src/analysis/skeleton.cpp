@@ -1,0 +1,292 @@
+#include "analysis/skeleton.hpp"
+
+#include <cstring>
+
+#include "analysis/internal.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace scv::analysis {
+namespace {
+
+/// Word-at-a-time byte hash.  fnv1a64 walks one byte per step — a ~100
+/// cycle dependency chain on a 20-byte state — and the build hashes every
+/// enumerated successor (~2.5M hashes on directory p2), so chunked mixing
+/// is a measurable share of the whole skeleton construction.
+std::uint64_t hash_bytes(const std::uint8_t* bytes, std::size_t len) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ (len * 0xff51afd7ed558ccdull);
+  while (len >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, bytes, 8);
+    h = mix64(h ^ chunk);
+    bytes += 8;
+    len -= 8;
+  }
+  if (len > 0) {
+    std::uint64_t chunk = 0;
+    std::memcpy(&chunk, bytes, len);
+    h = mix64(h ^ chunk);
+  }
+  return h;
+}
+
+/// Open-addressed map from state bytes (stored in the skeleton arena) to
+/// state index.  The enumeration of directory p2 inserts ~227k states and
+/// probes ~1.3M successors; an unordered_map<string, …> spends most of that
+/// in per-lookup key allocation, which this table avoids entirely — lookups
+/// hash the candidate bytes in place and compare against the arena.
+class StateIndex {
+ public:
+  explicit StateIndex(std::size_t state_bytes) : state_bytes_(state_bytes) {
+    slots_.assign(kInitialSlots, Slot{});
+  }
+
+  [[nodiscard]] std::uint64_t hash(const std::uint8_t* bytes) const {
+    return hash_bytes(bytes, state_bytes_);
+  }
+
+  /// Index of `bytes` (whose hash is `h`) if present, or npos.  A slot is
+  /// 8 bytes — the state index plus the hash's top 32 bits as a tag — so
+  /// the whole table for directory p2 stays ~4MB and a probe touches one
+  /// cache line; the tag filters almost every mismatched probe before the
+  /// arena memcmp.  (Probing position uses the hash's LOW bits, so tag and
+  /// position are independent.)
+  [[nodiscard]] std::uint32_t find(const std::vector<std::uint8_t>& arena,
+                                   const std::uint8_t* bytes,
+                                   std::uint64_t h) const {
+    const std::uint32_t tag = static_cast<std::uint32_t>(h >> 32);
+    for (std::size_t i = h & (slots_.size() - 1);;
+         i = (i + 1) & (slots_.size() - 1)) {
+      const Slot& s = slots_[i];
+      if (s.index == kEmpty) return ProtocolSkeleton::npos;
+      if (s.tag == tag &&
+          std::memcmp(arena.data() +
+                          static_cast<std::size_t>(s.index) * state_bytes_,
+                      bytes, state_bytes_) == 0) {
+        return s.index;
+      }
+    }
+  }
+
+  /// Records that state `index` (already appended to the arena) has hash
+  /// `h` — callers computed it for the find() that missed.  Slots keep
+  /// only tag bits, so a doubling rehash recomputes full hashes from the
+  /// arena (states [0, index) are exactly the live entries).
+  void insert(const std::vector<std::uint8_t>& arena, std::uint64_t h,
+              std::uint32_t index) {
+    if ((count_ + 1) * 4 > slots_.size() * 3) {
+      slots_.assign(slots_.size() * 2, Slot{});
+      for (std::uint32_t s = 0; s < index; ++s) {
+        place(hash(arena.data() + static_cast<std::size_t>(s) * state_bytes_),
+              s);
+      }
+    }
+    place(h, index);
+    ++count_;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 1u << 12;
+  static constexpr std::uint32_t kEmpty = ProtocolSkeleton::npos;
+
+  struct Slot {
+    std::uint32_t tag = 0;
+    std::uint32_t index = kEmpty;
+  };
+
+  void place(std::uint64_t h, std::uint32_t index) {
+    for (std::size_t i = h & (slots_.size() - 1);;
+         i = (i + 1) & (slots_.size() - 1)) {
+      if (slots_[i].index == kEmpty) {
+        slots_[i] = {static_cast<std::uint32_t>(h >> 32), index};
+        return;
+      }
+    }
+  }
+
+  std::size_t state_bytes_;
+  std::size_t count_ = 0;
+  std::vector<Slot> slots_;
+};
+
+/// Open-addressed shape lookup for the build loop.  The public
+/// shape_index (unordered_map keyed by string) costs a string hash plus
+/// bucket chasing per edge — ~40% of the whole build on directory p2 —
+/// while this table probes on a precomputed 64-bit hash and verifies
+/// against the stored shape's key only on hash hits.
+class ShapeTable {
+ public:
+  ShapeTable() {
+    slots_.assign(kInitialSlots, kEmpty);
+    hashes_.assign(kInitialSlots, 0);
+  }
+
+  /// Index of the shape with key `key` (hash `h`), or npos.
+  [[nodiscard]] std::uint32_t find(
+      const std::vector<TransitionShape>& shapes, const std::string& key,
+      std::uint64_t h) const {
+    for (std::size_t i = h & (slots_.size() - 1);;
+         i = (i + 1) & (slots_.size() - 1)) {
+      if (slots_[i] == kEmpty) return ProtocolSkeleton::npos;
+      if (hashes_[i] == h && shapes[slots_[i]].key == key) return slots_[i];
+    }
+  }
+
+  void insert(std::uint64_t h, std::uint32_t id) {
+    if ((count_ + 1) * 4 > slots_.size() * 3) grow();
+    place(h, id);
+    ++count_;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 1u << 8;
+  static constexpr std::uint32_t kEmpty = ProtocolSkeleton::npos;
+
+  void place(std::uint64_t h, std::uint32_t id) {
+    for (std::size_t i = h & (slots_.size() - 1);;
+         i = (i + 1) & (slots_.size() - 1)) {
+      if (slots_[i] == kEmpty) {
+        slots_[i] = id;
+        hashes_[i] = h;
+        return;
+      }
+    }
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> old_slots = std::move(slots_);
+    std::vector<std::uint64_t> old_hashes = std::move(hashes_);
+    slots_.assign(old_slots.size() * 2, kEmpty);
+    hashes_.assign(old_hashes.size() * 2, 0);
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_slots[i] != kEmpty) place(old_hashes[i], old_slots[i]);
+    }
+  }
+
+  std::size_t count_ = 0;
+  std::vector<std::uint32_t> slots_;
+  std::vector<std::uint64_t> hashes_;
+};
+
+/// Effect sets and the static visibility bit, via the protocol's
+/// effect-introspection seam (Protocol::transition_effects).  The default
+/// seam reads the labels alone and skips out-of-range ones (an R1 defect —
+/// rule passes report them from the same shape table); protocols with guard
+/// reads beyond their labels refine it.
+TransitionShape make_shape(const Protocol& proto, const Transition& t,
+                           std::string key, TransitionEffects& fx,
+                           std::uint32_t first_state) {
+  TransitionShape s;
+  s.rep = t;
+  s.key = std::move(key);
+  s.first_state = first_state;
+  proto.transition_effects(t, fx);
+  for (const LocId l : fx.reads) s.reads.set(l);
+  for (const LocId l : fx.writes) s.writes.set(l);
+  for (const LocId l : fx.clears) s.clears.set(l);
+  s.statically_visible = fx.statically_visible;
+  return s;
+}
+
+}  // namespace
+
+std::uint32_t ProtocolSkeleton::find_shape(const Transition& t) const {
+  thread_local std::string buf;
+  encode_transition_into(t, buf);
+  return find_shape(buf);
+}
+
+ProtocolSkeleton build_skeleton(const Protocol& protocol,
+                                const SkeletonBuildOptions& options) {
+  ProtocolSkeleton sk;
+  sk.protocol = &protocol;
+  sk.state_bytes = protocol.state_size();
+  sk.complete = true;
+
+  StateIndex index(sk.state_bytes);
+  sk.arena.resize(sk.state_bytes);
+  protocol.initial_state({sk.arena.data(), sk.state_bytes});
+  index.insert(sk.arena, index.hash(sk.arena.data()), 0);
+  std::size_t num_states = 1;
+
+  std::vector<Transition> enabled;
+  std::vector<std::uint8_t> succ(sk.state_bytes);
+  std::vector<std::uint8_t> cur(sk.state_bytes);
+  std::string keybuf;
+  TransitionEffects fx;  // reused across make_shape calls
+  ShapeTable shape_table;
+  sk.edge_begin.push_back(0);
+
+  std::size_t cursor = 0;
+  std::size_t depth_end = 1;  // first index beyond the current BFS level
+  std::size_t depth = 0;
+  while (cursor < num_states) {
+    if (cursor == depth_end) {
+      depth_end = num_states;
+      if (++depth >= options.max_depth) {
+        sk.complete = false;
+        break;
+      }
+    }
+    // Copy out: the arena reallocates as successors append.
+    std::memcpy(cur.data(), sk.arena.data() + cursor * sk.state_bytes,
+                sk.state_bytes);
+    const auto from = static_cast<std::uint32_t>(cursor);
+    ++cursor;
+
+    enabled.clear();
+    protocol.enumerate(cur, enabled);
+    for (const Transition& t : enabled) {
+      std::memcpy(succ.data(), cur.data(), sk.state_bytes);
+      protocol.apply(succ, t);
+
+      const std::uint64_t h = index.hash(succ.data());
+      std::uint32_t to = index.find(sk.arena, succ.data(), h);
+      if (to == ProtocolSkeleton::npos) {
+        if (num_states >= options.max_states) {
+          // State cap hit: the edge is kept (shape checks still see the
+          // transition) with the npos target marking "successor outside the
+          // truncated sample".
+          sk.complete = false;
+        } else {
+          to = static_cast<std::uint32_t>(num_states);
+          sk.arena.insert(sk.arena.end(), succ.begin(), succ.end());
+          index.insert(sk.arena, h, to);
+          ++num_states;
+        }
+      }
+
+      encode_transition_into(t, keybuf);  // reused buffer — hot path
+      const std::uint64_t kh = hash_bytes(
+          reinterpret_cast<const std::uint8_t*>(keybuf.data()),
+          keybuf.size());
+      std::uint32_t shape = shape_table.find(sk.shapes, keybuf, kh);
+      if (shape == ProtocolSkeleton::npos) {
+        shape = static_cast<std::uint32_t>(sk.shapes.size());
+        sk.shapes.push_back(make_shape(protocol, t, keybuf, fx, from));
+        shape_table.insert(kh, shape);
+      }
+      TransitionShape& s = sk.shapes[shape];
+      ++s.occurrences;
+      if (to == from) ++s.self_loops;
+      sk.edges.push_back({to, shape});
+      // Edge count must stay within the 32-bit CSR index.
+      SCV_ASSERT(sk.edges.size() < ProtocolSkeleton::npos);
+    }
+    sk.edge_begin.push_back(static_cast<std::uint32_t>(sk.edges.size()));
+  }
+
+  // States discovered but not yet expanded when a cap struck: give them
+  // empty CSR rows so out_edges() stays total over num_states().
+  while (sk.edge_begin.size() <= num_states) {
+    sk.edge_begin.push_back(static_cast<std::uint32_t>(sk.edges.size()));
+    sk.complete = false;
+  }
+  // The public by-key index, filled once per shape (not per edge).
+  for (std::size_t i = 0; i < sk.shapes.size(); ++i) {
+    sk.shape_index.emplace(sk.shapes[i].key, static_cast<std::uint32_t>(i));
+  }
+  return sk;
+}
+
+}  // namespace scv::analysis

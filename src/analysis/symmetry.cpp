@@ -18,6 +18,7 @@
 // permutations would be pathological beyond what sampling can defend
 // against.)
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -33,8 +34,8 @@ namespace scv {
 /// sorted first: they apply simultaneously, so enumeration order is not
 /// semantically meaningful and may legitimately differ between a state and
 /// its permuted image.
-std::string analysis::encode_transition(const Transition& t) {
-  std::string out;
+void analysis::encode_transition_into(const Transition& t, std::string& out) {
+  out.clear();
   out.push_back(static_cast<char>(t.action.kind));
   out.push_back(static_cast<char>(t.action.op.kind));
   out.push_back(static_cast<char>(t.action.op.proc));
@@ -46,13 +47,24 @@ std::string analysis::encode_transition(const Transition& t) {
   out.push_back(static_cast<char>(t.loc));
   out.push_back(static_cast<char>(t.serialize_loc & 0xff));
   out.push_back(static_cast<char>((t.serialize_loc >> 8) & 0xff));
-  std::vector<std::pair<LocId, LocId>> copies;
-  for (const CopyEntry& c : t.copies) copies.emplace_back(c.dst, c.src);
-  std::sort(copies.begin(), copies.end());
-  for (const auto& [dst, src] : copies) {
-    out.push_back(static_cast<char>(dst));
-    out.push_back(static_cast<char>(src));
+  // Copy entries fit the transition's inline capacity, so sorting a stack
+  // array keeps the encoder allocation-free (it runs once per skeleton
+  // edge — ~1.3M times for directory p2).
+  std::array<std::pair<LocId, LocId>, 12> copies;
+  const std::size_t ncopies = t.copies.size();
+  for (std::size_t i = 0; i < ncopies; ++i) {
+    copies[i] = {t.copies[i].dst, t.copies[i].src};
   }
+  std::sort(copies.begin(), copies.begin() + ncopies);
+  for (std::size_t i = 0; i < ncopies; ++i) {
+    out.push_back(static_cast<char>(copies[i].first));
+    out.push_back(static_cast<char>(copies[i].second));
+  }
+}
+
+std::string analysis::encode_transition(const Transition& t) {
+  std::string out;
+  encode_transition_into(t, out);
   return out;
 }
 
@@ -203,11 +215,21 @@ SymmetryCheckResult check_processor_symmetry(
 namespace analysis {
 
 void check_symmetry(LintContext& ctx) {
+  if (!ctx.rule_selected(LintRule::R6_ProcessorSymmetry)) return;
   const Protocol& proto = *ctx.protocol;
-  if (!proto.processor_symmetric()) return;
+  RuleCoverage& cov = ctx.coverage(LintRule::R6_ProcessorSymmetry);
+  cov.ran = true;
+  if (!proto.processor_symmetric()) {
+    cov.definite = true;  // vacuous: nothing declared, nothing to refute
+    return;
+  }
   const std::size_t procs = proto.params().procs;
-  if (procs < 2) return;
+  if (procs < 2) {
+    cov.definite = true;
+    return;
+  }
   if (procs > ProcPerm::kMax) {
+    cov.definite = true;
     ctx.add(LintRule::R6_ProcessorSymmetry, LintSeverity::Warning,
             "protocol declares processor symmetry with " +
                 std::to_string(procs) + " processors, above ProcPerm::kMax=" +
@@ -216,13 +238,71 @@ void check_symmetry(LintContext& ctx) {
             "procs-above-kmax");
     return;
   }
-  const SymmetryCheckResult res = check_processor_symmetry(proto);
-  if (!res.ok) {
-    ctx.add(LintRule::R6_ProcessorSymmetry, LintSeverity::Warning,
-            "declared processor symmetry fails the commutation check: " +
-                res.detail +
-                "; the model checker falls back to identity canonicalization",
-            "commutation");
+
+  // permute_loc bijectivity, once (state-independent).
+  const std::size_t locations = proto.params().locations;
+  for (std::size_t a = 0; a + 1 < procs; ++a) {
+    for (std::size_t b = a + 1; b < procs; ++b) {
+      const ProcPerm tau = ProcPerm::transposition(
+          procs, static_cast<ProcId>(a), static_cast<ProcId>(b));
+      std::vector<bool> hit(locations, false);
+      for (std::size_t l = 0; l < locations; ++l) {
+        const LocId img = proto.permute_loc(static_cast<LocId>(l), tau);
+        if (img >= locations || hit[img]) {
+          ctx.add(LintRule::R6_ProcessorSymmetry, LintSeverity::Warning,
+                  "declared processor symmetry fails the commutation check: "
+                  "permute_loc is not a bijection under the (" +
+                      std::to_string(a) + " " + std::to_string(b) +
+                      ") transposition (location " + std::to_string(l) +
+                      " maps to " + std::to_string(img) +
+                      "); the model checker falls back to identity "
+                      "canonicalization",
+                  "commutation");
+          return;
+        }
+        hit[img] = true;
+      }
+    }
+  }
+
+  // Commutation checks on a stride across the whole skeleton rather than a
+  // single walk path: the skeleton's BFS order spreads the sample over
+  // every depth, where a walk would serialize into one trajectory.  The
+  // obligation quantifies over permutations, so the verdict stays sampled
+  // evidence even on a complete skeleton (the product-level self-check
+  // backs it up).
+  const ProtocolSkeleton& sk = *ctx.skeleton;
+  constexpr std::size_t kSamples = 48;
+  const std::size_t n = sk.num_states();
+  const std::size_t stride = n > kSamples ? n / kSamples : 1;
+  std::vector<std::uint8_t> cur(sk.state_bytes);
+  std::vector<Transition> enabled;
+  for (std::size_t s = 0; s < n; s += stride) {
+    const auto bytes = sk.state(s);
+    cur.assign(bytes.begin(), bytes.end());
+    enabled.clear();
+    proto.enumerate(cur, enabled);
+    ++cov.states;
+    for (std::size_t a = 0; a + 1 < procs; ++a) {
+      for (std::size_t b = a + 1; b < procs; ++b) {
+        const ProcPerm tau = ProcPerm::transposition(
+            procs, static_cast<ProcId>(a), static_cast<ProcId>(b));
+        std::string bad =
+            check_state_under(proto, cur, enabled, tau, &cov.checked);
+        if (!bad.empty()) {
+          ctx.add(
+              LintRule::R6_ProcessorSymmetry, LintSeverity::Warning,
+              "declared processor symmetry fails the commutation check: " +
+                  bad + " [transposition (" + std::to_string(a) + " " +
+                  std::to_string(b) + "), skeleton state " +
+                  std::to_string(s) +
+                  "]; the model checker falls back to identity "
+                  "canonicalization",
+              "commutation");
+          return;
+        }
+      }
+    }
   }
 }
 

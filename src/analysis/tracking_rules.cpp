@@ -1,39 +1,16 @@
 // R1 (tracking-label completeness), R5 (duplicate / shadowed / dead
-// transitions) and the liveness aggregates for R2, in a single sweep over
-// the sampled control skeleton.  Everything here is *definite* for the
-// sampled states: an out-of-range LocId is broken no matter what the rest
-// of the state space looks like.
+// transitions) and the liveness aggregates for R2, read off the shared
+// skeleton IR.  R1 is decided once per transition *shape* (the skeleton
+// deduplicates identical transitions); R5 reads the CSR rows, which mirror
+// enumerate() verbatim.  On a complete skeleton every verdict here is
+// definite: a shape that never occurs on any reachable edge does not exist.
 #include <string>
-#include <unordered_map>
-#include <vector>
 
+#include "analysis/dataflow.hpp"
 #include "analysis/internal.hpp"
 
 namespace scv::analysis {
 namespace {
-
-/// Byte key for a whole transition (action + all metadata): two transitions
-/// with equal keys are indistinguishable to both the protocol and the
-/// observer.
-std::string transition_key(const Transition& t) {
-  std::string k;
-  k.push_back(static_cast<char>(t.action.kind));
-  k.push_back(static_cast<char>(t.action.op.kind));
-  k.push_back(static_cast<char>(t.action.op.proc));
-  k.push_back(static_cast<char>(t.action.op.block));
-  k.push_back(static_cast<char>(t.action.op.value));
-  k.push_back(static_cast<char>(t.action.internal_id));
-  k.push_back(static_cast<char>(t.action.arg0));
-  k.push_back(static_cast<char>(t.action.arg1));
-  k.push_back(static_cast<char>(t.loc));
-  k.push_back(static_cast<char>(t.serialize_loc & 0xff));
-  k.push_back(static_cast<char>((t.serialize_loc >> 8) & 0xff));
-  for (const CopyEntry& c : t.copies) {
-    k.push_back(static_cast<char>(c.dst));
-    k.push_back(static_cast<char>(c.src));
-  }
-  return k;
-}
 
 /// The tracking-effect part only (copies + serialize_loc), used to detect
 /// redundant internal nondeterminism.
@@ -132,134 +109,173 @@ void check_one_r1(LintContext& ctx, const Transition& t,
   }
 }
 
-void aggregate_liveness(LintContext& ctx, const Transition& t) {
-  const std::size_t locs = ctx.loc_written.size();
-  if (t.action.kind == Action::Kind::Store && t.loc < locs) {
-    ctx.loc_written[t.loc] = true;
-  }
-  if (t.action.kind == Action::Kind::Load && t.loc < locs) {
-    ctx.loc_read[t.loc] = true;
-  }
-  if (t.serialize_loc >= 0 &&
-      static_cast<std::size_t>(t.serialize_loc) < locs) {
-    ctx.loc_read[static_cast<std::size_t>(t.serialize_loc)] = true;
-  }
-  for (const CopyEntry& c : t.copies) {
-    if (c.src != kClearSrc && c.src < locs) ctx.loc_read[c.src] = true;
-    // A clear (src == kClearSrc) empties the destination; it does not make
-    // the location able to hold a store's value, so it is not a "write"
-    // for liveness purposes.
-    if (c.src != kClearSrc && c.dst < locs) ctx.loc_written[c.dst] = true;
-  }
-}
-
 }  // namespace
 
 void check_transitions(LintContext& ctx) {
-  const Protocol& proto = *ctx.protocol;
-  std::vector<Transition> enabled;
-  std::vector<std::uint8_t> post;
-  std::size_t checked = 0;
+  const ProtocolSkeleton& sk = *ctx.skeleton;
+  const std::size_t locs = ctx.loc_written.size();
 
-  // Per-state R5 bookkeeping, reused across states.
-  struct SeenTransition {
-    std::string full_key;
-    std::string effect;
-    std::string post_key;
-    std::string name;
-    bool internal = false;
-  };
-  std::unordered_map<std::string, std::size_t> full_seen;  // key -> count
-  std::vector<SeenTransition> seen;
-
-  for (const auto& state : ctx.states) {
-    enabled.clear();
-    proto.enumerate(state, enabled);
-    full_seen.clear();
-    seen.clear();
-
-    for (const Transition& t : enabled) {
-      ++checked;
-      const std::string an = proto.action_name(t.action);
-      check_one_r1(ctx, t, an);
-      aggregate_liveness(ctx, t);
-
-      post.assign(state.begin(), state.end());
-      proto.apply(post, t);
-      std::string post_key(reinterpret_cast<const char*>(post.data()),
-                           post.size());
-      const bool internal = !t.action.is_memory_op();
-      const bool state_unchanged =
-          post.size() == state.size() &&
-          std::equal(post.begin(), post.end(), state.begin());
-
-      // R5a: dead internal action — changes nothing anywhere.
-      if (internal && state_unchanged && t.copies.empty() &&
-          t.serialize_loc < 0) {
-        ctx.add(LintRule::R5_DeadTransitions, LintSeverity::Warning,
-                an + ": internal action changes neither the protocol state "
-                     "nor any tracking state (dead self-loop)",
-                "dead-internal:" + an);
+  // R1 + the R2 aggregates: once per shape, not once per edge — the
+  // skeleton already proved every other occurrence identical.
+  if (ctx.rule_selected(LintRule::R1_TrackingLabels)) {
+    for (const TransitionShape& sh : sk.shapes) {
+      check_one_r1(ctx, sh.rep, ctx.protocol->action_name(sh.rep.action));
+    }
+    RuleCoverage& cov = ctx.coverage(LintRule::R1_TrackingLabels);
+    cov.ran = true;
+    cov.definite = sk.complete;
+    cov.states = sk.num_states();
+    cov.checked = sk.shapes.size();
+  }
+  if (ctx.rule_selected(LintRule::R2_LocationLiveness)) {
+    for (const TransitionShape& sh : sk.shapes) {
+      for (std::size_t l = 0; l < locs; ++l) {
+        if (sh.reads.test(l)) ctx.loc_read[l] = true;
+        if (sh.writes.test(l)) ctx.loc_written[l] = true;
+        // A clear empties the destination; it does not make the location
+        // able to hold a store's value, so it is not a "write" for
+        // liveness purposes.
       }
-
-      // R5b: exact duplicate within one enumeration.
-      std::string full_key = transition_key(t);
-      if (++full_seen[full_key] == 2) {
-        ctx.add(LintRule::R5_DeadTransitions, LintSeverity::Warning,
-                an + ": transition enumerated twice with identical action "
-                     "and metadata (duplicate successor work)",
-                "dup:" + an);
-      }
-
-      // R5c: redundant internal nondeterminism — a *different* internal
-      // action with the same successor state and the same tracking effect
-      // yields a bit-identical product successor.
-      std::string effect = effect_key(t);
-      if (internal) {
-        for (const SeenTransition& s : seen) {
-          if (s.internal && s.full_key != full_key &&
-              s.post_key == post_key && s.effect == effect) {
-            ctx.add(LintRule::R5_DeadTransitions, LintSeverity::Warning,
-                    an + " is shadowed by " + s.name +
-                        ": identical successor state and tracking effect",
-                    "shadow:" + an + "/" + s.name);
-            break;
-          }
-        }
-      }
-      seen.push_back({std::move(full_key), std::move(effect),
-                      std::move(post_key), an, internal});
     }
   }
-  ctx.report->stats.transitions_checked = checked;
+
+  if (!ctx.rule_selected(LintRule::R5_DeadTransitions)) return;
+
+  // R5a: dead internal action — a shape whose every occurrence is a
+  // protocol-state self-loop and that carries no tracking effect changes
+  // nothing anywhere.  Deciding over *all* occurrences (not per state)
+  // makes the verdict exact: an action that is a no-op at some states but
+  // progresses at others is not dead.
+  for (const TransitionShape& sh : sk.shapes) {
+    if (!sh.rep.action.is_memory_op() && sh.occurrences == sh.self_loops &&
+        sh.rep.copies.empty() && sh.rep.serialize_loc < 0) {
+      const std::string an = ctx.protocol->action_name(sh.rep.action);
+      ctx.add(LintRule::R5_DeadTransitions, LintSeverity::Warning,
+              an + ": internal action changes neither the protocol state "
+                   "nor any tracking state (dead self-loop)",
+              "dead-internal:" + an);
+    }
+  }
+
+  // R5b/R5c read the CSR rows, which mirror enumerate() verbatim.
+  std::vector<std::string> effects(sk.shapes.size());
+  std::vector<bool> have_effect(sk.shapes.size(), false);
+  const auto effect_of = [&](std::uint32_t shape) -> const std::string& {
+    if (!have_effect[shape]) {
+      effects[shape] = effect_key(sk.shapes[shape].rep);
+      have_effect[shape] = true;
+    }
+    return effects[shape];
+  };
+
+  for (std::size_t s = 0; s < sk.num_states(); ++s) {
+    const std::span<const SkeletonEdge> row = sk.out_edges(s);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const TransitionShape& shi = sk.shapes[row[i].shape];
+      for (std::size_t j = i + 1; j < row.size(); ++j) {
+        // R5b: exact duplicate within one enumeration.
+        if (row[i].shape == row[j].shape) {
+          const std::string an = ctx.protocol->action_name(shi.rep.action);
+          ctx.add(LintRule::R5_DeadTransitions, LintSeverity::Warning,
+                  an + ": transition enumerated twice with identical action "
+                       "and metadata (duplicate successor work)",
+                  "dup:" + an);
+          continue;
+        }
+        // R5c: redundant internal nondeterminism — a *different* internal
+        // action with the same successor state and the same tracking
+        // effect yields a bit-identical product successor.
+        const TransitionShape& shj = sk.shapes[row[j].shape];
+        if (shi.rep.action.is_memory_op() || shj.rep.action.is_memory_op()) {
+          continue;
+        }
+        if (row[i].to != row[j].to || row[i].to == ProtocolSkeleton::npos) {
+          continue;
+        }
+        if (effect_of(row[i].shape) != effect_of(row[j].shape)) continue;
+        const std::string an_i = ctx.protocol->action_name(shi.rep.action);
+        const std::string an_j = ctx.protocol->action_name(shj.rep.action);
+        ctx.add(LintRule::R5_DeadTransitions, LintSeverity::Warning,
+                an_j + " is shadowed by " + an_i +
+                    ": identical successor state and tracking effect",
+                "shadow:" + an_j + "/" + an_i);
+      }
+    }
+  }
+
+  RuleCoverage& cov = ctx.coverage(LintRule::R5_DeadTransitions);
+  cov.ran = true;
+  cov.definite = sk.complete;
+  cov.states = sk.num_states();
+  cov.checked = sk.edges.size();
 }
 
 void check_location_liveness(LintContext& ctx) {
+  if (!ctx.rule_selected(LintRule::R2_LocationLiveness)) return;
+  const ProtocolSkeleton& sk = *ctx.skeleton;
   const std::size_t locs = ctx.loc_written.size();
+  const char* scope = sk.complete ? " on any reachable state"
+                                  : " over the sampled skeleton";
+
   for (std::size_t l = 0; l < locs; ++l) {
     const bool w = ctx.loc_written[l];
     const bool r = ctx.loc_read[l];
     if (w && !r) {
       ctx.add(LintRule::R2_LocationLiveness, LintSeverity::Warning,
               "location " + std::to_string(l) +
-                  " is written but never read by any load or copy over the "
-                  "sampled skeleton: dead tracking state inflating the "
-                  "hashed state key",
+                  " is written but never read by any load or copy" + scope +
+                  ": dead tracking state inflating the hashed state key",
               "dead-write:" + std::to_string(l));
     } else if (r && !w) {
       ctx.add(LintRule::R2_LocationLiveness, LintSeverity::Warning,
               "location " + std::to_string(l) +
-                  " is read but never written over the sampled skeleton: it "
-                  "can only ever track \"no store\"",
+                  " is read but never written" + scope +
+                  ": it can only ever track \"no store\"",
               "read-only:" + std::to_string(l));
     } else if (!r && !w) {
       ctx.add(LintRule::R2_LocationLiveness, LintSeverity::Warning,
               "location " + std::to_string(l) +
-                  " is never referenced by any tracking label over the "
-                  "sampled skeleton (dead location)",
+                  " is never referenced by any tracking label" + scope +
+                  " (dead location)",
               "unused:" + std::to_string(l));
     }
   }
+
+  // Flow-sensitive refinement, exact on a complete skeleton: a location can
+  // be both written and read and still be dead tracking state if no written
+  // value ever *reaches* a read — every write is overwritten or cleared on
+  // every path to every read.  The backward liveness fixpoint decides this:
+  // a write matters iff the location is live at some write edge's target.
+  if (sk.complete) {
+    const std::vector<LocSet> live =
+        solve_backward_may(liveness_problem(sk));
+    LocSet reaches;  // locations where some written value is live post-write
+    for (std::size_t s = 0; s < sk.num_states(); ++s) {
+      for (const SkeletonEdge& e : sk.out_edges(s)) {
+        if (e.to == ProtocolSkeleton::npos) continue;
+        LocSet w = sk.shapes[e.shape].writes;
+        for (int i = 0; i < 4; ++i) w.w[i] &= live[e.to].w[i];
+        reaches |= w;
+      }
+    }
+    for (std::size_t l = 0; l < locs; ++l) {
+      if (!ctx.loc_written[l] || !ctx.loc_read[l] || reaches.test(l)) {
+        continue;
+      }
+      ctx.add(LintRule::R2_LocationLiveness, LintSeverity::Warning,
+              "location " + std::to_string(l) +
+                  " is written and read, but no written value ever reaches "
+                  "a read on any path (liveness fixpoint): the reads only "
+                  "observe the empty location",
+              "deadflow:" + std::to_string(l));
+    }
+  }
+
+  RuleCoverage& cov = ctx.coverage(LintRule::R2_LocationLiveness);
+  cov.ran = true;
+  cov.definite = sk.complete;
+  cov.states = sk.num_states();
+  cov.checked = locs;
 }
 
 }  // namespace scv::analysis

@@ -13,7 +13,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/footprint_infer.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/skeleton.hpp"
 #include "checker/sc_checker.hpp"
 #include "descriptor/descriptor.hpp"
 #include "mc/por.hpp"
@@ -633,7 +635,7 @@ bool independence_commutes(const Protocol& proto, ProcCanonicalizer& canon,
 /// a stutter: stepping it emits no descriptor symbols.  `detail` receives
 /// the first violation.
 bool product_por_ok(const Protocol& proto, const McOptions& opt,
-                    std::string& detail) {
+                    const PorOracle& oracle, std::string& detail) {
   const bool with_obs = !opt.protocol_only;
   Product cur(proto, opt.observer, with_obs);
   Product sa(proto, opt.observer, with_obs);
@@ -654,7 +656,7 @@ bool product_por_ok(const Protocol& proto, const McOptions& opt,
     cur.enumerate(trans);
     ++sampled;
     for (std::size_t i = 0; i < trans.size(); ++i) {
-      const PorFootprint fp = proto.por_footprint(trans[i]);
+      const PorFootprint fp = oracle.footprint(trans[i]);
       if (!fp.visible && std::has_single_bit(fp.procs) &&
           !cur.transition_visible(trans[i])) {
         sa.assign_from(cur);
@@ -668,8 +670,8 @@ bool product_por_ok(const Protocol& proto, const McOptions& opt,
         }
       }
       for (std::size_t j = i + 1; j < trans.size(); ++j) {
-        const bool ij = proto.independent(trans[i], trans[j]);
-        const bool ji = proto.independent(trans[j], trans[i]);
+        const bool ij = oracle.independent(trans[i], trans[j]);
+        const bool ji = oracle.independent(trans[j], trans[i]);
         if (ij != ji) {
           detail = "independence relation is asymmetric on ('" +
                    proto.action_name(trans[i].action) + "', '" +
@@ -732,7 +734,8 @@ constexpr std::uint64_t kPorSampleEvery = 4096;
 // re-expanding the interrupted entry is safe because its already-claimed
 // successors were batched immediately and now dedup to Duplicate, and its
 // transition count is only committed once the entry completes.
-McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
+McResult run_bfs(const Protocol& proto, const McOptions& opt,  // NOLINT
+                 const PorOracle& oracle) {
   const std::size_t nworkers = opt.threads;
   McResult result;
   const auto t0 = std::chrono::steady_clock::now();
@@ -742,7 +745,7 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
   // POR engages only against the full product: invisibility (C2) is defined
   // relative to the observer/checker pipeline, which protocol_only drops.
   const bool por = opt.partial_order_reduction && product &&
-                   AmpleSelector(proto, true).active();
+                   AmpleSelector(proto, oracle, true).active();
 
   ConcurrentStateStore visited(opt.exact_states, presize_expected(opt));
   MetaArena meta;
@@ -788,12 +791,13 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
 
   struct Worker {
     Worker(const Protocol& p, const ObserverConfig& c, bool prod,
-           GraphId null_id, bool sym, bool incr, bool por_on)
+           GraphId null_id, bool sym, bool incr, const PorOracle& orc,
+           bool por_on)
         : cur(p, c, prod),
           succ(p, c, prod),
           stats(null_id),
           canon(p, sym, incr),
-          ample(p, por_on) {}
+          ample(p, orc, por_on) {}
     Product cur;   ///< entry being expanded (restored from the frontier)
     Product succ;  ///< successor scratch, reused across transitions
     std::uint32_t cur_idx = 0;
@@ -861,7 +865,7 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
   for (std::size_t w = 0; w < nworkers; ++w) {
     workers.push_back(std::make_unique<Worker>(
         proto, opt.observer, product, stats_null_id, symmetry,
-        opt.incremental_canonicalization, por));
+        opt.incremental_canonicalization, oracle, por));
     if (opt.symbol_stats && product) {
       workers.back()->succ.add_sink(&workers.back()->stats);
     }
@@ -1173,7 +1177,7 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
       // and say why.
       McOptions full = opt;
       full.partial_order_reduction = false;
-      McResult redo = run_bfs(proto, full);
+      McResult redo = run_bfs(proto, full, oracle);
       redo.por_note = "ample self-check failed at runtime (" +
                       por_violation_detail +
                       "); explored without partial-order reduction";
@@ -1310,7 +1314,7 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
         // counterexample; see the engine comment above.
         McOptions seq = opt;
         seq.threads = 1;
-        return run_bfs(proto, seq);
+        return run_bfs(proto, seq, oracle);
       }
       merge_worker_stats();
       result.transitions = transitions.load();
@@ -1353,6 +1357,64 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt) {  // NOLINT
   return finish(McVerdict::Verified);
 }
 
+/// PorOracle backed by the verified static inference (DESIGN.md §15):
+/// builds the protocol's control skeleton once, runs the exhaustive
+/// invisibility / commutation sweep, and serves footprints and independence
+/// by shape lookup.  Independence is deliberately restricted to pairs with
+/// at least one ample *candidate* (inferred-invisible, singleton processor
+/// support) on a side: the raw relation also proves visible protocol-level
+/// commutations whose product executions diverge (observer ID allocation is
+/// order-sensitive), and product_por_ok validates every pair the oracle
+/// calls independent at the product level.  Ample selection only ever
+/// consults pairs anchored by a candidate, so the restriction costs no
+/// reduction.
+class InferredPorOracle final : public PorOracle {
+ public:
+  explicit InferredPorOracle(const Protocol& proto)
+      : skeleton_(analysis::build_skeleton(proto)),
+        inference_(analysis::infer_por(skeleton_)) {
+    candidate_.resize(skeleton_.shapes.size(), 0);
+    for (std::size_t s = 0; s < skeleton_.shapes.size(); ++s) {
+      candidate_[s] = inference_.invisible[s] &&
+                              std::has_single_bit(inference_.proc_support[s])
+                          ? 1
+                          : 0;
+    }
+  }
+
+  [[nodiscard]] bool usable() const { return inference_.usable; }
+  [[nodiscard]] const std::string& note() const { return inference_.note; }
+
+  [[nodiscard]] bool por_enabled() const override {
+    return inference_.usable;
+  }
+
+  [[nodiscard]] PorFootprint footprint(const Transition& t) const override {
+    const std::uint32_t s = skeleton_.find_shape(t);
+    // Unknown shape (should not happen on a complete skeleton): fall back
+    // to the everything-conflicts footprint, which reduces nothing.
+    if (s == analysis::ProtocolSkeleton::npos) return PorFootprint{};
+    return inference_.footprints[s];
+  }
+
+  [[nodiscard]] bool independent(const Transition& a,
+                                 const Transition& b) const override {
+    const std::uint32_t i = skeleton_.find_shape(a);
+    const std::uint32_t j = skeleton_.find_shape(b);
+    if (i == analysis::ProtocolSkeleton::npos ||
+        j == analysis::ProtocolSkeleton::npos) {
+      return false;
+    }
+    if (candidate_[i] == 0 && candidate_[j] == 0) return false;
+    return inference_.independent(i, j);
+  }
+
+ private:
+  analysis::ProtocolSkeleton skeleton_;
+  analysis::InferredPor inference_;
+  std::vector<char> candidate_;
+};
+
 }  // namespace
 
 McResult model_check(const Protocol& protocol, const McOptions& options) {
@@ -1360,7 +1422,11 @@ McResult model_check(const Protocol& protocol, const McOptions& options) {
   if (options.lint_first && !options.protocol_only) {
     // Fail-fast static precheck: malformed tracking metadata would abort or
     // mislead exploration much later; reject it in milliseconds instead.
+    // Sampled mode keeps the bounded-walk cost (the exhaustive skeleton
+    // build would add ~hundreds of ms per model_check call on the larger
+    // protocols); run lint_protocol / tools/scv_lint for definite verdicts.
     LintOptions lopt;
+    lopt.mode = LintOptions::Mode::Sampled;
     lopt.observer = options.observer;
     const LintReport lint = lint_protocol(protocol, lopt);
     if (lint.has_errors()) {
@@ -1401,26 +1467,47 @@ McResult model_check(const Protocol& protocol, const McOptions& options) {
     }
   }
 
-  // POR self-check: the declared independence relation is trusted only
+  // POR oracle selection: the protocol's declared hooks by default; the
+  // verified static inference (DESIGN.md §15) when requested and usable.
+  // An unusable inference falls back to the declared hooks (which may be
+  // disabled — then POR is simply off), never to an unverified relation.
+  DeclaredPorOracle declared(protocol);
+  const PorOracle* oracle = &declared;
+  std::unique_ptr<InferredPorOracle> inferred;
+  std::string por_provenance = "declared";
+  std::string por_note;
+  if (opt.partial_order_reduction && !opt.protocol_only &&
+      opt.inferred_footprints) {
+    inferred = std::make_unique<InferredPorOracle>(protocol);
+    if (inferred->usable()) {
+      oracle = inferred.get();
+      por_provenance = "inferred";
+    } else {
+      por_note = "footprint inference unusable (" + inferred->note() +
+                 "); falling back to the declared POR hooks";
+    }
+  }
+
+  // POR self-check: the oracle's independence relation is trusted only
   // after the product-level commutation walk passes; otherwise fall back to
   // full expansion — slower but sound — and say why.  (The engine keeps
   // cross-validating ample sets on sampled reachable states during the
   // run; see run_bfs.)
-  std::string por_note;
   if (opt.partial_order_reduction && opt.por_self_check &&
-      !opt.protocol_only && protocol.por_enabled()) {
+      !opt.protocol_only && oracle->por_enabled()) {
     std::string detail;
-    if (!product_por_ok(protocol, opt, detail)) {
+    if (!product_por_ok(protocol, opt, *oracle, detail)) {
       opt.partial_order_reduction = false;
-      por_note =
-          "declared independence failed the commutation self-check (" +
-          detail + "); exploring without partial-order reduction";
+      por_note = por_provenance +
+                 " independence failed the commutation self-check (" + detail +
+                 "); exploring without partial-order reduction";
     }
   }
 
-  McResult result = run_bfs(protocol, opt);
+  McResult result = run_bfs(protocol, opt, *oracle);
   result.symmetry_note = std::move(symmetry_note);
   if (result.por_note.empty()) result.por_note = std::move(por_note);
+  result.por_provenance = result.por_active ? por_provenance : "";
   return result;
 }
 

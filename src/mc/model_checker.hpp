@@ -128,6 +128,17 @@ struct McOptions {
   /// expansion — with McResult::por_note explaining why — instead of
   /// unsoundly pruning interleavings.
   bool por_self_check = true;
+  /// Run ample-set POR from the *inferred* footprints and independence
+  /// relation (DESIGN.md §15) instead of the protocol's declarations: build
+  /// the protocol's control skeleton, exhaustively verify invisibility and
+  /// pairwise commutation, and feed the verified relation to the ample
+  /// selector.  Gives sound reduction to protocols with no POR declarations
+  /// at all (their Protocol::por_enabled() may stay false); falls back to
+  /// full expansion — with McResult::por_note explaining why — when the
+  /// inference is unusable (skeleton truncated, too many shapes, procs
+  /// over the mask width).  All dynamic safeguards (pre-run product walk,
+  /// in-run ample cross-validation, C3) still apply unchanged.
+  bool inferred_footprints = false;
   /// Pin worker threads to distinct CPUs of the process affinity mask
   /// (Linux only; no-op elsewhere or when threads exceed the mask).  Keeps
   /// the level-synchronized BFS's per-thread caches warm across levels.
@@ -210,6 +221,10 @@ struct McResult {
   /// (pre-run walk or in-engine cross-validation) and the run fell back to
   /// full expansion.
   std::string por_note;
+  /// Where the engaged POR relation came from: "declared" (the protocol's
+  /// own hooks) or "inferred" (McOptions::inferred_footprints).  Empty when
+  /// POR is inactive.
+  std::string por_provenance;
   /// POR accounting: states expanded through a proper ample set vs in full,
   /// full expansions forced by the cycle proviso, and enabled transitions
   /// pruned outright.  All zero when POR is inactive.

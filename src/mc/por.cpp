@@ -13,6 +13,14 @@ AmpleSelector::AmpleSelector(const Protocol& protocol, bool enable)
               protocol.params().procs <= 32 &&
               protocol.params().blocks <= 32) {}
 
+AmpleSelector::AmpleSelector(const Protocol& protocol,
+                             const PorOracle& oracle, bool enable)
+    : protocol_(&protocol),
+      oracle_(&oracle),
+      active_(enable && oracle.por_enabled() &&
+              protocol.params().procs <= 32 &&
+              protocol.params().blocks <= 32) {}
+
 bool AmpleSelector::select(const Product& product,
                            const std::vector<Transition>& trans,
                            std::vector<std::uint32_t>& out) {
@@ -29,7 +37,7 @@ bool AmpleSelector::select(const Product& product,
   candidate_.assign(n, 0);
   bool any = false;
   for (std::size_t i = 0; i < n; ++i) {
-    fps_.push_back(protocol_->por_footprint(trans[i]));
+    fps_.push_back(footprint_of(trans[i]));
     const PorFootprint& fp = fps_.back();
     if (!fp.visible && std::has_single_bit(fp.procs) &&
         !product.transition_visible(trans[i])) {
@@ -78,8 +86,8 @@ bool AmpleSelector::select(const Product& product,
         continue;  // member of this group
       }
       for (const std::uint32_t i : grp.members) {
-        if (!protocol_->independent(trans[i], trans[j]) ||
-            !protocol_->independent(trans[j], trans[i])) {
+        if (!independent_of(trans[i], trans[j]) ||
+            !independent_of(trans[j], trans[i])) {
           valid = false;
           break;
         }

@@ -44,6 +44,44 @@ namespace scv {
 
 class Product;
 
+/// The dependence information the ample machinery consumes, abstracted
+/// away from where it came from.  Two implementations exist: the protocol's
+/// hand-written declarations (DeclaredPorOracle) and the exhaustively
+/// verified relation inferred from the protocol skeleton
+/// (McOptions::inferred_footprints; see src/analysis/footprint_infer.hpp).
+/// Every dynamic safeguard — the pre-run product walk, the 1-in-4096 ample
+/// cross-validation, the C3 proviso — validates the oracle's answers the
+/// same way regardless of provenance.
+class PorOracle {
+ public:
+  virtual ~PorOracle() = default;
+  /// Whether POR may engage at all under this oracle.
+  [[nodiscard]] virtual bool por_enabled() const = 0;
+  [[nodiscard]] virtual PorFootprint footprint(const Transition& t) const = 0;
+  [[nodiscard]] virtual bool independent(const Transition& a,
+                                         const Transition& b) const = 0;
+};
+
+/// The default oracle: forward everything to the protocol's declarations.
+class DeclaredPorOracle final : public PorOracle {
+ public:
+  explicit DeclaredPorOracle(const Protocol& protocol)
+      : protocol_(&protocol) {}
+  [[nodiscard]] bool por_enabled() const override {
+    return protocol_->por_enabled();
+  }
+  [[nodiscard]] PorFootprint footprint(const Transition& t) const override {
+    return protocol_->por_footprint(t);
+  }
+  [[nodiscard]] bool independent(const Transition& a,
+                                 const Transition& b) const override {
+    return protocol_->independent(a, b);
+  }
+
+ private:
+  const Protocol* protocol_;
+};
+
 /// Counters for McResult reporting; merged across workers by the engine.
 struct AmpleStats {
   std::uint64_t ample_states = 0;   ///< states expanded via a proper ample set
@@ -58,8 +96,14 @@ class AmpleSelector {
   AmpleSelector() = default;
 
   /// Active iff `enable`, the protocol opts in (por_enabled) and the
-  /// processor count fits the footprint masks.
+  /// processor count fits the footprint masks.  Uses the protocol's own
+  /// declarations as the oracle.
   AmpleSelector(const Protocol& protocol, bool enable);
+
+  /// Same, but consulting `oracle` for footprints and independence.  The
+  /// oracle must outlive the selector.
+  AmpleSelector(const Protocol& protocol, const PorOracle& oracle,
+                bool enable);
 
   [[nodiscard]] bool active() const noexcept { return active_; }
 
@@ -74,7 +118,21 @@ class AmpleSelector {
 
  private:
   const Protocol* protocol_ = nullptr;
+  /// Non-null when an external oracle supplies the relation; null means
+  /// "consult protocol_ directly" (keeps the selector trivially copyable —
+  /// no self-pointer to an owned oracle).
+  const PorOracle* oracle_ = nullptr;
   bool active_ = false;
+
+  [[nodiscard]] PorFootprint footprint_of(const Transition& t) const {
+    return oracle_ != nullptr ? oracle_->footprint(t)
+                              : protocol_->por_footprint(t);
+  }
+  [[nodiscard]] bool independent_of(const Transition& a,
+                                    const Transition& b) const {
+    return oracle_ != nullptr ? oracle_->independent(a, b)
+                              : protocol_->independent(a, b);
+  }
 
   struct Group {
     std::uint8_t proc = 0;

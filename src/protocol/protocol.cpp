@@ -21,6 +21,34 @@ std::string Protocol::action_name(const Action& a) const {
   return os.str();
 }
 
+void Protocol::transition_effects(const Transition& t,
+                                  TransitionEffects& out) const {
+  out.reads.clear();
+  out.writes.clear();
+  out.clears.clear();
+  const std::size_t locations = params().locations;
+  if (t.action.kind == Action::Kind::Load && t.loc < locations) {
+    out.reads.push_back(t.loc);
+  }
+  if (t.action.kind == Action::Kind::Store && t.loc < locations) {
+    out.writes.push_back(t.loc);
+  }
+  if (t.serialize_loc >= 0 &&
+      static_cast<std::size_t>(t.serialize_loc) < locations) {
+    out.reads.push_back(static_cast<LocId>(t.serialize_loc));
+  }
+  for (const CopyEntry& c : t.copies) {
+    if (c.src == kClearSrc) {
+      if (c.dst < locations) out.clears.push_back(c.dst);
+    } else {
+      if (c.src < locations) out.reads.push_back(c.src);
+      if (c.dst < locations) out.writes.push_back(c.dst);
+    }
+  }
+  out.statically_visible =
+      t.action.is_memory_op() || t.serialize_loc >= 0 || !t.copies.empty();
+}
+
 void Protocol::permute_procs(std::span<std::uint8_t> /*state*/,
                              const ProcPerm& /*perm*/) const {
   // Benign default (state treated as processor-invariant).  Correct only

@@ -154,6 +154,21 @@ struct Transition {
   std::int16_t serialize_loc = -1;
 };
 
+/// Static effect summary of one transition over the tracking-location
+/// alphabet — the introspection seam the analysis layer's skeleton IR is
+/// built from (DESIGN.md §15).  `reads` lists locations whose tracked value
+/// the transition consults (LD label, serialize_loc, copy sources), `writes`
+/// lists locations that come to hold a tracked store (ST label, copy
+/// destinations), `clears` lists locations explicitly emptied (kClearSrc
+/// copies).  `statically_visible` is the label-level observer-visibility
+/// bit: may the transition emit descriptor symbols or move tracking state?
+struct TransitionEffects {
+  InlineVec<LocId, 16> reads;
+  InlineVec<LocId, 16> writes;
+  InlineVec<LocId, 16> clears;
+  bool statically_visible = false;
+};
+
 /// Conservative conflict footprint of one transition, the raw material of
 /// the declared independence relation (DESIGN.md §14).  A footprint is an
 /// over-approximation valid in every reachable state where the transition
@@ -234,6 +249,16 @@ class Protocol {
 
   /// Human-readable action name ("ST(P1,B2,1)", "Drain(P2)", ...).
   [[nodiscard]] virtual std::string action_name(const Action& a) const;
+
+  /// Effect summary of `t` over the location alphabet (see
+  /// TransitionEffects).  The default derives it purely from the tracking
+  /// labels; out-of-range labels (an R1 lint defect) are skipped rather
+  /// than folded into bogus effect bits.  Protocols whose enabledness
+  /// guards consult locations beyond their labels may override this to add
+  /// guard reads — conservative supersets are sound for every analysis
+  /// consumer.
+  virtual void transition_effects(const Transition& t,
+                                  TransitionEffects& out) const;
 
   // ----------------------------------------------------------------------
   // Processor symmetry (orbit canonicalization support).

@@ -228,6 +228,76 @@ TEST(Lint, UnrepresentableBandwidthIsR3) {
       << report.format();
 }
 
+TEST(Lint, CapacityFailureNamesConfiguredBandwidth) {
+  // Regression: the R4 differential walk's capacity finding must name the
+  // configured descriptor bandwidth k (pool, plus the mirrored locations
+  // when location_mirrored), not just that "a" pool ran dry.
+  SerialMemory proto(2, 2, 2);
+  LintOptions opt;
+  opt.observer.pool_size = 2;
+  const LintReport report = lint_protocol(proto, opt);
+  EXPECT_TRUE(has_finding(report, LintRule::R3_Bandwidth,
+                          LintSeverity::Warning, "k=2 (ID pool 2)"))
+      << report.format();
+  LintOptions mirrored = opt;
+  mirrored.observer.location_mirrored = true;
+  const LintReport mreport = lint_protocol(proto, mirrored);
+  const std::string mk =
+      "k=" + std::to_string(proto.params().locations + 2) + " (ID pool 2)";
+  EXPECT_TRUE(has_finding(mreport, LintRule::R3_Bandwidth,
+                          LintSeverity::Warning, mk))
+      << mreport.format();
+}
+
+TEST(Lint, RuleSelectionSkipsUnselectedPasses) {
+  MsiBus proto(2, 2, 2);
+  LintOptions opt;
+  opt.rules = lint_rule_bit(LintRule::R2_LocationLiveness) |
+              lint_rule_bit(LintRule::R7_Independence);
+  const LintReport report = lint_protocol(proto, opt);
+  EXPECT_TRUE(report.stats.rule(LintRule::R2_LocationLiveness).ran);
+  EXPECT_TRUE(report.stats.rule(LintRule::R7_Independence).ran);
+  EXPECT_FALSE(report.stats.rule(LintRule::R1_TrackingLabels).ran);
+  EXPECT_FALSE(report.stats.rule(LintRule::R3_Bandwidth).ran);
+  EXPECT_FALSE(report.stats.rule(LintRule::R4_ObserverInterference).ran);
+  for (const LintFinding& f : report.findings) {
+    EXPECT_TRUE(f.rule == LintRule::R2_LocationLiveness ||
+                f.rule == LintRule::R7_Independence)
+        << to_string(f.rule);
+  }
+}
+
+TEST(Lint, ExhaustiveModeGivesDefiniteVerdicts) {
+  MsiBus proto(2, 2, 2);
+  const LintReport report = lint_protocol(proto);  // defaults: exhaustive
+  EXPECT_TRUE(report.stats.exhaustive);
+  EXPECT_FALSE(report.stats.truncated);
+  for (const LintRule r :
+       {LintRule::R2_LocationLiveness, LintRule::R5_DeadTransitions,
+        LintRule::R7_Independence}) {
+    EXPECT_TRUE(report.stats.rule(r).ran) << to_string(r);
+    EXPECT_TRUE(report.stats.rule(r).definite) << to_string(r);
+  }
+  // The walk/sample rules stay evidence even in exhaustive mode.
+  EXPECT_FALSE(report.stats.rule(LintRule::R4_ObserverInterference).definite);
+  LintOptions sampled;
+  sampled.mode = LintOptions::Mode::Sampled;
+  const LintReport sreport = lint_protocol(proto, sampled);
+  EXPECT_FALSE(sreport.stats.exhaustive);
+}
+
+TEST(Lint, DeprecatedSamplingKnobsDrawNoteInExhaustiveMode) {
+  MsiBus proto(2, 2, 2);
+  LintOptions opt;
+  opt.max_states = 512;  // legacy sampling cap, ignored by exhaustive mode
+  const LintReport report = lint_protocol(proto, opt);
+  EXPECT_TRUE(has_finding(report, LintRule::R1_TrackingLabels,
+                          LintSeverity::Note, "deprecated"))
+      << report.format();
+  // The skeleton must NOT have been capped at the legacy knob.
+  EXPECT_GT(report.stats.states_sampled, 512u);
+}
+
 /// R4 stub: claims to observe but scribbles on the protocol state.
 class ScribblingStub final : public Augmentation {
  public:

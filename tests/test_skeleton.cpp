@@ -1,0 +1,458 @@
+// Tests for the shared static-analysis IR (DESIGN.md §15): the skeleton
+// enumeration against a reference BFS, the dataflow solvers on hand-built
+// graphs, the POR-footprint inference and its R7/R8 lint rules against
+// deliberately wrong declarations, and whole-run parity between declared
+// and inferred footprints feeding the model checker's ample selector.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/dataflow.hpp"
+#include "analysis/footprint_infer.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/skeleton.hpp"
+#include "mc/model_checker.hpp"
+#include "protocol/directory.hpp"
+#include "protocol/msi_bus.hpp"
+#include "protocol/registry.hpp"
+#include "protocol/serial_memory.hpp"
+#include "runlog/run_trace.hpp"
+#include "util/byte_io.hpp"
+
+namespace scv {
+namespace {
+
+using analysis::build_skeleton;
+using analysis::DataflowProblem;
+using analysis::FlowEdge;
+using analysis::infer_por;
+using analysis::LocSet;
+using analysis::ProtocolSkeleton;
+using analysis::Transfer;
+
+// ------------------------------------------------- skeleton vs reference
+
+/// Plain reference enumeration: BFS with an unordered_set of serialized
+/// states, counting states and enumerated transitions.  The skeleton build
+/// (arena + open-addressed index + CSR) must agree exactly.
+void reference_counts(const Protocol& proto, std::size_t* states,
+                      std::size_t* edges) {
+  const std::size_t sb = proto.state_size();
+  std::vector<std::uint8_t> init(sb);
+  proto.initial_state(init);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> frontier;
+  seen.insert(std::string(init.begin(), init.end()));
+  frontier.push_back(std::string(init.begin(), init.end()));
+  std::size_t nedges = 0;
+  std::vector<Transition> ts;
+  std::vector<std::uint8_t> succ(sb);
+  for (std::size_t cursor = 0; cursor < frontier.size(); ++cursor) {
+    const std::string cur = frontier[cursor];
+    ts.clear();
+    proto.enumerate(
+        {reinterpret_cast<const std::uint8_t*>(cur.data()), sb}, ts);
+    for (const Transition& t : ts) {
+      std::memcpy(succ.data(), cur.data(), sb);
+      proto.apply(succ, t);
+      ++nedges;
+      std::string key(succ.begin(), succ.end());
+      if (seen.insert(key).second) frontier.push_back(std::move(key));
+    }
+  }
+  *states = seen.size();
+  *edges = nedges;
+}
+
+TEST(Skeleton, MatchesReferenceEnumerationAcrossRegistry) {
+  for (const RegisteredProtocol& entry : protocol_registry()) {
+    const auto proto = entry.make();
+    const ProtocolSkeleton sk = build_skeleton(*proto);
+    ASSERT_TRUE(sk.complete) << entry.id;
+    std::size_t ref_states = 0;
+    std::size_t ref_edges = 0;
+    reference_counts(*proto, &ref_states, &ref_edges);
+    EXPECT_EQ(sk.num_states(), ref_states) << entry.id;
+    EXPECT_EQ(sk.edges.size(), ref_edges) << entry.id;
+    // CSR integrity: every edge target is a real state (complete build) and
+    // shape occurrence counters add back up to the edge count.
+    std::size_t occurrences = 0;
+    for (const analysis::TransitionShape& s : sk.shapes) {
+      occurrences += s.occurrences;
+      EXPECT_EQ(sk.find_shape(s.key),
+                static_cast<std::uint32_t>(&s - sk.shapes.data()))
+          << entry.id;
+    }
+    EXPECT_EQ(occurrences, sk.edges.size()) << entry.id;
+    for (const analysis::SkeletonEdge& e : sk.edges) {
+      ASSERT_LT(e.to, sk.num_states()) << entry.id;
+      ASSERT_LT(e.shape, sk.shapes.size()) << entry.id;
+    }
+  }
+}
+
+TEST(Skeleton, TruncationIsReportedNotSilent) {
+  const auto proto = make_registered_protocol("msi_bus");
+  analysis::SkeletonBuildOptions opt;
+  opt.max_states = 100;
+  const ProtocolSkeleton sk = build_skeleton(*proto, opt);
+  EXPECT_FALSE(sk.complete);
+  EXPECT_LE(sk.num_states(), 100u);
+  // Edges past the cap keep their shape with an npos target.
+  bool saw_npos = false;
+  for (const analysis::SkeletonEdge& e : sk.edges) {
+    saw_npos |= e.to == ProtocolSkeleton::npos;
+  }
+  EXPECT_TRUE(saw_npos);
+}
+
+TEST(Skeleton, EffectSetsFollowTrackingLabels) {
+  const SerialMemory proto(2, 2, 1);
+  const ProtocolSkeleton sk = build_skeleton(proto);
+  ASSERT_TRUE(sk.complete);
+  bool saw_load = false;
+  bool saw_store = false;
+  for (const analysis::TransitionShape& s : sk.shapes) {
+    if (!s.rep.action.is_memory_op()) continue;
+    EXPECT_TRUE(s.statically_visible);
+    if (s.rep.action.kind == Action::Kind::Load) {
+      saw_load = true;
+      EXPECT_TRUE(s.reads.test(s.rep.loc));
+      EXPECT_TRUE(s.writes.empty());
+    } else {
+      saw_store = true;
+      EXPECT_TRUE(s.writes.test(s.rep.loc));
+    }
+  }
+  EXPECT_TRUE(saw_load);
+  EXPECT_TRUE(saw_store);
+}
+
+// ------------------------------------------------------ dataflow solvers
+
+/// Diamond:  0 -a-> 1 -b-> 3,  0 -c-> 2 -d-> 3.  Forward-may facts must
+/// union over the two paths, with kills applied per-edge.
+TEST(Dataflow, ForwardMayUnionsPaths) {
+  DataflowProblem p;
+  p.num_nodes = 4;
+  Transfer a;  // gen {1}
+  a.gen.set(1);
+  Transfer b;  // gen {2}, kill {1}
+  b.gen.set(2);
+  b.kill.set(1);
+  Transfer c;  // gen {3}
+  c.gen.set(3);
+  Transfer d;  // identity
+  p.transfers = {a, b, c, d};
+  p.edges = {{0, 1, 0}, {1, 3, 1}, {0, 2, 2}, {2, 3, 3}};
+  const std::vector<LocSet> fact = analysis::solve_forward_may(p);
+  EXPECT_TRUE(fact[1].test(1));
+  EXPECT_TRUE(fact[2].test(3));
+  // At the join: {2} from the top path (1 was killed) ∪ {3} from the
+  // bottom path; 1 must NOT leak through edge b's kill.
+  EXPECT_TRUE(fact[3].test(2));
+  EXPECT_TRUE(fact[3].test(3));
+  EXPECT_FALSE(fact[3].test(1));
+}
+
+/// Cycle: 0 -> 1 -> 2 -> 1 (loop), gen at the loop edge.  The fixpoint must
+/// terminate and propagate the loop-generated fact into every node of the
+/// cycle, but not backwards into node 0.
+TEST(Dataflow, ForwardMayReachesFixpointOnCycle) {
+  DataflowProblem p;
+  p.num_nodes = 3;
+  Transfer id;
+  Transfer gen5;
+  gen5.gen.set(5);
+  p.transfers = {id, gen5};
+  p.edges = {{0, 1, 0}, {1, 2, 1}, {2, 1, 0}};
+  const std::vector<LocSet> fact = analysis::solve_forward_may(p);
+  EXPECT_FALSE(fact[0].test(5));
+  EXPECT_TRUE(fact[1].test(5));  // flows around the cycle back into 1
+  EXPECT_TRUE(fact[2].test(5));
+}
+
+/// Chain 0 -a-> 1 -b-> 2 where edge b reads {7} and edge a writes {7}: the
+/// backward liveness fact at node 1 must contain 7 (a read is ahead), the
+/// fact at node 0 must not (edge a's write kills it before the read... the
+/// kill applies to facts flowing backward THROUGH the edge, gen applies at
+/// its source).
+TEST(Dataflow, BackwardMayLiveness) {
+  DataflowProblem p;
+  p.num_nodes = 3;
+  Transfer a;  // writes {7}: kill
+  a.kill.set(7);
+  Transfer b;  // reads {7}: gen
+  b.gen.set(7);
+  p.transfers = {a, b};
+  p.edges = {{0, 1, 0}, {1, 2, 1}};
+  const std::vector<LocSet> fact = analysis::solve_backward_may(p);
+  EXPECT_TRUE(fact[1].test(7));
+  EXPECT_FALSE(fact[0].test(7));
+  EXPECT_FALSE(fact[2].test(7));
+}
+
+TEST(Dataflow, EntrySeedsAreRespected) {
+  DataflowProblem p;
+  p.num_nodes = 2;
+  Transfer id;
+  p.transfers = {id};
+  p.edges = {{0, 1, 0}};
+  p.entry.resize(2);
+  p.entry[0].set(4);
+  const std::vector<LocSet> fwd = analysis::solve_forward_may(p);
+  EXPECT_TRUE(fwd[0].test(4));
+  EXPECT_TRUE(fwd[1].test(4));
+}
+
+/// The occupancy instantiation on a real protocol: the maximal
+/// simultaneously-occupied location count can only tighten (never exceed)
+/// the static location count, and on the directory protocol it genuinely
+/// does — that slack is what the R3 refinement reports.
+TEST(Dataflow, OccupancyTightensDirectoryBound) {
+  const auto proto = make_registered_protocol("directory");
+  const ProtocolSkeleton sk = build_skeleton(*proto);
+  ASSERT_TRUE(sk.complete);
+  const std::vector<LocSet> occ =
+      analysis::solve_forward_may(analysis::occupancy_problem(sk));
+  int max_occ = 0;
+  for (const LocSet& f : occ) max_occ = std::max(max_occ, f.count());
+  EXPECT_GT(max_occ, 0);
+  EXPECT_LT(static_cast<std::size_t>(max_occ), proto->params().locations);
+}
+
+// ---------------------------------------------------- inference + mutants
+
+TEST(Inference, UsableAndDefiniteAcrossRegistry) {
+  for (const RegisteredProtocol& entry : protocol_registry()) {
+    const auto proto = entry.make();
+    const ProtocolSkeleton sk = build_skeleton(*proto);
+    const analysis::InferredPor inf = infer_por(sk);
+    EXPECT_TRUE(inf.relation_definite) << entry.id;
+    EXPECT_TRUE(inf.invisibility_definite) << entry.id;
+    EXPECT_TRUE(inf.usable) << entry.id << ": " << inf.note;
+    ASSERT_EQ(inf.footprints.size(), sk.shapes.size()) << entry.id;
+    for (std::size_t s = 0; s < sk.shapes.size(); ++s) {
+      if (inf.invisible[s] && std::has_single_bit(inf.proc_support[s])) {
+        // Ample candidate: the footprint names its one processor and is
+        // marked invisible.
+        EXPECT_FALSE(inf.footprints[s].visible) << entry.id;
+        EXPECT_EQ(inf.footprints[s].procs, inf.proc_support[s]) << entry.id;
+      } else {
+        // Everything else conflicts with everything (sound default).
+        EXPECT_EQ(inf.footprints[s].procs, ~0u) << entry.id;
+        EXPECT_TRUE(inf.footprints[s].visible) << entry.id;
+      }
+    }
+  }
+}
+
+TEST(Inference, MsiBusEvictIsInvisibleSingleProcessor) {
+  const auto proto = make_registered_protocol("msi_bus");
+  const ProtocolSkeleton sk = build_skeleton(*proto);
+  const analysis::InferredPor inf = infer_por(sk);
+  ASSERT_TRUE(inf.usable) << inf.note;
+  // Invisible shapes with a single-processor support are the ample
+  // candidates; on the bus protocol those are exactly the cache evictions
+  // (BusGetX is also invisible but touches both processors' snoop state).
+  std::size_t candidates = 0;
+  for (std::size_t s = 0; s < sk.shapes.size(); ++s) {
+    if (!inf.invisible[s] || !std::has_single_bit(inf.proc_support[s])) {
+      continue;
+    }
+    ++candidates;
+    const std::string an = proto->action_name(sk.shapes[s].rep.action);
+    EXPECT_NE(an.find("Evict"), std::string::npos) << an;
+  }
+  EXPECT_GT(candidates, 0u);
+}
+
+/// Forwards the wrapped directory protocol faithfully — including its POR
+/// opt-in — so the exhaustive R7/R8 passes see a protocol they can judge.
+class PorForwardingWrapper : public Protocol {
+ public:
+  PorForwardingWrapper() : inner_(2, 1, 2) {}
+  [[nodiscard]] std::string name() const override {
+    return "PorForwardingWrapper";
+  }
+  [[nodiscard]] const Params& params() const override {
+    return inner_.params();
+  }
+  [[nodiscard]] std::size_t state_size() const override {
+    return inner_.state_size();
+  }
+  void initial_state(std::span<std::uint8_t> state) const override {
+    inner_.initial_state(state);
+  }
+  void enumerate(std::span<const std::uint8_t> state,
+                 std::vector<Transition>& out) const override {
+    inner_.enumerate(state, out);
+  }
+  void apply(std::span<std::uint8_t> state,
+             const Transition& t) const override {
+    inner_.apply(state, t);
+  }
+  [[nodiscard]] bool could_load_bottom(std::span<const std::uint8_t> state,
+                                       BlockId b) const override {
+    return inner_.could_load_bottom(state, b);
+  }
+  [[nodiscard]] std::string action_name(const Action& a) const override {
+    return inner_.action_name(a);
+  }
+  // The inference reads processor support off proc_signature; without this
+  // forward the default (empty) signature would hide every ample candidate.
+  void proc_signature(std::span<const std::uint8_t> state, ProcId p,
+                      ByteWriter& w) const override {
+    inner_.proc_signature(state, p, w);
+  }
+  [[nodiscard]] bool por_enabled() const override { return true; }
+  [[nodiscard]] PorFootprint por_footprint(const Transition& t) const override {
+    return inner_.por_footprint(t);
+  }
+  [[nodiscard]] bool independent(const Transition& t,
+                                 const Transition& u) const override {
+    return inner_.independent(t, u);
+  }
+
+ protected:
+  DirectoryProtocol inner_;
+};
+
+/// Over-coarse mutant: declares every footprint maximally conservative
+/// (the everything-conflicts, observer-visible default).  Sound — it just
+/// disables all reduction — which is exactly what R8 flags: the inference
+/// proves some of those transitions invisible and single-processor.
+class OverCoarseFootprintMutant final : public PorForwardingWrapper {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "OverCoarseFootprintMutant";
+  }
+  [[nodiscard]] PorFootprint por_footprint(
+      const Transition& /*t*/) const override {
+    return PorFootprint{};  // procs/blocks/serializes = ~0, visible
+  }
+};
+
+/// Unsound (over-fine) mutant: declares everything independent.  The
+/// exhaustive relation has definite Dependent pairs, so R7 must fire as a
+/// definite verdict, not sampled evidence.
+class OverFineIndependenceMutant final : public PorForwardingWrapper {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "OverFineIndependenceMutant";
+  }
+  [[nodiscard]] bool independent(const Transition& /*t*/,
+                                 const Transition& /*u*/) const override {
+    return true;
+  }
+};
+
+TEST(Inference, OverCoarseFootprintsDrawR8Note) {
+  const OverCoarseFootprintMutant proto;
+  const LintReport report = lint_protocol(proto);
+  EXPECT_TRUE(report.stats.rule(LintRule::R8_FootprintImprecision).ran);
+  EXPECT_TRUE(report.stats.rule(LintRule::R8_FootprintImprecision).definite);
+  std::size_t notes = 0;
+  for (const LintFinding& f : report.findings) {
+    if (f.rule != LintRule::R8_FootprintImprecision) continue;
+    EXPECT_EQ(f.severity, LintSeverity::Note);
+    EXPECT_NE(f.message.find("provably invisible"), std::string::npos)
+        << f.message;
+    ++notes;
+  }
+  EXPECT_GT(notes, 0u) << report.format();
+  // The honest wrapper has nothing over-coarse to report at this
+  // parameterization beyond what the real protocol declares.
+  const PorForwardingWrapper honest;
+  const LintReport clean = lint_protocol(honest);
+  EXPECT_LE(clean.count(LintRule::R8_FootprintImprecision),
+            report.count(LintRule::R8_FootprintImprecision));
+}
+
+TEST(Inference, OverFineIndependenceIsDefiniteR7) {
+  const OverFineIndependenceMutant proto;
+  const LintReport report = lint_protocol(proto);
+  EXPECT_TRUE(report.stats.rule(LintRule::R7_Independence).ran);
+  EXPECT_TRUE(report.stats.rule(LintRule::R7_Independence).definite);
+  bool warned = false;
+  for (const LintFinding& f : report.findings) {
+    warned |= f.rule == LintRule::R7_Independence &&
+              f.severity == LintSeverity::Warning;
+  }
+  EXPECT_TRUE(warned) << report.format();
+}
+
+// --------------------------------------- inferred vs declared POR parity
+
+TEST(InferredPor, DirectoryParityWithDeclaredFootprints) {
+  const DirectoryProtocol proto(3, 1, 1);
+  McOptions declared;
+  declared.max_depth = 12;
+  McOptions inferred = declared;
+  inferred.inferred_footprints = true;
+  const McResult rd = model_check(proto, declared);
+  const McResult ri = model_check(proto, inferred);
+  ASSERT_EQ(rd.verdict, McVerdict::StateLimit) << rd.summary();
+  ASSERT_EQ(ri.verdict, McVerdict::StateLimit) << ri.summary();
+  EXPECT_TRUE(rd.por_active) << rd.por_note;
+  EXPECT_TRUE(ri.por_active) << ri.por_note;
+  EXPECT_EQ(rd.por_provenance, "declared");
+  EXPECT_EQ(ri.por_provenance, "inferred");
+  // Acceptance bound: within 5% of the declared-footprint reduction.  (The
+  // runs are byte-identical in practice; the slack keeps the test honest if
+  // the inferred relation legitimately tightens.)
+  const double lo = static_cast<double>(rd.states) * 0.95;
+  const double hi = static_cast<double>(rd.states) * 1.05;
+  EXPECT_GE(static_cast<double>(ri.states), lo)
+      << rd.states << " vs " << ri.states;
+  EXPECT_LE(static_cast<double>(ri.states), hi)
+      << rd.states << " vs " << ri.states;
+}
+
+TEST(InferredPor, ActivatesOnProtocolsWithNoDeclarations) {
+  // lazy_caching never opted into POR; the inference must give it a usable
+  // relation anyway, and the reduced run must agree with full expansion.
+  const auto proto = make_registered_protocol("lazy_caching");
+  ASSERT_FALSE(proto->por_enabled());
+  McOptions inferred;
+  inferred.max_states = 60'000;
+  inferred.inferred_footprints = true;
+  McOptions full = inferred;
+  full.partial_order_reduction = false;
+  const McResult ri = model_check(*proto, inferred);
+  const McResult rf = model_check(*proto, full);
+  EXPECT_TRUE(ri.por_active) << ri.por_note;
+  EXPECT_EQ(ri.por_provenance, "inferred");
+  EXPECT_EQ(ri.verdict, rf.verdict);
+  EXPECT_LE(ri.states, rf.states);
+}
+
+TEST(InferredPor, CounterexampleByteParityOnBuggyMsi) {
+  const auto proto = make_registered_protocol("msi_bus_buggy");
+  McOptions declared;
+  declared.max_states = 100'000;
+  declared.record_counterexample = true;
+  McOptions inferred = declared;
+  inferred.inferred_footprints = true;
+  const McResult rd = model_check(*proto, declared);
+  const McResult ri = model_check(*proto, inferred);
+  ASSERT_EQ(rd.verdict, McVerdict::Violation);
+  ASSERT_EQ(ri.verdict, McVerdict::Violation);
+  ASSERT_TRUE(rd.counterexample_trace.has_value());
+  ASSERT_TRUE(ri.counterexample_trace.has_value());
+  ByteWriter wa;
+  ByteWriter wb;
+  serialize_run_trace(*rd.counterexample_trace, wa);
+  serialize_run_trace(*ri.counterexample_trace, wb);
+  EXPECT_EQ(wa.data(), wb.data())
+      << "inferred-footprint POR changed the recorded counterexample";
+}
+
+}  // namespace
+}  // namespace scv

@@ -14,6 +14,12 @@ regresses past its floor:
   * canonicalization cost: the canonicalize phase share of the fingerprint
     baseline run must stay at or below --max-canon-share (the DESIGN.md §13
     incremental canonicalizer's acceptance threshold);
+  * static-analysis cost: every registry protocol's exhaustive lint pass
+    (skeleton + fixpoints + footprint inference, DESIGN.md §15) must report
+    truncated=false and finish within --max-lint-share of the reference
+    p2 model-checking run the bench measured alongside it.  The reference
+    is a bounded (state-capped) run, i.e. a strict underestimate of the
+    full verification, so the gate is conservative;
   * multicore scaling: per-thread-count speedup floors, applied ONLY to
     rows the bench marked "gating": true — rows measured with enough
     affinity CPUs to give every worker its own core.  Oversubscribed rows
@@ -64,6 +70,14 @@ def main() -> int:
         default=0.40,
         help="max canonicalize share of MC wall time in the fingerprint "
         "baseline run (default: %(default)s)",
+    )
+    ap.add_argument(
+        "--max-lint-share",
+        type=float,
+        default=0.05,
+        help="max exhaustive static-analysis wall time per registry "
+        "protocol as a share of the reference p2 MC run "
+        "(default: %(default)s)",
     )
     args = ap.parse_args()
 
@@ -149,6 +163,37 @@ def main() -> int:
             phases["materialize"],
         ),
     )
+
+    # --- exhaustive static-analysis cost ----------------------------------
+    lint = d.get("lint", {})
+    lint_points = lint.get("points", [])
+    check(bool(lint_points), "lint points recorded")
+    ref = lint.get("reference", {})
+    ref_seconds = ref.get("seconds", 0)
+    check(
+        ref_seconds > 0,
+        "lint reference MC run recorded (%s: %s states in %.2fs)"
+        % (ref.get("id"), ref.get("states"), ref_seconds),
+    )
+    for p in lint_points:
+        check(
+            p.get("truncated") is False,
+            "lint %s: exhaustive skeleton complete (truncated=false, "
+            "%s states)" % (p["id"], p.get("states")),
+        )
+        lint_share = p["seconds"] / ref_seconds if ref_seconds > 0 else 1.0
+        check(
+            lint_share <= args.max_lint_share,
+            "lint %s: analysis %.4fs is %.2f%% <= %.0f%% of the reference "
+            "p2 MC run (%.2fs)"
+            % (
+                p["id"],
+                p["seconds"],
+                100 * lint_share,
+                100 * args.max_lint_share,
+                ref_seconds,
+            ),
+        )
 
     # --- multicore scaling (gating rows only) -----------------------------
     rows = d["scaling"]["fingerprint"]

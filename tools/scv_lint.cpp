@@ -2,12 +2,18 @@
 //
 // Runs the src/analysis/ linter over registered protocols (all of them by
 // default, or the ids named on the command line) and prints each report.
-// Exit status: 0 when no protocol has error-severity findings, 1 when any
-// does (or 1 on warnings too, under --strict), 2 on usage errors.
+// Exit status: 0 when no protocol fails, 1 when any does, 2 on usage
+// errors.  A protocol fails on error-severity findings, on warnings too
+// under --strict, and — in exhaustive mode — when the skeleton build was
+// truncated (an exhaustive report whose definite claims silently degraded
+// to bounded evidence is a failure, not a pass).
 //
-//   scv_lint                  # lint every registered protocol
+//   scv_lint                  # lint every registered protocol (exhaustive)
 //   scv_lint msi_bus directory
 //   scv_lint --strict         # warnings also fail
+//   scv_lint --rule R2,R7     # run only the named rules (R1..R8)
+//   scv_lint --exhaustive     # explicit full-skeleton mode (the default)
+//   scv_lint --sampled        # legacy bounded precheck mode
 //   scv_lint --list           # print ids with their registered p/b/v and
 //                             # the descriptor bandwidth k each runs under
 //   scv_lint --quiet          # summaries + findings only on failure
@@ -17,6 +23,9 @@
 //   {"protocol":...,"rule":...,"severity":...,"message":...}
 // followed by one summary object per protocol
 //   {"protocol":...,"errors":N,"warnings":N,"notes":N,
+//    "states":N,"transitions":N,"exhaustive":bool,"truncated":bool,
+//    "coverage":{"R1:tracking-labels":{"ran":bool,"definite":bool,
+//                                      "states":N,"checked":N},...},
 //    "suppressed_rules":[...],"failed":bool}
 // where suppressed_rules lists the rule IDs whose findings overflowed the
 // per-rule cap — CI can tell "this rule fired 16+ times" apart from "this
@@ -32,9 +41,17 @@
 
 namespace {
 
+constexpr scv::LintRule kAllRules[scv::kNumLintRules] = {
+    scv::LintRule::R1_TrackingLabels,    scv::LintRule::R2_LocationLiveness,
+    scv::LintRule::R3_Bandwidth,         scv::LintRule::R4_ObserverInterference,
+    scv::LintRule::R5_DeadTransitions,   scv::LintRule::R6_ProcessorSymmetry,
+    scv::LintRule::R7_Independence,      scv::LintRule::R8_FootprintImprecision,
+};
+
 int usage() {
   std::fprintf(stderr,
-               "usage: scv_lint [--strict] [--quiet] [--json] [--list] "
+               "usage: scv_lint [--strict] [--quiet] [--json] [--list]\n"
+               "                [--rule R1,R2,...] [--exhaustive|--sampled] "
                "[id...]\n");
   return 2;
 }
@@ -73,17 +90,53 @@ void print_json_report(const scv::LintReport& report, bool failed) {
   }
   std::string suppressed;
   for (const scv::LintRule r : report.suppressed_rules) {
-    if (!suppressed.empty()) suppressed += ",";
-    suppressed += "\"" + json_escape(scv::to_string(r)) + "\"";
+    if (!suppressed.empty()) suppressed += ',';
+    suppressed += '"';
+    suppressed += json_escape(scv::to_string(r));
+    suppressed += '"';
+  }
+  std::string coverage;
+  for (const scv::LintRule r : kAllRules) {
+    const scv::RuleCoverage& cov = report.stats.rule(r);
+    if (!coverage.empty()) coverage += ",";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"ran\":%s,\"definite\":%s,\"states\":%zu,"
+                  "\"checked\":%zu}",
+                  json_escape(scv::to_string(r)).c_str(),
+                  cov.ran ? "true" : "false", cov.definite ? "true" : "false",
+                  cov.states, cov.checked);
+    coverage += buf;
   }
   std::printf(
       "{\"protocol\":\"%s\",\"errors\":%zu,\"warnings\":%zu,\"notes\":%zu,"
-      "\"suppressed_rules\":[%s],\"failed\":%s}\n",
+      "\"states\":%zu,\"transitions\":%zu,\"exhaustive\":%s,"
+      "\"truncated\":%s,\"coverage\":{%s},\"suppressed_rules\":[%s],"
+      "\"failed\":%s}\n",
       json_escape(report.protocol).c_str(),
       report.count(scv::LintSeverity::Error),
       report.count(scv::LintSeverity::Warning),
-      report.count(scv::LintSeverity::Note), suppressed.c_str(),
-      failed ? "true" : "false");
+      report.count(scv::LintSeverity::Note), report.stats.states_sampled,
+      report.stats.transitions_checked,
+      report.stats.exhaustive ? "true" : "false",
+      report.stats.truncated ? "true" : "false", coverage.c_str(),
+      suppressed.c_str(), failed ? "true" : "false");
+}
+
+/// Per-rule coverage block appended to the text report: which passes ran,
+/// whether their verdict is definite, and how much each examined.
+void print_coverage(const scv::LintReport& report) {
+  for (const scv::LintRule r : kAllRules) {
+    const scv::RuleCoverage& cov = report.stats.rule(r);
+    if (!cov.ran) {
+      std::printf("  %-26s skipped\n", scv::to_string(r).c_str());
+      continue;
+    }
+    std::printf("  %-26s %-8s states=%zu checked=%zu\n",
+                scv::to_string(r).c_str(),
+                cov.definite ? "definite" : "sampled", cov.states,
+                cov.checked);
+  }
 }
 
 /// --list: each registry entry with the parameterization it is registered
@@ -100,12 +153,33 @@ void print_list() {
   }
 }
 
+/// Parses a comma-separated rule list ("R1,R7") into a selection mask.
+bool parse_rule_list(const std::string& list, std::uint32_t& mask) {
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string item =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    scv::LintRule r{};
+    if (!scv::parse_lint_rule(item, r)) {
+      std::fprintf(stderr, "scv_lint: unknown rule '%s'\n", item.c_str());
+      return false;
+    }
+    mask |= scv::lint_rule_bit(r);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool strict = false;
   bool quiet = false;
   bool json = false;
+  std::uint32_t rule_mask = 0;
+  scv::LintOptions lopt;  // defaults to exhaustive mode, all rules
   std::vector<std::string> ids;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -115,6 +189,15 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--exhaustive") {
+      lopt.mode = scv::LintOptions::Mode::Exhaustive;
+    } else if (arg == "--sampled") {
+      lopt.mode = scv::LintOptions::Mode::Sampled;
+    } else if (arg == "--rule" || arg == "-r") {
+      if (i + 1 >= argc) return usage();
+      if (!parse_rule_list(argv[++i], rule_mask)) return 2;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      if (!parse_rule_list(arg.substr(7), rule_mask)) return 2;
     } else if (arg == "--list") {
       print_list();
       return 0;
@@ -124,6 +207,7 @@ int main(int argc, char** argv) {
       ids.push_back(arg);
     }
   }
+  if (rule_mask != 0) lopt.rules = rule_mask;
 
   if (ids.empty()) {
     for (const scv::RegisteredProtocol& e : scv::protocol_registry()) {
@@ -140,13 +224,18 @@ int main(int argc, char** argv) {
                    id.c_str());
       return 2;
     }
-    scv::LintReport report = scv::lint_protocol(*proto);
+    scv::LintReport report = scv::lint_protocol(*proto, lopt);
     if (report.protocol != id) {
       report.protocol = id + " (" + report.protocol + ")";
     }
+    // An exhaustive report that hit the skeleton cap no longer backs its
+    // definite claims — treat it as a failure, not a quieter pass.
+    const bool truncated_exhaustive =
+        report.stats.exhaustive && report.stats.truncated;
     const bool failed =
         report.has_errors() ||
-        (strict && report.count(scv::LintSeverity::Warning) > 0);
+        (strict && report.count(scv::LintSeverity::Warning) > 0) ||
+        truncated_exhaustive;
     failures += failed ? 1 : 0;
     if (json) {
       print_json_report(report, failed);
@@ -154,6 +243,13 @@ int main(int argc, char** argv) {
       std::printf("%s\n", report.summary().c_str());
     } else {
       std::fputs(report.format().c_str(), stdout);
+      print_coverage(report);
+      if (truncated_exhaustive) {
+        std::printf(
+            "  FAILED: exhaustive skeleton build truncated at %zu states — "
+            "definite verdicts degraded to bounded evidence\n",
+            report.stats.states_sampled);
+      }
     }
   }
   return failures == 0 ? 0 : 1;
