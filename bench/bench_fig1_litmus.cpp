@@ -1,13 +1,30 @@
 // Experiment FIG1 — reproduces Figure 1 of the paper: the outcomes of the
 // 2-processor example program under serial memory, sequential consistency,
-// and a relaxed model that lets the two loads execute out of order.  Also
-// prints the store-buffering litmus that shapes the WriteBuffer
-// counterexample, and benchmarks outcome enumeration.
+// and relaxed models.  The litmus families (figure1 message passing,
+// store buffering, 3-processor store buffering, own-read) are swept across
+// the checker's memory-model axis (sc, tso, coherence) so the families
+// that distinguish the models are recorded machine-checkably, and the
+// bounded-preemption exploration mode is measured against full exploration
+// at a fixed depth.
+//
+// JSON output: always writes BENCH_models.json ({"models": {...}}) to the
+// working directory; with --bench-json PATH the same "models" object is
+// spliced into an existing bench_parallel_mc summary (BENCH_mc.json) so
+// tools/check_bench.py can gate litmus outcomes and preemption reductions
+// alongside the perf numbers.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 
+#include "checker/memory_model.hpp"
 #include "litmus/litmus.hpp"
+#include "mc/model_checker.hpp"
+#include "protocol/msi_bus.hpp"
+#include "protocol/serial_memory.hpp"
 
 namespace {
 
@@ -40,13 +57,162 @@ void print_figure1() {
   std::printf("  paper: SC admits (1,2),(0,0),(1,0); forbids (0,2); the\n"
               "  relaxed model additionally admits (0,2).\n\n");
 
-  std::printf("Store-buffering litmus (WriteBuffer counterexample shape):\n");
-  const LitmusProgram sb = store_buffer_program();
-  print_outcome_set("sequential consistency:", sc_outcomes(sb));
-  RelaxFlags tso;
-  tso.store_load = true;
-  print_outcome_set("TSO (store-load reorder):", relaxed_outcomes(sb, tso));
+  std::printf("Per-model outcome sets (checker memory-model axis):\n");
+  for (const LitmusProgram& family : litmus_families()) {
+    std::printf(" %s:\n", family.name.c_str());
+    const std::set<LitmusOutcome> sc = sc_outcomes(family);
+    for (const NamedModel& nm : memory_model_axis()) {
+      const std::set<LitmusOutcome> got = model_outcomes(family, nm.model);
+      std::string label = nm.name;
+      label += got == sc ? ":" : " (flips):";
+      print_outcome_set(label.c_str(), got);
+    }
+  }
   std::printf("\n");
+}
+
+// ------------------------------------------------------------------ JSON
+
+/// kBottom renders as 0, matching Figure 1's convention for the initial
+/// value (and to_string above).
+std::string json_outcomes(const std::set<LitmusOutcome>& s) {
+  std::ostringstream os;
+  os << "[";
+  bool first_o = true;
+  for (const LitmusOutcome& o : s) {
+    os << (first_o ? "" : ",") << "[";
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      os << (i ? "," : "")
+         << (o[i] == kBottom ? 0 : static_cast<int>(o[i]));
+    }
+    os << "]";
+    first_o = false;
+  }
+  os << "]";
+  return os.str();
+}
+
+struct PreemptRow {
+  std::string id;
+  std::string protocol;
+  std::size_t depth = 0;
+  std::uint32_t budget = 0;
+  McResult bounded;
+  McResult full;
+};
+
+PreemptRow run_preemption(const Protocol& proto, const std::string& id,
+                          std::size_t depth, std::uint32_t budget) {
+  PreemptRow row;
+  row.id = id + "_depth" + std::to_string(depth) + "_bp" +
+           std::to_string(budget);
+  row.protocol = proto.name();
+  row.depth = depth;
+  row.budget = budget;
+  McOptions full;
+  full.max_depth = depth;
+  full.threads = 1;
+  row.full = model_check(proto, full);
+  McOptions bounded = full;
+  bounded.observer.model = MemoryModel::bounded_sc(budget);
+  row.bounded = model_check(proto, bounded);
+  std::printf("  %-28s full %8zu states (%s) | bp%u %8zu states (%s) | "
+              "x%.1f reduction, %llu pruned\n",
+              row.id.c_str(), row.full.states,
+              to_string(row.full.verdict).c_str(), budget,
+              row.bounded.states, to_string(row.bounded.verdict).c_str(),
+              row.bounded.states > 0
+                  ? static_cast<double>(row.full.states) /
+                        static_cast<double>(row.bounded.states)
+                  : 0.0,
+              static_cast<unsigned long long>(row.bounded.preemption_pruned));
+  std::fflush(stdout);
+  return row;
+}
+
+/// The "models" JSON object: per-family × per-model litmus outcome rows
+/// plus the bounded-preemption state-reduction rows.
+std::string models_json() {
+  std::ostringstream os;
+  os << "{\n    \"litmus\": [\n";
+  bool first = true;
+  for (const LitmusProgram& family : litmus_families()) {
+    const std::set<LitmusOutcome> sc = sc_outcomes(family);
+    for (const NamedModel& nm : memory_model_axis()) {
+      const std::set<LitmusOutcome> got = model_outcomes(family, nm.model);
+      os << (first ? "" : ",\n") << "      {\"family\": \"" << family.name
+         << "\", \"model\": \"" << nm.name << "\", \"outcomes\": "
+         << json_outcomes(got) << ", \"flips_vs_sc\": "
+         << (got == sc ? "false" : "true") << "}";
+      first = false;
+    }
+  }
+  os << "\n    ],\n";
+
+  std::printf("Bounded preemption vs full exploration (fixed depth):\n");
+  const SerialMemory serial(2, 2, 2);
+  const MsiBus msi(2, 2, 2);
+  const PreemptRow rows[] = {
+      run_preemption(serial, "serial_memory", 8, 0),
+      run_preemption(msi, "msi_bus", 8, 0),
+  };
+  std::printf("\n");
+  os << "    \"preemption\": [\n";
+  first = true;
+  for (const PreemptRow& r : rows) {
+    const double reduction =
+        r.bounded.states > 0 ? static_cast<double>(r.full.states) /
+                                   static_cast<double>(r.bounded.states)
+                             : 0.0;
+    os << (first ? "" : ",\n") << "      {\"id\": \"" << r.id
+       << "\", \"protocol\": \"" << r.protocol << "\", \"depth\": "
+       << r.depth << ", \"budget\": " << r.budget
+       << ", \"bounded_verdict\": \"" << to_string(r.bounded.verdict)
+       << "\", \"bounded_states\": " << r.bounded.states
+       << ", \"pruned\": " << r.bounded.preemption_pruned
+       << ", \"full_verdict\": \"" << to_string(r.full.verdict)
+       << "\", \"full_states\": " << r.full.states
+       << ", \"reduction\": " << reduction << "}";
+    first = false;
+  }
+  os << "\n    ]\n  }";
+  return os.str();
+}
+
+/// Splices `, "models": {...}` into an existing top-level JSON object
+/// (bench_parallel_mc's BENCH_mc.json) just before its closing brace.  The
+/// producer's format is fixed (one top-level object, closing "}" last), so
+/// a textual splice is sufficient; refuses files that already carry a
+/// "models" key rather than silently duplicating it.
+bool splice_into(const std::string& path, const std::string& models) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_fig1_litmus: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  if (text.find("\"models\":") != std::string::npos) {
+    std::fprintf(stderr,
+                 "bench_fig1_litmus: %s already has a \"models\" section\n",
+                 path.c_str());
+    return false;
+  }
+  const std::size_t brace = text.find_last_of('}');
+  if (brace == std::string::npos) {
+    std::fprintf(stderr, "bench_fig1_litmus: %s is not a JSON object\n",
+                 path.c_str());
+    return false;
+  }
+  std::string out = text.substr(0, brace);
+  while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  out += ",\n  \"models\": " + models + "\n}\n";
+  std::ofstream o(path, std::ios::trunc);
+  o << out;
+  return o.good();
 }
 
 void BM_ScOutcomes(benchmark::State& state) {
@@ -70,7 +236,28 @@ BENCHMARK(BM_RelaxedOutcomes);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Our flag, consumed before google-benchmark sees the argument list.
+  std::string bench_json;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
+      bench_json = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+
   print_figure1();
+  const std::string models = models_json();
+  {
+    std::ofstream out("BENCH_models.json");
+    out << "{\n  \"models\": " << models << "\n}\n";
+  }
+  std::printf("wrote BENCH_models.json\n");
+  if (!bench_json.empty()) {
+    if (!splice_into(bench_json, models)) return 1;
+    std::printf("spliced \"models\" into %s\n", bench_json.c_str());
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

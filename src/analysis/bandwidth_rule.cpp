@@ -25,9 +25,16 @@ void check_bandwidth(LintContext& ctx) {
 
   // Unclamped Section 4.4 accounting (mirrors the derivation in
   // Observer::default_pool_size): L inh-active stores + pb forced-active
-  // loads + p program-order tails + 2b ST-order tails/roots + slack.
-  const std::size_t want =
-      pr.locations + pr.procs * pr.blocks + pr.procs + 2 * pr.blocks + 8;
+  // loads + po-chain tails + 2b ST-order tails/roots + slack.  The chain
+  // terms follow the configured memory model: coherence threads a chain
+  // per (processor, block) so up to p·b tails stay pinned, and TSO's
+  // per-processor store chain pins one extra tail per processor.
+  const ModelRules& mr = oc.effective_model().rules();
+  const std::size_t po_tails =
+      mr.per_block_chains ? pr.procs * pr.blocks : pr.procs;
+  const std::size_t store_tails = mr.store_chain ? pr.procs : 0;
+  const std::size_t want = pr.locations + pr.procs * pr.blocks + po_tails +
+                           store_tails + 2 * pr.blocks + 8;
 
   // Tightened L term: the forward occupancy fixpoint's maximal number of
   // locations that may simultaneously hold a store's value on a reachable
@@ -44,9 +51,12 @@ void check_bandwidth(LintContext& ctx) {
   }
   const std::size_t live_want = want - pr.locations + live_locs;
 
-  // The bandwidth k the observer will actually emit under.
+  // The bandwidth k the observer will actually emit under (the model-aware
+  // default: TSO widens the pool for its store-chain tails).
   const std::size_t pool =
-      oc.pool_size != 0 ? oc.pool_size : Observer::default_pool_size(proto);
+      oc.pool_size != 0 ? oc.pool_size
+                        : Observer::default_pool_size(proto,
+                                                      oc.effective_model());
   const std::size_t k = oc.location_mirrored ? pr.locations + pool : pool;
 
   RuleCoverage& cov = ctx.coverage(LintRule::R3_Bandwidth);

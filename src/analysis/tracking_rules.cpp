@@ -53,10 +53,18 @@ void check_one_r1(LintContext& ctx, const Transition& t,
                   " locations",
               "serloc-range:" + an);
     }
-    if (ctx.protocol->real_time_st_order()) {
+    // The witness may defer serialization only under some memory models
+    // (real_time_st_order(model)); a hint is dead — and worth flagging —
+    // only when every model on the axis keeps the real-time witness.
+    bool hint_dead = true;
+    for (const NamedModel& nm : memory_model_axis()) {
+      hint_dead = hint_dead && ctx.protocol->real_time_st_order(nm.model);
+    }
+    if (hint_dead) {
       ctx.add(LintRule::R1_TrackingLabels, LintSeverity::Warning,
               an + ": carries serialize_loc although the protocol declares "
-                   "real-time ST order; the hint is ignored",
+                   "real-time ST order under every memory model; the hint "
+                   "is ignored",
               "serloc-rt:" + an);
     }
   }

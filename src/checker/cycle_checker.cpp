@@ -6,7 +6,8 @@
 
 namespace scv {
 
-CycleChecker::CycleChecker(std::size_t k) : k_(k) {
+CycleChecker::CycleChecker(std::size_t k, MemoryModel model)
+    : k_(k), model_(model) {
   SCV_EXPECTS(k >= 1 && k <= kMaxBandwidth);
 }
 
@@ -97,6 +98,8 @@ CycleChecker::Status CycleChecker::feed(const Symbol& sym) {
     slots_[s].in_use = true;
     slots_[s].id_set = 1ULL << n->id;
     slots_[s].out = 0;
+    slots_[s].op_kind =
+        !n->label.has_value() ? 0 : (n->label->is_load() ? 1 : 2);
     return Status::Ok;
   }
 
@@ -127,6 +130,13 @@ CycleChecker::Status CycleChecker::feed(const Symbol& sym) {
   if (from < 0 || to < 0) {
     return reject("edge references an ID not bound to any node");
   }
+  // Model rule: a pure program-order edge from a store to a load carries no
+  // structural constraint under a store→load-relaxed model (TSO).  Only
+  // labeled nodes qualify — the generic checker keeps full force otherwise.
+  if (e.anno == kAnnoPo && model_.rules().relax_store_load &&
+      slots_[from].op_kind == 2 && slots_[to].op_kind == 1) {
+    return Status::Ok;
+  }
   if (from == to) return reject("self-loop: graph has a cycle");
   // Adding from -> to closes a cycle iff `from` is reachable from `to`.
   if (path_exists(static_cast<std::size_t>(to),
@@ -147,6 +157,9 @@ void CycleChecker::serialize(ByteWriter& w) const {
     w.u8(1);
     w.u64(s.id_set);
     w.u64(s.out);
+    // Labels only matter to a relaxed model's edge rule; the SC encoding
+    // stays byte-identical to the unparameterized checker.
+    if (model_.rules().relax_store_load) w.u8(s.op_kind);
   }
 }
 

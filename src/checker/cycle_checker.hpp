@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "checker/memory_model.hpp"
 #include "descriptor/symbol.hpp"
 #include "util/byte_io.hpp"
 
@@ -24,8 +25,13 @@ class CycleChecker {
  public:
   enum class Status : std::uint8_t { Ok, Reject };
 
-  /// IDs range over 1..k+1; requires k <= kMaxBandwidth.
-  explicit CycleChecker(std::size_t k);
+  /// IDs range over 1..k+1; requires k <= kMaxBandwidth.  The model's rule
+  /// table decides which edges carry structural (cycle-forming) force: under
+  /// a store→load-relaxed model (TSO), a pure program-order edge from a
+  /// store-labeled node to a load-labeled node is checked for well-formed
+  /// IDs but adds no arc.  The default SC model is byte-identical to the
+  /// unparameterized checker, including serialize().
+  explicit CycleChecker(std::size_t k, MemoryModel model = {});
 
   /// Consumes one descriptor symbol.  Once rejected, stays rejected.
   Status feed(const Symbol& sym);
@@ -48,6 +54,11 @@ class CycleChecker {
     std::uint64_t id_set = 0;  ///< bit i set => ID i in this node's ID-set
     std::uint64_t out = 0;     ///< bit s set => edge to slot s
     bool in_use = false;
+    /// Operation kind from the node descriptor's label, for the model's
+    /// structural-edge rule: 0 unlabeled, 1 load, 2 store.  Unlabeled nodes
+    /// (the generic Lemma 3.3 checker accepts them) always keep structural
+    /// force.
+    std::uint8_t op_kind = 0;
   };
 
   Status reject(std::string reason);
@@ -65,6 +76,7 @@ class CycleChecker {
   [[nodiscard]] bool path_exists(std::size_t from, std::size_t to) const;
 
   std::size_t k_;
+  MemoryModel model_;
   Slot slots_[kMaxSlots];
   bool rejected_ = false;
   std::string reason_;

@@ -30,6 +30,20 @@ std::string ScCheckerConfig::invalid_reason() const {
   if (values < 1 || values > 255) {
     return range("values", values, 1, 255, "the Value alphabet");
   }
+  if (model.bounded_preemption() && model.kind != ModelKind::Sc) {
+    return std::string("preemption bound ") +
+           std::to_string(model.preemption_bound) +
+           " combined with model " + to_string(model.kind) +
+           " (bounded preemption under-approximates and is only sound as an "
+           "exploration bound on sc)";
+  }
+  if (coherence_po && model.kind == ModelKind::Tso) {
+    return "deprecated coherence_po alias conflicts with model tso";
+  }
+  if (coherence_po && model.bounded_preemption()) {
+    return "deprecated coherence_po alias conflicts with a preemption bound "
+           "(bounded preemption is sc-only)";
+  }
   return {};
 }
 
@@ -42,11 +56,18 @@ ScChecker::ScChecker(const ScCheckerConfig& config) : cfg_(config) {
                  reason.c_str());
     std::abort();
   }
+  rules_ = cfg_.effective_model().rules();
   for (std::size_t c = 0; c < kMaxChains; ++c) {
     last_op_[c] = kNone;
     last_op_live_[c] = false;
     po_pending_[c] = false;
     po_expected_from_[c] = kNone;
+  }
+  for (std::size_t p = 0; p < kMaxProcs; ++p) {
+    last_st_[p] = kNone;
+    last_st_live_[p] = false;
+    st_pending_[p] = false;
+    st_expected_from_[p] = kNone;
   }
   for (std::size_t b = 0; b < kMaxBlocks; ++b) {
     root_ref_[b] = kNone;
@@ -172,6 +193,18 @@ ScChecker::Status ScChecker::retire(std::size_t s) {
     if (last_op_[c] == slot) last_op_live_[c] = false;
   }
 
+  // --- Store chain (TSO): a store awaiting its store-order edge — on
+  // either end — must stay live until the edge is emitted.
+  if (rules().store_chain && n.op.is_store()) {
+    const ProcId p = n.op.proc;
+    if (st_pending_[p] &&
+        (st_expected_from_[p] == slot || last_st_[p] == slot)) {
+      return reject("store retired before its store order edge was emitted "
+                    "(store chain)");
+    }
+    if (last_st_[p] == slot) last_st_live_[p] = false;
+  }
+
   // --- Scrub references to this slot from the remaining nodes.
   const std::uint64_t self = 1ULL << s;
   std::uint64_t others = used_mask_ & ~self;
@@ -252,6 +285,33 @@ ScChecker::Status ScChecker::on_node(const NodeDesc& nd) {
   last_op_[c] = static_cast<std::int8_t>(s);
   last_op_live_[c] = true;
 
+  if (rules().store_chain && op.is_store()) {
+    const ProcId p = op.proc;
+    if (st_pending_[p]) {
+      return reject("new store before the previous store order edge was "
+                    "emitted (prompt-descriptor discipline)");
+    }
+    const std::int8_t prev_st = last_st_[p];
+    if (prev_st != kNone) {
+      if (!last_st_live_[p]) {
+        return reject("store order predecessor retired before its successor "
+                      "arrived (store chain)");
+      }
+      // When the previous operation of this processor is exactly the chain
+      // tail store, the ordinary program-order edge covers the ST→ST pair
+      // (and it is structural — only ST→LD is relaxed); otherwise a
+      // dedicated store-chain edge is now owed.
+      const bool covered =
+          po_pending_[c] && po_expected_from_[c] == prev_st;
+      if (!covered) {
+        st_pending_[p] = true;
+        st_expected_from_[p] = prev_st;
+      }
+    }
+    last_st_[p] = static_cast<std::int8_t>(s);
+    last_st_live_[p] = true;
+  }
+
   if (op.is_load() && op.value == kBottom) {
     const BlockId b = op.block;
     const ProcId p = op.proc;
@@ -272,25 +332,41 @@ ScChecker::Status ScChecker::on_node(const NodeDesc& nd) {
 ScChecker::Status ScChecker::check_po_edge(std::size_t from, std::size_t to) {
   const std::size_t c = chain_of(nodes_[to].op);
   if (chain_of(nodes_[from].op) != c) {
-    return reject(cfg_.coherence_po
+    return reject(rules().per_block_chains
                       ? "program order edge across (processor, block) chains"
                       : "program order edge between different processors");
   }
-  if (!po_pending_[c] ||
-      po_expected_from_[c] != static_cast<std::int8_t>(from) ||
-      last_op_[c] != static_cast<std::int8_t>(to)) {
-    return reject("program order edge not between trace-consecutive "
-                  "operations (constraint 2)");
+  if (po_pending_[c] &&
+      po_expected_from_[c] == static_cast<std::int8_t>(from) &&
+      last_op_[c] == static_cast<std::int8_t>(to)) {
+    if (nodes_[from].po_out || nodes_[to].po_in) {
+      return reject("duplicate program order edge (constraint 2)");
+    }
+    nodes_[from].po_out = true;
+    nodes_[to].po_in = true;
+    po_pending_[c] = false;
+    po_expected_from_[c] = kNone;
+    mark_touched(nodes_[to].op.proc);  // chain flags discharged
+    return Status::Ok;
   }
-  if (nodes_[from].po_out || nodes_[to].po_in) {
-    return reject("duplicate program order edge (constraint 2)");
+  // Store-chain edge (TSO): the po edge along the processor's store
+  // subsequence, owed when an intervening load broke chain adjacency.
+  // Discharge is tracked entirely in the per-processor pending state — the
+  // node po_in/po_out flags stay chain-only, so a store's chain edge and
+  // its store-chain edge never read as duplicates of each other.
+  if (rules().store_chain) {
+    const ProcId p = nodes_[to].op.proc;
+    if (st_pending_[p] &&
+        st_expected_from_[p] == static_cast<std::int8_t>(from) &&
+        last_st_[p] == static_cast<std::int8_t>(to)) {
+      st_pending_[p] = false;
+      st_expected_from_[p] = kNone;
+      mark_touched(p);  // store-chain flags discharged
+      return Status::Ok;
+    }
   }
-  nodes_[from].po_out = true;
-  nodes_[to].po_in = true;
-  po_pending_[c] = false;
-  po_expected_from_[c] = kNone;
-  mark_touched(nodes_[to].op.proc);  // chain flags discharged
-  return Status::Ok;
+  return reject("program order edge not between trace-consecutive "
+                "operations (constraint 2)");
 }
 
 ScChecker::Status ScChecker::check_sto_edge(std::size_t from,
@@ -451,6 +527,14 @@ ScChecker::Status ScChecker::on_edge(const EdgeDesc& e) {
   if ((e.anno & kAnnoForced) && check_forced_edge(f, t) == Status::Reject) {
     return Status::Reject;
   }
+  // Model rule: a *pure* program-order edge from a store to a load carries
+  // no structural constraint under a store→load-relaxed model (TSO) — the
+  // buffered store may serialize after the load.  Any other annotation bit
+  // on the edge keeps its structural force.
+  if (e.anno == kAnnoPo && rules().relax_store_load &&
+      nodes_[f].op.is_store() && nodes_[t].op.is_load()) {
+    return Status::Ok;
+  }
   return add_structural_edge(f, t);
 }
 
@@ -508,7 +592,7 @@ void ScChecker::serialize_canonical(ByteWriter& w,
   };
   const auto src_chain = [&](std::size_t c) -> std::size_t {
     if (!permuted) return c;
-    if (!cfg_.coherence_po) return inv.to[c];
+    if (!rules().per_block_chains) return inv.to[c];
     return static_cast<std::size_t>(inv.to[c / cfg_.blocks]) * cfg_.blocks +
            c % cfg_.blocks;
   };
@@ -549,7 +633,7 @@ void ScChecker::serialize_canonical(ByteWriter& w,
   // phase 2): one per-field vector round-trip per write is measurable at
   // one call per explored transition.  Bound: chains + block rows + node
   // records at <= 25 + 2*kMaxProcs bytes each.
-  std::uint8_t scratch[1 + kMaxChains * 5 +
+  std::uint8_t scratch[1 + (kMaxChains + kMaxProcs) * 5 +
                        kMaxBlocks * (3 + 2 * kMaxProcs) + 2 +
                        kMaxSlots * (25 + 2 * kMaxProcs)];
   ScratchWriter sw(scratch, sizeof scratch);
@@ -560,6 +644,15 @@ void ScChecker::serialize_canonical(ByteWriter& w,
     sw.u8(static_cast<std::uint8_t>((last_op_live_[sc] ? 1 : 0) |
                                     (po_pending_[sc] ? 2 : 0)));
     sw.uvar(enc(po_expected_from_[sc]));
+  }
+  if (rules().store_chain) {  // emitted only under TSO: SC stays byte-stable
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      const std::size_t sp = src_proc(p);
+      sw.uvar(enc(last_st_[sp]));
+      sw.u8(static_cast<std::uint8_t>((last_st_live_[sp] ? 1 : 0) |
+                                      (st_pending_[sp] ? 2 : 0)));
+      sw.uvar(enc(st_expected_from_[sp]));
+    }
   }
   for (std::size_t b = 0; b < cfg_.blocks; ++b) {
     sw.uvar(enc(root_ref_[b]));
@@ -613,6 +706,14 @@ void ScChecker::serialize(ByteWriter& w) const {
                                    (po_pending_[c] ? 2 : 0)));
     w.u8(static_cast<std::uint8_t>(po_expected_from_[c]));
   }
+  if (rules().store_chain) {  // emitted only under TSO: SC stays byte-stable
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      w.u8(static_cast<std::uint8_t>(last_st_[p]));
+      w.u8(static_cast<std::uint8_t>((last_st_live_[p] ? 1 : 0) |
+                                     (st_pending_[p] ? 2 : 0)));
+      w.u8(static_cast<std::uint8_t>(st_expected_from_[p]));
+    }
+  }
   for (std::size_t b = 0; b < cfg_.blocks; ++b) {
     w.u8(static_cast<std::uint8_t>(root_ref_[b]));
     w.u8(static_cast<std::uint8_t>((root_retired_[b] ? 1 : 0) |
@@ -661,6 +762,15 @@ void ScChecker::restore(ByteReader& r) {
     last_op_live_[c] = (f & 1) != 0;
     po_pending_[c] = (f & 2) != 0;
     po_expected_from_[c] = i8();
+  }
+  if (rules().store_chain) {
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      last_st_[p] = i8();
+      const std::uint8_t f = r.u8();
+      last_st_live_[p] = (f & 1) != 0;
+      st_pending_[p] = (f & 2) != 0;
+      st_expected_from_[p] = i8();
+    }
   }
   for (std::size_t b = 0; b < cfg_.blocks; ++b) {
     root_ref_[b] = i8();
@@ -719,7 +829,7 @@ void ScChecker::permute_procs(const ProcPerm& perm) {
       pending[to] = po_pending_[from];
       expected[to] = po_expected_from_[from];
     };
-    if (cfg_.coherence_po) {
+    if (rules().per_block_chains) {
       for (std::size_t b = 0; b < cfg_.blocks; ++b) {
         move(p * cfg_.blocks + b, perm.to[p] * cfg_.blocks + b);
       }
@@ -732,6 +842,27 @@ void ScChecker::permute_procs(const ProcPerm& perm) {
     last_op_live_[c] = live[c];
     po_pending_[c] = pending[c];
     po_expected_from_[c] = expected[c];
+  }
+
+  // Store-chain bookkeeping moves with its processor (identity under
+  // models without the rule: the arrays sit at their initial values).
+  {
+    std::int8_t st_last[kMaxProcs];
+    bool st_live[kMaxProcs];
+    bool st_pend[kMaxProcs];
+    std::int8_t st_exp[kMaxProcs];
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      st_last[perm.to[p]] = last_st_[p];
+      st_live[perm.to[p]] = last_st_live_[p];
+      st_pend[perm.to[p]] = st_pending_[p];
+      st_exp[perm.to[p]] = st_expected_from_[p];
+    }
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      last_st_[p] = st_last[p];
+      last_st_live_[p] = st_live[p];
+      st_pending_[p] = st_pend[p];
+      st_expected_from_[p] = st_exp[p];
+    }
   }
 
   for (std::size_t b = 0; b < cfg_.blocks; ++b) {
@@ -776,12 +907,29 @@ void ScChecker::proc_signature(ProcId p, ByteWriter& w) const {
       w.u8(n.op.value);
     }
   };
-  if (cfg_.coherence_po) {
+  if (rules().per_block_chains) {
     for (std::size_t b = 0; b < cfg_.blocks; ++b) {
       write_chain(p * cfg_.blocks + b);
     }
   } else {
     write_chain(p);
+  }
+  if (rules().store_chain) {  // store-tail record, TSO only
+    const std::int8_t s = last_st_[p];
+    if (s == kNone) {
+      w.u8(0);
+    } else {
+      std::uint8_t flags = 1;
+      if (last_st_live_[p]) flags |= 2;
+      if (st_pending_[p]) flags |= 4;
+      if (st_expected_from_[p] != kNone) flags |= 8;
+      w.u8(flags);
+      if (last_st_live_[p] && nodes_[static_cast<std::size_t>(s)].in_use) {
+        const Node& n = nodes_[static_cast<std::size_t>(s)];
+        w.u8(n.op.block);
+        w.u8(n.op.value);
+      }
+    }
   }
   for (std::size_t b = 0; b < cfg_.blocks; ++b) {
     w.u8(pending_bottom_[b][p] != kNone ? 1 : 0);
@@ -800,7 +948,12 @@ std::uint32_t ScChecker::obligation_procs() const noexcept {
   std::uint32_t mask = 0;
   for (std::size_t c = 0; c < chain_count(); ++c) {
     if (po_pending_[c]) {
-      mask |= 1u << (cfg_.coherence_po ? c / cfg_.blocks : c);
+      mask |= 1u << (rules().per_block_chains ? c / cfg_.blocks : c);
+    }
+  }
+  if (rules().store_chain) {
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      if (st_pending_[p]) mask |= 1u << p;
     }
   }
   for (std::size_t b = 0; b < cfg_.blocks; ++b) {

@@ -34,6 +34,7 @@
 #include <span>
 #include <string>
 
+#include "checker/memory_model.hpp"
 #include "descriptor/symbol.hpp"
 #include "protocol/protocol.hpp"  // ProcPerm (header-only; no protocol dep)
 #include "util/byte_io.hpp"
@@ -48,18 +49,35 @@ struct ScCheckerConfig {
   std::size_t procs = 2;   ///< p
   std::size_t blocks = 1;  ///< b
   std::size_t values = 1;  ///< v (real values 1..v)
-  /// Memory-model extension (paper §5): when true, the checker verifies
-  /// *coherence* (per-location SC) instead of full SC — program order is
+  /// Deprecated alias for `model = MemoryModel::coherence()` (the flag
+  /// predates the model axis): when true and `model` is the default SC, the
+  /// checker verifies *coherence* (per-location SC) — program order is
   /// maintained per (processor, block) chain, so only same-block ordering
-  /// constraints enter the constraint graph.  Everything else (ST order,
-  /// inheritance, forced edges) is unchanged.
+  /// constraints enter the constraint graph.  Setting this together with a
+  /// non-SC `model` is rejected by invalid_reason().
   bool coherence_po = false;
+  /// The memory model whose rule table instantiates the checker
+  /// (memory_model.hpp).  Defaults to SC, which is byte-identical to the
+  /// pre-model-axis checker in every serialization and signature path.
+  MemoryModel model{};
 
-  /// Empty when every field is in range; otherwise a precise description of
-  /// the first offending field ("procs = 9 exceeds kMaxProcs = 6").  The
-  /// ScChecker constructor aborts with this message on a bad config; callers
-  /// holding *untrusted* configurations (e.g. a run-trace file header) call
-  /// this first and turn the reason into a recoverable error instead.
+  /// The model after applying the deprecated coherence_po alias: coherence
+  /// when the alias is set on an otherwise-default SC model, `model`
+  /// unchanged otherwise.  Every consumer of the config dispatches through
+  /// this, never through the raw fields.
+  [[nodiscard]] MemoryModel effective_model() const {
+    MemoryModel m = model;
+    if (coherence_po && m.kind == ModelKind::Sc) m.kind = ModelKind::Coherence;
+    return m;
+  }
+
+  /// Empty when every field is in range and the model combination is
+  /// consistent; otherwise a precise description of the first offending
+  /// field ("procs = 9 exceeds kMaxProcs = 6", "coherence_po alias
+  /// conflicts with model tso").  The ScChecker constructor aborts with
+  /// this message on a bad config; callers holding *untrusted*
+  /// configurations (e.g. a run-trace file header) call this first and turn
+  /// the reason into a recoverable error instead.
   [[nodiscard]] std::string invalid_reason() const;
 
   friend bool operator==(const ScCheckerConfig&,
@@ -190,6 +208,10 @@ class ScChecker {
   Status check_forced_edge(std::size_t from, std::size_t to);
 
   ScCheckerConfig cfg_;
+  /// Rule table of cfg_.effective_model(), cached at construction — the
+  /// per-symbol hot path reads it on every node/edge.
+  ModelRules rules_;
+  [[nodiscard]] const ModelRules& rules() const noexcept { return rules_; }
   Node nodes_[kMaxSlots];
   /// Bit s set <=> nodes_[s].in_use.  The graph holds a handful of live
   /// nodes out of up to 64 slots, so the hot scans (canonical
@@ -198,13 +220,13 @@ class ScChecker {
   std::uint64_t used_mask_ = 0;
 
   // Program order bookkeeping, one chain per processor — or per
-  // (processor, block) in coherence mode.
+  // (processor, block) under a per-block-chain model (coherence).
   static constexpr std::size_t kMaxChains = kMaxProcs * kMaxBlocks;
   [[nodiscard]] std::size_t chain_count() const {
-    return cfg_.coherence_po ? cfg_.procs * cfg_.blocks : cfg_.procs;
+    return rules().per_block_chains ? cfg_.procs * cfg_.blocks : cfg_.procs;
   }
   [[nodiscard]] std::size_t chain_of(const Operation& op) const {
-    return cfg_.coherence_po
+    return rules().per_block_chains
                ? op.proc * cfg_.blocks + op.block
                : static_cast<std::size_t>(op.proc);
   }
@@ -212,6 +234,19 @@ class ScChecker {
   bool last_op_live_[kMaxChains];    ///< false once that slot retired
   bool po_pending_[kMaxChains];      ///< awaiting (prev -> latest) edge
   std::int8_t po_expected_from_[kMaxChains];
+
+  // Store-chain bookkeeping (ModelRules::store_chain, i.e. TSO): each
+  // processor's store subsequence is disciplined like a second po chain, so
+  // ST→ST order survives the relaxed ST→LD gaps.  When the previous
+  // operation of the processor is itself the chain tail store, the ordinary
+  // chain edge covers the pair and no separate store-chain edge is owed.
+  // All four arrays stay at their initial values under models without the
+  // rule, and none of the serialization paths emit them then — SC and
+  // coherence encodings are byte-identical to the pre-model-axis checker.
+  std::int8_t last_st_[kMaxProcs];  ///< slot of latest store per proc
+  bool last_st_live_[kMaxProcs];    ///< false once that slot retired
+  bool st_pending_[kMaxProcs];      ///< awaiting (prev store -> latest) edge
+  std::int8_t st_expected_from_[kMaxProcs];
 
   // Per-block ST order / ⊥-load bookkeeping.
   std::int8_t root_ref_[kMaxBlocks];  ///< store pinned as STo-first by a

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -90,38 +91,58 @@ std::string describe(const Trace& trace, std::uint32_t node) {
 
 }  // namespace
 
-std::optional<std::string> ConstraintGraph::validate() const {
+std::optional<std::string> ConstraintGraph::validate(
+    const MemoryModel& model) const {
   const std::size_t n = node_count();
+  const ModelRules& rules = model.rules();
 
-  // --- Constraint 2: program order edges = consecutive same-processor
-  // pairs in trace order, all present, no extras.
+  // --- Constraint 2 (model-parameterized): program order edges = the
+  // consecutive pairs of each model chain — per processor (SC/TSO) or per
+  // (processor, block) (coherence) — plus, under a store-chain model (TSO),
+  // the consecutive pairs of each processor's store subsequence.  All
+  // present, no extras.
   {
     const auto by_proc = nodes_by_processor(trace_);
-    // Required edges.
-    for (const auto& nodes : by_proc) {
+    std::vector<std::vector<std::uint32_t>> chains;
+    if (rules.per_block_chains) {
+      std::map<std::pair<ProcId, BlockId>, std::vector<std::uint32_t>> m;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        m[{trace_[i].proc, trace_[i].block}].push_back(i);
+      }
+      for (auto& [key, nodes] : m) chains.push_back(std::move(nodes));
+    } else {
+      chains = by_proc;
+    }
+    if (rules.store_chain) {
+      for (const auto& nodes : by_proc) {
+        std::vector<std::uint32_t> stores;
+        for (const std::uint32_t i : nodes) {
+          if (trace_[i].is_store()) stores.push_back(i);
+        }
+        if (stores.size() >= 2) chains.push_back(std::move(stores));
+      }
+    }
+    std::set<std::pair<std::uint32_t, std::uint32_t>> allowed;
+    for (const auto& nodes : chains) {
       for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
         if (!(annotation(nodes[i], nodes[i + 1]) & kAnnoPo)) {
           return "missing program order edge " +
                  describe(trace_, nodes[i]) + " -> " +
                  describe(trace_, nodes[i + 1]);
         }
+        allowed.insert({nodes[i], nodes[i + 1]});
       }
     }
-    // No extras.
     for (const Edge& e : edges()) {
       if (!(e.anno & kAnnoPo)) continue;
+      if (allowed.contains({e.from, e.to})) continue;
       if (trace_[e.from].proc != trace_[e.to].proc) {
         return "program order edge between different processors: " +
                describe(trace_, e.from) + " -> " + describe(trace_, e.to);
       }
-      const auto& nodes = by_proc[trace_[e.from].proc];
-      const auto it = std::find(nodes.begin(), nodes.end(), e.from);
-      SCV_ASSERT(it != nodes.end());
-      if (it + 1 == nodes.end() || *(it + 1) != e.to) {
-        return "program order edge not between trace-consecutive "
-               "operations: " +
-               describe(trace_, e.from) + " -> " + describe(trace_, e.to);
-      }
+      return "program order edge not between trace-consecutive "
+             "operations: " +
+             describe(trace_, e.from) + " -> " + describe(trace_, e.to);
     }
   }
 
@@ -287,6 +308,21 @@ std::optional<std::string> ConstraintGraph::validate() const {
   }
 
   return std::nullopt;
+}
+
+bool ConstraintGraph::acyclic_under(const MemoryModel& model) const {
+  if (!model.rules().relax_store_load) return acyclic();
+  DiGraph g(node_count());
+  for (const Edge& e : edges()) {
+    // Pure po ST→LD edges carry no structural force under a
+    // store→load-relaxed model; everything else keeps its arc.
+    if (e.anno == kAnnoPo && trace_[e.from].is_store() &&
+        trace_[e.to].is_load()) {
+      continue;
+    }
+    g.add_edge(e.from, e.to);
+  }
+  return !g.has_cycle();
 }
 
 Reordering ConstraintGraph::extract_serial_reordering() const {

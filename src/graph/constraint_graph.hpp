@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/memory_model.hpp"
 #include "graph/digraph.hpp"
 #include "trace/trace.hpp"
 
@@ -57,15 +58,29 @@ class ConstraintGraph {
 
   [[nodiscard]] bool acyclic() const { return !graph_.has_cycle(); }
 
+  /// Acyclicity under a memory model's structural-edge rule: edges the
+  /// model relaxes — pure po edges from a store to a load, under TSO —
+  /// contribute no arc.  The default SC model keeps every edge, so
+  /// acyclic_under(MemoryModel{}) == acyclic().
+  [[nodiscard]] bool acyclic_under(const MemoryModel& model) const;
+
   /// Node bandwidth under the trace ordering (Section 3.2).
   [[nodiscard]] std::size_t node_bandwidth() const {
     return graph_.node_bandwidth();
   }
 
-  /// Checks all five edge annotation constraints of Section 3.1.  Returns
-  /// nullopt if the graph is a valid constraint graph for its trace, or a
+  /// Checks all five edge annotation constraints of Section 3.1, with
+  /// constraint 2 (program order) instantiated by the model's rule table:
+  /// chains run per processor (SC/TSO) or per (processor, block)
+  /// (coherence), and under TSO the per-processor store subsequence is
+  /// additionally threaded as po edges.  Returns nullopt if the graph is a
+  /// valid constraint graph for its trace under `model`, or a
   /// human-readable description of the first violation found.
-  [[nodiscard]] std::optional<std::string> validate() const;
+  [[nodiscard]] std::optional<std::string> validate(
+      const MemoryModel& model) const;
+  [[nodiscard]] std::optional<std::string> validate() const {
+    return validate(MemoryModel{});
+  }
 
   /// For an *acyclic valid* constraint graph, extracts a serial reordering
   /// of the trace (Lemma 3.1, converse direction: any topological order of

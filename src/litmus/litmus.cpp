@@ -76,7 +76,12 @@ std::vector<std::vector<std::size_t>> program_order(
 /// May `first` and `second` (in that program order) execute out of order?
 bool may_swap(const LitmusOp& first, const LitmusOp& second,
               const RelaxFlags& flags) {
-  if (first.block == second.block) return false;  // same-address order holds
+  if (first.block == second.block) {
+    // Same-address order holds except for the non-forwarding buffer's
+    // ST→LD: the load may read memory before its own store drains.
+    return first.kind == OpKind::Store && second.kind == OpKind::Load &&
+           flags.same_block_store_load;
+  }
   if (first.kind == OpKind::Load && second.kind == OpKind::Load) {
     return flags.load_load;
   }
@@ -157,6 +162,30 @@ std::set<LitmusOutcome> relaxed_outcomes(const LitmusProgram& program,
   return out;
 }
 
+RelaxFlags model_relax_flags(const MemoryModel& model) {
+  RelaxFlags flags;
+  const ModelRules& rules = model.rules();
+  if (rules.relax_store_load) {
+    flags.store_load = true;
+    // The checker's TSO is the non-forwarding buffer: same-block ST→LD
+    // relaxes too (stale own-reads are admitted).
+    flags.same_block_store_load = true;
+  }
+  if (rules.per_block_chains) {
+    // Per-location SC: every cross-block pair is unordered; only the
+    // per-(processor, block) suborders constrain execution.
+    flags.load_load = flags.store_store = true;
+    flags.store_load = flags.load_store = true;
+  }
+  return flags;
+}
+
+std::set<LitmusOutcome> model_outcomes(const LitmusProgram& program,
+                                       const MemoryModel& model) {
+  if (model.kind == ModelKind::Sc) return sc_outcomes(program);
+  return relaxed_outcomes(program, model_relax_flags(model));
+}
+
 LitmusProgram figure1_program() {
   // Blocks: x = 0, y = 1.  Registers: r1 = 0, r2 = 1.
   LitmusProgram prog;
@@ -182,6 +211,38 @@ LitmusProgram store_buffer_program() {
       LitmusOp{1, OpKind::Load, 0, 0, 1},    // P2: LD x -> r2
   };
   return prog;
+}
+
+LitmusProgram store_buffer_3_program() {
+  // Blocks: x = 0, y = 1, z = 2.  Registers r1..r3.
+  LitmusProgram prog;
+  prog.name = "store-buffering-3";
+  prog.registers = 3;
+  prog.ops = {
+      LitmusOp{0, OpKind::Store, 0, 1, -1},  // P1: ST x = 1
+      LitmusOp{1, OpKind::Store, 1, 1, -1},  // P2: ST y = 1
+      LitmusOp{2, OpKind::Store, 2, 1, -1},  // P3: ST z = 1
+      LitmusOp{0, OpKind::Load, 1, 0, 0},    // P1: LD y -> r1
+      LitmusOp{1, OpKind::Load, 2, 0, 1},    // P2: LD z -> r2
+      LitmusOp{2, OpKind::Load, 0, 0, 2},    // P3: LD x -> r3
+  };
+  return prog;
+}
+
+LitmusProgram own_read_program() {
+  LitmusProgram prog;
+  prog.name = "own-read";
+  prog.registers = 1;
+  prog.ops = {
+      LitmusOp{0, OpKind::Store, 0, 1, -1},  // P1: ST x = 1
+      LitmusOp{0, OpKind::Load, 0, 0, 0},    // P1: LD x -> r1
+  };
+  return prog;
+}
+
+std::vector<LitmusProgram> litmus_families() {
+  return {figure1_program(), store_buffer_program(), store_buffer_3_program(),
+          own_read_program()};
 }
 
 std::string to_string(const LitmusOutcome& outcome) {

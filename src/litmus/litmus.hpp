@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/memory_model.hpp"
 #include "trace/operation.hpp"
 
 namespace scv {
@@ -48,6 +49,12 @@ struct RelaxFlags {
   bool store_store = false;
   bool store_load = false;  ///< store followed by load may reorder (TSO)
   bool load_store = false;
+  /// Same-block store→load pairs may also reorder: the non-forwarding
+  /// store buffer lets a load read memory while the processor's own store
+  /// to that block still sits in its buffer (the stale own-read the
+  /// checker's non-forwarding TSO model admits).  All other same-block
+  /// pairs keep their order regardless of the cross-block flags.
+  bool same_block_store_load = false;
 };
 
 /// The unique serial-memory outcome (real-time order execution).
@@ -58,9 +65,21 @@ struct RelaxFlags {
     const LitmusProgram& program);
 
 /// All outcomes when per-processor reorderings allowed by `flags` are
-/// applied before SC interleaving.  Same-block pairs never reorder.
+/// applied before SC interleaving.  Same-block pairs reorder only under
+/// same_block_store_load (and only for ST→LD pairs).
 [[nodiscard]] std::set<LitmusOutcome> relaxed_outcomes(
     const LitmusProgram& program, const RelaxFlags& flags);
+
+/// The relaxation table for a checker memory model: SC relaxes nothing;
+/// TSO (non-forwarding store buffers) relaxes ST→LD including same-block
+/// pairs; coherence (per-location SC) relaxes every cross-block pair and
+/// keeps only the per-(processor, block) suborders.
+[[nodiscard]] RelaxFlags model_relax_flags(const MemoryModel& model);
+
+/// All outcomes of `program` under `model` — sc_outcomes for SC, otherwise
+/// relaxed_outcomes under model_relax_flags.
+[[nodiscard]] std::set<LitmusOutcome> model_outcomes(
+    const LitmusProgram& program, const MemoryModel& model);
 
 /// Figure 1's program: P1: ST x=1; ST y=2.  P2: LD y -> r2; LD x -> r1.
 /// Registers: index 0 is r1, index 1 is r2.
@@ -70,6 +89,20 @@ struct RelaxFlags {
 /// LD x -> r2.  SC forbids (0,0); a store buffer (store-load reordering)
 /// allows it — this is the shape of the WriteBuffer counterexample.
 [[nodiscard]] LitmusProgram store_buffer_program();
+
+/// Three-processor cyclic store buffering: Pi: ST block_i = 1;
+/// LD block_{i+1 mod 3} -> r_i.  SC forbids the all-zero outcome; ST→LD
+/// reordering admits it.
+[[nodiscard]] LitmusProgram store_buffer_3_program();
+
+/// Own-read: P1: ST x = 1; LD x -> r1.  SC (and any forwarding buffer)
+/// forces r1 = 1; the non-forwarding store buffer admits the stale r1 = 0.
+[[nodiscard]] LitmusProgram own_read_program();
+
+/// The litmus families the FIG1 bench and the model-matrix tests sweep:
+/// figure1, store-buffering, 3-processor store-buffering, own-read.  The
+/// first keeps its SC outcome set under TSO; the other three flip.
+[[nodiscard]] std::vector<LitmusProgram> litmus_families();
 
 [[nodiscard]] std::string to_string(const LitmusOutcome& outcome);
 

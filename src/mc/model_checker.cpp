@@ -49,6 +49,7 @@ std::string McResult::summary() const {
                            static_cast<double>(transitions) / seconds)
                      : 0)
      << " trans/s";
+  if (preemption_bounded) os << " [preemption-bounded]";
   if (!reason.empty()) os << " — " << reason;
   return os.str();
 }
@@ -279,19 +280,44 @@ struct FrontierBatch {
   }
 };
 
-void append_entry(std::uint32_t idx, const Product& p, FrontierBatch& b) {
+/// Scheduling context carried per state under a bounded-preemption model
+/// (McOptions::observer's MemoryModel::preemption_bound): the processor of
+/// the last memory operation on the path (kNoLastProc before the first) and
+/// the context switches still allowed.  Internal protocol transitions are
+/// unattributed — only memory operations move `last` or consume budget, so
+/// the bound counts scheduler alternation between processors' program
+/// streams, not bus/directory activity.  The pair is appended to state keys
+/// and frontier entries: two product-identical states with different
+/// budgets reach different futures and must not merge.
+struct PreemptState {
+  static constexpr std::uint8_t kNoLastProc = 0xff;
+  std::uint8_t last = kNoLastProc;
+  std::uint32_t budget = 0;
+};
+
+void append_entry(std::uint32_t idx, const Product& p, FrontierBatch& b,
+                  const PreemptState* ps = nullptr) {
   b.offsets.push_back(static_cast<std::uint32_t>(b.bytes.size()));
   ByteWriter w(b.bytes);
   w.u32(idx);
+  if (ps != nullptr) {
+    w.u8(ps->last);
+    w.u32(ps->budget);
+  }
   // Raw snapshots through the component loop, not the canonical key: the
   // canonical form deliberately erases pool IDs and handle naming, so it
   // cannot rebuild a steppable product.  Snapshot/restore is bit-faithful.
   p.snapshot(w);
 }
 
-std::uint32_t restore_entry(std::span<const std::uint8_t> blob, Product& p) {
+std::uint32_t restore_entry(std::span<const std::uint8_t> blob, Product& p,
+                            PreemptState* ps = nullptr) {
   ByteReader r(blob);
   const std::uint32_t idx = r.u32();
+  if (ps != nullptr) {
+    ps->last = r.u8();
+    ps->budget = r.u32();
+  }
   p.restore(r);
   SCV_ASSERT(r.done());
   return idx;
@@ -301,7 +327,8 @@ std::uint32_t restore_entry(std::span<const std::uint8_t> blob, Product& p) {
 ScCheckerConfig checker_config(const Protocol& proto, const McOptions& opt) {
   const auto& pr = proto.params();
   return ScCheckerConfig{Observer(proto, opt.observer).bandwidth(), pr.procs,
-                         pr.blocks, pr.values, opt.observer.coherence_only};
+                         pr.blocks, pr.values, opt.observer.coherence_only,
+                         opt.observer.model};
 }
 
 struct ReplayOutput {
@@ -742,9 +769,15 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt,  // NOLINT
   // One worker needs no OS threads: the pool runs the task inline.
   ThreadPool pool(nworkers == 1 ? 0 : nworkers, opt.pin_threads);
   const bool product = !opt.protocol_only;
+  // Bounded preemption (see McOptions::observer): thread the scheduling
+  // context through keys and frontier entries, prune over-budget
+  // transitions.  model_check already strips symmetry and POR under it;
+  // the gates here keep run_bfs sound even if called with a raw option set.
+  const MemoryModel model = opt.observer.effective_model();
+  const bool preempt = model.bounded_preemption();
   // POR engages only against the full product: invisibility (C2) is defined
   // relative to the observer/checker pipeline, which protocol_only drops.
-  const bool por = opt.partial_order_reduction && product &&
+  const bool por = opt.partial_order_reduction && product && !preempt &&
                    AmpleSelector(proto, oracle, true).active();
 
   ConcurrentStateStore visited(opt.exact_states, presize_expected(opt));
@@ -771,16 +804,22 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt,  // NOLINT
   std::vector<std::uint32_t> retries;
 
   Product init(proto, opt.observer, product);
-  ProcCanonicalizer init_canon(proto, opt.symmetry_reduction,
+  ProcCanonicalizer init_canon(proto, opt.symmetry_reduction && !preempt,
                                opt.incremental_canonicalization);
   const bool symmetry = init_canon.active();
   // Sum of orbit sizes over stored states: how many concrete states the
   // canonical representatives cover.  orbit_sum / states is the reduction.
   std::atomic<std::uint64_t> orbit_sum{0};
+  const PreemptState init_ps{PreemptState::kNoLastProc,
+                             model.preemption_bound};
   {
     KeyScratch ks;
     orbit_sum.fetch_add(init_canon.canonicalize_key(init, ks),
                         std::memory_order_relaxed);
+    if (preempt) {
+      ks.w.u8(init_ps.last);
+      ks.w.u32(init_ps.budget);
+    }
     const auto key = ks.w.data();
     result.state_bytes = key.size();
     visited.insert(key, fingerprint128(key));
@@ -801,6 +840,8 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt,  // NOLINT
     Product cur;   ///< entry being expanded (restored from the frontier)
     Product succ;  ///< successor scratch, reused across transitions
     std::uint32_t cur_idx = 0;
+    PreemptState ps;  ///< cur's scheduling context (preemption bounding)
+    std::uint64_t preempt_pruned = 0;
     KeyScratch key;
     std::vector<Transition> transitions;
     std::vector<Symbol> symbols;
@@ -929,7 +970,9 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt,  // NOLINT
       result.por_deferred_transitions += ws->por_stats.deferred_transitions;
       result.dup_cache_hits += ws->cache_hits;
       result.dup_cache_lookups += ws->cache_lookups;
+      result.preemption_pruned += ws->preempt_pruned;
     }
+    result.preemption_bounded = preempt;
     result.symmetry_active = symmetry;
     const std::size_t n = states.load();
     result.orbit_reduction =
@@ -958,7 +1001,7 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt,  // NOLINT
   };
 
   std::vector<FrontierBatch> frontier(nworkers);
-  append_entry(0, init, frontier[0]);
+  append_entry(0, init, frontier[0], preempt ? &init_ps : nullptr);
   std::size_t frontier_entries = 1;
   std::vector<std::size_t> prefix(nworkers + 1, 0);
 
@@ -1031,7 +1074,8 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt,  // NOLINT
         const std::size_t gi = ws.chunk_next;
         while (prefix[batch + 1] <= gi) ++batch;
         ws.cur_idx =
-            restore_entry(frontier[batch].entry(gi - prefix[batch]), ws.cur);
+            restore_entry(frontier[batch].entry(gi - prefix[batch]), ws.cur,
+                          preempt ? &ws.ps : nullptr);
         ws.transitions.clear();
         ws.cur.enumerate(ws.transitions);
         const bool reduced =
@@ -1056,9 +1100,26 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt,  // NOLINT
         bool ample_dup_unproven = false;
         const std::size_t ntrans =
             reduced ? ws.ample_idx.size() : ws.transitions.size();
+        PreemptState nps = ws.ps;
         for (std::size_t ti = 0; ti < ntrans; ++ti) {
           const Transition& t =
               ws.transitions[reduced ? ws.ample_idx[ti] : ti];
+          if (preempt) {
+            nps = ws.ps;
+            if (t.action.is_memory_op()) {
+              const std::uint8_t tp = t.action.op.proc;
+              if (nps.last != PreemptState::kNoLastProc && tp != nps.last) {
+                if (nps.budget == 0) {
+                  // Context-switch budget exhausted: the bound prunes this
+                  // scheduling.  Not counted as an explored transition.
+                  ++ws.preempt_pruned;
+                  continue;
+                }
+                --nps.budget;
+              }
+              nps.last = tp;
+            }
+          }
           ++expanded;
           ws.succ.assign_from(ws.cur);
           const StepOutcome outcome = ws.succ.step(t, ws.symbols);
@@ -1083,6 +1144,10 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt,  // NOLINT
           // dirty mask relative to the begin_base() state.
           const std::uint64_t orbit = ws.canon.canonicalize_key(
               ws.succ, ws.key, nullptr, ws.succ.touched_procs());
+          if (preempt) {
+            ws.key.w.u8(nps.last);
+            ws.key.w.u32(nps.budget);
+          }
           charge(ws.t_canon);
           const auto key = ws.key.w.data();
           const Fingerprint fp = fingerprint128(key);
@@ -1128,7 +1193,8 @@ McResult run_bfs(const Protocol& proto, const McOptions& opt,  // NOLINT
             Meta& m = meta.slot(idx);
             m.parent = ws.cur_idx;
             m.via = t;
-            append_entry(static_cast<std::uint32_t>(idx), ws.succ, ws.out);
+            append_entry(static_cast<std::uint32_t>(idx), ws.succ, ws.out,
+                         preempt ? &nps : nullptr);
             charge(ws.t_mat);
             if (idx + 1 >= opt.max_states) {
               limit_hit.store(true, std::memory_order_relaxed);
@@ -1448,6 +1514,20 @@ McResult model_check(const Protocol& protocol, const McOptions& options) {
   // canonicalization — a slower but sound exploration — and say why.
   McOptions opt = options;
   std::string symmetry_note;
+  // Bounded preemption strips both reductions before their self-checks
+  // spend time validating them: orbit canonicalization merges states whose
+  // scheduling context (last processor, remaining budget) differs, and
+  // ample deferral reorders exactly the processor alternation the budget
+  // counts.  run_bfs re-derives the same gates defensively.
+  const bool preemption_bounded =
+      opt.observer.effective_model().bounded_preemption();
+  if (preemption_bounded && opt.symmetry_reduction) {
+    opt.symmetry_reduction = false;
+    symmetry_note =
+        "bounded preemption keys states by their scheduling context, which "
+        "orbit canonicalization does not preserve; exploring without "
+        "symmetry reduction";
+  }
   const auto& pr = protocol.params();
   if (opt.symmetry_reduction && opt.symmetry_self_check &&
       protocol.processor_symmetric() && pr.procs >= 2 &&
@@ -1476,6 +1556,12 @@ McResult model_check(const Protocol& protocol, const McOptions& options) {
   std::unique_ptr<InferredPorOracle> inferred;
   std::string por_provenance = "declared";
   std::string por_note;
+  if (preemption_bounded && opt.partial_order_reduction) {
+    opt.partial_order_reduction = false;
+    por_note =
+        "bounded preemption counts processor alternation, which ample-set "
+        "deferral reorders; exploring without partial-order reduction";
+  }
   if (opt.partial_order_reduction && !opt.protocol_only &&
       opt.inferred_footprints) {
     inferred = std::make_unique<InferredPorOracle>(protocol);

@@ -57,6 +57,18 @@ struct McOptions {
   std::size_t max_states = 50'000'000;
   std::size_t max_depth = ~std::size_t{0};
   std::size_t threads = 1;  ///< 1 = sequential BFS
+  /// Observer configuration — including the memory model (ObserverConfig::
+  /// model), which the whole stack reads from here: the product builds its
+  /// checker from it, counterexample replay and the recorded trace keep it,
+  /// and run_bfs takes the bounded-preemption budget from its
+  /// preemption_bound.  Under a bounded-preemption model the engine appends
+  /// (last scheduled processor, remaining budget) to every state key and
+  /// prunes cross-processor transitions once the budget is exhausted — an
+  /// exploration-bounding knob, so Verified then means "no violation within
+  /// the budget" (see McResult::preemption_bounded).  Symmetry and
+  /// partial-order reduction are disabled under preemption bounding (orbit
+  /// merging and ample deferral both reorder processor alternation, which
+  /// the budget counts).
   ObserverConfig observer{};
   /// Explore the bare protocol without observer/checker (for measuring the
   /// observer's state-space overhead).
@@ -239,6 +251,14 @@ struct McResult {
   /// references in exact mode.
   std::uint64_t dup_cache_hits = 0;
   std::uint64_t dup_cache_lookups = 0;
+  /// Whether exploration ran under a bounded-preemption model.  A Verified
+  /// verdict then certifies only the runs within the context-switch budget
+  /// (an underapproximation of the full behaviour, Qadeer–Rehof style);
+  /// violations found remain genuine violations.
+  bool preemption_bounded = false;
+  /// Transitions pruned because the preemption budget was exhausted (the
+  /// states the bound saved the exploration from visiting start here).
+  std::uint64_t preemption_pruned = 0;
 
   /// Visited-store resident bytes per distinct state — the headline memory
   /// metric tracked by bench_parallel_mc (BENCH_mc.json).

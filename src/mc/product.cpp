@@ -13,7 +13,7 @@ ScCheckerConfig product_checker_config(const Protocol& protocol,
                                        const Observer& obs) {
   const auto& pr = protocol.params();
   return ScCheckerConfig{obs.bandwidth(), pr.procs, pr.blocks, pr.values,
-                         config.coherence_only};
+                         config.coherence_only, config.model};
 }
 
 }  // namespace

@@ -18,7 +18,8 @@ RunTrace record_walk(const Protocol& protocol, const RecordWalkOptions& opt) {
     const auto& pr = protocol.params();
     trace.checker = ScCheckerConfig{p.observer().bandwidth(), pr.procs,
                                     pr.blocks, pr.values,
-                                    opt.observer.coherence_only};
+                                    opt.observer.coherence_only,
+                                    opt.observer.model};
   }
   RunRecorder recorder;
   p.add_sink(&recorder);

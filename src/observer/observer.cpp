@@ -23,11 +23,20 @@ std::size_t Observer::default_pool_size(const Protocol& p) {
   return std::min<std::size_t>(want, kMaxBandwidth - 1);
 }
 
+std::size_t Observer::default_pool_size(const Protocol& p,
+                                        const MemoryModel& model) {
+  std::size_t want = default_pool_size(p);
+  if (model.rules().store_chain) {
+    want = std::min<std::size_t>(want + p.params().procs, kMaxBandwidth - 1);
+  }
+  return want;
+}
+
 Observer::Observer(const Protocol& protocol, ObserverConfig config)
     : protocol_(&protocol),
       cfg_(config),
       tracker_(protocol.params().locations),
-      real_time_order_(protocol.real_time_st_order()) {
+      real_time_order_(protocol.real_time_st_order(config.effective_model())) {
   const auto& pr = protocol.params();
   SCV_EXPECTS(pr.procs <= kMaxObsProcs);
   SCV_EXPECTS(pr.blocks <= kMaxObsBlocks);
@@ -35,8 +44,12 @@ Observer::Observer(const Protocol& protocol, ObserverConfig config)
   // with the kClearSrc sentinel in the tracker (and, in location-mirrored
   // mode, overflow the location-alias ID range).
   SCV_EXPECTS(pr.locations <= kMaxLocations);
-  pool_count_ =
-      cfg_.pool_size != 0 ? cfg_.pool_size : default_pool_size(protocol);
+  rules_ = cfg_.effective_model().rules();
+  // Store-chain tails (TSO) pin up to one extra node per processor beyond
+  // the Section 4.4 accounting; the model-aware default widens for them.
+  pool_count_ = cfg_.pool_size != 0
+                    ? cfg_.pool_size
+                    : default_pool_size(protocol, cfg_.effective_model());
   SCV_EXPECTS(pool_count_ >= 1 && pool_count_ <= kMaxBandwidth);
   if (cfg_.location_mirrored) {
     // IDs 1..L alias locations; the pool sits above them; ID k+1 is the
@@ -97,6 +110,17 @@ NodeHandle Observer::emit_op_node(const Operation& op,
     out.push_back(EdgeDesc{node(prev).pool_id, id, kAnnoPo});
   }
   last_op_[chain] = h;
+  if (rules().store_chain && op.is_store()) {
+    // Store-chain po edge (TSO): order this store after the processor's
+    // previous store.  When that store is the chain predecessor the chain
+    // edge above already covers the pair (and the checker expects exactly
+    // one edge then).
+    const NodeHandle prev_st = last_st_[op.proc];
+    if (prev_st != kNone && prev_st != prev) {
+      out.push_back(EdgeDesc{node(prev_st).pool_id, id, kAnnoPo});
+    }
+    last_st_[op.proc] = h;
+  }
   peak_live_ = std::max(peak_live_, live_nodes());
   return h;
 }
@@ -294,6 +318,9 @@ bool Observer::must_hold(NodeHandle h, const bool* bottom_loadable) const {
   const Node& n = node(h);
   if (last_op_[chain_of(n.op)] == h) return true;  // program-order tail
   if (n.op.is_store()) {
+    // Store-chain tail (TSO): the next store-chain po edge leaves from
+    // here, so the node must stay addressable until a newer store arrives.
+    if (rules().store_chain && last_st_[n.op.proc] == h) return true;
     if (n.copies > 0) return true;     // inh-active
     if (!n.serialized) return true;    // awaiting its ST-order position
     const BlockId b = n.op.block;
@@ -322,6 +349,7 @@ void Observer::retire(NodeHandle h, std::vector<Symbol>& out) {
       root_gone_[b] = true;
     }
     SCV_ASSERT(sto_tail_[b] != h);
+    SCV_ASSERT(!rules().store_chain || last_st_[n.op.proc] != h);
   }
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     Node& m = nodes_[i];
@@ -388,7 +416,7 @@ void Observer::serialize(ByteWriter& w, std::vector<GraphId>* id_canon,
   };
   const auto src_chain = [&](std::size_t c) -> std::size_t {
     if (!permuted) return c;
-    if (!cfg_.coherence_only) return inv.to[c];
+    if (!rules().per_block_chains) return inv.to[c];
     return static_cast<std::size_t>(inv.to[c / pr.blocks]) * pr.blocks +
            c % pr.blocks;
   };
@@ -418,6 +446,11 @@ void Observer::serialize(ByteWriter& w, std::vector<GraphId>* id_canon,
   }
   for (std::size_t c = 0; c < chain_count(); ++c) {
     visit(last_op_[src_chain(c)]);
+  }
+  if (rules().store_chain) {  // TSO only: SC anchor order stays byte-stable
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      visit(last_st_[src_proc(p)]);
+    }
   }
   for (std::size_t b = 0; b < pr.blocks; ++b) {
     visit(sto_tail_[b]);
@@ -452,7 +485,7 @@ void Observer::serialize(ByteWriter& w, std::vector<GraphId>* id_canon,
   // is measurable.  Bound: locations (<= 2 B uvar each) + chains + block
   // anchors + nodes at <= 11 + 2*kMaxObsProcs bytes each.
   std::uint8_t scratch[2 * (kMaxLocations + 1) +
-                       2 * kMaxObsProcs * kMaxObsBlocks +
+                       2 * kMaxObsProcs * (kMaxObsBlocks + 1) +
                        kMaxObsBlocks * (5 + 2 * kMaxObsProcs) + 2 +
                        kMaxBandwidth * (16 + 2 * kMaxObsProcs)];
   ScratchWriter sw(scratch, sizeof scratch);
@@ -461,6 +494,11 @@ void Observer::serialize(ByteWriter& w, std::vector<GraphId>* id_canon,
   }
   for (std::size_t c = 0; c < chain_count(); ++c) {
     sw.uvar(enc(last_op_[src_chain(c)]));
+  }
+  if (rules().store_chain) {  // TSO only: SC encoding stays byte-stable
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      sw.uvar(enc(last_st_[src_proc(p)]));
+    }
   }
   for (std::size_t b = 0; b < pr.blocks; ++b) {
     sw.uvar(enc(sto_tail_[b]));
@@ -521,6 +559,9 @@ void Observer::snapshot(ByteWriter& w) const {
   w.u64(pool_free_);
   w.uvar(peak_live_);
   for (std::size_t c = 0; c < chain_count(); ++c) w.uvar(last_op_[c]);
+  if (rules().store_chain) {  // TSO only: SC encoding stays byte-stable
+    for (std::size_t p = 0; p < pr.procs; ++p) w.uvar(last_st_[p]);
+  }
   for (std::size_t b = 0; b < pr.blocks; ++b) {
     w.uvar(sto_tail_[b]);
     w.uvar(root_[b]);
@@ -565,7 +606,7 @@ void Observer::permute_procs(const ProcPerm& perm) {
   // Program-order chain anchors move to their renamed processor.
   NodeHandle chains[kMaxObsProcs * kMaxObsBlocks] = {};
   for (std::size_t p = 0; p < pr.procs; ++p) {
-    if (cfg_.coherence_only) {
+    if (rules().per_block_chains) {
       for (std::size_t b = 0; b < pr.blocks; ++b) {
         chains[perm.to[p] * pr.blocks + b] = last_op_[p * pr.blocks + b];
       }
@@ -574,6 +615,14 @@ void Observer::permute_procs(const ProcPerm& perm) {
     }
   }
   for (std::size_t c = 0; c < chain_count(); ++c) last_op_[c] = chains[c];
+
+  // Store-chain tails move with their processor (all-kNone no-op outside
+  // TSO).
+  {
+    NodeHandle st[kMaxObsProcs] = {};
+    for (std::size_t p = 0; p < pr.procs; ++p) st[perm.to[p]] = last_st_[p];
+    for (std::size_t p = 0; p < pr.procs; ++p) last_st_[p] = st[p];
+  }
 
   // Pending ⊥-load anchors are indexed by processor per block.
   for (std::size_t b = 0; b < pr.blocks; ++b) {
@@ -616,12 +665,24 @@ void Observer::proc_signature(ProcId p, ByteWriter& w) const {
     w.u8(n.bottom_pending ? 1 : 0);
     w.uvar(n.copies);
   };
-  if (cfg_.coherence_only) {
+  if (rules().per_block_chains) {
     for (std::size_t b = 0; b < pr.blocks; ++b) {
       write_chain(p * pr.blocks + b);
     }
   } else {
     write_chain(p);
+  }
+  if (rules().store_chain) {  // store-tail record, TSO only
+    const NodeHandle h = last_st_[p];
+    if (h == kNone) {
+      w.u8(0);
+    } else {
+      const Node& n = node(h);
+      w.u8(1);
+      w.u8(n.op.block);
+      w.u8(n.op.value);
+      w.u8(n.serialized ? 1 : 0);
+    }
   }
   for (std::size_t b = 0; b < pr.blocks; ++b) {
     w.u8(pending_bottom_[b][p] != kNone ? 1 : 0);
@@ -640,6 +701,11 @@ void Observer::restore(ByteReader& r) {
   peak_live_ = static_cast<std::size_t>(r.uvar());
   for (std::size_t c = 0; c < chain_count(); ++c) {
     last_op_[c] = static_cast<NodeHandle>(r.uvar());
+  }
+  if (rules().store_chain) {
+    for (std::size_t p = 0; p < pr.procs; ++p) {
+      last_st_[p] = static_cast<NodeHandle>(r.uvar());
+    }
   }
   for (std::size_t b = 0; b < pr.blocks; ++b) {
     sto_tail_[b] = static_cast<NodeHandle>(r.uvar());

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/memory_model.hpp"
 #include "descriptor/symbol.hpp"
 #include "observer/st_order.hpp"
 #include "protocol/protocol.hpp"
@@ -60,11 +61,25 @@ struct ObserverConfig {
   bool location_mirrored = false;
   /// Pool of node IDs; 0 = use default_pool_size(protocol).
   std::size_t pool_size = 0;
-  /// Memory-model extension (paper §5): emit program order edges per
-  /// (processor, block) chain instead of per processor, so the witness
-  /// graph certifies *coherence* (per-location SC) rather than full SC.
-  /// Pair with ScCheckerConfig::coherence_po.
+  /// Deprecated alias for `model = MemoryModel::coherence()`: emit program
+  /// order edges per (processor, block) chain instead of per processor, so
+  /// the witness graph certifies *coherence* (per-location SC) rather than
+  /// full SC.  Pair with ScCheckerConfig::coherence_po.
   bool coherence_only = false;
+  /// The memory model whose rule table drives emission (memory_model.hpp):
+  /// which po chains are threaded and whether the per-processor store chain
+  /// gets its own po edges (TSO).  Pair with ScCheckerConfig::model.
+  MemoryModel model{};
+
+  /// The model after applying the deprecated coherence_only alias; see
+  /// ScCheckerConfig::effective_model().
+  [[nodiscard]] MemoryModel effective_model() const {
+    MemoryModel m = model;
+    if (coherence_only && m.kind == ModelKind::Sc) {
+      m.kind = ModelKind::Coherence;
+    }
+    return m;
+  }
 };
 
 class Observer {
@@ -80,6 +95,15 @@ class Observer {
   /// Recommended node-ID pool size for a protocol: the Section 4.4
   /// bandwidth accounting L + pb plus program-order/ST-order tails.
   [[nodiscard]] static std::size_t default_pool_size(const Protocol& p);
+
+  /// Model-aware variant: the pool the constructor actually allocates when
+  /// ObserverConfig::pool_size is 0.  Models that thread the per-processor
+  /// store chain (TSO) pin up to one extra tail node per processor beyond
+  /// the SC accounting.  R3/R4 static bounds must use this overload so
+  /// their "configured pool" matches the observer a verification run under
+  /// `model` would build.
+  [[nodiscard]] static std::size_t default_pool_size(const Protocol& p,
+                                                     const MemoryModel& model);
 
   /// The descriptor bandwidth parameter k this observer emits under (IDs
   /// range over 1..k+1).  Feed the same k to the checker.
@@ -227,19 +251,28 @@ class Observer {
   StIndexTracker tracker_;
   bool real_time_order_ = true;
 
+  /// Rule table of cfg_.effective_model(), cached at construction.
+  ModelRules rules_{};
+  [[nodiscard]] const ModelRules& rules() const noexcept { return rules_; }
+
   std::vector<Node> nodes_;
-  /// Program-order chains: one per processor, or per (processor, block) in
-  /// coherence mode.
+  /// Program-order chains: one per processor, or per (processor, block)
+  /// under a per-block-chain model (coherence).
   [[nodiscard]] std::size_t chain_of(const Operation& op) const {
-    return cfg_.coherence_only
+    return rules().per_block_chains
                ? op.proc * protocol_->params().blocks + op.block
                : static_cast<std::size_t>(op.proc);
   }
   [[nodiscard]] std::size_t chain_count() const {
     const auto& pr = protocol_->params();
-    return cfg_.coherence_only ? pr.procs * pr.blocks : pr.procs;
+    return rules().per_block_chains ? pr.procs * pr.blocks : pr.procs;
   }
   NodeHandle last_op_[kMaxObsProcs * kMaxObsBlocks] = {};
+  /// Store-chain tails (ModelRules::store_chain, i.e. TSO): the latest
+  /// store per processor, held live so the next store's store-chain po edge
+  /// can leave it.  All-kNone under models without the rule, and never
+  /// serialized then — SC/coherence encodings stay byte-identical.
+  NodeHandle last_st_[kMaxObsProcs] = {};
   NodeHandle sto_tail_[kMaxObsBlocks] = {};  ///< last *serialized* store
   NodeHandle root_[kMaxObsBlocks] = {};      ///< first serialized store
   bool root_gone_[kMaxObsBlocks] = {};

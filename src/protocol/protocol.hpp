@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/memory_model.hpp"
 #include "trace/operation.hpp"
 #include "util/byte_io.hpp"
 #include "util/inline_vec.hpp"
@@ -239,6 +240,20 @@ class Protocol {
   /// the trivial ST order generator is used (trace order of stores per
   /// block); if false, transitions carry serialize_loc hints.
   [[nodiscard]] virtual bool real_time_st_order() const { return true; }
+
+  /// Model-dependent refinement of the witness choice: is the ST order
+  /// still real-time when the run is checked under `model`?  The ST order
+  /// is existential (Theorem 3.1: the designer supplies *a* serialization
+  /// order under which all runs check out), so the right choice may differ
+  /// per memory model — a store buffer's natural SC witness is issue
+  /// order, while under a store→load-relaxed model only the order stores
+  /// reach memory (drain order, via serialize_loc hints) discharges the
+  /// inheritance constraints.  Protocols overriding this must emit their
+  /// serialize_loc hints unconditionally; the observer ignores them under
+  /// a real-time witness.  Default: the model-independent declaration.
+  [[nodiscard]] virtual bool real_time_st_order(const MemoryModel&) const {
+    return real_time_st_order();
+  }
 
   /// Could a LD of block `b` still return ⊥ in this state (or any state
   /// reachable from it)?  May be conservatively true.  The observer keeps

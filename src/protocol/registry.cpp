@@ -13,42 +13,56 @@ const std::vector<RegisteredProtocol>& protocol_registry() {
   // Parameterizations mirror the test suite's canonical sizes: big enough
   // to exercise every transition shape, small enough to lint in
   // milliseconds.
+  // The three expected-verdict flags per entry are the registry × model
+  // matrix (sc, tso, coherence), established by exhaustive runs at these
+  // parameterizations.  Note the matrix is not monotone in the model order:
+  // write_buffer clears under TSO but write_buffer_fwd does not (forwarding
+  // pins the store-buffering cycle), and write_buffer_fwd_drain flips the
+  // other way (coherent but neither SC nor TSO).
   static const std::vector<RegisteredProtocol> registry = [] {
     std::vector<RegisteredProtocol> r;
     r.push_back({"serial_memory", "atomic shared memory (trivially SC)",
-                 false,
+                 /*sc=*/false, /*tso=*/false, /*coherence=*/false,
                  [] { return std::make_unique<SerialMemory>(2, 2, 2); }});
     r.push_back({"write_buffer",
-                 "per-processor FIFO store buffers (SC-violating)", true, [] {
+                 "per-processor FIFO store buffers (SC-violating; the "
+                 "machine TSO admits)",
+                 /*sc=*/true, /*tso=*/false, /*coherence=*/true, [] {
                    return std::make_unique<WriteBuffer>(2, 2, 2, 2, false);
                  }});
     r.push_back({"write_buffer_fwd",
-                 "store buffers with load forwarding (SC-violating)", true,
-                 [] {
+                 "store buffers with load forwarding (SC-violating)",
+                 /*sc=*/true, /*tso=*/true, /*coherence=*/true, [] {
                    return std::make_unique<WriteBuffer>(2, 2, 2, 2, true);
                  }});
     r.push_back({"write_buffer_fwd_drain",
                  "forwarding buffers under drain-order serialization "
                  "(coherent, not SC)",
-                 true, [] {
+                 /*sc=*/true, /*tso=*/true, /*coherence=*/false, [] {
                    return std::make_unique<WriteBuffer>(2, 2, 2, 2, true,
                                                         /*drain_order=*/true);
                  }});
-    r.push_back({"msi_bus", "snooping MSI bus protocol", false,
+    r.push_back({"msi_bus", "snooping MSI bus protocol",
+                 /*sc=*/false, /*tso=*/false, /*coherence=*/false,
                  [] { return std::make_unique<MsiBus>(2, 2, 2); }});
     r.push_back({"msi_bus_buggy",
-                 "MSI bus with a planted lost-invalidation bug", true, [] {
+                 "MSI bus with a planted lost-invalidation bug",
+                 /*sc=*/true, /*tso=*/true, /*coherence=*/true, [] {
                    return std::make_unique<MsiBus>(2, 2, 2,
                                                    /*lost_invalidation=*/true);
                  }});
-    r.push_back({"get_shared_toy", "toy slot-sharing protocol", false, [] {
+    r.push_back({"get_shared_toy",
+                 "toy slot-sharing protocol (Figure 4; stale slot views "
+                 "violate even per-location SC)",
+                 /*sc=*/true, /*tso=*/true, /*coherence=*/true, [] {
                    return std::make_unique<GetSharedToy>(2, 2, 2, 2);
                  }});
     r.push_back({"directory", "directory-based MSI with reply channels",
-                 false,
+                 /*sc=*/false, /*tso=*/false, /*coherence=*/false,
                  [] { return std::make_unique<DirectoryProtocol>(2, 2, 2); }});
     r.push_back({"lazy_caching",
-                 "Afek–Brown–Merritt lazy caching (deferred ST order)", false,
+                 "Afek–Brown–Merritt lazy caching (deferred ST order)",
+                 /*sc=*/false, /*tso=*/false, /*coherence=*/false,
                  [] { return std::make_unique<LazyCaching>(2, 2, 2, 1, 1); }});
     return r;
   }();

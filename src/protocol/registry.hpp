@@ -17,11 +17,31 @@ namespace scv {
 struct RegisteredProtocol {
   std::string id;           ///< stable CLI identifier ("msi_bus", ...)
   std::string description;  ///< one-line human summary
-  /// True when the entry is a deliberately planted *behavioral* bug (an SC
-  /// violation).  Such entries still have well-formed tracking metadata, so
-  /// the linter accepts them; the model checker is what rejects them.
+  /// True when the model checker finds a violation of sequential
+  /// consistency for this entry (protocol + its bundled witness).  Such
+  /// entries still have well-formed tracking metadata, so the linter
+  /// accepts them; the model checker is what rejects them.
   bool sc_violating = false;
+  /// Expected verdict under the TSO row of the model axis.  Per-entry, not
+  /// derived from sc_violating: relaxation can clear a violation
+  /// (write_buffer) or leave it (forwarding buffers — a forwarded load
+  /// pins its own buffered store into the witness order, so the
+  /// store-buffering cycle survives the ST→LD relaxation).
+  bool tso_violating = false;
+  /// Expected verdict under the coherence (per-location SC) row.
+  bool coherence_violating = false;
   std::function<std::unique_ptr<Protocol>()> make;
+
+  /// The expected-verdict flag for `m` — the registry × model matrix the
+  /// differential tests and the CLI listings read off.
+  [[nodiscard]] bool violating_under(const MemoryModel& m) const {
+    switch (m.kind) {
+      case ModelKind::Tso: return tso_violating;
+      case ModelKind::Coherence: return coherence_violating;
+      case ModelKind::Sc: return sc_violating;
+    }
+    return sc_violating;
+  }
 };
 
 /// All bundled protocols, in presentation order.

@@ -72,7 +72,10 @@ void WriteBuffer::enumerate(std::span<const std::uint8_t> state,
     if (count > 0) {
       Transition dr;
       dr.action = internal_action(kDrain, static_cast<std::uint8_t>(p));
-      if (drain_order_) dr.serialize_loc = buffer_loc(p, 0);
+      // Always emitted: the observer consults the hint only when the
+      // witness for the model being checked defers serialization to the
+      // drain (drain_order_, or any store→load-relaxed model).
+      dr.serialize_loc = buffer_loc(p, 0);
       const BlockId head_block = state[base + 1];
       dr.copies.push_back(CopyEntry{static_cast<LocId>(head_block),
                                     buffer_loc(p, 0)});

@@ -35,6 +35,17 @@ class WriteBuffer : public Protocol {
   [[nodiscard]] bool real_time_st_order() const override {
     return !drain_order_;
   }
+  /// Under a store→load-relaxed model the issue-order witness is wrong for
+  /// this machine: stores reach memory in drain order, and pinning the ST
+  /// order at issue manufactures cycles on runs that are fine (a load
+  /// inheriting the later-drained store contradicts the issue-time STo
+  /// edge).  Serialize at the Drain event instead; the SC/coherence
+  /// witness — and with it every recorded SC counterexample — stays
+  /// exactly as configured.
+  [[nodiscard]] bool real_time_st_order(
+      const MemoryModel& model) const override {
+    return !drain_order_ && !model.rules().relax_store_load;
+  }
   void initial_state(std::span<std::uint8_t> state) const override;
   void enumerate(std::span<const std::uint8_t> state,
                  std::vector<Transition>& out) const override;

@@ -169,6 +169,7 @@ void serialize_run_trace(const RunTrace& trace, ByteWriter& w) {
   w.u8(static_cast<std::uint8_t>(trace.checker.blocks));
   w.u8(static_cast<std::uint8_t>(trace.checker.values));
   w.u8(trace.checker.coherence_po ? 1 : 0);
+  write_str(w, to_string(trace.checker.model));
   w.u8(static_cast<std::uint8_t>(trace.verdict));
   write_str(w, trace.reason);
   w.uvar(trace.steps.size());
@@ -197,9 +198,10 @@ bool parse_run_trace(std::span<const std::uint8_t> bytes, RunTrace& trace,
   }
   std::uint16_t version = 0;
   if (!r.u16(version)) return fail("truncated header");
-  if (version != RunTrace::kVersion) {
+  if (version < RunTrace::kMinVersion || version > RunTrace::kVersion) {
     error = "unsupported run-trace version " + std::to_string(version) +
-            " (expected " + std::to_string(RunTrace::kVersion) + ")";
+            " (expected " + std::to_string(RunTrace::kMinVersion) + ".." +
+            std::to_string(RunTrace::kVersion) + ")";
     return false;
   }
 
@@ -210,16 +212,27 @@ bool parse_run_trace(std::span<const std::uint8_t> bytes, RunTrace& trace,
   std::uint8_t coherence = 0;
   std::uint8_t verdict = 0;
   if (!r.str(trace.protocol) || !r.uvar(k) || !r.u8(procs) ||
-      !r.u8(blocks) || !r.u8(values) || !r.u8(coherence) || !r.u8(verdict) ||
-      !r.str(trace.reason)) {
+      !r.u8(blocks) || !r.u8(values) || !r.u8(coherence)) {
     return fail("truncated header");
   }
   if (coherence > 1) return fail("bad coherence flag");
+  // Version 1 predates the model axis: no tag on the wire, the model is SC
+  // (plus the coherence alias byte, which both versions carry).
+  MemoryModel model{};
+  if (version >= 2) {
+    std::string model_tag;
+    if (!r.str(model_tag)) return fail("truncated header");
+    if (!parse_memory_model(model_tag, model)) {
+      error = "unknown memory-model tag '" + model_tag + "'";
+      return false;
+    }
+  }
+  if (!r.u8(verdict) || !r.str(trace.reason)) return fail("truncated header");
   if (verdict > static_cast<std::uint8_t>(RunVerdict::TrackingInconsistent)) {
     return fail("unknown verdict code");
   }
   trace.checker = ScCheckerConfig{static_cast<std::size_t>(k), procs, blocks,
-                                  values, coherence != 0};
+                                  values, coherence != 0, model};
   trace.verdict = static_cast<RunVerdict>(verdict);
 
   std::uint64_t nsteps = 0;

@@ -14,14 +14,21 @@
 //   * sequential and parallel engines can be compared recording-for-
 //     recording (byte-identical for the same protocol/config).
 //
-// Binary format (version 1, little-endian via byte_io, length-prefixed):
+// Binary format (version 2, little-endian via byte_io, length-prefixed):
 //
 //   "SCVR" magic | u16 version | header | u-var step count | steps...
 //   header = str protocol | uvar k | u8 procs | u8 blocks | u8 values |
-//            u8 coherence | u8 verdict | str reason
+//            u8 coherence | str model | u8 verdict | str reason
 //   step   = str action | uvar symbol count | symbols...
 //   symbol = u8 tag (0 node / 1 edge / 2 add-ID) | payload
 //   str    = uvar length | bytes
+//
+// The model tag (version 2) records the memory model the run was checked
+// under, in parse_memory_model syntax ("sc", "tso", "coherence", optional
+// "+bpN" suffix).  Version 1 files — identical except for the missing model
+// tag — still parse: their model defaults to SC, so every pre-model-axis
+// trace re-checks exactly as it always did (the coherence byte keeps its
+// meaning as the deprecated per-location-SC alias in both versions).
 //
 // Parsing is total: a malformed or truncated buffer yields an error string,
 // never an abort — traces cross trust boundaries (files on disk, CI
@@ -61,11 +68,14 @@ struct RunStep {
 };
 
 struct RunTrace {
-  static constexpr std::uint16_t kVersion = 1;
+  static constexpr std::uint16_t kVersion = 2;
+  /// Oldest version parse_run_trace still accepts (see the format comment:
+  /// version 1 lacks the model tag and re-checks as SC).
+  static constexpr std::uint16_t kMinVersion = 1;
 
   // --- Header: provenance and the offline checker's configuration.
   std::string protocol;      ///< protocol name the run was recorded from
-  ScCheckerConfig checker{}; ///< k, p, b, v, coherence — feed ScChecker this
+  ScCheckerConfig checker{}; ///< k, p, b, v, coherence, model — feed ScChecker
   RunVerdict verdict = RunVerdict::Accepted;  ///< verdict at capture time
   std::string reason;        ///< failure reason at capture ("" if accepted)
 

@@ -131,5 +131,90 @@ TEST(Litmus, OutcomeRendering) {
   EXPECT_EQ(to_string(LitmusOutcome{0, 2}), "(r1=0,r2=2)");
 }
 
+// ---------------------------------------------------- memory-model sweeps
+
+TEST(ModelSweep, RelaxFlagsMatchTheModelRules) {
+  const RelaxFlags sc = model_relax_flags(MemoryModel{});
+  EXPECT_FALSE(sc.load_load || sc.store_store || sc.store_load ||
+               sc.load_store || sc.same_block_store_load);
+
+  // TSO: stores pass later loads, including the stale own-read of the
+  // non-forwarding buffer; everything else stays ordered.
+  const RelaxFlags tso = model_relax_flags(MemoryModel::tso());
+  EXPECT_TRUE(tso.store_load);
+  EXPECT_TRUE(tso.same_block_store_load);
+  EXPECT_FALSE(tso.load_load || tso.store_store || tso.load_store);
+
+  // Coherence: all cross-block pairs unordered, same-block order kept.
+  const RelaxFlags coh = model_relax_flags(MemoryModel::coherence());
+  EXPECT_TRUE(coh.load_load && coh.store_store && coh.store_load &&
+              coh.load_store);
+  EXPECT_FALSE(coh.same_block_store_load);
+}
+
+TEST(ModelSweep, ScModelReproducesScOutcomes) {
+  for (const LitmusProgram& family : litmus_families()) {
+    EXPECT_EQ(model_outcomes(family, MemoryModel{}), sc_outcomes(family))
+        << family.name;
+  }
+}
+
+TEST(ModelSweep, RelaxationOnlyAddsOutcomes) {
+  for (const LitmusProgram& family : litmus_families()) {
+    const auto sc = sc_outcomes(family);
+    for (const NamedModel& nm : memory_model_axis()) {
+      const auto got = model_outcomes(family, nm.model);
+      for (const auto& o : sc) {
+        EXPECT_TRUE(got.contains(o))
+            << family.name << " under " << nm.name << " lost " << to_string(o);
+      }
+    }
+  }
+}
+
+TEST(ModelSweep, TsoFlipsStoreBufferingFamiliesButNotMessagePassing) {
+  const MemoryModel tso = MemoryModel::tso();
+  // MP is TSO-stable: no store is followed by a load to another block.
+  EXPECT_EQ(model_outcomes(figure1_program(), tso),
+            sc_outcomes(figure1_program()));
+  // SB and its 3-processor rotation gain the all-zeros outcome.
+  EXPECT_TRUE(
+      model_outcomes(store_buffer_program(), tso).contains(LitmusOutcome{0, 0}));
+  EXPECT_TRUE(model_outcomes(store_buffer_3_program(), tso)
+                  .contains(LitmusOutcome{0, 0, 0}));
+  EXPECT_FALSE(
+      sc_outcomes(store_buffer_3_program()).contains(LitmusOutcome{0, 0, 0}));
+}
+
+TEST(ModelSweep, OwnReadSeparatesTsoFromCoherence) {
+  // The stale own-read is exactly the non-forwarding buffer's behaviour:
+  // admitted by TSO's same-block ST→LD relaxation, forbidden by coherence
+  // (which keeps every per-block order intact).
+  const LitmusProgram prog = own_read_program();
+  EXPECT_EQ(sc_outcomes(prog), (std::set<LitmusOutcome>{{1}}));
+  const auto tso = model_outcomes(prog, MemoryModel::tso());
+  EXPECT_TRUE(tso.contains(LitmusOutcome{kBottom}));
+  EXPECT_TRUE(tso.contains(LitmusOutcome{1}));
+  EXPECT_EQ(model_outcomes(prog, MemoryModel::coherence()), sc_outcomes(prog));
+}
+
+TEST(ModelSweep, CoherenceFlipsMessagePassing) {
+  // Dropping cross-block order admits the paper's forbidden (0, 2).
+  EXPECT_TRUE(model_outcomes(figure1_program(), MemoryModel::coherence())
+                  .contains(LitmusOutcome{0, 2}));
+}
+
+TEST(ModelSweep, AtLeastTwoFamiliesFlipUnderTso) {
+  // The acceptance bar for the model axis: TSO is observably different
+  // from SC on the bundled families, not just on protocol verdicts.
+  std::size_t flips = 0;
+  for (const LitmusProgram& family : litmus_families()) {
+    flips += model_outcomes(family, MemoryModel::tso()) != sc_outcomes(family)
+                 ? 1
+                 : 0;
+  }
+  EXPECT_GE(flips, 2u);
+}
+
 }  // namespace
 }  // namespace scv

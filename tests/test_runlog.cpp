@@ -125,14 +125,95 @@ TEST(RunTraceFormat, RejectsAbsurdCounts) {
   w.u8(2);
   w.u8(2);
   w.u8(2);
-  w.u8(0);
-  w.u8(0);
+  w.u8(0);   // coherence
+  w.uvar(2); // model tag "sc"
+  w.u8('s');
+  w.u8('c');
+  w.u8(0);              // verdict
   w.uvar(0);            // reason ""
   w.uvar(0xffffffffu);  // absurd step count
   RunTrace out;
   std::string error;
   EXPECT_FALSE(parse_run_trace(w.data(), out, error));
   EXPECT_NE(error.find("count"), std::string::npos);
+}
+
+// ------------------------------------------------- version compatibility
+
+// Version 1 predates the model axis: its header stops at the coherence
+// byte and there is no model tag on the wire.  Parsing stays total over
+// the old format, with the model defaulting to SC (the only model v1
+// runs could have checked; the coherence alias byte still applies).
+TEST(RunTraceFormat, ParsesVersion1FilesWithoutModelTag) {
+  ByteWriter w;
+  w.bytes(std::array<std::uint8_t, 4>{'S', 'C', 'V', 'R'});
+  w.u16(1);  // version 1
+  const std::string proto = "LegacyProto";
+  w.uvar(proto.size());
+  w.bytes({reinterpret_cast<const std::uint8_t*>(proto.data()),
+           proto.size()});
+  w.uvar(8);  // k
+  w.u8(2);    // procs
+  w.u8(1);    // blocks
+  w.u8(1);    // values
+  w.u8(1);    // coherence_po alias set — v1's only model knob
+  w.u8(0);    // verdict: Accepted
+  w.uvar(0);  // reason ""
+  w.uvar(0);  // no steps
+  RunTrace parsed;
+  std::string error;
+  ASSERT_TRUE(parse_run_trace(w.data(), parsed, error)) << error;
+  EXPECT_EQ(parsed.protocol, proto);
+  EXPECT_EQ(parsed.checker.model, MemoryModel{});  // defaults to sc
+  EXPECT_TRUE(parsed.checker.coherence_po);
+  EXPECT_EQ(parsed.checker.effective_model().kind, ModelKind::Coherence);
+  EXPECT_EQ(parsed.verdict, RunVerdict::Accepted);
+
+  // Truncating the v1 stream anywhere still fails cleanly.
+  const std::vector<std::uint8_t> good = w.data();
+  RunTrace out;
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    EXPECT_FALSE(parse_run_trace(std::span(good.data(), n), out, error))
+        << "v1 prefix of " << n << " bytes parsed";
+  }
+}
+
+TEST(RunTraceFormat, ModelTagRoundTripsInVersion2) {
+  for (const MemoryModel model :
+       {MemoryModel::tso(), MemoryModel::coherence(),
+        MemoryModel::bounded_sc(3)}) {
+    RunTrace t = sample_trace();
+    t.checker.model = model;
+    ByteWriter w;
+    serialize_run_trace(t, w);
+    RunTrace parsed;
+    std::string error;
+    ASSERT_TRUE(parse_run_trace(w.data(), parsed, error)) << error;
+    EXPECT_EQ(parsed.checker.model, model) << to_string(model);
+    EXPECT_EQ(parsed, t);
+  }
+}
+
+TEST(RunTraceFormat, RejectsUnknownModelTag) {
+  ByteWriter w;
+  w.bytes(std::array<std::uint8_t, 4>{'S', 'C', 'V', 'R'});
+  w.u16(RunTrace::kVersion);
+  w.uvar(0);  // protocol ""
+  w.uvar(8);  // k
+  w.u8(2);
+  w.u8(1);
+  w.u8(1);
+  w.u8(0);    // coherence
+  w.uvar(2);  // model tag "zz" — not a model
+  w.u8('z');
+  w.u8('z');
+  w.u8(0);
+  w.uvar(0);
+  w.uvar(0);
+  RunTrace out;
+  std::string error;
+  EXPECT_FALSE(parse_run_trace(w.data(), out, error));
+  EXPECT_NE(error.find("memory-model"), std::string::npos);
 }
 
 // ---------------------------------------------------------------- sinks
@@ -359,6 +440,40 @@ TEST(CheckerConfig, InvalidReasonPinpointsTheField) {
   EXPECT_NE(c.invalid_reason().find("values"), std::string::npos);
 }
 
+TEST(CheckerConfig, InvalidReasonRejectsInconsistentModelCombinations) {
+  // Valid model configurations first: each axis model alone, and a
+  // preemption budget on sc.
+  ScCheckerConfig c;
+  c.model = MemoryModel::tso();
+  EXPECT_TRUE(c.invalid_reason().empty());
+  c.model = MemoryModel::coherence();
+  EXPECT_TRUE(c.invalid_reason().empty());
+  c.model = MemoryModel::bounded_sc(2);
+  EXPECT_TRUE(c.invalid_reason().empty());
+
+  // Bounded preemption under-approximates; it is sc-only.
+  c = ScCheckerConfig{};
+  c.model = MemoryModel::tso();
+  c.model.preemption_bound = 1;
+  EXPECT_NE(c.invalid_reason().find("preemption"), std::string::npos);
+  c.model = MemoryModel::coherence();
+  c.model.preemption_bound = 0;
+  EXPECT_NE(c.invalid_reason().find("preemption"), std::string::npos);
+
+  // The deprecated coherence_po alias may not contradict an explicit model.
+  c = ScCheckerConfig{};
+  c.coherence_po = true;
+  EXPECT_TRUE(c.invalid_reason().empty());  // alias alone stays valid
+  c.model = MemoryModel::tso();
+  EXPECT_NE(c.invalid_reason().find("coherence_po"), std::string::npos);
+  c.model = MemoryModel::bounded_sc(3);
+  EXPECT_NE(c.invalid_reason().find("coherence_po"), std::string::npos);
+  // Alias on an explicit coherence model is redundant, not contradictory.
+  c.model = MemoryModel::coherence();
+  EXPECT_TRUE(c.invalid_reason().empty());
+  EXPECT_EQ(c.effective_model().kind, ModelKind::Coherence);
+}
+
 using CheckerConfigDeathTest = ::testing::Test;
 
 TEST(CheckerConfigDeathTest, ConstructorAbortsOnOutOfRangeConfig) {
@@ -370,6 +485,18 @@ TEST(CheckerConfigDeathTest, ConstructorAbortsOnOutOfRangeConfig) {
                "invalid ScCheckerConfig");
   EXPECT_DEATH(ScChecker(ScCheckerConfig{8, 2, 1, 0, false}),
                "invalid ScCheckerConfig");
+}
+
+TEST(CheckerConfigDeathTest, ConstructorAbortsOnInconsistentModelCombo) {
+  ScCheckerConfig tso_bp{};
+  tso_bp.model = MemoryModel::tso();
+  tso_bp.model.preemption_bound = 1;
+  EXPECT_DEATH(ScChecker{tso_bp}, "invalid ScCheckerConfig");
+
+  ScCheckerConfig alias_vs_model{};
+  alias_vs_model.coherence_po = true;
+  alias_vs_model.model = MemoryModel::tso();
+  EXPECT_DEATH(ScChecker{alias_vs_model}, "invalid ScCheckerConfig");
 }
 
 }  // namespace

@@ -20,6 +20,12 @@ regresses past its floor:
     p2 model-checking run the bench measured alongside it.  The reference
     is a bounded (state-capped) run, i.e. a strict underestimate of the
     full verification, so the gate is conservative;
+  * memory-model matrix ("models" section, spliced in by bench_fig1_litmus
+    --bench-json): the SC and TSO litmus outcome sets must match the
+    expected tables exactly (SC rows are the legacy Figure 1 sets), at
+    least two litmus families must flip outcome between SC and TSO, and
+    the bounded-preemption rows must show a state reduction at fixed depth
+    with verdict parity against the full run;
   * multicore scaling: per-thread-count speedup floors, applied ONLY to
     rows the bench marked "gating": true — rows measured with enough
     affinity CPUs to give every worker its own core.  Oversubscribed rows
@@ -59,6 +65,34 @@ POR_REDUCTION_FLOORS = {
 # modest: the gate exists to catch "parallel mode got slower than serial",
 # not to enforce ideal scaling on shared CI runners.
 SCALING_FLOORS = {2: 1.05, 4: 1.15}
+
+# Expected litmus outcome sets per (family, model) — the machine-checkable
+# form of the Figure 1 table and its TSO column.  SC rows are the paper's
+# sets; TSO relaxes ST->LD (including same-block pairs: the checker's TSO
+# is the non-forwarding store buffer), so store-buffering admits the
+# all-zero outcome and own-read admits the stale read, while the
+# message-passing family keeps its SC set.  Coherence rows are recorded in
+# the JSON but not pinned here (their table lives in EXPERIMENTS.md).
+LITMUS_EXPECTED = {
+    ("figure1-message-passing", "sc"): [[0, 0], [1, 0], [1, 2]],
+    ("figure1-message-passing", "tso"): [[0, 0], [1, 0], [1, 2]],
+    ("store-buffering", "sc"): [[0, 1], [1, 0], [1, 1]],
+    ("store-buffering", "tso"): [[0, 0], [0, 1], [1, 0], [1, 1]],
+    ("store-buffering-3", "sc"): [
+        [0, 0, 1], [0, 1, 0], [0, 1, 1],
+        [1, 0, 0], [1, 0, 1], [1, 1, 0], [1, 1, 1],
+    ],
+    ("store-buffering-3", "tso"): [
+        [0, 0, 0], [0, 0, 1], [0, 1, 0], [0, 1, 1],
+        [1, 0, 0], [1, 0, 1], [1, 1, 0], [1, 1, 1],
+    ],
+    ("own-read", "sc"): [[1]],
+    ("own-read", "tso"): [[0], [1]],
+}
+
+# Minimum bounded-preemption state reduction over the best row: the knob
+# must actually prune (serial_memory at depth 8 / budget 0 measures ~70x).
+PREEMPTION_REDUCTION_FLOOR = 2.0
 
 
 def main() -> int:
@@ -193,6 +227,57 @@ def main() -> int:
                 100 * args.max_lint_share,
                 ref_seconds,
             ),
+        )
+
+    # --- memory-model matrix ----------------------------------------------
+    models = d.get("models", {})
+    check(
+        bool(models),
+        '"models" section present (bench_fig1_litmus --bench-json splices '
+        "it into the bench_parallel_mc summary)",
+    )
+    litmus_rows = {
+        (r["family"], r["model"]): r for r in models.get("litmus", [])
+    }
+    for (family, model), expected in sorted(LITMUS_EXPECTED.items()):
+        row = litmus_rows.get((family, model))
+        if row is None:
+            check(False, "litmus %s under %s: row recorded" % (family, model))
+            continue
+        got = sorted(row["outcomes"])
+        check(
+            got == expected,
+            "litmus %s under %s: outcomes %s match expected %s"
+            % (family, model, got, expected),
+        )
+    tso_flips = sorted(
+        f for (f, m), r in litmus_rows.items()
+        if m == "tso" and r.get("flips_vs_sc")
+    )
+    check(
+        len(tso_flips) >= 2,
+        "litmus: %d families flip outcome between SC and TSO (>= 2): %s"
+        % (len(tso_flips), ", ".join(tso_flips) or "none"),
+    )
+    preempt_rows = models.get("preemption", [])
+    check(bool(preempt_rows), "bounded-preemption rows recorded")
+    for r in preempt_rows:
+        check(
+            r["bounded_states"] <= r["full_states"],
+            "preemption %s: bounded exploration is a subset (%s <= %s "
+            "states)" % (r["id"], r["bounded_states"], r["full_states"]),
+        )
+        check(
+            r["bounded_verdict"] == r["full_verdict"],
+            "preemption %s: verdict parity (%s vs %s)"
+            % (r["id"], r["bounded_verdict"], r["full_verdict"]),
+        )
+    if preempt_rows:
+        best = max(r["reduction"] for r in preempt_rows)
+        check(
+            best >= PREEMPTION_REDUCTION_FLOOR,
+            "preemption: best state reduction x%.1f >= x%.1f at fixed depth"
+            % (best, PREEMPTION_REDUCTION_FLOOR),
         )
 
     # --- multicore scaling (gating rows only) -----------------------------

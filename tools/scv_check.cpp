@@ -11,8 +11,14 @@
 //   scv_check TRACE...             # verdict must match the recorded one
 //   scv_check --expect=accept T    # override: the stream must be clean
 //   scv_check --expect=reject T    # override: the checker must reject
+//   scv_check --model tso TRACE    # re-check under another memory model
 //   scv_check --stats TRACE        # also print per-symbol-kind statistics
 //   scv_check --quiet TRACE...     # one line per trace only on mismatch
+//
+// --model overrides the model tag the trace was recorded under (the header
+// keeps it; version-1 traces default to sc), so one recorded stream answers
+// "is this run SC?" and "is it TSO?" without re-recording — an SC violation
+// whose cycle only uses store→load program order re-checks clean under tso.
 //
 // Exit status: 0 when every trace checks out against the expectation, 1 on
 // any verdict mismatch, 2 on unreadable/malformed files or usage errors.
@@ -20,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/memory_model.hpp"
 #include "runlog/replay.hpp"
 #include "runlog/run_trace.hpp"
 
@@ -27,8 +34,9 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: scv_check [--expect=accept|reject|recorded] [--stats] "
-               "[--quiet] trace-file...\n");
+               "usage: scv_check [--expect=accept|reject|recorded] "
+               "[--model sc|tso|coherence] [--stats] [--quiet] "
+               "trace-file...\n");
   return 2;
 }
 
@@ -40,10 +48,19 @@ int main(int argc, char** argv) {
   Expect expect = Expect::Recorded;
   bool stats = false;
   bool quiet = false;
+  bool model_override = false;
+  scv::MemoryModel model;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--expect=accept") {
+    if (arg == "--model") {
+      const char* v = i + 1 < argc ? argv[++i] : nullptr;
+      if (v == nullptr || !scv::parse_memory_model(v, model)) {
+        std::fprintf(stderr, "scv_check: bad --model value\n");
+        return usage();
+      }
+      model_override = true;
+    } else if (arg == "--expect=accept") {
       expect = Expect::Accept;
     } else if (arg == "--expect=reject") {
       expect = Expect::Reject;
@@ -69,6 +86,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "scv_check: %s: %s\n", path.c_str(),
                    error.c_str());
       return 2;
+    }
+    if (model_override) {
+      // The override replaces the whole model axis, including the
+      // deprecated coherence alias byte — "--model sc" on a coherence-
+      // recorded trace means full SC, not silently coherence again.
+      trace.checker.coherence_po = false;
+      trace.checker.model = model;
     }
     const scv::TraceCheckResult r = scv::check_trace(trace);
     if (!r.ok) {

@@ -14,8 +14,11 @@
 //   scv_lint --rule R2,R7     # run only the named rules (R1..R8)
 //   scv_lint --exhaustive     # explicit full-skeleton mode (the default)
 //   scv_lint --sampled        # legacy bounded precheck mode
-//   scv_lint --list           # print ids with their registered p/b/v and
-//                             # the descriptor bandwidth k each runs under
+//   scv_lint --model tso      # lint against the observer configuration a
+//                             # tso verification run would use
+//   scv_lint --list           # print ids with their registered p/b/v, the
+//                             # descriptor bandwidth k each runs under, and
+//                             # the registry x model expected-verdict matrix
 //   scv_lint --quiet          # summaries + findings only on failure
 //   scv_lint --json           # machine-readable: one JSON object per line
 //
@@ -36,6 +39,7 @@
 #include <vector>
 
 #include "analysis/lint.hpp"
+#include "checker/memory_model.hpp"
 #include "observer/observer.hpp"
 #include "protocol/registry.hpp"
 
@@ -51,8 +55,8 @@ constexpr scv::LintRule kAllRules[scv::kNumLintRules] = {
 int usage() {
   std::fprintf(stderr,
                "usage: scv_lint [--strict] [--quiet] [--json] [--list]\n"
-               "                [--rule R1,R2,...] [--exhaustive|--sampled] "
-               "[id...]\n");
+               "                [--model sc|tso|coherence] [--rule R1,R2,...]"
+               " [--exhaustive|--sampled] [id...]\n");
   return 2;
 }
 
@@ -140,16 +144,25 @@ void print_coverage(const scv::LintReport& report) {
 }
 
 /// --list: each registry entry with the parameterization it is registered
-/// at (p/b/v from Params) and the descriptor bandwidth k an Observer under
+/// at (p/b/v from Params), the descriptor bandwidth k an Observer under
 /// the default configuration would run with — the "p" and "k" a reader of
-/// the paper's O(p·k) bounds wants next to each protocol id.
+/// the paper's O(p·k) bounds wants next to each protocol id — and the
+/// registry × model matrix: the expected checker verdict per axis model
+/// (ok = Verified, VIOL = counterexample exists at this parameterization).
 void print_list() {
   for (const scv::RegisteredProtocol& e : scv::protocol_registry()) {
     const std::unique_ptr<scv::Protocol> proto = e.make();
     const scv::Protocol::Params& pr = proto->params();
     const scv::Observer obs(*proto, scv::ObserverConfig{});
-    std::printf("%-24s p=%zu b=%zu v=%zu k=%zu  %s\n", e.id.c_str(), pr.procs,
-                pr.blocks, pr.values, obs.bandwidth(), e.description.c_str());
+    std::string matrix;
+    for (const scv::NamedModel& nm : scv::memory_model_axis()) {
+      if (!matrix.empty()) matrix += ' ';
+      matrix += nm.name;
+      matrix += e.violating_under(nm.model) ? ":VIOL" : ":ok";
+    }
+    std::printf("%-24s p=%zu b=%zu v=%zu k=%zu  [%s]  %s\n", e.id.c_str(),
+                pr.procs, pr.blocks, pr.values, obs.bandwidth(),
+                matrix.c_str(), e.description.c_str());
   }
 }
 
@@ -193,6 +206,18 @@ int main(int argc, char** argv) {
       lopt.mode = scv::LintOptions::Mode::Exhaustive;
     } else if (arg == "--sampled") {
       lopt.mode = scv::LintOptions::Mode::Sampled;
+    } else if (arg == "--model") {
+      if (i + 1 >= argc) return usage();
+      if (!scv::parse_memory_model(argv[++i], lopt.observer.model)) {
+        std::fprintf(stderr, "scv_lint: bad --model value '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg.rfind("--model=", 0) == 0) {
+      if (!scv::parse_memory_model(arg.substr(8), lopt.observer.model)) {
+        std::fprintf(stderr, "scv_lint: bad --model value '%s'\n",
+                     arg.substr(8).c_str());
+        return 2;
+      }
     } else if (arg == "--rule" || arg == "-r") {
       if (i + 1 >= argc) return usage();
       if (!parse_rule_list(argv[++i], rule_mask)) return 2;

@@ -8,6 +8,9 @@
 //   scv_record write_buffer --violation -o wb.trace
 //                        # model-check and export the shortest
 //                        # counterexample's stream (verdict Violation)
+//   scv_record write_buffer --model tso -o wb.trace
+//                        # record under a memory model (the trace header
+//                        # carries the tag; scv_check re-checks under it)
 //   scv_record --list                            # registered protocol ids
 //
 // Walk recording is engine-independent and deterministic in (protocol,
@@ -23,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "checker/memory_model.hpp"
 #include "mc/model_checker.hpp"
 #include "mc/record.hpp"
 #include "protocol/registry.hpp"
@@ -33,8 +37,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: scv_record [--list] | PROTOCOL -o FILE "
-               "[--walk|--violation] [--steps N] [--seed N] [--threads N] "
-               "[--max-states N]\n");
+               "[--walk|--violation] [--model sc|tso|coherence] [--steps N] "
+               "[--seed N] [--threads N] [--max-states N]\n");
   return 2;
 }
 
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::size_t threads = 1;
   std::size_t max_states = 10'000'000;
+  scv::MemoryModel model;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -55,8 +60,18 @@ int main(int argc, char** argv) {
     };
     if (arg == "--list") {
       for (const scv::RegisteredProtocol& e : scv::protocol_registry()) {
+        // Violating-model tag: the axis models whose checker rejects this
+        // entry ("[violates: sc coherence]"), empty for clean protocols.
+        std::string violates;
+        for (const scv::NamedModel& nm : scv::memory_model_axis()) {
+          if (!e.violating_under(nm.model)) continue;
+          violates += violates.empty() ? " [violates:" : "";
+          violates += ' ';
+          violates += nm.name;
+        }
+        if (!violates.empty()) violates += ']';
         std::printf("%-24s %s%s\n", e.id.c_str(), e.description.c_str(),
-                    e.sc_violating ? " [sc-violating]" : "");
+                    violates.c_str());
       }
       return 0;
     } else if (arg == "--walk") {
@@ -83,6 +98,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       max_states = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--model") {
+      const char* v = next();
+      if (v == nullptr || !scv::parse_memory_model(v, model)) {
+        std::fprintf(stderr, "scv_record: bad --model value\n");
+        return usage();
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (id.empty()) {
@@ -109,6 +130,7 @@ int main(int argc, char** argv) {
     opt.threads = threads;
     opt.max_states = max_states;
     opt.record_counterexample = true;
+    opt.observer.model = model;
     const scv::McResult r = scv::model_check(*proto, opt);
     if (!r.counterexample_trace.has_value()) {
       std::fprintf(stderr,
@@ -121,6 +143,7 @@ int main(int argc, char** argv) {
     scv::RecordWalkOptions opt;
     opt.steps = steps;
     opt.seed = seed;
+    opt.observer.model = model;
     trace = scv::record_walk(*proto, opt);
   }
 
