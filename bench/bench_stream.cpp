@@ -1,0 +1,342 @@
+// Streaming verification throughput: the checker hot path and the
+// multi-stream service (DESIGN.md §17).  Emits BENCH_stream.json for the
+// check_bench.py --stream-json gate.
+//
+// Three sections:
+//
+//   * hot_path: one ScChecker fed a recorded observer walk through
+//     feed_batch, restored to its initial snapshot between replays — the
+//     per-symbol cost of the Theorem 3.1 observer with zero service
+//     overhead, one row per memory model;
+//   * single_stream: the same load pushed through a poll-mode
+//     StreamService (pack → ring → unpack → batch apply) on one thread.
+//     This is the headline row: single-threaded, so it gates regardless
+//     of the host's CPU budget, and the gap to hot_path is the transport
+//     tax;
+//   * service: the stream-count sweep (1/64/256/1024 streams) under
+//     producer + worker threads.  Rows whose thread count exceeds the
+//     affinity budget are marked oversubscribed and never gate — same
+//     discipline as BENCH_mc.json's scaling rows.
+//
+// A verdict-parity self-check (service report vs offline check_trace on
+// the identical load) is recorded in the JSON; the gate fails on any
+// mismatch.
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checker/memory_model.hpp"
+#include "checker/sc_checker.hpp"
+#include "mc/record.hpp"
+#include "protocol/registry.hpp"
+#include "runlog/replay.hpp"
+#include "runlog/run_trace.hpp"
+#include "stream/service.hpp"
+#include "util/byte_io.hpp"
+
+namespace scv {
+namespace {
+
+constexpr int kReps = 3;
+constexpr std::size_t kWalkSteps = 1500;
+constexpr std::size_t kStreamCounts[] = {1, 64, 256, 1024};
+
+std::size_t affinity_cpus() {
+#if defined(__linux__)
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+#endif
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+std::string affinity_mask_string() {
+#if defined(__linux__)
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    std::string s;
+    int run_start = -1;
+    int prev = -2;
+    const auto flush = [&](int last) {
+      if (run_start < 0) return;
+      if (!s.empty()) s += ",";
+      s += std::to_string(run_start);
+      if (last > run_start) s += "-" + std::to_string(last);
+    };
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (!CPU_ISSET(cpu, &set)) continue;
+      if (cpu != prev + 1) {
+        flush(prev);
+        run_start = cpu;
+      }
+      prev = cpu;
+    }
+    flush(prev);
+    return s;
+  }
+#endif
+  return "unknown";
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Median of kReps timed runs after one discarded warmup.
+template <typename Fn>
+double median_seconds(Fn&& fn) {
+  fn();  // warmup: page in, warm arenas
+  double secs[kReps];
+  for (double& s : secs) {
+    const double t0 = now_seconds();
+    fn();
+    s = now_seconds() - t0;
+  }
+  std::sort(std::begin(secs), std::end(secs));
+  return secs[kReps / 2];
+}
+
+std::size_t trace_symbols(const RunTrace& t) {
+  std::size_t n = 0;
+  for (const RunStep& s : t.steps) n += s.symbols.size();
+  return n;
+}
+
+// --- hot path: raw feed_batch over a restored checker ---------------------
+
+struct HotRow {
+  std::string model;
+  std::size_t symbols = 0;
+  std::size_t steps = 0;
+  double seconds = 0;
+};
+
+HotRow bench_hot_path(const RunTrace& walk, const std::string& model_name,
+                      std::size_t replays) {
+  ScChecker checker(walk.checker);
+  ByteWriter init;
+  checker.snapshot(init);
+  HotRow row;
+  row.model = model_name;
+  row.symbols = trace_symbols(walk) * replays;
+  row.steps = walk.steps.size() * replays;
+  row.seconds = median_seconds([&] {
+    for (std::size_t i = 0; i < replays; ++i) {
+      ByteReader r(init.data());
+      checker.restore(r);
+      for (const RunStep& step : walk.steps) {
+        (void)checker.feed_batch(step.symbols);
+      }
+    }
+  });
+  return row;
+}
+
+// --- service sweep ---------------------------------------------------------
+
+struct ServiceRow {
+  std::size_t streams = 0;
+  std::size_t producers = 0;
+  std::size_t workers = 0;
+  std::size_t threads_used = 0;  ///< producers + workers (1 in poll mode)
+  std::uint64_t symbols = 0;
+  std::uint64_t stalls = 0;
+  double seconds = 0;
+  bool parity = true;  ///< every stream's report matched check_trace
+};
+
+void feed_streams(StreamService& svc, const RunTrace& walk,
+                  std::size_t producer, std::size_t streams) {
+  StreamService::Producer p = svc.producer(producer);
+  for (std::size_t s = producer; s < streams;
+       s += svc.producer_count()) {
+    const auto id = static_cast<std::uint32_t>(s);
+    p.open(id, walk.checker);
+    for (const RunStep& step : walk.steps) {
+      for (const Symbol& sym : step.symbols) p.symbol(id, sym);
+      p.step_end(id);
+    }
+    p.close(id);
+  }
+}
+
+ServiceRow bench_service(const RunTrace& walk, std::size_t streams,
+                         std::size_t producers, std::size_t workers) {
+  ServiceRow row;
+  row.streams = streams;
+  row.producers = producers;
+  row.workers = workers;
+  row.threads_used = workers == 0 ? 1 : producers + workers;
+  row.symbols = trace_symbols(walk) * streams;
+
+  const TraceCheckResult offline = check_trace(walk);
+  std::uint64_t stalls = 0;
+  bool parity = true;
+  row.seconds = median_seconds([&] {
+    StreamServiceOptions opt;
+    opt.producers = producers;
+    opt.workers = workers;
+    StreamService svc(opt);
+    svc.start();
+    if (workers == 0) {
+      feed_streams(svc, walk, 0, streams);
+    } else {
+      std::vector<std::thread> feeders;
+      feeders.reserve(producers);
+      for (std::size_t p = 0; p < producers; ++p) {
+        feeders.emplace_back(feed_streams, std::ref(svc), std::cref(walk), p,
+                             streams);
+      }
+      for (std::thread& t : feeders) t.join();
+    }
+    svc.stop();
+    stalls = svc.stats().backpressure_stalls;
+    for (std::size_t s = 0; s < streams; ++s) {
+      const auto rep = svc.report(static_cast<std::uint32_t>(s));
+      const bool svc_accepted =
+          rep.has_value() && rep->state == StreamState::Closed;
+      if (svc_accepted != offline.accepted) parity = false;
+    }
+  });
+  row.stalls = stalls;
+  row.parity = parity;
+  return row;
+}
+
+}  // namespace
+}  // namespace scv
+
+int main() {
+  using namespace scv;
+
+  const std::size_t cpus = affinity_cpus();
+  std::printf("bench_stream: %u hardware threads, %zu affinity CPUs [%s], "
+              "median of %d reps\n",
+              std::thread::hardware_concurrency(), cpus,
+              affinity_mask_string().c_str(), kReps);
+
+  const std::unique_ptr<Protocol> proto =
+      make_registered_protocol("serial_memory");
+  if (proto == nullptr) {
+    std::fprintf(stderr, "bench_stream: serial_memory not in registry\n");
+    return 1;
+  }
+
+  // One recorded walk per model row; serial memory is clean under all of
+  // them, so every stream closes Accepted and the sweep measures pure
+  // verification throughput (no quarantine short-circuits).
+  const std::pair<const char*, MemoryModel> kModels[] = {
+      {"sc", MemoryModel::sc()},
+      {"tso", MemoryModel::tso()},
+      {"coherence", MemoryModel::coherence()},
+  };
+
+  std::vector<HotRow> hot_rows;
+  RunTrace sc_walk;
+  bool parity = true;
+  for (const auto& [name, model] : kModels) {
+    RecordWalkOptions opt;
+    opt.steps = kWalkSteps;
+    opt.observer.model = model;
+    RunTrace walk = record_walk(*proto, opt);
+    if (walk.verdict != RunVerdict::Accepted) {
+      std::fprintf(stderr, "bench_stream: %s walk not clean: %s\n", name,
+                   walk.reason.c_str());
+      return 1;
+    }
+    hot_rows.push_back(bench_hot_path(walk, name, /*replays=*/20));
+    const HotRow& h = hot_rows.back();
+    std::printf("  hot_path %-9s | %8zu symbols | %6.3fs | %9.0f symbols/s\n",
+                name, h.symbols, h.seconds,
+                static_cast<double>(h.symbols) / h.seconds);
+    std::fflush(stdout);
+    if (std::string(name) == "sc") sc_walk = std::move(walk);
+  }
+
+  // Poll-mode headline: streams fed and verified sequentially on ONE
+  // thread, so the row is meaningful (and gates) on any host, including
+  // 1-CPU CI runners.  64 streams back to back just stretches the run to
+  // a measurable length; per-stream behavior is identical to 1.
+  const ServiceRow single =
+      bench_service(sc_walk, /*streams=*/64, /*producers=*/1, /*workers=*/0);
+  parity = parity && single.parity;
+  std::printf("  single_stream (poll) | %8llu symbols | %6.3fs | "
+              "%9.0f symbols/s\n",
+              static_cast<unsigned long long>(single.symbols), single.seconds,
+              static_cast<double>(single.symbols) / single.seconds);
+  std::fflush(stdout);
+
+  std::vector<ServiceRow> sweep;
+  for (const std::size_t streams : kStreamCounts) {
+    const std::size_t par = std::min<std::size_t>(4, streams);
+    const ServiceRow row = bench_service(sc_walk, streams, par, par);
+    parity = parity && row.parity;
+    sweep.push_back(row);
+    std::printf("  service %4zu streams | %zup+%zuw%s | %9llu symbols | "
+                "%6.3fs | %9.0f symbols/s | %llu stalls\n",
+                streams, row.producers, row.workers,
+                row.threads_used > cpus ? " (oversub)" : "",
+                static_cast<unsigned long long>(row.symbols), row.seconds,
+                static_cast<double>(row.symbols) / row.seconds,
+                static_cast<unsigned long long>(row.stalls));
+    std::fflush(stdout);
+  }
+  std::printf("  verdict parity vs offline check_trace: %s\n",
+              parity ? "ok" : "MISMATCH");
+
+  std::ofstream out("BENCH_stream.json");
+  out << "{\n"
+      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"affinity_cpus\": " << cpus << ",\n"
+      << "  \"affinity_mask\": \"" << affinity_mask_string() << "\",\n"
+      << "  \"reps\": " << kReps << ",\n"
+      << "  \"verdict_parity\": " << (parity ? "true" : "false") << ",\n"
+      << "  \"hot_path\": [\n";
+  for (std::size_t i = 0; i < hot_rows.size(); ++i) {
+    const HotRow& h = hot_rows[i];
+    out << "    {\"model\": \"" << h.model << "\", \"symbols\": " << h.symbols
+        << ", \"steps\": " << h.steps << ", \"seconds\": " << h.seconds
+        << ", \"symbols_per_sec\": "
+        << static_cast<double>(h.symbols) / h.seconds
+        << ", \"gating\": true}" << (i + 1 < hot_rows.size() ? "," : "")
+        << "\n";
+  }
+  const auto service_row = [&](const ServiceRow& r) {
+    const bool oversub = r.threads_used > cpus;
+    out << "{\"streams\": " << r.streams << ", \"producers\": " << r.producers
+        << ", \"workers\": " << r.workers
+        << ", \"threads_used\": " << r.threads_used
+        << ", \"oversubscribed\": " << (oversub ? "true" : "false")
+        << ", \"gating\": " << (oversub ? "false" : "true")
+        << ", \"symbols\": " << r.symbols << ", \"seconds\": " << r.seconds
+        << ", \"symbols_per_sec\": "
+        << static_cast<double>(r.symbols) / r.seconds
+        << ", \"backpressure_stalls\": " << r.stalls << "}";
+  };
+  out << "  ],\n  \"single_stream\": ";
+  service_row(single);
+  out << ",\n  \"service\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    out << "    ";
+    service_row(sweep[i]);
+    out << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote BENCH_stream.json\n");
+  return parity ? 0 : 1;
+}

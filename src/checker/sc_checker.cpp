@@ -57,6 +57,7 @@ ScChecker::ScChecker(const ScCheckerConfig& config) : cfg_(config) {
     std::abort();
   }
   rules_ = cfg_.effective_model().rules();
+  for (std::size_t i = 0; i < kMaxSlots; ++i) id_slot_[i] = kNone;
   for (std::size_t c = 0; c < kMaxChains; ++c) {
     last_op_[c] = kNone;
     last_op_live_[c] = false;
@@ -93,14 +94,8 @@ ScChecker::Status ScChecker::reject(std::string reason) {
 }
 
 int ScChecker::slot_of(GraphId id) const {
-  const std::uint64_t bit = 1ULL << id;
-  std::uint64_t m = used_mask_;
-  while (m != 0) {
-    const int s = std::countr_zero(m);
-    m &= m - 1;
-    if (nodes_[s].id_set & bit) return s;
-  }
-  return -1;
+  SCV_ASSERT(static_cast<std::size_t>(id) < kMaxSlots);
+  return id_slot_[id];
 }
 
 int ScChecker::alloc_slot() {
@@ -230,6 +225,9 @@ ScChecker::Status ScChecker::retire(std::size_t s) {
   }
 
   used_mask_ &= ~self;
+  for (std::uint64_t ids = n.id_set; ids != 0; ids &= ids - 1) {
+    id_slot_[std::countr_zero(ids)] = kNone;
+  }
   n = Node{};
   return Status::Ok;
 }
@@ -242,6 +240,7 @@ void ScChecker::unbind_id(GraphId id) {
     (void)retire(static_cast<std::size_t>(s));
   } else {
     nodes_[s].id_set &= ~bit;
+    id_slot_[id] = kNone;
   }
 }
 
@@ -267,6 +266,7 @@ ScChecker::Status ScChecker::on_node(const NodeDesc& nd) {
   used_mask_ |= 1ULL << static_cast<std::size_t>(s);
   n.op = op;
   n.id_set = 1ULL << nd.id;
+  id_slot_[nd.id] = static_cast<std::int8_t>(s);
   mark_touched(op.proc);  // new chain head + node count
 
   const std::size_t c = chain_of(op);
@@ -562,7 +562,10 @@ ScChecker::Status ScChecker::feed(const Symbol& sym) {
     }
     unbind_id(a->added);
     if (rejected_) return Status::Reject;
-    if (s >= 0) nodes_[s].id_set |= 1ULL << a->added;
+    if (s >= 0) {
+      nodes_[s].id_set |= 1ULL << a->added;
+      id_slot_[a->added] = static_cast<std::int8_t>(s);
+    }
     return Status::Ok;
   }
   const auto& e = std::get<EdgeDesc>(sym);
@@ -570,6 +573,14 @@ ScChecker::Status ScChecker::feed(const Symbol& sym) {
     return reject("edge ID out of range");
   }
   return on_edge(e);
+}
+
+ScChecker::Status ScChecker::feed_batch(std::span<const Symbol> syms) {
+  if (rejected_) return Status::Reject;
+  for (const Symbol& sym : syms) {
+    if (feed(sym) == Status::Reject) return Status::Reject;
+  }
+  return Status::Ok;
 }
 
 void ScChecker::serialize_canonical(ByteWriter& w,
@@ -698,56 +709,75 @@ void ScChecker::serialize_canonical(ByteWriter& w,
   sw.flush(w);
 }
 
+std::size_t ScChecker::snapshot_size() const noexcept {
+  // Mirrors serialize(): fixed header/chain/block sections, one byte per
+  // empty slot, a fixed-size record per active node.
+  std::size_t size = 1 + 3 * chain_count() + kMaxSlots +
+                     cfg_.blocks * (2 + cfg_.procs) +
+                     active_nodes() * (33 + cfg_.procs);
+  if (rules().store_chain) size += 3 * cfg_.procs;
+  return size;
+}
+
 void ScChecker::serialize(ByteWriter& w) const {
-  w.u8(rejected_ ? 1 : 0);
+  // Encoded into stack scratch and bulk-appended, like serialize_canonical:
+  // the raw dump is also the snapshot the compact frontier and the
+  // streaming service's quarantine path take, so its ~200 field writes ride
+  // the same one-memcpy pattern instead of a vector round-trip per byte.
+  std::uint8_t scratch[1 + 3 * kMaxChains + 3 * kMaxProcs +
+                       kMaxBlocks * (2 + kMaxProcs) +
+                       kMaxSlots * (34 + kMaxProcs)];
+  ScratchWriter sw(scratch, sizeof scratch);
+  sw.u8(rejected_ ? 1 : 0);
   for (std::size_t c = 0; c < chain_count(); ++c) {
-    w.u8(static_cast<std::uint8_t>(last_op_[c]));
-    w.u8(static_cast<std::uint8_t>((last_op_live_[c] ? 1 : 0) |
-                                   (po_pending_[c] ? 2 : 0)));
-    w.u8(static_cast<std::uint8_t>(po_expected_from_[c]));
+    sw.u8(static_cast<std::uint8_t>(last_op_[c]));
+    sw.u8(static_cast<std::uint8_t>((last_op_live_[c] ? 1 : 0) |
+                                    (po_pending_[c] ? 2 : 0)));
+    sw.u8(static_cast<std::uint8_t>(po_expected_from_[c]));
   }
   if (rules().store_chain) {  // emitted only under TSO: SC stays byte-stable
     for (std::size_t p = 0; p < cfg_.procs; ++p) {
-      w.u8(static_cast<std::uint8_t>(last_st_[p]));
-      w.u8(static_cast<std::uint8_t>((last_st_live_[p] ? 1 : 0) |
-                                     (st_pending_[p] ? 2 : 0)));
-      w.u8(static_cast<std::uint8_t>(st_expected_from_[p]));
+      sw.u8(static_cast<std::uint8_t>(last_st_[p]));
+      sw.u8(static_cast<std::uint8_t>((last_st_live_[p] ? 1 : 0) |
+                                      (st_pending_[p] ? 2 : 0)));
+      sw.u8(static_cast<std::uint8_t>(st_expected_from_[p]));
     }
   }
   for (std::size_t b = 0; b < cfg_.blocks; ++b) {
-    w.u8(static_cast<std::uint8_t>(root_ref_[b]));
-    w.u8(static_cast<std::uint8_t>((root_retired_[b] ? 1 : 0) |
-                                   (retired_no_in_[b] << 1) |
-                                   (retired_no_out_[b] << 3)));
+    sw.u8(static_cast<std::uint8_t>(root_ref_[b]));
+    sw.u8(static_cast<std::uint8_t>((root_retired_[b] ? 1 : 0) |
+                                    (retired_no_in_[b] << 1) |
+                                    (retired_no_out_[b] << 3)));
     for (std::size_t p = 0; p < cfg_.procs; ++p) {
-      w.u8(static_cast<std::uint8_t>(pending_bottom_[b][p]));
+      sw.u8(static_cast<std::uint8_t>(pending_bottom_[b][p]));
     }
   }
   for (const Node& n : nodes_) {
     if (!n.in_use) {
-      w.u8(0);
+      sw.u8(0);
       continue;
     }
-    w.u8(1);
-    w.u8(static_cast<std::uint8_t>(n.op.kind));
-    w.u8(n.op.proc);
-    w.u8(n.op.block);
-    w.u8(n.op.value);
-    w.u64(n.id_set);
-    w.u64(n.out);
-    w.u8(static_cast<std::uint8_t>((n.po_in ? 1 : 0) | (n.po_out ? 2 : 0) |
-                                   (n.sto_in ? 4 : 0) | (n.sto_out ? 8 : 0) |
-                                   (n.inh_in ? 16 : 0) |
-                                   (n.bottom_pending ? 32 : 0)));
-    w.u8(static_cast<std::uint8_t>(n.sto_succ));
-    w.u8(static_cast<std::uint8_t>(n.inh_src));
-    w.u8(static_cast<std::uint8_t>(n.forced_target));
-    w.u8(static_cast<std::uint8_t>(n.pending_for));
+    sw.u8(1);
+    sw.u8(static_cast<std::uint8_t>(n.op.kind));
+    sw.u8(n.op.proc);
+    sw.u8(n.op.block);
+    sw.u8(n.op.value);
+    sw.u64(n.id_set);
+    sw.u64(n.out);
+    sw.u8(static_cast<std::uint8_t>((n.po_in ? 1 : 0) | (n.po_out ? 2 : 0) |
+                                    (n.sto_in ? 4 : 0) | (n.sto_out ? 8 : 0) |
+                                    (n.inh_in ? 16 : 0) |
+                                    (n.bottom_pending ? 32 : 0)));
+    sw.u8(static_cast<std::uint8_t>(n.sto_succ));
+    sw.u8(static_cast<std::uint8_t>(n.inh_src));
+    sw.u8(static_cast<std::uint8_t>(n.forced_target));
+    sw.u8(static_cast<std::uint8_t>(n.pending_for));
     for (std::size_t p = 0; p < cfg_.procs; ++p) {
-      w.u8(static_cast<std::uint8_t>(n.pending_ld[p]));
+      sw.u8(static_cast<std::uint8_t>(n.pending_ld[p]));
     }
-    w.u64(n.forced_out);
+    sw.u64(n.forced_out);
   }
+  sw.flush(w);
 }
 
 void ScChecker::restore(ByteReader& r) {
@@ -783,6 +813,7 @@ void ScChecker::restore(ByteReader& r) {
     }
   }
   used_mask_ = 0;
+  for (std::size_t i = 0; i < kMaxSlots; ++i) id_slot_[i] = kNone;
   for (std::size_t s = 0; s < kMaxSlots; ++s) {
     Node& n = nodes_[s];
     n = Node{};
@@ -794,6 +825,9 @@ void ScChecker::restore(ByteReader& r) {
     n.op.block = r.u8();
     n.op.value = r.u8();
     n.id_set = r.u64();
+    for (std::uint64_t ids = n.id_set; ids != 0; ids &= ids - 1) {
+      id_slot_[std::countr_zero(ids)] = static_cast<std::int8_t>(s);
+    }
     n.out = r.u64();
     const std::uint8_t f = r.u8();
     n.po_in = (f & 1) != 0;
@@ -810,6 +844,129 @@ void ScChecker::restore(ByteReader& r) {
     n.forced_out = r.u64();
   }
   touched_ = ~0u;  // arbitrary new state: no step to be relative to
+}
+
+bool ScChecker::try_restore(std::span<const std::uint8_t> bytes,
+                            std::string& error) {
+  // Structure-validating dry run over the serialize() layout.  The feed
+  // path's internal assertions (pending-load liveness, a free slot always
+  // existing) hold for every state the checker can reach; a forged
+  // base_state could violate them and turn a bad file into an abort, so
+  // everything those assertions rely on is checked here first.
+  TryReader r(bytes);
+  const auto fail = [&](const char* what) {
+    error = what;
+    return false;
+  };
+  const auto slot_ref = [](std::uint8_t v) {
+    return static_cast<std::int8_t>(v) == kNone || v < kMaxSlots;
+  };
+  const auto succ_ref = [&](std::uint8_t v) {
+    return static_cast<std::int8_t>(v) == kGone || slot_ref(v);
+  };
+
+  std::uint8_t b0 = 0;
+  if (!r.u8(b0) || b0 > 1) return fail("bad reject flag");
+  for (std::size_t c = 0; c < chain_count(); ++c) {
+    std::uint8_t last = 0;
+    std::uint8_t flags = 0;
+    std::uint8_t exp = 0;
+    if (!r.u8(last) || !r.u8(flags) || !r.u8(exp)) {
+      return fail("truncated chain record");
+    }
+    if (!slot_ref(last) || flags > 3 || !slot_ref(exp)) {
+      return fail("bad chain record");
+    }
+  }
+  if (rules().store_chain) {
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      std::uint8_t last = 0;
+      std::uint8_t flags = 0;
+      std::uint8_t exp = 0;
+      if (!r.u8(last) || !r.u8(flags) || !r.u8(exp)) {
+        return fail("truncated store-chain record");
+      }
+      if (!slot_ref(last) || flags > 3 || !slot_ref(exp)) {
+        return fail("bad store-chain record");
+      }
+    }
+  }
+  for (std::size_t b = 0; b < cfg_.blocks; ++b) {
+    std::uint8_t root = 0;
+    std::uint8_t flags = 0;
+    if (!r.u8(root) || !r.u8(flags)) return fail("truncated block record");
+    if (!slot_ref(root) || flags > 0x1f) return fail("bad block record");
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      std::uint8_t pb = 0;
+      if (!r.u8(pb)) return fail("truncated block record");
+      if (!slot_ref(pb)) return fail("bad block record");
+    }
+  }
+
+  std::uint64_t seen_ids = 0;
+  std::uint64_t used = 0;
+  std::uint64_t pending_refs = 0;
+  for (std::size_t s = 0; s < kMaxSlots; ++s) {
+    std::uint8_t in_use = 0;
+    if (!r.u8(in_use)) return fail("truncated node record");
+    if (in_use > 1) return fail("bad node in-use flag");
+    if (in_use == 0) continue;
+    used |= 1ULL << s;
+    std::uint8_t kind = 0;
+    std::uint8_t proc = 0;
+    std::uint8_t block = 0;
+    std::uint8_t value = 0;
+    std::uint64_t id_set = 0;
+    std::uint64_t out = 0;
+    std::uint8_t flags = 0;
+    if (!r.u8(kind) || !r.u8(proc) || !r.u8(block) || !r.u8(value) ||
+        !r.u64(id_set) || !r.u64(out) || !r.u8(flags)) {
+      return fail("truncated node record");
+    }
+    if (kind > 1 || proc >= cfg_.procs || block >= cfg_.blocks ||
+        value > cfg_.values) {
+      return fail("node operation label out of range");
+    }
+    // Non-empty, pairwise-disjoint ID sets over the config's ID alphabet
+    // keep every slot reachable through at most one ID and bound the
+    // active-node count below kMaxSlots (a free slot must always exist).
+    if (id_set == 0) return fail("active node with an empty ID set");
+    if ((id_set & 1) != 0 || (cfg_.k + 2 < 64 && (id_set >> (cfg_.k + 2)) != 0)) {
+      return fail("node ID set outside the configured ID range");
+    }
+    if ((id_set & seen_ids) != 0) {
+      return fail("one ID bound to two nodes");
+    }
+    seen_ids |= id_set;
+    if (flags > 0x3f) return fail("bad node flags");
+    std::uint8_t sto_succ = 0;
+    std::uint8_t inh_src = 0;
+    std::uint8_t forced_target = 0;
+    std::uint8_t pending_for = 0;
+    if (!r.u8(sto_succ) || !r.u8(inh_src) || !r.u8(forced_target) ||
+        !r.u8(pending_for)) {
+      return fail("truncated node record");
+    }
+    if (!succ_ref(sto_succ) || !slot_ref(inh_src) ||
+        !slot_ref(forced_target) || !slot_ref(pending_for)) {
+      return fail("bad node slot reference");
+    }
+    for (std::size_t p = 0; p < cfg_.procs; ++p) {
+      std::uint8_t pl = 0;
+      if (!r.u8(pl)) return fail("truncated node record");
+      if (!slot_ref(pl)) return fail("bad pending-load reference");
+      if (static_cast<std::int8_t>(pl) != kNone) pending_refs |= 1ULL << pl;
+    }
+    if (!r.u64(out)) return fail("truncated node record");  // forced_out
+  }
+  if (!r.done()) return fail("trailing bytes after the snapshot");
+  if ((pending_refs & ~used) != 0) {
+    return fail("pending-load reference to an empty slot");
+  }
+
+  ByteReader trusted(bytes);
+  restore(trusted);
+  return true;
 }
 
 void ScChecker::permute_procs(const ProcPerm& perm) {

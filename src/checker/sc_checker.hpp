@@ -93,6 +93,13 @@ class ScChecker {
   /// Consumes one observer symbol; once rejected, stays rejected.
   Status feed(const Symbol& sym);
 
+  /// Consumes a whole batch, stopping at the first reject.  Semantically
+  /// feed() in a loop; the batch form is the streaming hot path — one call
+  /// per drained ring batch amortizes the caller's virtual sink dispatch
+  /// and lets the sticky-reject and bounds checks stay in registers across
+  /// symbols instead of being re-established per call.
+  Status feed_batch(std::span<const Symbol> syms);
+
   [[nodiscard]] bool rejected() const noexcept { return rejected_; }
   [[nodiscard]] const std::string& reject_reason() const noexcept {
     return reason_;
@@ -124,8 +131,28 @@ class ScChecker {
   /// serialize() is already a raw, faithful dump of every mutable field, so
   /// the compact-frontier snapshot is the same encoding; restore() is its
   /// inverse.  Only valid between two checkers built from the same config.
+  /// Neither allocates when the caller reuses the ByteWriter (clear() keeps
+  /// capacity) — the service snapshots checkers on every quarantine window
+  /// rotation, so this path must stay allocation-free in steady state.
   void snapshot(ByteWriter& w) const { serialize(w); }
   void restore(ByteReader& r);
+
+  /// Exact byte length of snapshot()/serialize() for this config; callers
+  /// sizing fixed buffers (excerpt snapshots, frontier entries) use this
+  /// instead of guessing.
+  [[nodiscard]] std::size_t snapshot_size() const noexcept;
+
+  /// Validating restore for *untrusted* snapshot bytes (a run-trace
+  /// excerpt's base_state crosses a file trust boundary, unlike the model
+  /// checker's in-process frontier entries).  Checks structure before
+  /// mutating anything: exact length, slot references confined to
+  /// {kNone, kGone} ∪ [0, kMaxSlots), operation labels within the config's
+  /// ranges, non-empty pairwise-disjoint ID sets per active node, and
+  /// pending-load references pointing at active slots (the invariants the
+  /// aborting feed-path assertions rely on).  On success delegates to
+  /// restore(); on failure leaves the checker untouched and explains why.
+  [[nodiscard]] bool try_restore(std::span<const std::uint8_t> bytes,
+                                 std::string& error);
 
   /// Renames processors consistently with Observer::permute_procs: node
   /// operations take the renamed proc, and the per-processor bookkeeping
@@ -215,9 +242,17 @@ class ScChecker {
   Node nodes_[kMaxSlots];
   /// Bit s set <=> nodes_[s].in_use.  The graph holds a handful of live
   /// nodes out of up to 64 slots, so the hot scans (canonical
-  /// serialization, slot_of, per-processor signatures) walk this mask's
-  /// set bits instead of touching all kMaxSlots Node records.
+  /// serialization, per-processor signatures) walk this mask's set bits
+  /// instead of touching all kMaxSlots Node records.
   std::uint64_t used_mask_ = 0;
+  /// Flat ID → slot map: id_slot_[id] is the slot whose id_set holds `id`,
+  /// kNone if unbound.  Every edge symbol resolves two IDs, so slot_of is
+  /// the hottest lookup in the per-symbol path; the flat map makes it one
+  /// indexed load instead of a set-bit scan over the active nodes'
+  /// id_sets.  Maintained at bind (on_node, AddId), unbind, retirement and
+  /// restore; IDs are bounded by k+1 < kMaxSlots, so the table indexes by
+  /// raw GraphId.
+  std::int8_t id_slot_[kMaxSlots];
 
   // Program order bookkeeping, one chain per processor — or per
   // (processor, block) under a per-block-chain model (coherence).

@@ -20,6 +20,7 @@
 // while flat consumers (the checker) just override on_symbol.
 #pragma once
 
+#include <span>
 #include <string_view>
 
 #include "descriptor/symbol.hpp"
@@ -40,6 +41,16 @@ class SymbolSink {
 
   /// One descriptor symbol emitted within the current step.
   virtual void on_symbol(const Symbol& sym) = 0;
+
+  /// A contiguous run of symbols within the current step.  Semantically
+  /// identical to calling on_symbol per element; batch-oriented drivers
+  /// (the streaming service's ring drain, the chunked trace reader) call
+  /// this once per batch so a sink with a native batch path (CheckerSink →
+  /// ScChecker::feed_batch) pays one virtual dispatch per batch instead of
+  /// one per symbol.  Observation-only like on_symbol.
+  virtual void on_batch(std::span<const Symbol> syms) {
+    for (const Symbol& sym : syms) on_symbol(sym);
+  }
 
   /// The current step is complete (all of its symbols were delivered).
   virtual void end_step() {}

@@ -1,37 +1,93 @@
 #include "runlog/replay.hpp"
 
+#include <optional>
+
 #include "checker/sc_checker.hpp"
 
 namespace scv {
 
+namespace {
+
+/// Shared replay core: config vetting, optional excerpt-base restore, then
+/// steps delivered through the sink seam with the checker on its batch
+/// path.  `for_each_step` drives; returning false stops the replay (the
+/// streaming reader does this at end-of-trace or on a read error).
+class Replayer {
+ public:
+  Replayer(const RunTrace& header, TraceCheckResult& result)
+      : result_(result) {
+    if (std::string reason = header.checker.invalid_reason();
+        !reason.empty()) {
+      result_.error = "invalid checker config in trace header: " + reason;
+      return;
+    }
+    checker_.emplace(header.checker);
+    if (header.has_base()) {
+      std::string reason;
+      if (!checker_->try_restore(header.base_state, reason)) {
+        result_.error = "invalid excerpt base state: " + reason;
+        checker_.reset();
+        return;
+      }
+    }
+    result_.ok = true;
+    check_sink_.emplace(*checker_);
+    stats_sink_.emplace(static_cast<GraphId>(header.checker.k + 1));
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return result_.ok; }
+
+  void feed(const RunStep& step) {
+    SymbolSink* sinks[] = {&*check_sink_, &*stats_sink_};
+    for (SymbolSink* sink : sinks) sink->begin_step(step.action);
+    for (SymbolSink* sink : sinks) sink->on_batch(step.symbols);
+    for (SymbolSink* sink : sinks) sink->end_step();
+    ++result_.steps_fed;
+    result_.symbols_fed += step.symbols.size();
+  }
+
+  void finish() {
+    result_.accepted = !checker_->rejected();
+    if (checker_->rejected()) {
+      result_.reject_reason = checker_->reject_reason();
+    }
+    result_.stats = stats_sink_->stats();
+  }
+
+ private:
+  TraceCheckResult& result_;
+  std::optional<ScChecker> checker_;
+  std::optional<CheckerSink> check_sink_;
+  std::optional<SymbolStatsSink> stats_sink_;
+};
+
+}  // namespace
+
 TraceCheckResult check_trace(const RunTrace& trace) {
   TraceCheckResult result;
-  // The header crossed a trust boundary; reject a bad config as an error
-  // rather than letting the ScChecker constructor abort the process.
-  if (std::string reason = trace.checker.invalid_reason(); !reason.empty()) {
-    result.error = "invalid checker config in trace header: " + reason;
+  Replayer replay(trace, result);
+  if (!replay.ok()) return result;
+  for (const RunStep& step : trace.steps) replay.feed(step);
+  replay.finish();
+  return result;
+}
+
+TraceCheckResult check_trace_stream(TraceStreamReader& reader) {
+  TraceCheckResult result;
+  if (!reader.ok()) {
+    result.error = reader.error();
     return result;
   }
-  result.ok = true;
-
-  ScChecker checker(trace.checker);
-  CheckerSink check_sink(checker);
-  SymbolStatsSink stats_sink(static_cast<GraphId>(trace.checker.k + 1));
-  SymbolSink* sinks[] = {&check_sink, &stats_sink};
-
-  for (const RunStep& step : trace.steps) {
-    for (SymbolSink* sink : sinks) sink->begin_step(step.action);
-    for (const Symbol& sym : step.symbols) {
-      for (SymbolSink* sink : sinks) sink->on_symbol(sym);
-    }
-    for (SymbolSink* sink : sinks) sink->end_step();
-    ++result.steps_fed;
-    result.symbols_fed += step.symbols.size();
+  Replayer replay(reader.header(), result);
+  if (!replay.ok()) return result;
+  RunStep step;
+  while (reader.next(step)) replay.feed(step);
+  if (!reader.ok()) {
+    result.ok = false;
+    result.error = reader.error();
+    return result;
   }
-
-  result.accepted = !checker.rejected();
-  if (checker.rejected()) result.reject_reason = checker.reject_reason();
-  result.stats = stats_sink.stats();
+  replay.finish();
   return result;
 }
 

@@ -13,6 +13,7 @@
 
 #include "runlog/run_trace.hpp"
 #include "runlog/sinks.hpp"
+#include "runlog/trace_stream.hpp"
 
 namespace scv {
 
@@ -44,6 +45,17 @@ struct TraceCheckResult {
 };
 
 /// Re-runs the protocol-independent checker over `trace`'s recorded stream.
+/// Excerpt traces (has_base()) first restore the untrusted base snapshot
+/// through ScChecker::try_restore; a forged base is an error, not an abort.
 [[nodiscard]] TraceCheckResult check_trace(const RunTrace& trace);
+
+/// Streaming variant: replays steps as `reader` hands them out, through the
+/// same sinks and the checker's batch path, so re-checking a multi-GB trace
+/// needs memory for one step at a time.  The reader must be freshly opened
+/// and ok(); its header supplies the checker config (callers may override
+/// it in place first — scv_check --model does).  A reader error mid-stream
+/// (truncation, torn record) makes the result !ok with the reader's
+/// diagnostic.
+[[nodiscard]] TraceCheckResult check_trace_stream(TraceStreamReader& reader);
 
 }  // namespace scv

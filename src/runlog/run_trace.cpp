@@ -18,58 +18,7 @@ void write_str(ByteWriter& w, const std::string& s) {
   w.bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
 }
 
-/// Bounds-checked cursor for untrusted buffers.  Unlike ByteReader (whose
-/// SCV_EXPECTS aborts on overrun — correct for trusted in-process
-/// snapshots), every read reports failure, so a corrupt file surfaces as a
-/// parse error instead of terminating the process.
-class TryReader {
- public:
-  explicit TryReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
-
-  bool u8(std::uint8_t& v) {
-    if (pos_ >= bytes_.size()) return false;
-    v = bytes_[pos_++];
-    return true;
-  }
-
-  bool u16(std::uint16_t& v) {
-    std::uint8_t lo = 0;
-    std::uint8_t hi = 0;
-    if (!u8(lo) || !u8(hi)) return false;
-    v = static_cast<std::uint16_t>(lo | (hi << 8));
-    return true;
-  }
-
-  bool uvar(std::uint64_t& v) {
-    v = 0;
-    int shift = 0;
-    for (;;) {
-      std::uint8_t b = 0;
-      if (!u8(b) || shift >= 64) return false;
-      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-      if ((b & 0x80) == 0) return true;
-      shift += 7;
-    }
-  }
-
-  bool str(std::string& s) {
-    std::uint64_t n = 0;
-    if (!uvar(n) || n > remaining()) return false;
-    s.assign(reinterpret_cast<const char*>(bytes_.data()) + pos_,
-             static_cast<std::size_t>(n));
-    pos_ += static_cast<std::size_t>(n);
-    return true;
-  }
-
-  [[nodiscard]] std::size_t remaining() const noexcept {
-    return bytes_.size() - pos_;
-  }
-  [[nodiscard]] bool done() const noexcept { return pos_ == bytes_.size(); }
-
- private:
-  std::span<const std::uint8_t> bytes_;
-  std::size_t pos_ = 0;
-};
+}  // namespace
 
 void write_symbol(ByteWriter& w, const Symbol& sym) {
   if (const auto* n = std::get_if<NodeDesc>(&sym)) {
@@ -142,8 +91,6 @@ bool read_symbol(TryReader& r, Symbol& sym) {
   }
 }
 
-}  // namespace
-
 std::string to_string(RunVerdict v) {
   switch (v) {
     case RunVerdict::Accepted: return "Accepted";
@@ -160,9 +107,12 @@ std::size_t RunTrace::symbol_count() const noexcept {
   return n;
 }
 
-void serialize_run_trace(const RunTrace& trace, ByteWriter& w) {
+void write_trace_header(const RunTrace& trace, std::size_t nsteps,
+                        ByteWriter& w) {
   w.bytes(kMagic);
-  w.u16(RunTrace::kVersion);
+  // Full recordings stay on version 2 so the artifact bytes are unchanged;
+  // only excerpts (which need the base to replay) opt into version 3.
+  w.u16(trace.has_base() ? RunTrace::kMaxVersion : RunTrace::kVersion);
   write_str(w, trace.protocol);
   w.uvar(trace.checker.k);
   w.u8(static_cast<std::uint8_t>(trace.checker.procs));
@@ -172,18 +122,29 @@ void serialize_run_trace(const RunTrace& trace, ByteWriter& w) {
   write_str(w, to_string(trace.checker.model));
   w.u8(static_cast<std::uint8_t>(trace.verdict));
   write_str(w, trace.reason);
-  w.uvar(trace.steps.size());
-  for (const RunStep& step : trace.steps) {
-    write_str(w, step.action);
-    w.uvar(step.symbols.size());
-    for (const Symbol& sym : step.symbols) write_symbol(w, sym);
+  if (trace.has_base()) {
+    w.uvar(trace.dropped_steps);
+    w.uvar(trace.base_state.size());
+    w.bytes(trace.base_state);
   }
+  w.uvar(nsteps);
 }
 
-bool parse_run_trace(std::span<const std::uint8_t> bytes, RunTrace& trace,
-                     std::string& error) {
+void write_trace_step(const RunStep& step, ByteWriter& w) {
+  write_str(w, step.action);
+  w.uvar(step.symbols.size());
+  for (const Symbol& sym : step.symbols) write_symbol(w, sym);
+}
+
+void serialize_run_trace(const RunTrace& trace, ByteWriter& w) {
+  write_trace_header(trace, trace.steps.size(), w);
+  for (const RunStep& step : trace.steps) write_trace_step(step, w);
+}
+
+bool parse_trace_header(TryReader& r, RunTrace& trace, std::uint64_t& nsteps,
+                        std::string& error) {
   trace = RunTrace{};
-  TryReader r(bytes);
+  nsteps = 0;
   const auto fail = [&](const char* what) {
     error = what;
     return false;
@@ -198,10 +159,10 @@ bool parse_run_trace(std::span<const std::uint8_t> bytes, RunTrace& trace,
   }
   std::uint16_t version = 0;
   if (!r.u16(version)) return fail("truncated header");
-  if (version < RunTrace::kMinVersion || version > RunTrace::kVersion) {
+  if (version < RunTrace::kMinVersion || version > RunTrace::kMaxVersion) {
     error = "unsupported run-trace version " + std::to_string(version) +
             " (expected " + std::to_string(RunTrace::kMinVersion) + ".." +
-            std::to_string(RunTrace::kVersion) + ")";
+            std::to_string(RunTrace::kMaxVersion) + ")";
     return false;
   }
 
@@ -235,28 +196,61 @@ bool parse_run_trace(std::span<const std::uint8_t> bytes, RunTrace& trace,
                                   values, coherence != 0, model};
   trace.verdict = static_cast<RunVerdict>(verdict);
 
-  std::uint64_t nsteps = 0;
+  if (version >= 3) {
+    std::uint64_t base_len = 0;
+    if (!r.uvar(trace.dropped_steps) || !r.uvar(base_len)) {
+      return fail("truncated excerpt base");
+    }
+    if (base_len > r.remaining()) return fail("excerpt base exceeds buffer");
+    trace.base_state.resize(static_cast<std::size_t>(base_len));
+    for (std::uint8_t& b : trace.base_state) {
+      if (!r.u8(b)) return fail("truncated excerpt base");
+    }
+  }
+
   if (!r.uvar(nsteps)) return fail("truncated step count");
+  return true;
+}
+
+bool parse_trace_step(TryReader& r, RunStep& step, std::string& error) {
+  step = RunStep{};
+  const auto fail = [&](const char* what) {
+    error = what;
+    return false;
+  };
+  std::uint64_t nsyms = 0;
+  if (!r.str(step.action) || !r.uvar(nsyms)) return fail("truncated step");
+  if (nsyms > r.remaining()) return fail("symbol count exceeds buffer");
+  step.symbols.reserve(static_cast<std::size_t>(nsyms));
+  for (std::uint64_t s = 0; s < nsyms; ++s) {
+    Symbol sym;
+    if (!read_symbol(r, sym)) return fail("malformed symbol");
+    step.symbols.push_back(sym);
+  }
+  return true;
+}
+
+bool parse_run_trace(std::span<const std::uint8_t> bytes, RunTrace& trace,
+                     std::string& error) {
+  TryReader r(bytes);
+  std::uint64_t nsteps = 0;
+  if (!parse_trace_header(r, trace, nsteps, error)) return false;
   // A step costs at least 2 bytes on the wire; reject counts the buffer
   // cannot possibly hold before reserving anything.
-  if (nsteps > r.remaining()) return fail("step count exceeds buffer");
+  if (nsteps > r.remaining()) {
+    error = "step count exceeds buffer";
+    return false;
+  }
   trace.steps.reserve(static_cast<std::size_t>(nsteps));
   for (std::uint64_t i = 0; i < nsteps; ++i) {
     RunStep step;
-    std::uint64_t nsyms = 0;
-    if (!r.str(step.action) || !r.uvar(nsyms)) {
-      return fail("truncated step");
-    }
-    if (nsyms > r.remaining()) return fail("symbol count exceeds buffer");
-    step.symbols.reserve(static_cast<std::size_t>(nsyms));
-    for (std::uint64_t s = 0; s < nsyms; ++s) {
-      Symbol sym;
-      if (!read_symbol(r, sym)) return fail("malformed symbol");
-      step.symbols.push_back(sym);
-    }
+    if (!parse_trace_step(r, step, error)) return false;
     trace.steps.push_back(std::move(step));
   }
-  if (!r.done()) return fail("trailing bytes after the last step");
+  if (!r.done()) {
+    error = "trailing bytes after the last step";
+    return false;
+  }
   return true;
 }
 

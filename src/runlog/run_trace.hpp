@@ -30,6 +30,15 @@
 // trace re-checks exactly as it always did (the coherence byte keeps its
 // meaning as the deprecated per-location-SC alias in both versions).
 //
+// Version 3 adds an *optional* excerpt base: when the recorded steps are a
+// suffix of a longer run (the streaming service's quarantine excerpts keep
+// only a bounded window), the header carries the checker snapshot taken at
+// the window start plus the count of dropped earlier steps, so the excerpt
+// replays to the same verdict a full recording would.  Extra v3 header
+// fields (after reason): uvar dropped_steps | uvar base length | raw
+// checker-snapshot bytes.  Traces with no base (dropped_steps == 0, empty
+// base_state) are still written as version 2, byte-identical to before.
+//
 // Parsing is total: a malformed or truncated buffer yields an error string,
 // never an abort — traces cross trust boundaries (files on disk, CI
 // artifacts), unlike the in-memory snapshots the model checker round-trips.
@@ -72,6 +81,9 @@ struct RunTrace {
   /// Oldest version parse_run_trace still accepts (see the format comment:
   /// version 1 lacks the model tag and re-checks as SC).
   static constexpr std::uint16_t kMinVersion = 1;
+  /// Newest version: 3 carries the optional excerpt base.  Full recordings
+  /// still serialize as kVersion (2); only traces with a base use 3.
+  static constexpr std::uint16_t kMaxVersion = 3;
 
   // --- Header: provenance and the offline checker's configuration.
   std::string protocol;      ///< protocol name the run was recorded from
@@ -79,8 +91,20 @@ struct RunTrace {
   RunVerdict verdict = RunVerdict::Accepted;  ///< verdict at capture time
   std::string reason;        ///< failure reason at capture ("" if accepted)
 
+  // --- Excerpt base (version 3; empty for full recordings).  When
+  // non-empty, `base_state` is an ScChecker snapshot to restore *before*
+  // feeding `steps`, and `dropped_steps` counts the earlier steps the
+  // excerpt omitted.  Untrusted on read: replayers must go through
+  // ScChecker::try_restore, never the aborting restore().
+  std::vector<std::uint8_t> base_state;
+  std::uint64_t dropped_steps = 0;
+
   // --- Body.
   std::vector<RunStep> steps;
+
+  [[nodiscard]] bool has_base() const noexcept {
+    return !base_state.empty() || dropped_steps != 0;
+  }
 
   [[nodiscard]] std::size_t symbol_count() const noexcept;
 
@@ -101,5 +125,25 @@ void serialize_run_trace(const RunTrace& trace, ByteWriter& w);
                                    const RunTrace& trace, std::string& error);
 [[nodiscard]] bool read_run_trace(const std::string& path, RunTrace& trace,
                                   std::string& error);
+
+// --- Wire-codec pieces, shared with the streaming reader (trace_stream)
+// and the service's incremental excerpt writer.  parse_run_trace is the
+// composition header → steps × nsteps → done(); the pieces keep the same
+// total-parsing contract (false + diagnostic, never an abort).
+
+void write_symbol(ByteWriter& w, const Symbol& sym);
+[[nodiscard]] bool read_symbol(TryReader& r, Symbol& sym);
+
+void write_trace_header(const RunTrace& trace, std::size_t nsteps,
+                        ByteWriter& w);
+void write_trace_step(const RunStep& step, ByteWriter& w);
+
+/// Parses magic, version, header fields (including the v3 excerpt base) and
+/// the step count; on success the cursor rests at the first step record.
+[[nodiscard]] bool parse_trace_header(TryReader& r, RunTrace& header,
+                                      std::uint64_t& nsteps,
+                                      std::string& error);
+[[nodiscard]] bool parse_trace_step(TryReader& r, RunStep& step,
+                                    std::string& error);
 
 }  // namespace scv

@@ -111,6 +111,9 @@ class CheckerSink final : public SymbolSink {
   explicit CheckerSink(ScChecker& checker) : checker_(&checker) {}
 
   void on_symbol(const Symbol& sym) override { (void)checker_->feed(sym); }
+  void on_batch(std::span<const Symbol> syms) override {
+    (void)checker_->feed_batch(syms);
+  }
 
   [[nodiscard]] const ScChecker& checker() const noexcept {
     return *checker_;

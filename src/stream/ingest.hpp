@@ -1,0 +1,27 @@
+// Feeding recorded SCVR traces into the streaming service.
+//
+// Bridges the offline format to the online path: each trace file becomes
+// one stream — Open with the trace's checker config, the steps' symbol
+// batches, Close.  Reads are chunked through TraceStreamReader, so files
+// of any length ingest in constant memory, and a truncated or corrupt
+// file yields the same diagnostic the batch checker would give, attached
+// to the stream that was being fed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runlog/trace_stream.hpp"
+#include "stream/service.hpp"
+
+namespace scv {
+
+/// Streams every step of `reader`'s trace into `producer` as `stream`.
+/// Returns false (with `error` set) if the trace is malformed; the stream
+/// is still closed, so a verdict for the prefix that was fed remains
+/// available from the service.  A false return means the *file* was bad —
+/// the verification verdict lives in the service's StreamReport.
+bool ingest_trace(TraceStreamReader& reader, StreamService::Producer producer,
+                  std::uint32_t stream, std::string& error);
+
+}  // namespace scv

@@ -1,0 +1,349 @@
+#include "stream/service.hpp"
+
+#include <algorithm>
+
+namespace scv {
+
+StreamService::StreamService(const StreamServiceOptions& options)
+    : opt_(options) {
+  SCV_EXPECTS(opt_.producers >= 1);
+  rings_.resize(opt_.producers);
+  for (RingState& rs : rings_) {
+    rs.ring = std::make_unique<SpscRing<StreamEvent>>(opt_.ring_capacity);
+  }
+}
+
+StreamService::~StreamService() { stop(); }
+
+StreamService::Producer StreamService::producer(std::size_t i) {
+  SCV_EXPECTS(i < rings_.size());
+  return Producer(*this, i);
+}
+
+std::size_t StreamService::producer_count() const noexcept {
+  return rings_.size();
+}
+
+void StreamService::start() {
+  if (started_ || opt_.workers == 0) return;
+  started_ = true;
+  const std::size_t n = std::min(opt_.workers, rings_.size());
+  threads_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    // The stride is fixed before any thread starts: workers must never
+    // derive it from shared state start() is still mutating, or two of
+    // them could transiently claim the same ring (an SPSC violation).
+    threads_.emplace_back([this, w, n] { worker_main(w, n); });
+  }
+}
+
+void StreamService::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (!threads_.empty()) {
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+  } else {
+    // Poll mode (or never started): drain on this thread.
+    while (poll() != 0) {
+    }
+  }
+}
+
+std::size_t StreamService::poll() {
+  std::size_t total = 0;
+  for (RingState& rs : rings_) total += drain_ring(rs);
+  return total;
+}
+
+void StreamService::worker_main(std::size_t w, std::size_t stride) {
+  for (;;) {
+    std::size_t total = 0;
+    for (std::size_t r = w; r < rings_.size(); r += stride) {
+      total += drain_ring(rings_[r]);
+    }
+    if (total == 0) {
+      // Empty pass: only exit once producers are done (stop_ ordered after
+      // their last push), so everything published gets applied.
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+    }
+  }
+}
+
+std::size_t StreamService::drain_ring(RingState& rs) {
+  StreamEvent batch[256];
+  const std::size_t n = rs.ring->drain(batch, std::size(batch));
+  if (n == 0) return 0;
+  events_.fetch_add(n, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) apply(rs, batch[i]);
+  return n;
+}
+
+void StreamService::apply(RingState& rs, const StreamEvent& ev) {
+  if (ev.kind == StreamEvent::Kind::Open) {
+    apply_open(rs, ev);
+    return;
+  }
+  const auto it = rs.index.find(ev.stream);
+  if (it == rs.index.end()) {
+    discarded_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  StreamContext& ctx = *rs.arena[it->second];
+  switch (ev.kind) {
+    case StreamEvent::Kind::Symbol:
+      // The steady-state hot path: one unpack + one push_back into a
+      // capacity-warm vector.
+      ctx.cur_step.push_back(unpack_symbol(ev.u.sym));
+      break;
+    case StreamEvent::Kind::StepEnd:
+      apply_step_end(rs, ctx);
+      break;
+    case StreamEvent::Kind::Close:
+      // Trailing symbols without a StepEnd count as a final implicit step.
+      if (!ctx.cur_step.empty()) {
+        apply_step_end(rs, ctx);
+        if (ctx.state != StreamState::Open) break;  // quarantined just now
+      }
+      finish_stream(rs, ctx, StreamState::Closed);
+      break;
+    case StreamEvent::Kind::Open:
+      break;  // handled above
+  }
+}
+
+void StreamService::apply_open(RingState& rs, const StreamEvent& ev) {
+  if (const auto it = rs.index.find(ev.stream); it != rs.index.end()) {
+    // Re-opening a live stream is a client protocol error; the existing
+    // stream is quarantined (its checker state is no longer trustworthy)
+    // and the new open is dropped.
+    StreamContext& ctx = *rs.arena[it->second];
+    ctx.state = StreamState::Quarantined;
+    StreamReport rep;
+    rep.state = StreamState::Quarantined;
+    rep.verdict = RunVerdict::TrackingInconsistent;
+    rep.reason = "stream reopened before close";
+    rep.steps = ctx.steps;
+    rep.symbols = ctx.symbols;
+    {
+      const std::lock_guard<std::mutex> lock(reports_mu_);
+      reports_[ev.stream] = std::move(rep);
+    }
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    rs.free_list.push_back(it->second);
+    rs.index.erase(it);
+    return;
+  }
+  opened_.fetch_add(1, std::memory_order_relaxed);
+  const ScCheckerConfig cfg = unpack_config(ev.u.cfg);
+  if (const std::string reason = cfg.invalid_reason(); !reason.empty()) {
+    StreamReport rep;
+    rep.state = StreamState::Quarantined;
+    rep.verdict = RunVerdict::TrackingInconsistent;
+    rep.reason = "invalid checker config: " + reason;
+    {
+      const std::lock_guard<std::mutex> lock(reports_mu_);
+      reports_[ev.stream] = std::move(rep);
+    }
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  std::uint32_t slot = 0;
+  if (!rs.free_list.empty()) {
+    slot = rs.free_list.back();
+    rs.free_list.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(rs.arena.size());
+    rs.arena.push_back(std::make_unique<StreamContext>());
+  }
+  StreamContext& ctx = *rs.arena[slot];
+  ctx.stream = ev.stream;
+  ctx.state = StreamState::Open;
+  ctx.cfg = cfg;
+  ctx.checker.emplace(cfg);
+  ctx.steps = 0;
+  ctx.symbols = 0;
+  ctx.cur_step.clear();
+  ctx.prev_fill = 0;
+  ctx.cur_fill = 0;
+  ctx.dropped_before_prev = 0;
+  ctx.rotated = false;
+  ctx.snap_prev.clear();
+  ctx.snap_cur.clear();
+  if (opt_.excerpt_window != 0) ctx.checker->snapshot(ctx.snap_cur);
+  rs.index.emplace(ev.stream, slot);
+}
+
+void StreamService::apply_step_end(RingState& rs, StreamContext& ctx) {
+  // Window rotation happens *before* the step is applied so snap_cur is
+  // always the checker state preceding cur_win[0].
+  if (opt_.excerpt_window != 0 && ctx.cur_fill == opt_.excerpt_window) {
+    rotate_windows(ctx);
+  }
+  const ScChecker::Status st = ctx.checker->feed_batch(ctx.cur_step);
+  ++ctx.steps;
+  ctx.symbols += ctx.cur_step.size();
+  steps_.fetch_add(1, std::memory_order_relaxed);
+  symbols_.fetch_add(ctx.cur_step.size(), std::memory_order_relaxed);
+  if (st == ScChecker::Status::Reject) {
+    quarantine(rs, ctx);
+  } else {
+    record_step(ctx);
+  }
+  ctx.cur_step.clear();
+}
+
+void StreamService::rotate_windows(StreamContext& ctx) {
+  ctx.dropped_before_prev += ctx.prev_fill;
+  std::swap(ctx.prev_win, ctx.cur_win);
+  ctx.prev_fill = ctx.cur_fill;
+  ctx.cur_fill = 0;
+  std::swap(ctx.snap_prev, ctx.snap_cur);
+  ctx.snap_cur.clear();
+  ctx.checker->snapshot(ctx.snap_cur);
+  ctx.rotated = true;
+}
+
+void StreamService::record_step(StreamContext& ctx) {
+  if (opt_.excerpt_window == 0) return;
+  if (ctx.cur_win.size() <= ctx.cur_fill) {
+    ctx.cur_win.resize(ctx.cur_fill + 1);  // warmup only; capacity persists
+  }
+  RunStep& slot = ctx.cur_win[ctx.cur_fill++];
+  slot.action.clear();
+  // Symbols are flat variants of PODs: assign reuses the slot's capacity.
+  slot.symbols.assign(ctx.cur_step.begin(), ctx.cur_step.end());
+}
+
+void StreamService::quarantine(RingState& rs, StreamContext& ctx) {
+  StreamReport rep;
+  rep.state = StreamState::Quarantined;
+  rep.verdict = RunVerdict::Violation;
+  rep.reason = ctx.checker->reject_reason();
+  rep.steps = ctx.steps;
+  rep.symbols = ctx.symbols;
+  if (opt_.excerpt_window != 0) {
+    RunTrace ex;
+    ex.protocol = "stream";
+    ex.checker = ctx.cfg;
+    ex.verdict = RunVerdict::Violation;
+    ex.reason = ctx.checker->reject_reason();
+    if (ctx.rotated) {
+      // Earlier windows were dropped: the excerpt replays from the
+      // snapshot taken before prev_win[0].
+      ex.dropped_steps = ctx.dropped_before_prev;
+      ex.base_state = ctx.snap_prev.data();
+    }
+    ex.steps.reserve(ctx.prev_fill + ctx.cur_fill + 1);
+    for (std::size_t i = 0; i < ctx.prev_fill; ++i) {
+      ex.steps.push_back(ctx.prev_win[i]);
+    }
+    for (std::size_t i = 0; i < ctx.cur_fill; ++i) {
+      ex.steps.push_back(ctx.cur_win[i]);
+    }
+    // The failing step itself (feed_batch stopped inside it; replaying the
+    // full step is equivalent — the reject is sticky and first-wins).
+    RunStep last;
+    last.symbols.assign(ctx.cur_step.begin(), ctx.cur_step.end());
+    ex.steps.push_back(std::move(last));
+    rep.excerpt = std::move(ex);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(reports_mu_);
+    reports_[ctx.stream] = std::move(rep);
+  }
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+  ctx.state = StreamState::Quarantined;
+  rs.free_list.push_back(rs.index.at(ctx.stream));
+  rs.index.erase(ctx.stream);
+}
+
+void StreamService::finish_stream(RingState& rs, StreamContext& ctx,
+                                  StreamState state) {
+  StreamReport rep;
+  rep.state = state;
+  rep.verdict = RunVerdict::Accepted;
+  rep.steps = ctx.steps;
+  rep.symbols = ctx.symbols;
+  {
+    const std::lock_guard<std::mutex> lock(reports_mu_);
+    reports_[ctx.stream] = std::move(rep);
+  }
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  ctx.state = state;
+  rs.free_list.push_back(rs.index.at(ctx.stream));
+  rs.index.erase(ctx.stream);
+}
+
+std::optional<StreamReport> StreamService::report(
+    std::uint32_t stream) const {
+  const std::lock_guard<std::mutex> lock(reports_mu_);
+  const auto it = reports_.find(stream);
+  if (it == reports_.end()) return std::nullopt;
+  return it->second;
+}
+
+StreamServiceStats StreamService::stats() const {
+  StreamServiceStats s;
+  s.events = events_.load(std::memory_order_relaxed);
+  s.symbols = symbols_.load(std::memory_order_relaxed);
+  s.steps = steps_.load(std::memory_order_relaxed);
+  s.streams_opened = opened_.load(std::memory_order_relaxed);
+  s.streams_closed = closed_.load(std::memory_order_relaxed);
+  s.streams_quarantined = quarantined_.load(std::memory_order_relaxed);
+  s.backpressure_stalls = stalls_.load(std::memory_order_relaxed);
+  s.discarded_events = discarded_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- Producer ------------------------------------------------------------
+
+void StreamService::Producer::push(const StreamEvent& ev) {
+  SpscRing<StreamEvent>& ring = *svc_->rings_[ring_].ring;
+  while (!ring.try_push(ev)) {
+    svc_->stalls_.fetch_add(1, std::memory_order_relaxed);
+    if (svc_->opt_.workers == 0 && svc_->threads_.empty()) {
+      // Poll mode: producer and consumer share the caller's thread, so a
+      // full ring must be drained inline or the push would spin forever.
+      (void)svc_->drain_ring(svc_->rings_[ring_]);
+    } else {
+      std::this_thread::yield();  // backpressure: stall, never drop
+    }
+  }
+}
+
+void StreamService::Producer::open(std::uint32_t stream,
+                                   const ScCheckerConfig& cfg) {
+  StreamEvent ev;
+  ev.stream = stream;
+  ev.kind = StreamEvent::Kind::Open;
+  ev.u.cfg = pack_config(cfg);
+  push(ev);
+}
+
+void StreamService::Producer::symbol(std::uint32_t stream, const Symbol& sym) {
+  StreamEvent ev;
+  ev.stream = stream;
+  ev.kind = StreamEvent::Kind::Symbol;
+  ev.u.sym = pack_symbol(sym);
+  push(ev);
+}
+
+void StreamService::Producer::step_end(std::uint32_t stream) {
+  StreamEvent ev;
+  ev.stream = stream;
+  ev.kind = StreamEvent::Kind::StepEnd;
+  ev.u.sym = PackedSymbol{};
+  push(ev);
+}
+
+void StreamService::Producer::close(std::uint32_t stream) {
+  StreamEvent ev;
+  ev.stream = stream;
+  ev.kind = StreamEvent::Kind::Close;
+  ev.u.sym = PackedSymbol{};
+  push(ev);
+}
+
+}  // namespace scv

@@ -1,0 +1,99 @@
+// Lock-free single-producer/single-consumer ring buffer.
+//
+// The streaming service gives every producer thread its own ring drained by
+// exactly one verifier worker, so the strongest queue discipline needed
+// anywhere is SPSC — which admits the classic Lamport ring: two monotonic
+// indices, each written by one side only, with release/acquire pairing on
+// the index stores.  Two refinements matter for the ingest hot path:
+//
+//   * cached peer indices: the producer re-reads the consumer's head (and
+//     vice versa) only when its cached copy says the ring looks full/empty,
+//     so steady-state pushes and drains touch a single shared cache line
+//     write each instead of two shared reads per element;
+//   * batch draining: the consumer takes everything published in one
+//     acquire load and retires it with one release store, amortizing the
+//     synchronization over the whole batch (cxxtrace-style epoch drain).
+//
+// Slots are fixed-size trivially-copyable values; the ring never allocates
+// after construction.  Capacity is a power of two so index wrapping is a
+// mask, and indices are unbounded counters so full/empty never conflate.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "util/assert.hpp"
+
+namespace scv {
+
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ring slots are raw copies; no constructors run on the hot "
+                "path");
+
+ public:
+  explicit SpscRing(std::size_t capacity_pow2)
+      : mask_(capacity_pow2 - 1),
+        slots_(std::make_unique<T[]>(capacity_pow2)) {
+    SCV_EXPECTS(capacity_pow2 >= 2 &&
+                (capacity_pow2 & (capacity_pow2 - 1)) == 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side.  False when the ring is full — the caller owns the
+  /// backpressure policy (spin, yield, or surface the stall).
+  bool try_push(const T& v) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: copies up to `max` published elements into `out` and
+  /// retires them with a single release store.  Returns the batch size
+  /// (0 when the ring is empty).
+  std::size_t drain(T* out, std::size_t max) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (cached_tail_ == head) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (cached_tail_ == head) return 0;
+    }
+    std::size_t n = cached_tail_ - head;
+    if (n > max) n = max;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Approximate occupancy (exact from the calling side's own view).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  // Hot indices on separate cache lines: head_ is written by the consumer,
+  // tail_ by the producer, and each side's cached peer copy is private to
+  // it — the only cross-core traffic is the index each side publishes.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::size_t cached_tail_ = 0;  ///< consumer-private
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::size_t cached_head_ = 0;  ///< producer-private
+
+  std::size_t mask_;
+  std::unique_ptr<T[]> slots_;
+};
+
+}  // namespace scv

@@ -113,6 +113,71 @@ class ScratchWriter {
   std::uint8_t* end_;
 };
 
+/// Bounds-checked cursor for *untrusted* buffers.  Unlike ByteReader (whose
+/// SCV_EXPECTS aborts on overrun — correct for trusted in-process
+/// snapshots), every read reports failure, so corrupt bytes surface as a
+/// recoverable parse error instead of terminating the process.  Shared by
+/// the run-trace parser, the streaming trace reader, and the checker's
+/// validating restore path.
+class TryReader {
+ public:
+  explicit TryReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ >= bytes_.size()) return false;
+    v = bytes_[pos_++];
+    return true;
+  }
+
+  bool u16(std::uint16_t& v) {
+    std::uint8_t lo = 0;
+    std::uint8_t hi = 0;
+    if (!u8(lo) || !u8(hi)) return false;
+    v = static_cast<std::uint16_t>(lo | (hi << 8));
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+
+  bool uvar(std::uint64_t& v) {
+    v = 0;
+    int shift = 0;
+    for (;;) {
+      std::uint8_t b = 0;
+      if (!u8(b) || shift >= 64) return false;
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return true;
+      shift += 7;
+    }
+  }
+
+  bool str(std::string& s) {
+    std::uint64_t n = 0;
+    if (!uvar(n) || n > remaining()) return false;
+    s.assign(reinterpret_cast<const char*>(bytes_.data()) + pos_,
+             static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}

@@ -32,7 +32,22 @@ regresses past its floor:
     (CI runners with a small cpuset, laptops with the bench sharing cores)
     are reported but never gated: their "speedup" measures scheduler luck,
     not the engine.  When no row is gateable the scaling gate is skipped
-    with an explicit message rather than silently passing.
+    with an explicit message rather than silently passing.  The honesty
+    invariant itself — oversubscribed <=> not gating, and any row using
+    more threads than the affinity budget is oversubscribed — IS checked,
+    on every row: a bench that gated an oversubscribed row would be
+    laundering scheduler noise into a pass/fail signal.
+
+With --stream-json, also gates BENCH_stream.json (bench_stream's output):
+
+  * verdict parity: the streaming service's per-stream verdicts matched
+    offline check_trace on identical load;
+  * checker hot path: per-memory-model symbols/sec floors (single
+    thread, always gating);
+  * single-stream service headline: poll-mode symbols/sec floor (one
+    thread, always gating — the row every host can measure honestly);
+  * multi-stream sweep: aggregate symbols/sec floor applied to gating
+    rows only, same affinity discipline as the scaling rows above.
 
 Thresholds are CLI-overridable so a deliberate trade-off lands as a
 reviewed flag change in CI, not a silent edit here.
@@ -94,6 +109,103 @@ LITMUS_EXPECTED = {
 # must actually prune (serial_memory at depth 8 / budget 0 measures ~70x).
 PREEMPTION_REDUCTION_FLOOR = 2.0
 
+# The streaming bench's hot-path rows must cover exactly the model axis.
+STREAM_HOT_MODELS = ["sc", "tso", "coherence"]
+
+
+def check_stream(d, args, check) -> None:
+    """Gates BENCH_stream.json (see module docstring)."""
+    cpus = d.get("affinity_cpus") or 1
+    print(
+        "stream bench host: %s hardware threads, %s affinity CPUs [%s], "
+        "%s reps"
+        % (
+            d.get("hardware_threads"),
+            cpus,
+            d.get("affinity_mask", "unknown"),
+            d.get("reps"),
+        )
+    )
+
+    check(
+        d.get("verdict_parity") is True,
+        "stream: service verdicts match offline check_trace",
+    )
+
+    hot = {r["model"]: r for r in d.get("hot_path", [])}
+    for model in STREAM_HOT_MODELS:
+        row = hot.get(model)
+        if row is None:
+            check(False, "stream hot_path %s: row recorded" % model)
+            continue
+        check(
+            row["symbols_per_sec"] >= args.min_hot_symbols_per_sec,
+            "stream hot_path %s: %.2gM symbols/s >= %.2gM (single thread)"
+            % (
+                model,
+                row["symbols_per_sec"] / 1e6,
+                args.min_hot_symbols_per_sec / 1e6,
+            ),
+        )
+
+    single = d.get("single_stream")
+    if single is None:
+        check(False, "stream single_stream headline row recorded")
+    else:
+        check(
+            single.get("threads_used") == 1 and single.get("gating") is True,
+            "stream single_stream: one thread and always gating",
+        )
+        check(
+            single["symbols_per_sec"] >= args.min_stream_symbols_per_sec,
+            "stream single_stream: %.2gM symbols/s >= %.2gM (poll mode)"
+            % (
+                single["symbols_per_sec"] / 1e6,
+                args.min_stream_symbols_per_sec / 1e6,
+            ),
+        )
+
+    rows = d.get("service", [])
+    check(bool(rows), "stream service sweep recorded")
+    gated = 0
+    for r in rows:
+        oversub = r["threads_used"] > cpus
+        check(
+            r.get("oversubscribed") == oversub
+            and r.get("gating") == (not oversub),
+            "stream service @%d streams: oversubscribed/gating flags honest "
+            "for %d threads on %d CPU(s)"
+            % (r["streams"], r["threads_used"], cpus),
+        )
+        if r.get("gating") and not oversub:
+            gated += 1
+            check(
+                r["symbols_per_sec"] >= args.min_stream_symbols_per_sec,
+                "stream service @%d streams: aggregate %.2gM symbols/s >= "
+                "%.2gM" % (
+                    r["streams"],
+                    r["symbols_per_sec"] / 1e6,
+                    args.min_stream_symbols_per_sec / 1e6,
+                ),
+            )
+        else:
+            print(
+                "NOTE  stream service @%d streams oversubscribed (%d threads "
+                "on %d CPU(s)): %.2gM symbols/s recorded, not gated"
+                % (
+                    r["streams"],
+                    r["threads_used"],
+                    cpus,
+                    r["symbols_per_sec"] / 1e6,
+                )
+            )
+    if gated == 0:
+        print(
+            "SKIP  stream aggregate gate: no gateable sweep rows — affinity "
+            "mask [%s] gives only %s CPU(s); the single_stream headline row "
+            "above still gates" % (d.get("affinity_mask", "unknown"), cpus)
+        )
+
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
@@ -112,6 +224,26 @@ def main() -> int:
         help="max exhaustive static-analysis wall time per registry "
         "protocol as a share of the reference p2 MC run "
         "(default: %(default)s)",
+    )
+    ap.add_argument(
+        "--stream-json",
+        default=None,
+        help="also gate this BENCH_stream.json (bench_stream's output)",
+    )
+    ap.add_argument(
+        "--min-hot-symbols-per-sec",
+        type=float,
+        default=2e6,
+        help="checker hot-path floor, symbols/sec per model row "
+        "(default: %(default)s; measures ~50M on one 2020s core)",
+    )
+    ap.add_argument(
+        "--min-stream-symbols-per-sec",
+        type=float,
+        default=1e6,
+        help="streaming-service floor, symbols/sec, applied to the "
+        "single-stream headline and to gating sweep rows "
+        "(default: %(default)s; measures ~20M on one 2020s core)",
     )
     args = ap.parse_args()
 
@@ -282,6 +414,17 @@ def main() -> int:
 
     # --- multicore scaling (gating rows only) -----------------------------
     rows = d["scaling"]["fingerprint"]
+    # Honesty invariant on every row, gated or not: an oversubscribed row
+    # (more workers than affinity CPUs) must never be marked gating — its
+    # speedup/efficiency numbers measure the scheduler, not the engine.
+    cpus = d.get("affinity_cpus") or 1
+    for r in rows:
+        check(
+            r.get("oversubscribed") == (not r.get("gating"))
+            and (r["threads"] <= cpus or r.get("oversubscribed") is True),
+            "scaling @%d threads: oversubscribed/gating flags honest for "
+            "%s CPU(s)" % (r["threads"], cpus),
+        )
     gateable = [
         r for r in rows if r.get("gating") and r["threads"] in SCALING_FLOORS
     ]
@@ -305,6 +448,11 @@ def main() -> int:
                 "NOTE  scaling @%d threads oversubscribed: speedup x%.2f "
                 "(not gated)" % (r["threads"], r["speedup"])
             )
+
+    # --- streaming service (optional second summary) ----------------------
+    if args.stream_json:
+        with open(args.stream_json) as f:
+            check_stream(json.load(f), args, check)
 
     if failures:
         print("\n%d check(s) failed" % len(failures))
